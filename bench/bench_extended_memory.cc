@@ -1,0 +1,102 @@
+// Reproduces the extended-version claim referenced at the end of
+// Section 5: "Lusail reduces the memory footprint and communication costs
+// compared to FedX." For two queries per benchmark, reports
+//   peakRows  — the largest intermediate binding-table population held at
+//               the federator (memory-footprint proxy), and
+//   bytesRecv — total communication volume,
+// for Lusail vs FedX.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/lrb_generator.h"
+#include "workload/lubm_generator.h"
+#include "workload/qfed_generator.h"
+
+namespace lusail::bench {
+namespace {
+
+void RunWithMemoryCounters(benchmark::State& state,
+                           fed::FederatedEngine* engine,
+                           const std::string& query) {
+  fed::ExecutionProfile last;
+  for (auto _ : state) {
+    Deadline deadline = Deadline::AfterMillis(BenchTimeoutMillis());
+    auto result = engine->Execute(query, deadline);
+    if (result.ok()) last = result->profile;
+  }
+  state.counters["peakRows"] =
+      static_cast<double>(last.peak_intermediate_rows);
+  state.counters["bytesRecv"] = static_cast<double>(last.bytes_received);
+  state.counters["rowsRecv"] = static_cast<double>(last.rows_received);
+  state.counters["requests"] = static_cast<double>(last.requests);
+}
+
+void Register(const std::string& name, bench::EngineSet* engines,
+              const std::string& label, const std::string& query) {
+  for (fed::FederatedEngine* engine :
+       {static_cast<fed::FederatedEngine*>(engines->lusail.get()),
+        static_cast<fed::FederatedEngine*>(engines->fedx.get())}) {
+    std::string bench_name =
+        "ExtMemory/" + name + "/" + label + "/" + engine->name();
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [engine, query](benchmark::State& state) {
+          RunWithMemoryCounters(state, engine, query);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace lusail::bench
+
+int main(int argc, char** argv) {
+  using namespace lusail;
+  std::printf(
+      "Extended-version experiment: memory footprint (peak intermediate\n"
+      "rows at the federator) and communication volume, Lusail vs FedX.\n\n");
+  static std::vector<std::unique_ptr<bench::EngineSet>> keep_alive;
+  {
+    workload::QFedGenerator qfed{workload::QFedConfig()};
+    auto engines = std::make_unique<bench::EngineSet>(bench::EngineSet::Create(
+        qfed.GenerateAll(), bench::LocalClusterLatency()));
+    bench::Register("QFed", engines.get(), "C2P2",
+                    workload::QFedGenerator::C2P2());
+    bench::Register("QFed", engines.get(), "C2P2B",
+                    workload::QFedGenerator::C2P2B());
+    keep_alive.push_back(std::move(engines));
+  }
+  {
+    workload::LubmGenerator lubm(workload::LubmConfig::Bench());
+    auto engines = std::make_unique<bench::EngineSet>(bench::EngineSet::Create(
+        lubm.GenerateAll(), bench::LocalClusterLatency()));
+    bench::Register("LUBM", engines.get(), "Q2",
+                    workload::LubmGenerator::Q2());
+    bench::Register("LUBM", engines.get(), "Q4",
+                    workload::LubmGenerator::Q4());
+    keep_alive.push_back(std::move(engines));
+  }
+  {
+    workload::LrbGenerator lrb{workload::LrbConfig()};
+    auto engines = std::make_unique<bench::EngineSet>(bench::EngineSet::Create(
+        lrb.GenerateAll(), bench::LocalClusterLatency()));
+    std::string c1, b2;
+    for (const auto& [l, q] : workload::LrbGenerator::ComplexQueries()) {
+      if (l == "C1") c1 = q;
+    }
+    for (const auto& [l, q] : workload::LrbGenerator::LargeQueries()) {
+      if (l == "B2") b2 = q;
+    }
+    bench::Register("LRB", engines.get(), "C1", c1);
+    bench::Register("LRB", engines.get(), "B2", b2);
+    keep_alive.push_back(std::move(engines));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Figure 10: LargeRDFBench on a local cluster, 13 endpoints.
+// Series per query category: simple (S), complex (C), large (B), engines
+// Lusail / FedX / FedX+HiBISCuS / SPLENDID. Expected shape (paper):
+// comparable on most simple queries (index-based systems sometimes ahead),
+// Lusail clearly ahead on S13/S14 and on most complex and all large
+// queries; baselines hit timeouts/errors on C/B queries (the counters
+// 'timeout' and 'error' mark the paper's TO / RE entries).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/lrb_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace lusail;
+  std::printf(
+      "Figure 10 reproduction: LargeRDFBench (13 endpoints, local).\n"
+      "Categories: S=simple, C=complex, B=large intermediate results.\n\n");
+  workload::LrbGenerator generator{workload::LrbConfig()};
+  auto engines = bench::EngineSet::Create(generator.GenerateAll(),
+                                          bench::LocalClusterLatency());
+  for (const auto& [label, query] : workload::LrbGenerator::SimpleQueries()) {
+    bench::RegisterQueryBenchmarks("Fig10/Simple", label, query,
+                                   engines.ComparisonEngines());
+  }
+  for (const auto& [label, query] : workload::LrbGenerator::ComplexQueries()) {
+    bench::RegisterQueryBenchmarks("Fig10/Complex", label, query,
+                                   engines.ComparisonEngines());
+  }
+  for (const auto& [label, query] : workload::LrbGenerator::LargeQueries()) {
+    bench::RegisterQueryBenchmarks("Fig10/Large", label, query,
+                                   engines.ComparisonEngines());
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

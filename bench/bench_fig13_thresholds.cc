@@ -1,0 +1,97 @@
+// Reproduces Figure 13: the delayed-subquery threshold ablation. For each
+// threshold (mu, mu+sigma, mu+2sigma, outliers-only) and each
+// LargeRDFBench category (simple / complex / large), the benchmark runs
+// every query of the category serially and reports the total time — the
+// figure's bars. Expected shape (paper): mu+2sigma and outliers-only lose
+// on simple/complex (too few subqueries delayed), mu loses on large
+// (too little parallelism), mu+sigma is consistently good.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/lrb_generator.h"
+
+namespace lusail::bench {
+namespace {
+
+void RunCategory(benchmark::State& state, core::LusailEngine* engine,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     queries) {
+  uint64_t requests = 0;
+  double timeouts = 0;
+  for (auto _ : state) {
+    requests = 0;
+    for (const auto& [label, query] : queries) {
+      Deadline deadline = Deadline::AfterMillis(BenchTimeoutMillis());
+      auto result = engine->Execute(query, deadline);
+      if (result.ok()) {
+        requests += result->profile.requests;
+      } else {
+        timeouts += 1;
+      }
+    }
+  }
+  state.counters["requests"] = static_cast<double>(requests);
+  state.counters["timeout"] = timeouts;
+}
+
+}  // namespace
+}  // namespace lusail::bench
+
+int main(int argc, char** argv) {
+  using namespace lusail;
+  std::printf(
+      "Figure 13 reproduction: delay-threshold ablation over the\n"
+      "LargeRDFBench categories (geo-distributed latency). Each benchmark\n"
+      "is the total time to run the whole category.\n\n");
+  static workload::LrbGenerator generator{workload::LrbConfig()};
+  static auto federation = workload::BuildFederation(generator.GenerateAll(),
+                                                     bench::GeoLatency());
+
+  struct ThresholdCase {
+    const char* name;
+    core::DelayThreshold threshold;
+  };
+  static const ThresholdCase kThresholds[] = {
+      {"mu", core::DelayThreshold::kMu},
+      {"mu+sigma", core::DelayThreshold::kMuSigma},
+      {"mu+2sigma", core::DelayThreshold::kMu2Sigma},
+      {"outliers", core::DelayThreshold::kOutliersOnly},
+  };
+  static std::vector<std::unique_ptr<core::LusailEngine>> engines;
+  static const std::vector<
+      std::pair<std::string,
+                std::vector<std::pair<std::string, std::string>>>>
+      kCategories = {
+          {"Simple", workload::LrbGenerator::SimpleQueries()},
+          {"Complex", workload::LrbGenerator::ComplexQueries()},
+          {"Large", workload::LrbGenerator::LargeQueries()},
+      };
+
+  for (const ThresholdCase& tc : kThresholds) {
+    core::LusailOptions options;
+    options.delay_threshold = tc.threshold;
+    engines.push_back(
+        std::make_unique<core::LusailEngine>(federation.get(), options));
+    core::LusailEngine* engine = engines.back().get();
+    for (const auto& [category, queries] : kCategories) {
+      std::string name =
+          "Fig13/" + category + "/" + std::string(tc.name);
+      const auto* queries_ptr = &queries;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [engine, queries_ptr](benchmark::State& state) {
+            bench::RunCategory(state, engine, *queries_ptr);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

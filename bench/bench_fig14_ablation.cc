@@ -1,0 +1,77 @@
+// Reproduces Figure 14: the effect of LADE and SAPE. For two
+// medium/high-complexity queries from each benchmark (QFed, LUBM,
+// LargeRDFBench), compares FedX (baseline), Lusail with LADE only (all
+// subqueries concurrent, join at the federator), and full Lusail
+// (LADE + SAPE). Expected shape (paper): LADE alone already beats FedX by
+// up to three orders of magnitude; adding SAPE always improves on LADE
+// alone.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/lrb_generator.h"
+#include "workload/lubm_generator.h"
+#include "workload/qfed_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace lusail;
+  std::printf(
+      "Figure 14 reproduction: FedX vs Lusail(LADE) vs Lusail(LADE+SAPE)\n"
+      "on two queries from each benchmark (local cluster).\n\n");
+
+  static std::vector<std::unique_ptr<bench::EngineSet>> keep_alive;
+  auto register_pair = [](const std::string& benchmark_name,
+                          bench::EngineSet* engines,
+                          const std::string& label,
+                          const std::string& query) {
+    std::vector<fed::FederatedEngine*> lineup = {
+        engines->fedx.get(), engines->lusail_lade_only.get(),
+        engines->lusail.get()};
+    bench::RegisterQueryBenchmarks("Fig14/" + benchmark_name, label, query,
+                                   lineup);
+  };
+
+  {
+    workload::QFedGenerator qfed{workload::QFedConfig()};
+    auto engines = std::make_unique<bench::EngineSet>(
+        bench::EngineSet::Create(qfed.GenerateAll(),
+                                 bench::LocalClusterLatency()));
+    register_pair("QFed", engines.get(), "C2P2B",
+                  workload::QFedGenerator::C2P2B());
+    register_pair("QFed", engines.get(), "C2P2BO",
+                  workload::QFedGenerator::C2P2BO());
+    keep_alive.push_back(std::move(engines));
+  }
+  {
+    workload::LubmGenerator lubm(workload::LubmConfig::Bench());
+    auto engines = std::make_unique<bench::EngineSet>(
+        bench::EngineSet::Create(lubm.GenerateAll(),
+                                 bench::LocalClusterLatency()));
+    register_pair("LUBM", engines.get(), "Q1", workload::LubmGenerator::Q1());
+    register_pair("LUBM", engines.get(), "Q4", workload::LubmGenerator::Q4());
+    keep_alive.push_back(std::move(engines));
+  }
+  {
+    workload::LrbGenerator lrb{workload::LrbConfig()};
+    auto engines = std::make_unique<bench::EngineSet>(
+        bench::EngineSet::Create(lrb.GenerateAll(),
+                                 bench::LocalClusterLatency()));
+    std::string c1, b4;
+    for (const auto& [l, q] : workload::LrbGenerator::ComplexQueries()) {
+      if (l == "C1") c1 = q;
+    }
+    for (const auto& [l, q] : workload::LrbGenerator::LargeQueries()) {
+      if (l == "B4") b4 = q;
+    }
+    register_pair("LRB", engines.get(), "C1", c1);
+    register_pair("LRB", engines.get(), "B4", b4);
+    keep_alive.push_back(std::move(engines));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

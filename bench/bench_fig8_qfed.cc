@@ -1,0 +1,32 @@
+// Reproduces Figure 8: QFed query performance on a local cluster.
+// Series: Lusail vs FedX vs FedX+HiBISCuS vs SPLENDID over the C2P2
+// family. Expected shape (paper): Lusail fastest everywhere; filter
+// variants (F) are fast for everyone; big-literal variants (B*) blow up
+// the baselines' communication (timeouts in the paper).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/qfed_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace lusail;
+  std::printf(
+      "Figure 8 reproduction: QFed (4 endpoints, local-cluster latency).\n"
+      "Expected shape: Lusail fastest on every query; baselines degrade on\n"
+      "big-literal (B*) variants via communication volume and requests.\n\n");
+  workload::QFedGenerator generator{workload::QFedConfig()};
+  auto engines = bench::EngineSet::Create(generator.GenerateAll(),
+                                          bench::LocalClusterLatency());
+  for (const auto& [label, query] :
+       workload::QFedGenerator::BenchmarkQueries()) {
+    bench::RegisterQueryBenchmarks("Fig8", label, query,
+                                   engines.ComparisonEngines());
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Supporting micro-benchmarks for the substrates (not a paper figure):
+// triple-store lookups, dictionary interning, SPARQL parsing, endpoint
+// round-trips, and the parallel hash join.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/hash_join.h"
+#include "federation/binding_table.h"
+#include "net/sparql_endpoint.h"
+#include "sparql/parser.h"
+#include "store/triple_store.h"
+#include "workload/lubm_generator.h"
+
+namespace lusail {
+namespace {
+
+std::unique_ptr<store::TripleStore> BuildStore(int universities) {
+  workload::LubmConfig config = workload::LubmConfig::Bench();
+  config.num_universities = universities;
+  workload::LubmGenerator generator(config);
+  auto store = std::make_unique<store::TripleStore>();
+  for (int u = 0; u < universities; ++u) {
+    for (const rdf::TermTriple& t : generator.GenerateUniversity(u)) {
+      store->Add(t);
+    }
+  }
+  store->Freeze();
+  return store;
+}
+
+void BM_StoreMatchByPredicate(benchmark::State& state) {
+  static auto store = BuildStore(2);
+  rdf::TermId advisor = store->dict().Lookup(rdf::Term::Iri(
+      "http://swat.cse.lehigh.edu/onto/univ-bench.owl#advisor"));
+  for (auto _ : state) {
+    auto span = store->Match(std::nullopt, advisor, std::nullopt);
+    benchmark::DoNotOptimize(span.size());
+  }
+  state.counters["matches"] = static_cast<double>(
+      store->Count(std::nullopt, advisor, std::nullopt));
+}
+BENCHMARK(BM_StoreMatchByPredicate);
+
+void BM_StoreMatchBySubject(benchmark::State& state) {
+  static auto store = BuildStore(2);
+  auto all = store->Match(std::nullopt, std::nullopt, std::nullopt);
+  Rng rng(5);
+  for (auto _ : state) {
+    rdf::TermId s = all[rng.NextBelow(all.size())].s;
+    auto span = store->Match(s, std::nullopt, std::nullopt);
+    benchmark::DoNotOptimize(span.size());
+  }
+}
+BENCHMARK(BM_StoreMatchBySubject);
+
+void BM_StoreFreeze(benchmark::State& state) {
+  workload::LubmGenerator generator(workload::LubmConfig::Bench());
+  auto triples = generator.GenerateUniversity(0);
+  for (auto _ : state) {
+    store::TripleStore store;
+    for (const rdf::TermTriple& t : triples) store.Add(t);
+    store.Freeze();
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.counters["triples"] = static_cast<double>(triples.size());
+}
+BENCHMARK(BM_StoreFreeze)->Unit(benchmark::kMillisecond);
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  std::vector<rdf::Term> terms;
+  for (int i = 0; i < 10000; ++i) {
+    terms.push_back(
+        rdf::Term::Iri("http://example.org/resource/" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    rdf::Dictionary dict;
+    for (const rdf::Term& t : terms) {
+      benchmark::DoNotOptimize(dict.Intern(t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DictionaryIntern)->Unit(benchmark::kMillisecond);
+
+void BM_ParseQuery(benchmark::State& state) {
+  std::string query = workload::LubmGenerator::QueryQa();
+  for (auto _ : state) {
+    auto parsed = sparql::ParseQuery(query);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_EndpointRoundTrip(benchmark::State& state) {
+  static net::SparqlEndpoint endpoint("bench", BuildStore(1),
+                                      net::LatencyModel::None());
+  std::string query =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x WHERE { ?x ub:advisor ?y . }";
+  for (auto _ : state) {
+    auto response = endpoint.Query(query);
+    benchmark::DoNotOptimize(response.ok());
+  }
+}
+BENCHMARK(BM_EndpointRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelHashJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  fed::SharedDictionary dict;
+  ThreadPool pool(8);
+  fed::BindingTable left, right;
+  left.vars = {"k", "a"};
+  right.vars = {"k", "b"};
+  for (int i = 0; i < n; ++i) {
+    rdf::TermId key = dict.Intern(rdf::Term::Integer(i));
+    left.rows.push_back({key, dict.Intern(rdf::Term::Integer(i * 2))});
+    right.rows.push_back({key, dict.Intern(rdf::Term::Integer(i * 3))});
+  }
+  for (auto _ : state) {
+    fed::BindingTable joined =
+        core::ParallelHashJoin(left, right, &pool, 8);
+    benchmark::DoNotOptimize(joined.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelHashJoin)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lusail
+
+BENCHMARK_MAIN();

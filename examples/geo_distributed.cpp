@@ -1,0 +1,80 @@
+// Geo-distributed federation: the same query, three network regimes.
+// Demonstrates the paper's Section 5.3 observation — request-heavy
+// engines degrade by orders of magnitude under WAN latency while Lusail's
+// runtimes barely move — using the LUBM federation and query Q4.
+//
+//   ./build/examples/geo_distributed
+
+#include <cstdio>
+
+#include "baselines/fedx_engine.h"
+#include "common/stopwatch.h"
+#include "core/lusail_engine.h"
+#include "net/sparql_endpoint.h"
+#include "workload/federation_builder.h"
+#include "workload/lubm_generator.h"
+
+namespace {
+
+void SetLatency(lusail::fed::Federation* federation,
+                const lusail::net::LatencyModel& model) {
+  for (size_t i = 0; i < federation->size(); ++i) {
+    auto* endpoint =
+        dynamic_cast<lusail::net::SparqlEndpoint*>(federation->endpoint(i));
+    if (endpoint != nullptr) endpoint->set_latency(model);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace lusail;
+
+  workload::LubmConfig config = workload::LubmConfig::Bench();
+  config.num_universities = 2;
+  workload::LubmGenerator generator(config);
+  auto federation = workload::BuildFederation(generator.GenerateAll(),
+                                              net::LatencyModel::None());
+
+  struct Regime {
+    const char* name;
+    net::LatencyModel model;
+  };
+  const Regime kRegimes[] = {
+      {"no-network", net::LatencyModel::None()},
+      {"local-cluster", net::LatencyModel::LocalCluster()},
+      {"geo-distributed", net::LatencyModel::GeoDistributed()},
+  };
+
+  std::string query = workload::LubmGenerator::Q4();
+  std::printf("LUBM Q4 (advisor's alma-mater address) on 2 endpoints.\n\n");
+  std::printf("%-16s %-8s %10s %10s %12s\n", "network", "engine", "time(ms)",
+              "requests", "simNetMs");
+  for (const Regime& regime : kRegimes) {
+    SetLatency(federation.get(), regime.model);
+    // Fresh engines per regime: cold caches, honest request counts.
+    core::LusailEngine lusail(federation.get());
+    baselines::FedXEngine fedx(federation.get());
+    for (fed::FederatedEngine* engine :
+         std::initializer_list<fed::FederatedEngine*>{&lusail, &fedx}) {
+      Stopwatch timer;
+      auto result = engine->Execute(query, Deadline::AfterMillis(120000));
+      double ms = timer.ElapsedMillis();
+      if (!result.ok()) {
+        std::printf("%-16s %-8s %10s (%s)\n", regime.name,
+                    engine->name().c_str(), "--",
+                    result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-16s %-8s %10.1f %10llu %12.1f\n", regime.name,
+                  engine->name().c_str(), ms,
+                  static_cast<unsigned long long>(result->profile.requests),
+                  result->profile.network_ms);
+    }
+  }
+  std::printf(
+      "\nThe ranking is unchanged, but the gap widens with latency:\n"
+      "each of FedX's sequential bound-join requests pays the RTT, while\n"
+      "Lusail sends a handful of whole subqueries in parallel.\n");
+  return 0;
+}

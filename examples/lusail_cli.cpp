@@ -1,0 +1,240 @@
+// lusail_cli — run federated SPARQL queries from the command line.
+//
+// Usage:
+//   lusail_cli [options] [query-file]
+//
+// Options:
+//   --workload lubm|qfed|lrb|figure1   built-in federation (default lubm)
+//   --dir <path>          load a federation from a directory of .nt files
+//                         (one endpoint per file) instead of a workload
+//   --export <path>       write the selected workload's endpoints as .nt
+//                         files to <path> and exit
+//   --engine lusail|lade|fedx|splendid   engine to run (default lusail)
+//   --latency none|local|geo            network model (default local)
+//   --explain             print source selection, GJVs, and the
+//                         decomposition instead of executing (Lusail only)
+//   --timeout <ms>        per-query deadline (default 60000)
+//
+// The query is read from the given file, or from stdin when no file is
+// given. Results are printed as TSV, followed by the execution profile.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "baselines/fedx_engine.h"
+#include "baselines/splendid_engine.h"
+#include "core/lusail_engine.h"
+#include "workload/federation_builder.h"
+#include "workload/lrb_generator.h"
+#include "workload/lubm_generator.h"
+#include "workload/qfed_generator.h"
+
+namespace {
+
+using namespace lusail;
+
+struct CliOptions {
+  std::string workload = "lubm";
+  std::string directory;
+  std::string export_dir;
+  std::string engine = "lusail";
+  std::string latency = "local";
+  std::string query_file;
+  double timeout_ms = 60000;
+  bool explain = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lusail_cli [--workload lubm|qfed|lrb|figure1]\n"
+               "                  [--dir <nt-directory>] [--export <dir>]\n"
+               "                  [--engine lusail|lade|fedx|splendid]\n"
+               "                  [--latency none|local|geo] [--explain]\n"
+               "                  [--timeout <ms>] [query-file]\n");
+  return 2;
+}
+
+std::vector<workload::EndpointSpec> MakeWorkload(const std::string& name) {
+  if (name == "qfed") {
+    return workload::QFedGenerator{workload::QFedConfig()}.GenerateAll();
+  }
+  if (name == "lrb") {
+    return workload::LrbGenerator{workload::LrbConfig()}.GenerateAll();
+  }
+  if (name == "figure1") {
+    return workload::Figure1Federation();
+  }
+  return workload::LubmGenerator(workload::LubmConfig::Bench()).GenerateAll();
+}
+
+net::LatencyModel MakeLatency(const std::string& name) {
+  if (name == "none") return net::LatencyModel::None();
+  if (name == "geo") return net::LatencyModel::GeoDistributed();
+  return net::LatencyModel::LocalCluster();
+}
+
+void PrintProfile(const fed::ExecutionProfile& profile) {
+  std::fprintf(stderr,
+               "# requests=%llu (ask=%llu)  sent=%llu B  received=%llu B\n"
+               "# phases: source-selection %.1f ms, analysis %.1f ms, "
+               "execution %.1f ms, total %.1f ms\n"
+               "# simulated network time: %.1f ms; pushed optionals: %llu\n",
+               static_cast<unsigned long long>(profile.requests),
+               static_cast<unsigned long long>(profile.ask_requests),
+               static_cast<unsigned long long>(profile.bytes_sent),
+               static_cast<unsigned long long>(profile.bytes_received),
+               profile.source_selection_ms, profile.analysis_ms,
+               profile.execution_ms, profile.total_ms, profile.network_ms,
+               static_cast<unsigned long long>(profile.pushed_optionals));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--workload") {
+      if (!next(&options.workload)) return Usage();
+    } else if (arg == "--dir") {
+      if (!next(&options.directory)) return Usage();
+    } else if (arg == "--export") {
+      if (!next(&options.export_dir)) return Usage();
+    } else if (arg == "--engine") {
+      if (!next(&options.engine)) return Usage();
+    } else if (arg == "--latency") {
+      if (!next(&options.latency)) return Usage();
+    } else if (arg == "--timeout") {
+      std::string v;
+      if (!next(&v)) return Usage();
+      options.timeout_ms = std::strtod(v.c_str(), nullptr);
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      options.query_file = arg;
+    }
+  }
+
+  if (!options.export_dir.empty()) {
+    auto specs = MakeWorkload(options.workload);
+    Status status = workload::ExportFederation(specs, options.export_dir);
+    if (!status.ok()) {
+      std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu endpoints to %s\n", specs.size(),
+                 options.export_dir.c_str());
+    return 0;
+  }
+
+  // Build the federation.
+  std::unique_ptr<fed::Federation> federation;
+  if (!options.directory.empty()) {
+    auto loaded = workload::LoadFederationFromDirectory(
+        options.directory, MakeLatency(options.latency));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    federation = std::move(loaded).value();
+  } else {
+    federation = workload::BuildFederation(MakeWorkload(options.workload),
+                                           MakeLatency(options.latency));
+  }
+  std::fprintf(stderr, "# federation: %zu endpoints\n", federation->size());
+
+  // Read the query.
+  std::string query_text;
+  if (options.query_file.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    query_text = buffer.str();
+  } else {
+    std::ifstream in(options.query_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", options.query_file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    query_text = buffer.str();
+  }
+  if (query_text.empty()) {
+    std::fprintf(stderr, "empty query\n");
+    return 1;
+  }
+
+  // Build the engine.
+  core::LusailOptions lusail_options;
+  if (options.engine == "lade") lusail_options.enable_sape = false;
+  core::LusailEngine lusail(federation.get(), lusail_options);
+  baselines::FedXEngine fedx(federation.get());
+  baselines::SplendidEngine splendid(federation.get());
+  fed::FederatedEngine* engine = &lusail;
+  if (options.engine == "fedx") {
+    engine = &fedx;
+  } else if (options.engine == "splendid") {
+    splendid.BuildIndex();
+    engine = &splendid;
+  } else if (options.engine != "lusail" && options.engine != "lade") {
+    std::fprintf(stderr, "unknown engine: %s\n", options.engine.c_str());
+    return Usage();
+  }
+
+  if (options.explain) {
+    auto analyzed = lusail.Analyze(query_text);
+    if (!analyzed.ok()) {
+      std::fprintf(stderr, "%s\n", analyzed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Relevant sources per triple pattern:\n");
+    for (size_t i = 0; i < analyzed->sources.size(); ++i) {
+      std::printf("  TP%zu  %s  ->", i + 1,
+                  analyzed->query.where.triples[i].ToString().c_str());
+      for (int ep : analyzed->sources[i]) {
+        std::printf(" %s", federation->id(ep).c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("Global join variables:");
+    for (const std::string& v : analyzed->gjvs.GjvNames()) {
+      std::printf(" ?%s", v.c_str());
+    }
+    std::printf("\nDecomposition (%zu subqueries, estimated cost %.0f):\n",
+                analyzed->decomposition.subqueries.size(),
+                analyzed->decomposition.cost);
+    for (size_t i = 0; i < analyzed->decomposition.subqueries.size(); ++i) {
+      const core::Subquery& sq = analyzed->decomposition.subqueries[i];
+      std::printf("  SQ%zu (est. %.0f rows) %s\n", i + 1,
+                  sq.estimated_cardinality,
+                  sq.ToSparql(analyzed->query.where.triples).c_str());
+    }
+    return 0;
+  }
+
+  auto result =
+      engine->Execute(query_text, Deadline::AfterMillis(options.timeout_ms));
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(result->table.ToTsv().c_str(), stdout);
+  std::fprintf(stderr, "# %zu rows (engine: %s)\n", result->table.NumRows(),
+               engine->name().c_str());
+  PrintProfile(result->profile);
+  return 0;
+}

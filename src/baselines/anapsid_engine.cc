@@ -1,0 +1,308 @@
+#include "baselines/anapsid_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <set>
+
+#include "sparql/expr_eval.h"
+#include "sparql/serializer.h"
+
+namespace lusail::baselines {
+
+namespace {
+
+using fed::BindingTable;
+using sparql::TriplePattern;
+
+std::vector<std::string> GroupVars(const std::vector<TriplePattern>& triples) {
+  std::vector<std::string> out;
+  for (const TriplePattern& tp : triples) {
+    for (const std::string& v : tp.VariableNames()) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::string GroupSparql(const std::vector<TriplePattern>& triples,
+                        const std::vector<sparql::Expr>& filters) {
+  sparql::Query q;
+  q.form = sparql::QueryForm::kSelect;
+  for (const std::string& v : GroupVars(triples)) {
+    q.projection.push_back(sparql::Variable{v});
+  }
+  q.where.triples = triples;
+  q.where.filters = filters;
+  return sparql::QueryToString(q);
+}
+
+}  // namespace
+
+AnapsidEngine::AnapsidEngine(const fed::Federation* federation,
+                             AnapsidOptions options)
+    : federation_(federation),
+      options_(options),
+      pool_(options.num_threads) {}
+
+std::vector<AnapsidEngine::StarGroup> AnapsidEngine::BuildStarGroups(
+    const std::vector<TriplePattern>& triples,
+    const std::vector<std::vector<int>>& sources,
+    const std::vector<sparql::Expr>& filters,
+    std::vector<sparql::Expr>* residual_filters) {
+  // Key: (subject vertex, source list). Patterns with a constant or
+  // distinct subject each start their own group.
+  std::map<std::pair<std::string, std::vector<int>>, StarGroup> stars;
+  std::vector<StarGroup> groups;
+  for (size_t i = 0; i < triples.size(); ++i) {
+    std::string subject = triples[i].s.ToString();
+    StarGroup& group = stars[{subject, sources[i]}];
+    group.triples.push_back(triples[i]);
+    group.sources = sources[i];
+  }
+  groups.reserve(stars.size());
+  for (auto& [key, group] : stars) groups.push_back(std::move(group));
+
+  for (const sparql::Expr& f : filters) {
+    std::set<std::string> fvars;
+    f.CollectVariables(&fvars);
+    bool pushed = false;
+    for (StarGroup& group : groups) {
+      std::vector<std::string> gv = GroupVars(group.triples);
+      bool covered =
+          std::all_of(fvars.begin(), fvars.end(), [&](const auto& v) {
+            return std::find(gv.begin(), gv.end(), v) != gv.end();
+          });
+      if (covered) {
+        group.filters.push_back(f);
+        pushed = true;
+        break;
+      }
+    }
+    if (!pushed) residual_filters->push_back(f);
+  }
+  return groups;
+}
+
+Result<BindingTable> AnapsidEngine::ExecutePattern(
+    const sparql::GraphPattern& pattern, fed::SharedDictionary* dict,
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::ExecutionProfile* profile) {
+  if (!pattern.exists_filters.empty()) {
+    return Status::Unsupported(
+        "FILTER [NOT] EXISTS is not supported by ANAPSID");
+  }
+
+  Stopwatch timer;
+  fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
+  LUSAIL_ASSIGN_OR_RETURN(
+      std::vector<std::vector<int>> sources,
+      selector.SelectSources(pattern.triples, metrics, deadline,
+                             options_.use_cache));
+  profile->source_selection_ms += timer.ElapsedMillis();
+
+  timer.Restart();
+  for (size_t i = 0; i < pattern.triples.size(); ++i) {
+    if (sources[i].empty()) {
+      BindingTable empty;
+      std::set<std::string> vars;
+      pattern.CollectVariables(&vars);
+      empty.vars.assign(vars.begin(), vars.end());
+      return empty;
+    }
+  }
+
+  std::vector<sparql::Expr> residual_filters;
+  std::vector<StarGroup> groups = BuildStarGroups(
+      pattern.triples, sources, pattern.filters, &residual_filters);
+
+  // Adaptive phase: dispatch every (group, endpoint) request at once.
+  struct Fetch {
+    size_t group;
+    std::future<Result<sparql::ResultTable>> result;
+  };
+  std::vector<Fetch> fetches;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    std::string text = GroupSparql(groups[g].triples, groups[g].filters);
+    for (int ep : groups[g].sources) {
+      Fetch fetch;
+      fetch.group = g;
+      fetch.result = pool_.Submit([this, ep, text, metrics, deadline]() {
+        return federation_->Execute(static_cast<size_t>(ep), text, metrics,
+                                    deadline);
+      });
+      fetches.push_back(std::move(fetch));
+    }
+  }
+
+  // agjoin-style routing: consume responses in completion order; a
+  // group's table joins into the running result the moment its last
+  // endpoint answered.
+  std::vector<BindingTable> group_tables(groups.size());
+  std::vector<size_t> outstanding(groups.size(), 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    group_tables[g].vars = GroupVars(groups[g].triples);
+    outstanding[g] = groups[g].sources.size();
+  }
+  std::vector<BindingTable> ready;
+  std::vector<bool> done(fetches.size(), false);
+  size_t remaining = fetches.size();
+  Status first_error;
+  while (remaining > 0) {
+    // Poll for any completed future (completion-order processing).
+    bool progressed = false;
+    for (size_t i = 0; i < fetches.size(); ++i) {
+      if (done[i]) continue;
+      if (fetches[i].result.wait_for(std::chrono::milliseconds(0)) !=
+          std::future_status::ready) {
+        continue;
+      }
+      done[i] = true;
+      --remaining;
+      progressed = true;
+      Result<sparql::ResultTable> part = fetches[i].result.get();
+      if (!part.ok()) {
+        if (first_error.ok()) first_error = part.status();
+        continue;
+      }
+      size_t g = fetches[i].group;
+      fed::AppendUnion(&group_tables[g], fed::InternTable(*part, dict));
+      if (--outstanding[g] == 0) {
+        ready.push_back(std::move(group_tables[g]));
+        // Opportunistically join with any connected ready table.
+        bool merged = true;
+        while (merged && ready.size() > 1) {
+          merged = false;
+          for (size_t a = 0; a < ready.size() && !merged; ++a) {
+            for (size_t b = a + 1; b < ready.size() && !merged; ++b) {
+              if (!BindingTable::SharedVars(ready[a], ready[b]).empty()) {
+                ready[a] = fed::HashJoin(ready[a], ready[b]);
+                ready.erase(ready.begin() + b);
+                merged = true;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!progressed && remaining > 0) {
+      // Nothing ready yet: block briefly on the first unfinished future.
+      for (size_t i = 0; i < fetches.size(); ++i) {
+        if (!done[i]) {
+          fetches[i].result.wait_for(std::chrono::milliseconds(1));
+          break;
+        }
+      }
+    }
+  }
+  if (!first_error.ok()) return first_error;
+
+  // Cartesian-combine any disjoint leftovers.
+  while (ready.size() > 1) {
+    ready[0] = fed::HashJoin(ready[0], ready[1]);
+    ready.erase(ready.begin() + 1);
+  }
+  BindingTable table = ready.empty() ? BindingTable() : std::move(ready[0]);
+
+  for (const auto& chain : pattern.unions) {
+    BindingTable unioned;
+    for (const sparql::GraphPattern& alt : chain) {
+      LUSAIL_ASSIGN_OR_RETURN(
+          BindingTable branch,
+          ExecutePattern(alt, dict, metrics, deadline, profile));
+      fed::AppendUnion(&unioned, branch);
+    }
+    if (table.vars.empty() && table.rows.empty() && pattern.triples.empty()) {
+      table = std::move(unioned);
+    } else {
+      table = fed::HashJoin(table, unioned);
+    }
+  }
+  for (const sparql::GraphPattern& opt : pattern.optionals) {
+    LUSAIL_ASSIGN_OR_RETURN(
+        BindingTable right,
+        ExecutePattern(opt, dict, metrics, deadline, profile));
+    table = fed::LeftOuterJoin(table, right);
+  }
+  for (const sparql::Expr& f : residual_filters) {
+    fed::FilterRows(&table, f, *dict);
+  }
+  profile->execution_ms += timer.ElapsedMillis();
+  return table;
+}
+
+Result<fed::FederatedResult> AnapsidEngine::Execute(
+    const std::string& sparql_text, const Deadline& deadline) {
+  Stopwatch total_timer;
+  LUSAIL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql_text));
+
+  fed::FederatedResult result;
+  fed::MetricsCollector metrics;
+  fed::SharedDictionary dict;
+
+  Result<BindingTable> table_or =
+      ExecutePattern(query.where, &dict, &metrics, deadline, &result.profile);
+  if (!table_or.ok()) {
+    metrics.FillCounters(&result.profile);
+    return table_or.status();
+  }
+  BindingTable table = std::move(table_or).value();
+
+  if (query.form == sparql::QueryForm::kAsk) {
+    if (!table.rows.empty()) result.table.rows.push_back({});
+  } else if (query.aggregate.has_value()) {
+    const sparql::CountAggregate& agg = *query.aggregate;
+    uint64_t count = 0;
+    if (!agg.var.has_value()) {
+      count = table.rows.size();
+    } else {
+      int idx = table.VarIndex(agg.var->name);
+      std::set<rdf::TermId> seen;
+      for (const auto& row : table.rows) {
+        if (idx < 0 || row[idx] == rdf::kInvalidTermId) continue;
+        if (agg.distinct) {
+          seen.insert(row[idx]);
+        } else {
+          ++count;
+        }
+      }
+      if (agg.distinct) count = seen.size();
+    }
+    result.table.vars.push_back(agg.alias.name);
+    result.table.rows.push_back(
+        {rdf::Term::Integer(static_cast<int64_t>(count))});
+  } else {
+    std::vector<std::string> projection;
+    for (const sparql::Variable& v : query.EffectiveProjection()) {
+      projection.push_back(v.name);
+    }
+    BindingTable projected = fed::Project(table, projection, query.distinct);
+    if (!query.order_by.empty()) {
+      result.table = fed::DecodeTable(projected, dict);
+      sparql::SortRows(&result.table, query.order_by);
+      size_t begin = std::min<size_t>(query.offset.value_or(0),
+                                      result.table.rows.size());
+      size_t end = result.table.rows.size();
+      if (query.limit.has_value()) end = std::min(end, begin + *query.limit);
+      result.table.rows.assign(result.table.rows.begin() + begin,
+                               result.table.rows.begin() + end);
+    } else {
+      size_t begin =
+          std::min<size_t>(query.offset.value_or(0), projected.rows.size());
+      size_t end = projected.rows.size();
+      if (query.limit.has_value()) end = std::min(end, begin + *query.limit);
+      BindingTable window;
+      window.vars = projected.vars;
+      window.rows.assign(projected.rows.begin() + begin,
+                         projected.rows.begin() + end);
+      result.table = fed::DecodeTable(window, dict);
+    }
+  }
+
+  metrics.FillCounters(&result.profile);
+  result.profile.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace lusail::baselines

@@ -1,0 +1,45 @@
+#ifndef LUSAIL_COMMON_RNG_H_
+#define LUSAIL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace lusail {
+
+/// Deterministic 64-bit RNG (SplitMix64). Workload generators use this so
+/// that every federation, interlink, and literal is reproducible from a
+/// seed; benches and tests rely on that determinism.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lusail
+
+#endif  // LUSAIL_COMMON_RNG_H_

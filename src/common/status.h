@@ -1,0 +1,143 @@
+#ifndef LUSAIL_COMMON_STATUS_H_
+#define LUSAIL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lusail {
+
+/// Error category carried by a Status. Mirrors the failure classes that
+/// surface in a federated query processor.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (query text, term syntax, options).
+  kNotFound,          ///< Missing entity (endpoint id, variable, file).
+  kParseError,        ///< SPARQL or N-Triples syntax error.
+  kTimeout,           ///< Query exceeded its deadline.
+  kUnsupported,       ///< Feature outside the implemented SPARQL subset.
+  kInternal,          ///< Invariant violation; indicates a bug.
+};
+
+/// Returns a human-readable name for `code`, e.g. "ParseError".
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Fallible library APIs return Status
+/// (or Result<T>) instead of throwing; exceptions never cross module
+/// boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given error code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder, analogous to absl::StatusOr. A Result is either
+/// an OK status plus a value, or a non-OK status and no value.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs a failed Result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value. Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lusail
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define LUSAIL_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::lusail::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error returns its status,
+/// otherwise moves the value into `lhs`.
+#define LUSAIL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define LUSAIL_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define LUSAIL_ASSIGN_OR_RETURN_NAME(x, y) LUSAIL_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define LUSAIL_ASSIGN_OR_RETURN(lhs, expr) \
+  LUSAIL_ASSIGN_OR_RETURN_IMPL(            \
+      LUSAIL_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // LUSAIL_COMMON_STATUS_H_

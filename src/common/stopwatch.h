@@ -1,0 +1,63 @@
+#ifndef LUSAIL_COMMON_STOPWATCH_H_
+#define LUSAIL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lusail {
+
+/// Monotonic wall-clock stopwatch used for phase profiling (source
+/// selection / query analysis / execution) and benchmark timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock deadline for cooperative query timeouts. Engines check
+/// Expired() between endpoint requests, mirroring the paper's one-hour
+/// per-query abort limit.
+class Deadline {
+ public:
+  /// An infinite deadline (never expires).
+  Deadline() : has_deadline_(false) {}
+
+  /// A deadline `millis` milliseconds from now.
+  static Deadline AfterMillis(double millis) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       millis));
+    return d;
+  }
+
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= expiry_;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace lusail
+
+#endif  // LUSAIL_COMMON_STOPWATCH_H_

@@ -1,0 +1,67 @@
+#ifndef LUSAIL_COMMON_THREAD_POOL_H_
+#define LUSAIL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lusail {
+
+/// Fixed-size worker pool. This is the paper's Elastic Request Handler
+/// (ERH): Lusail, the baselines, and the SAPE join phase schedule their
+/// endpoint requests and local join partitions through a pool sized by the
+/// number of physical cores (or an explicit thread count).
+///
+/// Tasks are arbitrary callables; Submit returns a std::future for the
+/// callable's result. The pool drains remaining tasks on destruction.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means
+  /// std::thread::hardware_concurrency() (minimum 2).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn(args...)` and returns a future for its result.
+  template <typename Fn, typename... Args>
+  auto Submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using R = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::bind(std::forward<Fn>(fn), std::forward<Args>(args)...));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lusail
+
+#endif  // LUSAIL_COMMON_THREAD_POOL_H_

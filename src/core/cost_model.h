@@ -1,0 +1,84 @@
+#ifndef LUSAIL_CORE_COST_MODEL_H_
+#define LUSAIL_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/options.h"
+#include "core/subquery.h"
+#include "federation/federation.h"
+#include "sparql/ast.h"
+
+namespace lusail::core {
+
+/// Lightweight runtime statistics and the SAPE cost model (Section 4.1).
+///
+/// During query analysis one SELECT COUNT probe per (triple pattern,
+/// relevant endpoint) collects exact pattern cardinalities; applicable
+/// FILTER clauses are pushed into the probe for tighter estimates. The
+/// subquery cardinality estimate is then
+///   C(sq, v, ep) = min over patterns of sq containing v of count(tp, ep)
+///   C(sq, v)     = sum over relevant endpoints of C(sq, v, ep)
+///   C(sq)        = max over sq's projected variables of C(sq, v)
+class CostModel {
+ public:
+  CostModel(const fed::Federation* federation, ThreadPool* pool)
+      : federation_(federation), pool_(pool) {}
+
+  /// Issues the COUNT probes (in parallel) and stores the statistics.
+  Status CollectStatistics(const std::vector<sparql::TriplePattern>& triples,
+                           const std::vector<std::vector<int>>& sources,
+                           const std::vector<sparql::Expr>& filters,
+                           fed::MetricsCollector* metrics,
+                           const Deadline& deadline);
+
+  /// Cardinality of pattern `tp_index` at endpoint `ep` (0 if unprobed).
+  uint64_t PatternCount(int tp_index, int ep) const;
+
+  /// Total cardinality of a pattern across its relevant endpoints.
+  uint64_t PatternTotal(int tp_index) const;
+
+  /// The paper's C(sq) estimate.
+  double SubqueryCardinality(
+      const Subquery& sq,
+      const std::vector<sparql::TriplePattern>& triples) const;
+
+  /// Cost of a candidate decomposition: total estimated intermediate
+  /// results Σ C(sq) (what Algorithm 2 minimizes across GJV roots).
+  double DecompositionCost(
+      const std::vector<Subquery>& subqueries,
+      const std::vector<sparql::TriplePattern>& triples) const;
+
+  /// Probe text: SELECT (COUNT(*) AS ?c) WHERE { tp . pushed filters }.
+  static std::string CountQueryText(
+      const sparql::TriplePattern& tp,
+      const std::vector<const sparql::Expr*>& pushed_filters);
+
+ private:
+  const fed::Federation* federation_;
+  ThreadPool* pool_;
+  std::map<std::pair<int, int>, uint64_t> counts_;  ///< (tp, ep) -> count.
+};
+
+/// Chauvenet's criterion: flags values whose expected number of
+/// occurrences in a normal sample of this size is below 0.5. Applied
+/// before computing the delay threshold so extreme subqueries do not
+/// inflate sigma.
+std::vector<bool> ChauvenetOutliers(const std::vector<double>& values);
+
+/// SAPE's delay decision (Figure 7 / Figure 13): a subquery is delayed
+/// when its estimated cardinality or its relevant-endpoint count exceeds
+/// the threshold (computed over non-outlier subqueries). Guarantees at
+/// least one non-delayed subquery when there are any.
+std::vector<bool> DecideDelayed(const std::vector<double>& cardinalities,
+                                const std::vector<double>& endpoint_counts,
+                                DelayThreshold threshold);
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_COST_MODEL_H_

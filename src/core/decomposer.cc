@@ -1,0 +1,267 @@
+#include "core/decomposer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/query_graph.h"
+
+namespace lusail::core {
+
+namespace {
+
+using sparql::TriplePattern;
+
+/// A subquery under construction: triple indices plus the shared source
+/// list (all members have identical relevant sources by construction).
+struct ProtoSubquery {
+  std::vector<int> triples;
+  std::vector<int> sources;
+};
+
+bool CanBeAdded(const ProtoSubquery& sq, int edge,
+                const std::vector<std::vector<int>>& sources,
+                const GjvResult& gjvs) {
+  if (sources[edge] != sq.sources) return false;
+  for (int t : sq.triples) {
+    if (gjvs.IsCausingPair(t, edge)) return false;
+  }
+  return true;
+}
+
+/// The branching phase of Algorithm 2: depth-first traversal from `root`,
+/// restricted to the triples in `component`.
+std::vector<ProtoSubquery> Branch(const QueryGraph& graph,
+                                  const std::vector<int>& component,
+                                  const std::string& root,
+                                  const std::vector<std::vector<int>>& sources,
+                                  const GjvResult& gjvs) {
+  std::set<int> in_component(component.begin(), component.end());
+  std::set<int> visited;
+  std::vector<ProtoSubquery> subqueries;
+  std::vector<std::string> nodes;
+  nodes.push_back(root);
+
+  // Finds a subquery containing an edge incident to `vrtx`.
+  auto parent_of = [&](const std::string& vrtx) -> ProtoSubquery* {
+    for (int e : graph.Edges(vrtx)) {
+      for (ProtoSubquery& sq : subqueries) {
+        if (std::find(sq.triples.begin(), sq.triples.end(), e) !=
+            sq.triples.end()) {
+          return &sq;
+        }
+      }
+    }
+    return nullptr;
+  };
+
+  while (!nodes.empty()) {
+    std::string vrtx = nodes.back();
+    nodes.pop_back();
+    std::vector<int> edges;
+    for (int e : graph.Edges(vrtx)) {
+      if (in_component.count(e) && !visited.count(e)) edges.push_back(e);
+    }
+    if (subqueries.empty()) {
+      for (int e : edges) {
+        subqueries.push_back(ProtoSubquery{{e}, sources[e]});
+        nodes.push_back(graph.Destination(vrtx, e));
+        visited.insert(e);
+      }
+      continue;
+    }
+    ProtoSubquery* parent = parent_of(vrtx);
+    for (int e : edges) {
+      if (parent != nullptr && CanBeAdded(*parent, e, sources, gjvs)) {
+        parent->triples.push_back(e);
+      } else {
+        subqueries.push_back(ProtoSubquery{{e}, sources[e]});
+        // The vector may have reallocated; refresh the parent pointer.
+        parent = parent_of(vrtx);
+      }
+      nodes.push_back(graph.Destination(vrtx, e));
+      visited.insert(e);
+    }
+  }
+  return subqueries;
+}
+
+std::vector<std::string> SubqueryVars(const ProtoSubquery& sq,
+                                      const std::vector<TriplePattern>& triples) {
+  std::vector<std::string> out;
+  for (int ti : sq.triples) {
+    for (const std::string& v : triples[ti].VariableNames()) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// The merging phase: merge pairs with a common variable, the same
+/// sources, and no causing pair across them; repeat to a fixpoint.
+void Merge(std::vector<ProtoSubquery>* subqueries,
+           const std::vector<TriplePattern>& triples, const GjvResult& gjvs) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < subqueries->size() && !changed; ++i) {
+      for (size_t j = i + 1; j < subqueries->size() && !changed; ++j) {
+        ProtoSubquery& a = (*subqueries)[i];
+        ProtoSubquery& b = (*subqueries)[j];
+        if (a.sources != b.sources) continue;
+        std::vector<std::string> va = SubqueryVars(a, triples);
+        std::vector<std::string> vb = SubqueryVars(b, triples);
+        bool share = std::any_of(va.begin(), va.end(), [&](const auto& v) {
+          return std::find(vb.begin(), vb.end(), v) != vb.end();
+        });
+        if (!share) continue;
+        bool causes = false;
+        for (int ta : a.triples) {
+          for (int tb : b.triples) {
+            if (gjvs.IsCausingPair(ta, tb)) {
+              causes = true;
+              break;
+            }
+          }
+          if (causes) break;
+        }
+        if (causes) continue;
+        a.triples.insert(a.triples.end(), b.triples.begin(), b.triples.end());
+        subqueries->erase(subqueries->begin() + j);
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Decomposition Decomposer::Decompose(
+    const std::vector<TriplePattern>& triples,
+    const std::vector<std::vector<int>>& sources, const GjvResult& gjvs,
+    const std::vector<sparql::Expr>& filters,
+    const std::set<std::string>& needed_vars) const {
+  Decomposition result;
+  result.gjvs = gjvs.GjvNames();
+
+  QueryGraph graph(triples);
+  std::vector<ProtoSubquery> chosen;
+
+  for (const std::vector<int>& component : graph.ConnectedComponents()) {
+    // GJVs whose causing pairs fall inside this component.
+    std::vector<std::string> roots;
+    for (const auto& [var, pairs] : gjvs.causes) {
+      for (const auto& pair : pairs) {
+        if (std::find(component.begin(), component.end(), pair.first) !=
+            component.end()) {
+          roots.push_back("?" + var);
+          break;
+        }
+      }
+    }
+
+    if (roots.empty()) {
+      // Algorithm 2, line 3: no GJVs — the whole component is one
+      // subquery. (All patterns share one source list; see Section 3.)
+      ProtoSubquery sq;
+      sq.triples = component;
+      sq.sources = sources[component[0]];
+      chosen.push_back(std::move(sq));
+      continue;
+    }
+
+    std::vector<ProtoSubquery> best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const std::string& root : roots) {
+      std::vector<ProtoSubquery> candidate =
+          Branch(graph, component, root, sources, gjvs);
+      // The DFS from this root may not reach vertices in other parts of
+      // the component if the root is not an articulation point of every
+      // edge; pick up any stragglers with extra passes.
+      std::set<int> covered;
+      for (const ProtoSubquery& sq : candidate) {
+        covered.insert(sq.triples.begin(), sq.triples.end());
+      }
+      for (int e : component) {
+        if (!covered.count(e)) {
+          candidate.push_back(ProtoSubquery{{e}, sources[e]});
+          covered.insert(e);
+        }
+      }
+      Merge(&candidate, triples, gjvs);
+
+      // Estimate cost through the cost model.
+      std::vector<Subquery> as_subqueries;
+      for (const ProtoSubquery& p : candidate) {
+        Subquery sq;
+        sq.triple_indices = p.triples;
+        sq.sources = p.sources;
+        as_subqueries.push_back(std::move(sq));
+      }
+      double cost = cost_model_->DecompositionCost(as_subqueries, triples);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = std::move(candidate);
+      }
+    }
+    for (ProtoSubquery& sq : best) chosen.push_back(std::move(sq));
+  }
+
+  // Materialize subqueries; order triples within each for determinism.
+  for (ProtoSubquery& p : chosen) {
+    std::sort(p.triples.begin(), p.triples.end());
+    Subquery sq;
+    sq.triple_indices = p.triples;
+    sq.sources = p.sources;
+    result.subqueries.push_back(std::move(sq));
+  }
+
+  // Push filters into the first covering subquery.
+  for (const sparql::Expr& f : filters) {
+    std::set<std::string> fvars;
+    f.CollectVariables(&fvars);
+    bool pushed = false;
+    for (Subquery& sq : result.subqueries) {
+      std::vector<std::string> sv = sq.Variables(triples);
+      bool covered = std::all_of(fvars.begin(), fvars.end(), [&](const auto& v) {
+        return std::find(sv.begin(), sv.end(), v) != sv.end();
+      });
+      if (covered) {
+        sq.filters.push_back(f);
+        pushed = true;
+        break;
+      }
+    }
+    if (!pushed) result.global_filters.push_back(f);
+  }
+
+  // Projections: join variables (shared across subqueries), variables the
+  // final answer needs, and variables referenced by global filters.
+  std::set<std::string> global_filter_vars;
+  for (const sparql::Expr& f : result.global_filters) {
+    f.CollectVariables(&global_filter_vars);
+  }
+  std::map<std::string, int> var_subquery_count;
+  for (const Subquery& sq : result.subqueries) {
+    for (const std::string& v : sq.Variables(triples)) {
+      ++var_subquery_count[v];
+    }
+  }
+  for (Subquery& sq : result.subqueries) {
+    for (const std::string& v : sq.Variables(triples)) {
+      if (needed_vars.count(v) || var_subquery_count[v] > 1 ||
+          global_filter_vars.count(v)) {
+        sq.projection.push_back(v);
+      }
+    }
+    if (sq.projection.empty()) {
+      // Nothing outside cares about this subquery's bindings; project all
+      // variables so the row count (bag semantics) stays observable.
+      sq.projection = sq.Variables(triples);
+    }
+    sq.estimated_cardinality = cost_model_->SubqueryCardinality(sq, triples);
+  }
+  result.cost = cost_model_->DecompositionCost(result.subqueries, triples);
+  return result;
+}
+
+}  // namespace lusail::core

@@ -1,0 +1,54 @@
+#ifndef LUSAIL_CORE_DECOMPOSER_H_
+#define LUSAIL_CORE_DECOMPOSER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/gjv_detector.h"
+#include "core/subquery.h"
+#include "sparql/ast.h"
+
+namespace lusail::core {
+
+/// Result of LADE query decomposition.
+struct Decomposition {
+  std::vector<Subquery> subqueries;
+  /// Filters that no single subquery covers; applied at the federator
+  /// after the global join.
+  std::vector<sparql::Expr> global_filters;
+  std::set<std::string> gjvs;
+  double cost = 0.0;  ///< Cost-model estimate of the chosen decomposition.
+};
+
+/// Locality-aware query decomposition (paper Section 3.2, Algorithm 2).
+///
+/// Per connected component of the query graph: if the component has no
+/// causing pairs it becomes a single subquery; otherwise each of its GJVs
+/// is tried as the root of a depth-first branching pass that grows
+/// subqueries along edges (a pattern joins a subquery iff it has the same
+/// relevant sources and does not complete a causing pair), followed by a
+/// merging pass, and the decomposition with the smallest estimated
+/// intermediate-result cost wins.
+class Decomposer {
+ public:
+  explicit Decomposer(const CostModel* cost_model) : cost_model_(cost_model) {}
+
+  /// Decomposes the BGP `triples` (per-pattern `sources`, GJV analysis
+  /// `gjvs`). `filters` are pushed into covering subqueries; `needed_vars`
+  /// are the variables the final answer requires (drives subquery
+  /// projections).
+  Decomposition Decompose(const std::vector<sparql::TriplePattern>& triples,
+                          const std::vector<std::vector<int>>& sources,
+                          const GjvResult& gjvs,
+                          const std::vector<sparql::Expr>& filters,
+                          const std::set<std::string>& needed_vars) const;
+
+ private:
+  const CostModel* cost_model_;
+};
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_DECOMPOSER_H_

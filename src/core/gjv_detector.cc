@@ -1,0 +1,178 @@
+#include "core/gjv_detector.h"
+
+#include <algorithm>
+#include <future>
+
+#include "core/query_graph.h"
+
+namespace lusail::core {
+
+namespace {
+
+using sparql::TriplePattern;
+
+std::pair<int, int> OrderedPair(int a, int b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// One pending locality check: the pair it would incriminate and the
+/// query to run at every relevant endpoint.
+struct Check {
+  std::string var;
+  std::pair<int, int> pair;
+  std::string query_text;
+};
+
+}  // namespace
+
+std::string GjvDetector::CheckQueryText(
+    const std::string& var, const TriplePattern& outer,
+    const TriplePattern& inner,
+    const std::vector<TriplePattern>& type_patterns) {
+  std::string text = "SELECT ?" + var + " WHERE { ";
+  for (const TriplePattern& tp : type_patterns) {
+    text += tp.ToString() + " . ";
+  }
+  text += outer.ToString() + " . ";
+  text += "FILTER NOT EXISTS { SELECT ?" + var + " WHERE { " +
+          inner.ToString() + " . } } }";
+  text += " LIMIT 1";
+  return text;
+}
+
+Result<GjvResult> GjvDetector::Detect(
+    const std::vector<TriplePattern>& triples,
+    const std::vector<std::vector<int>>& sources,
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    bool use_cache) {
+  GjvResult result;
+  std::vector<JoinVariable> join_vars = QueryGraph::JoinVariables(triples);
+  std::vector<Check> checks;
+
+  for (const JoinVariable& jv : join_vars) {
+    // Variables in the predicate position join data across predicates; we
+    // conservatively make every pair with such a variable global.
+    if (jv.HasPredicateRole()) {
+      std::vector<int> all = jv.type_patterns;
+      for (const VarOccurrence& occ : jv.occurrences) {
+        all.push_back(occ.triple_index);
+      }
+      for (size_t i = 0; i < all.size(); ++i) {
+        for (size_t j = i + 1; j < all.size(); ++j) {
+          result.causes[jv.name].insert(OrderedPair(all[i], all[j]));
+        }
+      }
+      continue;
+    }
+
+    // Step 1 (Algorithm 1, lines 8-11): source-list mismatch over every
+    // pair of the variable's patterns (type patterns included) makes the
+    // pair global with no endpoint communication.
+    std::vector<int> all_patterns = jv.type_patterns;
+    for (const VarOccurrence& occ : jv.occurrences) {
+      all_patterns.push_back(occ.triple_index);
+    }
+    bool source_mismatch = false;
+    for (size_t i = 0; i < all_patterns.size(); ++i) {
+      for (size_t j = i + 1; j < all_patterns.size(); ++j) {
+        if (sources[all_patterns[i]] != sources[all_patterns[j]]) {
+          result.causes[jv.name].insert(
+              OrderedPair(all_patterns[i], all_patterns[j]));
+          source_mismatch = true;
+        }
+      }
+    }
+    if (source_mismatch) continue;  // Algorithm 1, line 12.
+
+    // Step 2: formulate locality check queries.
+    std::vector<TriplePattern> type_tps;
+    for (int ti : jv.type_patterns) type_tps.push_back(triples[ti]);
+
+    auto add_check = [&](int outer_idx, int inner_idx) {
+      Check check;
+      check.var = jv.name;
+      check.pair = OrderedPair(outer_idx, inner_idx);
+      check.query_text = CheckQueryText(jv.name, triples[outer_idx],
+                                        triples[inner_idx], type_tps);
+      checks.push_back(std::move(check));
+    };
+
+    if (jv.SubjectOnly() || jv.ObjectOnly()) {
+      // Both set differences must be empty: check each direction.
+      for (size_t i = 0; i < jv.occurrences.size(); ++i) {
+        for (size_t j = i + 1; j < jv.occurrences.size(); ++j) {
+          add_check(jv.occurrences[i].triple_index,
+                    jv.occurrences[j].triple_index);
+          add_check(jv.occurrences[j].triple_index,
+                    jv.occurrences[i].triple_index);
+        }
+      }
+    } else {
+      // Subject-and-object case (Figure 5): for every (object-occurrence,
+      // subject-occurrence) pair, check object-side minus subject-side.
+      for (const VarOccurrence& obj_occ : jv.occurrences) {
+        if (obj_occ.role != VarRole::kObject) continue;
+        for (const VarOccurrence& subj_occ : jv.occurrences) {
+          if (subj_occ.role != VarRole::kSubject) continue;
+          add_check(obj_occ.triple_index, subj_occ.triple_index);
+        }
+      }
+    }
+  }
+
+  // Execute the checks at their relevant endpoints through the pool.
+  struct Pending {
+    size_t check_index;
+    std::string cache_key;
+    std::future<Result<bool>> nonempty;
+  };
+  std::vector<Pending> pending;
+  for (size_t ci = 0; ci < checks.size(); ++ci) {
+    const Check& check = checks[ci];
+    // Both patterns of the pair have the same relevant sources here.
+    const std::vector<int>& eps = sources[check.pair.first];
+    for (int ep : eps) {
+      std::string key = federation_->id(ep) + "|" + check.query_text;
+      if (use_cache) {
+        std::optional<bool> cached = cache_->Get(key);
+        if (cached.has_value()) {
+          if (*cached) result.causes[check.var].insert(check.pair);
+          continue;
+        }
+      }
+      Pending p;
+      p.check_index = ci;
+      p.cache_key = key;
+      std::string text = check.query_text;
+      p.nonempty =
+          pool_->Submit([this, ep, text = std::move(text), metrics,
+                         deadline]() -> Result<bool> {
+            LUSAIL_ASSIGN_OR_RETURN(
+                sparql::ResultTable table,
+                federation_->Execute(static_cast<size_t>(ep), text, metrics,
+                                     deadline));
+            return !table.rows.empty();
+          });
+      pending.push_back(std::move(p));
+      ++result.check_queries;
+    }
+  }
+
+  Status first_error;
+  for (Pending& p : pending) {
+    Result<bool> nonempty = p.nonempty.get();
+    if (!nonempty.ok()) {
+      if (first_error.ok()) first_error = nonempty.status();
+      continue;
+    }
+    cache_->Put(p.cache_key, *nonempty);
+    if (*nonempty) {
+      result.causes[checks[p.check_index].var].insert(
+          checks[p.check_index].pair);
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  return result;
+}
+
+}  // namespace lusail::core

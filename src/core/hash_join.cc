@@ -1,0 +1,92 @@
+#include "core/hash_join.h"
+
+#include <future>
+
+namespace lusail::core {
+
+namespace {
+
+size_t KeyHash(const std::vector<rdf::TermId>& row,
+               const std::vector<int>& key_cols) {
+  size_t h = 1469598103934665603ULL;
+  for (int c : key_cols) {
+    h ^= row[c] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
+                                   const fed::BindingTable& right,
+                                   ThreadPool* pool, size_t partitions) {
+  std::vector<std::string> shared = fed::BindingTable::SharedVars(left, right);
+  if (shared.empty() || partitions <= 1 || pool == nullptr ||
+      left.rows.size() + right.rows.size() < 2048) {
+    return fed::HashJoin(left, right);
+  }
+  std::vector<int> left_keys, right_keys;
+  for (const std::string& v : shared) {
+    left_keys.push_back(left.VarIndex(v));
+    right_keys.push_back(right.VarIndex(v));
+  }
+  // Rows with unbound key cells break partitioning; fall back.
+  auto has_unbound_key = [](const fed::BindingTable& t,
+                            const std::vector<int>& keys) {
+    for (const auto& row : t.rows) {
+      for (int k : keys) {
+        if (row[k] == rdf::kInvalidTermId) return true;
+      }
+    }
+    return false;
+  };
+  if (has_unbound_key(left, left_keys) || has_unbound_key(right, right_keys)) {
+    return fed::HashJoin(left, right);
+  }
+
+  std::vector<fed::BindingTable> left_parts(partitions);
+  std::vector<fed::BindingTable> right_parts(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    left_parts[p].vars = left.vars;
+    right_parts[p].vars = right.vars;
+  }
+  for (const auto& row : left.rows) {
+    left_parts[KeyHash(row, left_keys) % partitions].rows.push_back(row);
+  }
+  for (const auto& row : right.rows) {
+    right_parts[KeyHash(row, right_keys) % partitions].rows.push_back(row);
+  }
+
+  std::vector<std::future<fed::BindingTable>> futures;
+  futures.reserve(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    futures.push_back(pool->Submit(
+        [&left_parts, &right_parts, p]() {
+          return fed::HashJoin(left_parts[p], right_parts[p]);
+        }));
+  }
+  // Fixed output layout: left vars then right-only vars. fed::HashJoin may
+  // swap sides internally, so realign each partition's columns by name.
+  fed::BindingTable out;
+  out.vars = left.vars;
+  for (const std::string& v : right.vars) {
+    if (out.VarIndex(v) < 0) out.vars.push_back(v);
+  }
+  for (auto& f : futures) {
+    fed::BindingTable part = f.get();
+    std::vector<int> mapping(out.vars.size(), -1);
+    for (size_t i = 0; i < out.vars.size(); ++i) {
+      mapping[i] = part.VarIndex(out.vars[i]);
+    }
+    for (const auto& row : part.rows) {
+      std::vector<rdf::TermId> aligned(out.vars.size(), rdf::kInvalidTermId);
+      for (size_t i = 0; i < mapping.size(); ++i) {
+        if (mapping[i] >= 0) aligned[i] = row[mapping[i]];
+      }
+      out.rows.push_back(std::move(aligned));
+    }
+  }
+  return out;
+}
+
+}  // namespace lusail::core

@@ -1,0 +1,23 @@
+#ifndef LUSAIL_CORE_HASH_JOIN_H_
+#define LUSAIL_CORE_HASH_JOIN_H_
+
+#include "common/thread_pool.h"
+#include "federation/binding_table.h"
+
+namespace lusail::core {
+
+/// Parallel partitioned in-memory hash join over federation binding
+/// tables (the join machinery behind SAPE's global join phase).
+///
+/// Both inputs are hash-partitioned on the shared-variable key into
+/// `partitions` buckets; bucket pairs are joined concurrently through the
+/// pool and concatenated. Inputs with no shared variables (cartesian
+/// product) or with unbound key cells (OPTIONAL leftovers) fall back to
+/// the single-threaded compatibility join.
+fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
+                                   const fed::BindingTable& right,
+                                   ThreadPool* pool, size_t partitions);
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_HASH_JOIN_H_

@@ -1,0 +1,118 @@
+#include "core/join_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace lusail::core {
+
+namespace {
+
+bool Connected(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const std::string& v : a) {
+    if (b.count(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<int> JoinOptimizer::OptimalOrder(
+    const std::vector<double>& sizes,
+    const std::vector<std::set<std::string>>& vars, size_t threads) {
+  const size_t n = sizes.size();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+  const double t = static_cast<double>(std::max<size_t>(1, threads));
+
+  if (n > kDpLimit) {
+    // Greedy: start from the smallest relation, repeatedly take the
+    // smallest connected relation (cartesian only as a last resort).
+    std::vector<int> order;
+    std::vector<bool> used(n, false);
+    int first = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (sizes[i] < sizes[first]) first = static_cast<int>(i);
+    }
+    order.push_back(first);
+    used[first] = true;
+    std::set<std::string> bound = vars[first];
+    for (size_t step = 1; step < n; ++step) {
+      int best = -1;
+      bool best_connected = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        bool conn = Connected(bound, vars[i]);
+        if (best < 0 || (conn && !best_connected) ||
+            (conn == best_connected && sizes[i] < sizes[best])) {
+          best = static_cast<int>(i);
+          best_connected = conn;
+        }
+      }
+      order.push_back(best);
+      used[best] = true;
+      bound.insert(vars[best].begin(), vars[best].end());
+    }
+    return order;
+  }
+
+  // Exact DP over subsets.
+  const size_t num_states = 1ULL << n;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(num_states, kInf);
+  std::vector<double> size_est(num_states, 0.0);
+  std::vector<int> last(num_states, -1);
+  std::vector<int> prev(num_states, 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    size_t s = 1ULL << i;
+    cost[s] = 0.0;  // A single relation incurs no join cost yet.
+    size_est[s] = sizes[i];
+    last[s] = static_cast<int>(i);
+  }
+
+  for (size_t state = 1; state < num_states; ++state) {
+    if (cost[state] == kInf) continue;
+    // Collect the bound variables of this state.
+    std::set<std::string> bound;
+    for (size_t i = 0; i < n; ++i) {
+      if (state & (1ULL << i)) bound.insert(vars[i].begin(), vars[i].end());
+    }
+    bool has_connected = false;
+    for (size_t r = 0; r < n; ++r) {
+      if (!(state & (1ULL << r)) && Connected(bound, vars[r])) {
+        has_connected = true;
+        break;
+      }
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (state & (1ULL << r)) continue;
+      bool conn = Connected(bound, vars[r]);
+      if (has_connected && !conn) continue;  // Defer cartesian products.
+      size_t next = state | (1ULL << r);
+      double hashing = std::min(size_est[state], sizes[r]) / t;
+      double probing = std::max(size_est[state], sizes[r]) / t;
+      double step_cost = hashing + probing;
+      double total = cost[state] + step_cost;
+      if (total < cost[next]) {
+        cost[next] = total;
+        last[next] = static_cast<int>(r);
+        prev[next] = static_cast<int>(state);
+        size_est[next] = conn ? std::max(size_est[state], sizes[r])
+                              : size_est[state] * std::max(1.0, sizes[r]);
+      }
+    }
+  }
+
+  std::vector<int> order;
+  size_t state = num_states - 1;
+  while (state != 0) {
+    int r = last[state];
+    order.push_back(r);
+    state &= ~(1ULL << r);  // prev[state] by construction.
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace lusail::core

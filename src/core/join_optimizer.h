@@ -1,0 +1,37 @@
+#ifndef LUSAIL_CORE_JOIN_OPTIMIZER_H_
+#define LUSAIL_CORE_JOIN_OPTIMIZER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lusail::core {
+
+/// Cost-based join-order enumeration for the global join phase
+/// (Section 4.2, "Join Evaluation").
+///
+/// Each subquery result is a relation with a known true cardinality,
+/// partitioned across worker threads. The optimizer runs the classic
+/// dynamic-programming enumeration: states are subsets of relations, and
+/// expanding state S with relation R costs
+///   JoinCost(S, R) = |S| / S.threads  (hashing the smaller side)
+///                  + C(R)  / R.threads (probing)
+/// with each state keeping the minimum cost over all orders reaching it.
+/// Cartesian expansions are considered only when no connected expansion
+/// exists. Falls back to a greedy size order beyond `kDpLimit` relations.
+class JoinOptimizer {
+ public:
+  /// Returns the join order as relation indices (left-deep). `sizes` are
+  /// true relation cardinalities; `vars` are each relation's variables;
+  /// `threads` is the per-relation partition count.
+  static std::vector<int> OptimalOrder(
+      const std::vector<double>& sizes,
+      const std::vector<std::set<std::string>>& vars, size_t threads);
+
+  /// Maximum relation count for exact DP enumeration.
+  static constexpr size_t kDpLimit = 14;
+};
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_JOIN_OPTIMIZER_H_

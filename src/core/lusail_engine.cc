@@ -1,0 +1,481 @@
+#include "core/lusail_engine.h"
+
+#include "sparql/expr_eval.h"
+
+#include <algorithm>
+
+#include "core/hash_join.h"
+
+namespace lusail::core {
+
+namespace {
+
+using fed::BindingTable;
+
+std::set<std::string> NeededVars(const sparql::Query& query) {
+  std::set<std::string> needed;
+  for (const sparql::Variable& v : query.EffectiveProjection()) {
+    needed.insert(v.name);
+  }
+  if (query.aggregate.has_value() && query.aggregate->var.has_value()) {
+    needed.insert(query.aggregate->var->name);
+  }
+  return needed;
+}
+
+}  // namespace
+
+LusailEngine::LusailEngine(const fed::Federation* federation,
+                           LusailOptions options)
+    : federation_(federation),
+      options_(options),
+      pool_(options.num_threads) {}
+
+std::string LusailEngine::name() const {
+  return options_.enable_sape ? "Lusail" : "Lusail-LADE";
+}
+
+void LusailEngine::ClearCaches() {
+  ask_cache_.Clear();
+  check_cache_.Clear();
+}
+
+Result<AnalyzedQuery> LusailEngine::Analyze(const std::string& sparql_text) {
+  LUSAIL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql_text));
+  AnalyzedQuery out;
+  out.query = query;
+  fed::MetricsCollector metrics;
+  Deadline deadline;
+
+  fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
+  LUSAIL_ASSIGN_OR_RETURN(
+      out.sources, selector.SelectSources(query.where.triples, &metrics,
+                                          deadline, options_.use_cache));
+
+  GjvDetector detector(federation_, &check_cache_, &pool_);
+  LUSAIL_ASSIGN_OR_RETURN(
+      out.gjvs, detector.Detect(query.where.triples, out.sources, &metrics,
+                                deadline, options_.use_cache));
+
+  CostModel cost_model(federation_, &pool_);
+  LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(
+      query.where.triples, out.sources, query.where.filters, &metrics,
+      deadline));
+  Decomposer decomposer(&cost_model);
+  out.decomposition =
+      decomposer.Decompose(query.where.triples, out.sources, out.gjvs,
+                           query.where.filters, NeededVars(query));
+  return out;
+}
+
+namespace {
+
+/// True when an OPTIONAL block is a plain conjunctive pattern (the only
+/// shape eligible for endpoint push-down).
+bool IsPlainOptional(const sparql::GraphPattern& gp) {
+  return !gp.triples.empty() && gp.exists_filters.empty() &&
+         gp.optionals.empty() && gp.unions.empty() && gp.values.empty();
+}
+
+std::set<std::string> PatternVars(
+    const std::vector<sparql::TriplePattern>& triples) {
+  std::set<std::string> vars;
+  for (const sparql::TriplePattern& tp : triples) {
+    for (const std::string& v : tp.VariableNames()) vars.insert(v);
+  }
+  return vars;
+}
+
+}  // namespace
+
+Result<BindingTable> LusailEngine::ExecuteBgp(
+    const std::vector<sparql::TriplePattern>& triples,
+    const std::vector<sparql::Expr>& filters,
+    const std::vector<const sparql::GraphPattern*>& candidate_optionals,
+    const std::set<std::string>& outside_vars,
+    const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::ExecutionProfile* profile,
+    std::vector<const sparql::GraphPattern*>* unpushed_optionals) {
+  // Phase A: source selection — for the mandatory patterns and for the
+  // push-down candidates' patterns (needed by the locality analysis).
+  Stopwatch timer;
+  std::vector<sparql::TriplePattern> combined = triples;
+  std::vector<std::pair<size_t, size_t>> optional_ranges;
+  for (const sparql::GraphPattern* opt : candidate_optionals) {
+    if (!options_.enable_optional_pushdown || !IsPlainOptional(*opt)) {
+      unpushed_optionals->push_back(opt);
+      continue;
+    }
+    optional_ranges.emplace_back(combined.size(),
+                                 combined.size() + opt->triples.size());
+    combined.insert(combined.end(), opt->triples.begin(),
+                    opt->triples.end());
+  }
+  std::vector<const sparql::GraphPattern*> plain_optionals;
+  if (options_.enable_optional_pushdown) {
+    for (const sparql::GraphPattern* opt : candidate_optionals) {
+      if (IsPlainOptional(*opt)) plain_optionals.push_back(opt);
+    }
+  }
+
+  fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
+  LUSAIL_ASSIGN_OR_RETURN(
+      std::vector<std::vector<int>> sources,
+      selector.SelectSources(combined, metrics, deadline,
+                             options_.use_cache));
+  profile->source_selection_ms += timer.ElapsedMillis();
+
+  // Mandatory patterns with no relevant source: the query has no answers.
+  for (size_t i = 0; i < triples.size(); ++i) {
+    if (sources[i].empty()) {
+      BindingTable empty;
+      std::set<std::string> vars = PatternVars(triples);
+      empty.vars.assign(vars.begin(), vars.end());
+      // Optionals cannot resurrect rows; nothing more to push.
+      for (const sparql::GraphPattern* opt : plain_optionals) {
+        unpushed_optionals->push_back(opt);
+      }
+      return empty;
+    }
+  }
+
+  // Phase B: LADE — GJV detection (over mandatory + candidate-optional
+  // patterns so causing pairs across the OPTIONAL boundary are known),
+  // statistics, and decomposition of the mandatory BGP.
+  timer.Restart();
+  GjvDetector detector(federation_, &check_cache_, &pool_);
+  LUSAIL_ASSIGN_OR_RETURN(GjvResult gjvs,
+                          detector.Detect(combined, sources, metrics,
+                                          deadline, options_.use_cache));
+  CostModel cost_model(federation_, &pool_);
+  LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(triples, sources, filters,
+                                                    metrics, deadline));
+  Decomposer decomposer(&cost_model);
+  Decomposition decomposition =
+      decomposer.Decompose(triples, sources, gjvs, filters, needed_vars);
+
+  // OPTIONAL push-down (Section 3: "Lusail determines where to add the
+  // FILTER and OPTIONAL clauses during query decomposition"). A plain
+  // optional block is pushed into a host subquery when the endpoints can
+  // evaluate the left-outer join themselves:
+  //   1. every optional pattern has the host's exact source list,
+  //   2. no causing pair crosses the optional boundary or lies inside it
+  //      (instance-level locality holds),
+  //   3. the optional's overlap with the mandatory BGP and with the rest
+  //      of the query stays inside the host subquery, so the local left
+  //      join commutes with the global joins.
+  for (size_t k = 0; k < plain_optionals.size(); ++k) {
+    const sparql::GraphPattern* opt = plain_optionals[k];
+    auto [begin, end] = optional_ranges[k];
+    std::set<std::string> opt_vars;
+    opt->CollectVariables(&opt_vars);
+    // Variables visible outside this optional: the caller-provided set
+    // plus the other optional candidates of this group.
+    std::set<std::string> extern_vars = outside_vars;
+    for (size_t j = 0; j < plain_optionals.size(); ++j) {
+      if (j != k) plain_optionals[j]->CollectVariables(&extern_vars);
+    }
+
+    Subquery* host = nullptr;
+    for (Subquery& sq : decomposition.subqueries) {
+      bool sources_match = true;
+      for (size_t oi = begin; oi < end && sources_match; ++oi) {
+        if (sources[oi] != sq.sources) sources_match = false;
+      }
+      if (!sources_match) continue;
+      bool causes = false;
+      for (size_t oi = begin; oi < end && !causes; ++oi) {
+        for (int ti : sq.triple_indices) {
+          if (gjvs.IsCausingPair(static_cast<int>(oi), ti)) causes = true;
+        }
+        for (size_t oj = begin; oj < end; ++oj) {
+          if (oi != oj &&
+              gjvs.IsCausingPair(static_cast<int>(oi),
+                                 static_cast<int>(oj))) {
+            causes = true;
+          }
+        }
+      }
+      if (causes) continue;
+      std::vector<std::string> host_vars = sq.Variables(triples);
+      auto inside_host = [&](const std::string& v) {
+        return std::find(host_vars.begin(), host_vars.end(), v) !=
+               host_vars.end();
+      };
+      std::set<std::string> bgp_vars = PatternVars(triples);
+      bool shares_with_host = false;
+      bool contained = true;
+      for (const std::string& v : opt_vars) {
+        bool host_has = inside_host(v);
+        if (host_has) shares_with_host = true;
+        if ((bgp_vars.count(v) || extern_vars.count(v)) && !host_has) {
+          contained = false;
+          break;
+        }
+      }
+      if (!shares_with_host || !contained) continue;
+      host = &sq;
+      break;
+    }
+    if (host == nullptr) {
+      unpushed_optionals->push_back(opt);
+      continue;
+    }
+    PushedOptional pushed;
+    pushed.triples = opt->triples;
+    pushed.filters = opt->filters;
+    host->optionals.push_back(std::move(pushed));
+    ++profile->pushed_optionals;
+    // Project the optional's externally visible variables.
+    for (const std::string& v : opt_vars) {
+      if ((needed_vars.count(v) || extern_vars.count(v)) &&
+          std::find(host->projection.begin(), host->projection.end(), v) ==
+              host->projection.end()) {
+        host->projection.push_back(v);
+      }
+    }
+  }
+  profile->analysis_ms += timer.ElapsedMillis();
+
+  // Phase C: SAPE execution.
+  timer.Restart();
+  SapeExecutor sape(federation_, &pool_, &options_);
+  Result<BindingTable> table =
+      sape.Execute(std::move(decomposition.subqueries), triples, dict,
+                   metrics, deadline, profile);
+  if (!table.ok()) return table.status();
+
+  BindingTable result = std::move(table).value();
+  for (const sparql::Expr& f : decomposition.global_filters) {
+    fed::FilterRows(&result, f, *dict);
+  }
+  profile->execution_ms += timer.ElapsedMillis();
+  return result;
+}
+
+Result<BindingTable> LusailEngine::ExecutePattern(
+    const sparql::GraphPattern& pattern,
+    const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::ExecutionProfile* profile) {
+  if (!pattern.exists_filters.empty()) {
+    return Status::Unsupported(
+        "FILTER [NOT] EXISTS is not supported in federated queries (it is "
+        "used internally by Lusail's locality checks)");
+  }
+
+  // Needed vars for the BGP include everything nested blocks join on.
+  std::set<std::string> bgp_needed = needed_vars;
+  std::set<std::string> nested_vars;
+  for (const auto& chain : pattern.unions) {
+    for (const auto& alt : chain) alt.CollectVariables(&nested_vars);
+  }
+  for (const auto& opt : pattern.optionals) {
+    opt.CollectVariables(&nested_vars);
+  }
+  bgp_needed.insert(nested_vars.begin(), nested_vars.end());
+  // Filters that nested blocks do not cover must survive the BGP.
+  std::set<std::string> filter_vars;
+  for (const sparql::Expr& f : pattern.filters) {
+    f.CollectVariables(&filter_vars);
+  }
+  bgp_needed.insert(filter_vars.begin(), filter_vars.end());
+
+  BindingTable table;
+  bool have_table = false;
+
+  if (!pattern.triples.empty()) {
+    // Filters whose variables are fully inside the BGP go down the LADE
+    // pipeline; the rest are applied after nested blocks join in.
+    std::set<std::string> bgp_vars;
+    for (const sparql::TriplePattern& tp : pattern.triples) {
+      for (const std::string& v : tp.VariableNames()) bgp_vars.insert(v);
+    }
+    std::vector<sparql::Expr> bgp_filters, residual_filters;
+    for (const sparql::Expr& f : pattern.filters) {
+      std::set<std::string> fv;
+      f.CollectVariables(&fv);
+      bool inside = std::all_of(fv.begin(), fv.end(), [&](const auto& v) {
+        return bgp_vars.count(v) > 0;
+      });
+      (inside ? bgp_filters : residual_filters).push_back(f);
+    }
+
+    // Variables that other *join blocks* of this group observe: an
+    // OPTIONAL push-down must keep its overlap with these inside its host
+    // subquery, or the local left join would not commute with the global
+    // joins. (Projection-only and residual-filter variables do not block
+    // the push-down — the host simply projects them.)
+    std::set<std::string> outside_vars;
+    for (const auto& chain : pattern.unions) {
+      for (const auto& alt : chain) alt.CollectVariables(&outside_vars);
+    }
+
+    std::vector<const sparql::GraphPattern*> candidates;
+    candidates.reserve(pattern.optionals.size());
+    for (const sparql::GraphPattern& opt : pattern.optionals) {
+      candidates.push_back(&opt);
+    }
+    std::vector<const sparql::GraphPattern*> unpushed;
+    LUSAIL_ASSIGN_OR_RETURN(
+        table, ExecuteBgp(pattern.triples, bgp_filters, candidates,
+                          outside_vars, bgp_needed, dict, metrics, deadline,
+                          profile, &unpushed));
+    have_table = true;
+
+    // UNION chains and the OPTIONAL blocks that could not be pushed down
+    // join/extend the BGP result at the federator.
+    for (const auto& chain : pattern.unions) {
+      BindingTable unioned;
+      for (const sparql::GraphPattern& alt : chain) {
+        LUSAIL_ASSIGN_OR_RETURN(
+            BindingTable branch,
+            ExecutePattern(alt, bgp_needed, dict, metrics, deadline, profile));
+        fed::AppendUnion(&unioned, branch);
+      }
+      table = ParallelHashJoin(table, unioned, &pool_,
+                               options_.join_partitions);
+    }
+    for (const sparql::GraphPattern* opt : unpushed) {
+      LUSAIL_ASSIGN_OR_RETURN(
+          BindingTable right,
+          ExecutePattern(*opt, bgp_needed, dict, metrics, deadline, profile));
+      table = fed::LeftOuterJoin(table, right);
+    }
+    Stopwatch filter_timer;
+    for (const sparql::Expr& f : residual_filters) {
+      fed::FilterRows(&table, f, *dict);
+    }
+    profile->execution_ms += filter_timer.ElapsedMillis();
+  } else {
+    // No BGP at this level: pure UNION / OPTIONAL / VALUES group.
+    for (const auto& chain : pattern.unions) {
+      BindingTable unioned;
+      for (const sparql::GraphPattern& alt : chain) {
+        LUSAIL_ASSIGN_OR_RETURN(
+            BindingTable branch,
+            ExecutePattern(alt, bgp_needed, dict, metrics, deadline, profile));
+        fed::AppendUnion(&unioned, branch);
+      }
+      if (!have_table) {
+        table = std::move(unioned);
+        have_table = true;
+      } else {
+        table = ParallelHashJoin(table, unioned, &pool_,
+                                 options_.join_partitions);
+      }
+    }
+    if (!have_table) {
+      return Status::InvalidArgument("empty graph pattern");
+    }
+    for (const sparql::GraphPattern& opt : pattern.optionals) {
+      LUSAIL_ASSIGN_OR_RETURN(
+          BindingTable right,
+          ExecutePattern(opt, bgp_needed, dict, metrics, deadline, profile));
+      table = fed::LeftOuterJoin(table, right);
+    }
+    for (const sparql::Expr& f : pattern.filters) {
+      fed::FilterRows(&table, f, *dict);
+    }
+  }
+
+  // VALUES data blocks: intern and join.
+  for (const sparql::ValuesClause& vc : pattern.values) {
+    BindingTable values_table;
+    for (const sparql::Variable& v : vc.vars) values_table.vars.push_back(v.name);
+    for (const auto& row : vc.rows) {
+      std::vector<rdf::TermId> ids;
+      for (const auto& cell : row) {
+        ids.push_back(cell.has_value() ? dict->Intern(*cell)
+                                       : rdf::kInvalidTermId);
+      }
+      values_table.rows.push_back(std::move(ids));
+    }
+    table = fed::HashJoin(table, values_table);
+  }
+  return table;
+}
+
+Result<fed::FederatedResult> LusailEngine::Execute(
+    const std::string& sparql_text, const Deadline& deadline) {
+  Stopwatch total_timer;
+  LUSAIL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql_text));
+
+  fed::FederatedResult result;
+  fed::MetricsCollector metrics;
+  fed::SharedDictionary dict;
+
+  std::set<std::string> needed = NeededVars(query);
+  Result<BindingTable> table_or =
+      ExecutePattern(query.where, needed, &dict, &metrics, deadline,
+                     &result.profile);
+  if (!table_or.ok()) {
+    metrics.FillCounters(&result.profile);
+    return table_or.status();
+  }
+  BindingTable table = std::move(table_or).value();
+
+  Stopwatch finish_timer;
+  if (query.form == sparql::QueryForm::kAsk) {
+    if (!table.rows.empty()) result.table.rows.push_back({});
+  } else if (query.aggregate.has_value()) {
+    const sparql::CountAggregate& agg = *query.aggregate;
+    uint64_t count = 0;
+    if (!agg.var.has_value()) {
+      count = table.rows.size();
+    } else {
+      int idx = table.VarIndex(agg.var->name);
+      if (agg.distinct) {
+        std::set<rdf::TermId> seen;
+        for (const auto& row : table.rows) {
+          if (idx >= 0 && row[idx] != rdf::kInvalidTermId) {
+            seen.insert(row[idx]);
+          }
+        }
+        count = seen.size();
+      } else if (idx >= 0) {
+        for (const auto& row : table.rows) {
+          if (row[idx] != rdf::kInvalidTermId) ++count;
+        }
+      }
+    }
+    result.table.vars.push_back(agg.alias.name);
+    result.table.rows.push_back(
+        {rdf::Term::Integer(static_cast<int64_t>(count))});
+  } else {
+    std::vector<std::string> projection;
+    for (const sparql::Variable& v : query.EffectiveProjection()) {
+      projection.push_back(v.name);
+    }
+    BindingTable projected = fed::Project(table, projection, query.distinct);
+    if (!query.order_by.empty()) {
+      // Sort the decoded full result, then cut the LIMIT/OFFSET window.
+      result.table = fed::DecodeTable(projected, dict);
+      sparql::SortRows(&result.table, query.order_by);
+      size_t begin = std::min<size_t>(query.offset.value_or(0),
+                                      result.table.rows.size());
+      size_t end = result.table.rows.size();
+      if (query.limit.has_value()) end = std::min(end, begin + *query.limit);
+      result.table.rows.assign(result.table.rows.begin() + begin,
+                               result.table.rows.begin() + end);
+    } else {
+      size_t begin =
+          std::min<size_t>(query.offset.value_or(0), projected.rows.size());
+      size_t end = projected.rows.size();
+      if (query.limit.has_value()) end = std::min(end, begin + *query.limit);
+      BindingTable window;
+      window.vars = projected.vars;
+      window.rows.assign(projected.rows.begin() + begin,
+                         projected.rows.begin() + end);
+      result.table = fed::DecodeTable(window, dict);
+    }
+  }
+  result.profile.execution_ms += finish_timer.ElapsedMillis();
+
+  metrics.FillCounters(&result.profile);
+  result.profile.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace lusail::core

@@ -1,0 +1,98 @@
+#ifndef LUSAIL_CORE_LUSAIL_ENGINE_H_
+#define LUSAIL_CORE_LUSAIL_ENGINE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/cost_model.h"
+#include "core/decomposer.h"
+#include "core/gjv_detector.h"
+#include "core/options.h"
+#include "core/sape.h"
+#include "federation/federation.h"
+#include "federation/source_selection.h"
+#include "sparql/parser.h"
+
+namespace lusail::core {
+
+/// Analysis output exposed for tests, examples, and the profiling bench:
+/// the per-pattern relevant sources, the GJV analysis, and the chosen
+/// decomposition of the query's main basic graph pattern.
+struct AnalyzedQuery {
+  sparql::Query query;
+  std::vector<std::vector<int>> sources;
+  GjvResult gjvs;
+  Decomposition decomposition;
+};
+
+/// Lusail: the paper's federated SPARQL engine. Pipeline per query:
+///   1. Source selection — parallel ASK probes per triple pattern (cached).
+///   2. LADE — instance-level GJV detection (check queries, cached) and
+///      locality-aware decomposition into independent subqueries.
+///   3. SAPE — cost-model-driven scheduling: concurrent non-delayed
+///      subqueries, bound joins for delayed ones, parallel hash join.
+/// OPTIONAL blocks and UNION chains are decomposed recursively and
+/// combined at the federator (left-outer join / union); FILTERs are pushed
+/// into covering subqueries and the rest evaluated globally. LIMIT is
+/// applied on the complete result (the paper notes this costs Lusail the
+/// C4 query against FedX's early termination).
+class LusailEngine : public fed::FederatedEngine {
+ public:
+  explicit LusailEngine(const fed::Federation* federation,
+                        LusailOptions options = LusailOptions());
+
+  std::string name() const override;
+
+  Result<fed::FederatedResult> Execute(const std::string& sparql_text,
+                                       const Deadline& deadline) override;
+  using fed::FederatedEngine::Execute;
+
+  /// Runs source selection + LADE only (no execution); for inspection.
+  Result<AnalyzedQuery> Analyze(const std::string& sparql_text);
+
+  /// Drops the ASK and check-query caches (Figure 12's cold-cache runs).
+  void ClearCaches();
+
+  const LusailOptions& options() const { return options_; }
+  LusailOptions* mutable_options() { return &options_; }
+
+ private:
+  /// Full pipeline for one conjunctive pattern (triples + filters).
+  /// `candidate_optionals` are this group's OPTIONAL blocks; those whose
+  /// locality analysis allows endpoint-side evaluation are pushed into
+  /// subqueries, the rest are returned via `unpushed_optionals` for the
+  /// federator-level left join. `outside_vars` are variables referenced
+  /// by the rest of the query (other blocks, residual filters) — an
+  /// optional may only be pushed when its overlap with them stays inside
+  /// its host subquery. Appends phase timings/counters to `profile`.
+  Result<fed::BindingTable> ExecuteBgp(
+      const std::vector<sparql::TriplePattern>& triples,
+      const std::vector<sparql::Expr>& filters,
+      const std::vector<const sparql::GraphPattern*>& candidate_optionals,
+      const std::set<std::string>& outside_vars,
+      const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
+      fed::MetricsCollector* metrics, const Deadline& deadline,
+      fed::ExecutionProfile* profile,
+      std::vector<const sparql::GraphPattern*>* unpushed_optionals);
+
+  /// Recursive group evaluation: BGP, then UNION chains (inner join),
+  /// OPTIONAL blocks (left-outer join), VALUES, residual filters.
+  Result<fed::BindingTable> ExecutePattern(
+      const sparql::GraphPattern& pattern,
+      const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
+      fed::MetricsCollector* metrics, const Deadline& deadline,
+      fed::ExecutionProfile* profile);
+
+  const fed::Federation* federation_;
+  LusailOptions options_;
+  ThreadPool pool_;
+  fed::AskCache ask_cache_;
+  fed::AskCache check_cache_;
+};
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_LUSAIL_ENGINE_H_

@@ -1,0 +1,58 @@
+#ifndef LUSAIL_CORE_OPTIONS_H_
+#define LUSAIL_CORE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace lusail::core {
+
+/// Threshold for deciding which subqueries SAPE delays (Section 4.1,
+/// evaluated in Figure 13 of the paper). A subquery is delayed when its
+/// estimated cardinality (or relevant-endpoint count) exceeds the
+/// threshold computed over all subqueries after Chauvenet outlier
+/// rejection.
+enum class DelayThreshold {
+  kMu,            ///< Delay everything above the mean.
+  kMuSigma,       ///< mu + sigma — the paper's default (best overall).
+  kMu2Sigma,      ///< mu + 2*sigma.
+  kOutliersOnly,  ///< Delay only Chauvenet-rejected outliers.
+};
+
+/// Tuning knobs of the Lusail engine. Defaults match the paper's
+/// configuration.
+struct LusailOptions {
+  /// Threshold for delayed-subquery selection (Figure 13 ablation).
+  DelayThreshold delay_threshold = DelayThreshold::kMuSigma;
+
+  /// When false, SAPE is disabled: all subqueries are evaluated
+  /// concurrently with no delaying/bound joins and joined at the
+  /// federator. This is the "LADE only" configuration of Figure 14.
+  bool enable_sape = true;
+
+  /// Use the ASK + check-query cache (Figure 12's with/without-cache
+  /// profiles toggle this).
+  bool use_cache = true;
+
+  /// Push endpoint-local OPTIONAL blocks into subqueries when the
+  /// locality analysis allows it (Section 3's FILTER/OPTIONAL placement).
+  /// Off = every OPTIONAL left-joins at the federator.
+  bool enable_optional_pushdown = true;
+
+  /// Number of bindings per VALUES block in bound joins of delayed
+  /// subqueries.
+  size_t bound_join_block_size = 50;
+
+  /// Worker threads for the Elastic Request Handler; 0 = hardware
+  /// concurrency.
+  size_t num_threads = 0;
+
+  /// Sample size for the delayed-subquery source-refinement ASK probes
+  /// (re-running source selection with found bindings, Algorithm 3 l.13).
+  size_t source_refinement_sample = 10;
+
+  /// Partitions for the parallel hash join.
+  size_t join_partitions = 8;
+};
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_OPTIONS_H_

@@ -1,0 +1,133 @@
+#include "core/query_graph.h"
+
+#include <algorithm>
+
+namespace lusail::core {
+
+namespace {
+
+bool IsTypePattern(const sparql::TriplePattern& tp) {
+  return tp.s.is_variable() && tp.p.is_term() && tp.p.term().is_iri() &&
+         tp.p.term().lexical() == rdf::kRdfType && tp.o.is_term();
+}
+
+}  // namespace
+
+bool JoinVariable::SubjectOnly() const {
+  return std::all_of(occurrences.begin(), occurrences.end(),
+                     [](const VarOccurrence& o) {
+                       return o.role == VarRole::kSubject;
+                     });
+}
+
+bool JoinVariable::ObjectOnly() const {
+  return std::all_of(occurrences.begin(), occurrences.end(),
+                     [](const VarOccurrence& o) {
+                       return o.role == VarRole::kObject;
+                     });
+}
+
+bool JoinVariable::HasPredicateRole() const {
+  return std::any_of(occurrences.begin(), occurrences.end(),
+                     [](const VarOccurrence& o) {
+                       return o.role == VarRole::kPredicate;
+                     });
+}
+
+QueryGraph::QueryGraph(const std::vector<sparql::TriplePattern>& triples)
+    : triples_(triples) {
+  for (size_t i = 0; i < triples.size(); ++i) {
+    std::string s = VertexKey(triples[i].s);
+    std::string o = VertexKey(triples[i].o);
+    adjacency_[s].push_back(static_cast<int>(i));
+    if (o != s) adjacency_[o].push_back(static_cast<int>(i));
+  }
+}
+
+std::string QueryGraph::VertexKey(const sparql::TermOrVar& tv) {
+  return tv.is_variable() ? tv.var().ToString() : tv.term().ToString();
+}
+
+const std::vector<int>& QueryGraph::Edges(const std::string& vertex) const {
+  auto it = adjacency_.find(vertex);
+  return it == adjacency_.end() ? empty_ : it->second;
+}
+
+std::string QueryGraph::Destination(const std::string& vertex,
+                                    int triple_index) const {
+  const sparql::TriplePattern& tp = triples_[triple_index];
+  std::string s = VertexKey(tp.s);
+  std::string o = VertexKey(tp.o);
+  return (s == vertex) ? o : s;
+}
+
+std::vector<std::string> QueryGraph::Vertices() const {
+  std::vector<std::string> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [v, edges] : adjacency_) out.push_back(v);
+  return out;
+}
+
+std::vector<std::vector<int>> QueryGraph::ConnectedComponents() const {
+  // Union-find over triple indices; two patterns unite when they share a
+  // variable (constants do not connect patterns — two patterns mentioning
+  // the same constant IRI are still independently evaluable).
+  const size_t n = triples_.size();
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+
+  std::map<std::string, int> first_seen;
+  for (size_t i = 0; i < n; ++i) {
+    for (const std::string& v : triples_[i].VariableNames()) {
+      auto [it, inserted] = first_seen.emplace(v, static_cast<int>(i));
+      if (!inserted) unite(static_cast<int>(i), it->second);
+    }
+  }
+  std::map<int, std::vector<int>> groups;
+  for (size_t i = 0; i < n; ++i) {
+    groups[find(static_cast<int>(i))].push_back(static_cast<int>(i));
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+std::vector<JoinVariable> QueryGraph::JoinVariables(
+    const std::vector<sparql::TriplePattern>& triples) {
+  std::map<std::string, JoinVariable> vars;
+  std::map<std::string, int> total_occurrences;
+  for (size_t i = 0; i < triples.size(); ++i) {
+    const sparql::TriplePattern& tp = triples[i];
+    bool is_type = IsTypePattern(tp);
+    auto record = [&](const sparql::TermOrVar& tv, VarRole role) {
+      if (!tv.is_variable()) return;
+      JoinVariable& jv = vars[tv.var().name];
+      jv.name = tv.var().name;
+      ++total_occurrences[tv.var().name];
+      if (is_type && role == VarRole::kSubject) {
+        jv.type_patterns.push_back(static_cast<int>(i));
+      } else {
+        jv.occurrences.push_back({static_cast<int>(i), role});
+      }
+    };
+    record(tp.s, VarRole::kSubject);
+    record(tp.p, VarRole::kPredicate);
+    record(tp.o, VarRole::kObject);
+  }
+  std::vector<JoinVariable> out;
+  for (auto& [name, jv] : vars) {
+    if (total_occurrences[name] >= 2) out.push_back(std::move(jv));
+  }
+  return out;
+}
+
+}  // namespace lusail::core

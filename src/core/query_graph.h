@@ -1,0 +1,81 @@
+#ifndef LUSAIL_CORE_QUERY_GRAPH_H_
+#define LUSAIL_CORE_QUERY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace lusail::core {
+
+/// Role a variable plays in a triple pattern.
+enum class VarRole {
+  kSubject,
+  kPredicate,
+  kObject,
+};
+
+/// One occurrence of a join variable in the basic graph pattern.
+struct VarOccurrence {
+  int triple_index = 0;
+  VarRole role = VarRole::kSubject;
+};
+
+/// Per-variable occurrence analysis of a BGP, as needed by GJV detection
+/// (Algorithm 1): which triple patterns a variable appears in, in which
+/// roles, and which of those patterns are rdf:type restrictions usable to
+/// narrow locality checks.
+struct JoinVariable {
+  std::string name;
+  std::vector<VarOccurrence> occurrences;  ///< Non-type-pattern occurrences.
+  /// Indices of patterns of the form (?v, rdf:type, <Const>); these are
+  /// appended to every check query for ?v instead of forming check pairs.
+  std::vector<int> type_patterns;
+
+  bool SubjectOnly() const;
+  bool ObjectOnly() const;
+  bool HasPredicateRole() const;
+};
+
+/// The vertex/edge view of a BGP used by query decomposition
+/// (Algorithm 2): vertices are subjects/objects (variables or constants),
+/// edges are triple patterns connecting them.
+class QueryGraph {
+ public:
+  /// Builds the graph over `triples`.
+  explicit QueryGraph(const std::vector<sparql::TriplePattern>& triples);
+
+  /// Canonical vertex key of a subject/object slot ("?name" for variables,
+  /// the N-Triples form for constants).
+  static std::string VertexKey(const sparql::TermOrVar& tv);
+
+  /// Edges (triple indices) incident to a vertex.
+  const std::vector<int>& Edges(const std::string& vertex) const;
+
+  /// The vertex on the other end of edge `triple_index` from `vertex`
+  /// (for a self-loop, returns `vertex`).
+  std::string Destination(const std::string& vertex, int triple_index) const;
+
+  /// All vertices.
+  std::vector<std::string> Vertices() const;
+
+  /// Connected components as sets of triple indices (two patterns are
+  /// connected when they share any variable).
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  /// Variables occurring in >= 2 triple patterns, with occurrence roles
+  /// and type-pattern annotations — the candidates of Algorithm 1.
+  static std::vector<JoinVariable> JoinVariables(
+      const std::vector<sparql::TriplePattern>& triples);
+
+ private:
+  const std::vector<sparql::TriplePattern>& triples_;
+  std::map<std::string, std::vector<int>> adjacency_;
+  std::vector<int> empty_;
+};
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_QUERY_GRAPH_H_

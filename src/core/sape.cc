@@ -1,0 +1,332 @@
+#include "core/sape.h"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "core/hash_join.h"
+#include "core/join_optimizer.h"
+
+namespace lusail::core {
+
+namespace {
+
+using fed::BindingTable;
+using sparql::TriplePattern;
+
+/// Distinct bound values of a column.
+std::vector<rdf::TermId> DistinctColumn(const BindingTable& table,
+                                        const std::string& var) {
+  std::vector<rdf::TermId> out;
+  int idx = table.VarIndex(var);
+  if (idx < 0) return out;
+  std::unordered_set<rdf::TermId> seen;
+  for (const auto& row : table.rows) {
+    rdf::TermId id = row[idx];
+    if (id != rdf::kInvalidTermId && seen.insert(id).second) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+/// Joins every group of tables that (transitively) share variables,
+/// using the DP join order within each group; disjoint groups remain.
+std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
+                                        ThreadPool* pool, size_t partitions) {
+  bool changed = true;
+  while (changed && tables.size() > 1) {
+    changed = false;
+    // Find the connected group containing table 0 ... simpler: find any
+    // pair sharing a variable and join per optimizer preference: join the
+    // smallest connected pair first.
+    size_t best_i = 0, best_j = 0;
+    double best_size = -1.0;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      for (size_t j = i + 1; j < tables.size(); ++j) {
+        if (BindingTable::SharedVars(tables[i], tables[j]).empty()) continue;
+        double s = static_cast<double>(tables[i].rows.size()) +
+                   static_cast<double>(tables[j].rows.size());
+        if (best_size < 0 || s < best_size) {
+          best_i = i;
+          best_j = j;
+          best_size = s;
+        }
+      }
+    }
+    if (best_size >= 0) {
+      BindingTable joined =
+          ParallelHashJoin(tables[best_i], tables[best_j], pool, partitions);
+      tables[best_i] = std::move(joined);
+      tables.erase(tables.begin() + best_j);
+      changed = true;
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+Result<BindingTable> SapeExecutor::RunEverywhere(
+    const Subquery& sq, const std::vector<TriplePattern>& triples,
+    const sparql::ValuesClause* values, fed::SharedDictionary* dict,
+    fed::MetricsCollector* metrics, const Deadline& deadline) {
+  std::string text = sq.ToSparql(triples, values);
+  std::vector<std::future<Result<sparql::ResultTable>>> futures;
+  futures.reserve(sq.sources.size());
+  for (int ep : sq.sources) {
+    futures.push_back(
+        pool_->Submit([this, ep, text, metrics, deadline]() {
+          return federation_->Execute(static_cast<size_t>(ep), text, metrics,
+                                      deadline);
+        }));
+  }
+  BindingTable merged;
+  merged.vars = sq.projection;
+  Status first_error;
+  for (auto& f : futures) {
+    Result<sparql::ResultTable> table = f.get();
+    if (!table.ok()) {
+      if (first_error.ok()) first_error = table.status();
+      continue;
+    }
+    fed::AppendUnion(&merged, fed::InternTable(*table, dict));
+  }
+  if (!first_error.ok()) return first_error;
+  return merged;
+}
+
+Result<BindingTable> SapeExecutor::Execute(
+    std::vector<Subquery> subqueries,
+    const std::vector<TriplePattern>& triples, fed::SharedDictionary* dict,
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::ExecutionProfile* profile) {
+  auto track_peak = [profile](const std::vector<BindingTable>& tables) {
+    if (profile == nullptr) return;
+    uint64_t total = 0;
+    for (const BindingTable& t : tables) total += t.rows.size();
+    profile->peak_intermediate_rows =
+        std::max(profile->peak_intermediate_rows, total);
+  };
+  if (subqueries.empty()) {
+    return Status::InvalidArgument("no subqueries to execute");
+  }
+
+  // Single subquery: evaluate the whole query at every relevant endpoint
+  // independently and union (Algorithm 3, lines 2-4).
+  if (subqueries.size() == 1) {
+    return RunEverywhere(subqueries[0], triples, nullptr, dict, metrics,
+                         deadline);
+  }
+
+  // Delay decision (skipped entirely when SAPE is disabled).
+  if (options_->enable_sape) {
+    std::vector<double> cards, eps;
+    for (const Subquery& sq : subqueries) {
+      cards.push_back(sq.estimated_cardinality);
+      eps.push_back(static_cast<double>(sq.sources.size()));
+    }
+    std::vector<bool> delayed =
+        DecideDelayed(cards, eps, options_->delay_threshold);
+    for (size_t i = 0; i < subqueries.size(); ++i) {
+      subqueries[i].delayed = delayed[i];
+    }
+  } else {
+    for (Subquery& sq : subqueries) sq.delayed = false;
+  }
+
+  // ---- Phase 1: non-delayed subqueries, all concurrent. ----
+  // Every (subquery, endpoint) request is one flat pool task (no nested
+  // waits inside workers — the pool can be as small as two threads), so
+  // all non-delayed subqueries are in flight at once, non-blocking, as in
+  // Algorithm 3 lines 6-7.
+  struct Fetch {
+    size_t sq_index;
+    std::future<Result<sparql::ResultTable>> result;
+  };
+  std::vector<Fetch> fetches;
+  std::vector<size_t> phase1_order;
+  std::map<size_t, BindingTable> phase1_tables;
+  for (size_t i = 0; i < subqueries.size(); ++i) {
+    if (subqueries[i].delayed) continue;
+    phase1_order.push_back(i);
+    BindingTable empty;
+    empty.vars = subqueries[i].projection;
+    phase1_tables.emplace(i, std::move(empty));
+    std::string text = subqueries[i].ToSparql(triples, nullptr);
+    for (int ep : subqueries[i].sources) {
+      Fetch fetch;
+      fetch.sq_index = i;
+      fetch.result = pool_->Submit(
+          [this, ep, text, metrics, deadline]() {
+            return federation_->Execute(static_cast<size_t>(ep), text,
+                                        metrics, deadline);
+          });
+      fetches.push_back(std::move(fetch));
+    }
+  }
+  Status phase1_error;
+  for (Fetch& fetch : fetches) {
+    Result<sparql::ResultTable> part = fetch.result.get();
+    if (!part.ok()) {
+      if (phase1_error.ok()) phase1_error = part.status();
+      continue;
+    }
+    fed::AppendUnion(&phase1_tables[fetch.sq_index],
+                     fed::InternTable(*part, dict));
+  }
+  if (!phase1_error.ok()) return phase1_error;
+  std::vector<BindingTable> tables;
+  for (size_t i : phase1_order) {
+    tables.push_back(std::move(phase1_tables[i]));
+  }
+
+  // Eagerly join connected non-delayed results; this shrinks the found
+  // bindings the delayed subqueries will be probed with.
+  track_peak(tables);
+  tables = JoinConnected(std::move(tables), pool_, options_->join_partitions);
+  track_peak(tables);
+
+  // ---- Phase 2: delayed subqueries via bound joins. ----
+  std::vector<size_t> delayed_left;
+  for (size_t i = 0; i < subqueries.size(); ++i) {
+    if (subqueries[i].delayed) delayed_left.push_back(i);
+  }
+
+  auto found_bindings_for = [&](const Subquery& sq)
+      -> std::pair<std::string, std::vector<rdf::TermId>> {
+    // The shared variable with the fewest distinct found bindings.
+    std::string best_var;
+    std::vector<rdf::TermId> best;
+    for (const std::string& v : sq.projection) {
+      for (const BindingTable& t : tables) {
+        if (t.VarIndex(v) < 0) continue;
+        std::vector<rdf::TermId> vals = DistinctColumn(t, v);
+        if (vals.empty()) continue;
+        if (best_var.empty() || vals.size() < best.size()) {
+          best_var = v;
+          best = std::move(vals);
+        }
+      }
+    }
+    return {best_var, best};
+  };
+
+  while (!delayed_left.empty()) {
+    if (deadline.Expired()) {
+      return Status::Timeout("deadline expired during delayed phase");
+    }
+    // Most selective next: smallest refined cardinality, where the
+    // refinement caps the estimate by the found bindings it can join on.
+    size_t pick = 0;
+    double pick_cost = std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < delayed_left.size(); ++k) {
+      const Subquery& sq = subqueries[delayed_left[k]];
+      double refined = sq.estimated_cardinality;
+      auto [var, bindings] = found_bindings_for(sq);
+      if (!var.empty()) {
+        refined = std::min(refined, static_cast<double>(bindings.size()));
+      }
+      if (refined < pick_cost) {
+        pick_cost = refined;
+        pick = k;
+      }
+    }
+    size_t sq_index = delayed_left[pick];
+    delayed_left.erase(delayed_left.begin() + pick);
+    Subquery& sq = subqueries[sq_index];
+
+    auto [bind_var, bindings] = found_bindings_for(sq);
+    if (bind_var.empty()) {
+      // Nothing to bind with: evaluate unbound like phase 1.
+      LUSAIL_ASSIGN_OR_RETURN(
+          BindingTable t,
+          RunEverywhere(sq, triples, nullptr, dict, metrics, deadline));
+      tables.push_back(std::move(t));
+      tables = JoinConnected(std::move(tables), pool_,
+                             options_->join_partitions);
+      continue;
+    }
+
+    // Source refinement (Algorithm 3, line 13): for generic subqueries
+    // (single pattern, >= 2 variables) probe each endpoint with a sampled
+    // VALUES block and drop endpoints that answer no sample.
+    std::vector<int> sources = sq.sources;
+    if (sq.triple_indices.size() == 1 &&
+        triples[sq.triple_indices[0]].VariableCount() >= 2 &&
+        sources.size() > 1 && !bindings.empty()) {
+      sparql::ValuesClause sample;
+      sample.vars.push_back(sparql::Variable{bind_var});
+      size_t n = std::min(options_->source_refinement_sample, bindings.size());
+      for (size_t i = 0; i < n; ++i) {
+        sample.rows.push_back({dict->term(bindings[i])});
+      }
+      sparql::Query ask;
+      ask.form = sparql::QueryForm::kAsk;
+      ask.where.triples.push_back(triples[sq.triple_indices[0]]);
+      ask.where.values.push_back(sample);
+      std::string ask_text = sparql::QueryToString(ask);
+      std::vector<std::future<Result<bool>>> probes;
+      for (int ep : sources) {
+        probes.push_back(pool_->Submit([this, ep, ask_text, metrics,
+                                        deadline]() {
+          return federation_->Ask(static_cast<size_t>(ep), ask_text, metrics,
+                                  deadline);
+        }));
+      }
+      std::vector<int> kept;
+      for (size_t i = 0; i < probes.size(); ++i) {
+        Result<bool> has = probes[i].get();
+        // On sampling-probe failure, keep the endpoint (conservative).
+        if (!has.ok() || *has) kept.push_back(sources[i]);
+      }
+      if (!kept.empty()) sources = std::move(kept);
+    }
+
+    // Bound join: ship the found bindings in VALUES blocks.
+    Subquery bound_sq = sq;
+    bound_sq.sources = sources;
+    if (std::find(bound_sq.projection.begin(), bound_sq.projection.end(),
+                  bind_var) == bound_sq.projection.end()) {
+      bound_sq.projection.push_back(bind_var);
+    }
+    BindingTable merged;
+    merged.vars = bound_sq.projection;
+    const size_t block = std::max<size_t>(1, options_->bound_join_block_size);
+    for (size_t start = 0; start < bindings.size(); start += block) {
+      sparql::ValuesClause values;
+      values.vars.push_back(sparql::Variable{bind_var});
+      size_t end = std::min(bindings.size(), start + block);
+      for (size_t i = start; i < end; ++i) {
+        values.rows.push_back({dict->term(bindings[i])});
+      }
+      LUSAIL_ASSIGN_OR_RETURN(
+          BindingTable part,
+          RunEverywhere(bound_sq, triples, &values, dict, metrics, deadline));
+      fed::AppendUnion(&merged, part);
+    }
+    tables.push_back(std::move(merged));
+    track_peak(tables);
+    tables = JoinConnected(std::move(tables), pool_,
+                           options_->join_partitions);
+    track_peak(tables);
+  }
+
+  // ---- Global join of whatever is left (disjoint groups: cartesian). ----
+  tables = JoinConnected(std::move(tables), pool_, options_->join_partitions);
+  while (tables.size() > 1) {
+    // Cartesian products, smallest first to bound growth.
+    std::sort(tables.begin(), tables.end(),
+              [](const BindingTable& a, const BindingTable& b) {
+                return a.rows.size() < b.rows.size();
+              });
+    BindingTable joined = fed::HashJoin(tables[0], tables[1]);
+    tables.erase(tables.begin(), tables.begin() + 2);
+    tables.insert(tables.begin(), std::move(joined));
+  }
+  return std::move(tables[0]);
+}
+
+}  // namespace lusail::core

@@ -1,0 +1,62 @@
+#ifndef LUSAIL_CORE_SAPE_H_
+#define LUSAIL_CORE_SAPE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/cost_model.h"
+#include "core/options.h"
+#include "core/subquery.h"
+#include "federation/binding_table.h"
+#include "federation/federation.h"
+
+namespace lusail::core {
+
+/// Selectivity-Aware Planning and parallel Execution (paper Section 4,
+/// Algorithm 3).
+///
+/// Phase 1 submits every non-delayed subquery to all of its relevant
+/// endpoints concurrently (one task per endpoint through the Elastic
+/// Request Handler pool), unions each subquery's per-endpoint results,
+/// and eagerly joins connected results. Phase 2 evaluates the delayed
+/// subqueries in increasing refined-cardinality order as bound joins:
+/// the already-found bindings of a shared variable are shipped in VALUES
+/// blocks; generic single-pattern subqueries first refine their relevant
+/// sources with sampled ASK probes. The global join runs as a parallel
+/// partitioned hash join in the order chosen by the DP join optimizer.
+class SapeExecutor {
+ public:
+  SapeExecutor(const fed::Federation* federation, ThreadPool* pool,
+               const LusailOptions* options)
+      : federation_(federation), pool_(pool), options_(options) {}
+
+  /// Executes `subqueries` over `triples` and returns the joined binding
+  /// table (all subquery projections merged). With options.enable_sape
+  /// false, every subquery runs concurrently (no delaying) and results
+  /// are joined at the federator — the paper's "LADE only" mode.
+  Result<fed::BindingTable> Execute(
+      std::vector<Subquery> subqueries,
+      const std::vector<sparql::TriplePattern>& triples,
+      fed::SharedDictionary* dict, fed::MetricsCollector* metrics,
+      const Deadline& deadline, fed::ExecutionProfile* profile = nullptr);
+
+ private:
+  /// Runs one subquery (optionally with a VALUES block) at all of its
+  /// relevant endpoints concurrently and unions the results.
+  Result<fed::BindingTable> RunEverywhere(const Subquery& sq,
+                                          const std::vector<sparql::TriplePattern>& triples,
+                                          const sparql::ValuesClause* values,
+                                          fed::SharedDictionary* dict,
+                                          fed::MetricsCollector* metrics,
+                                          const Deadline& deadline);
+
+  const fed::Federation* federation_;
+  ThreadPool* pool_;
+  const LusailOptions* options_;
+};
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_SAPE_H_

@@ -1,0 +1,74 @@
+#ifndef LUSAIL_CORE_SUBQUERY_H_
+#define LUSAIL_CORE_SUBQUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "sparql/serializer.h"
+
+namespace lusail::core {
+
+/// An OPTIONAL block pushed into a subquery: locality analysis proved the
+/// endpoints can evaluate the left-outer join themselves.
+struct PushedOptional {
+  std::vector<sparql::TriplePattern> triples;
+  std::vector<sparql::Expr> filters;
+};
+
+/// One independent subquery produced by LADE: a set of triple patterns
+/// that every relevant endpoint can answer as a unit, plus the filters
+/// and OPTIONAL blocks pushed into it and the variables it must project
+/// (join variables and final-answer variables).
+struct Subquery {
+  std::vector<int> triple_indices;  ///< Into the query's BGP.
+  std::vector<int> sources;         ///< Relevant endpoint indices.
+  std::vector<std::string> projection;
+  std::vector<sparql::Expr> filters;
+  std::vector<PushedOptional> optionals;
+  bool optional = false;  ///< Left-outer-joined at the federator.
+
+  /// Filled by the cost model / SAPE.
+  double estimated_cardinality = 0.0;
+  bool delayed = false;
+
+  /// Variables appearing in this subquery's patterns.
+  std::vector<std::string> Variables(
+      const std::vector<sparql::TriplePattern>& triples) const {
+    std::vector<std::string> out;
+    for (int ti : triple_indices) {
+      for (const std::string& v : triples[ti].VariableNames()) {
+        if (std::find(out.begin(), out.end(), v) == out.end()) {
+          out.push_back(v);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Renders the subquery as SPARQL text, optionally prefixed with a
+  /// VALUES data block (bound joins of delayed subqueries).
+  std::string ToSparql(const std::vector<sparql::TriplePattern>& triples,
+                       const sparql::ValuesClause* values = nullptr) const {
+    sparql::Query q;
+    q.form = sparql::QueryForm::kSelect;
+    for (const std::string& v : projection) {
+      q.projection.push_back(sparql::Variable{v});
+    }
+    if (q.projection.empty()) q.select_all = true;
+    for (int ti : triple_indices) q.where.triples.push_back(triples[ti]);
+    q.where.filters = filters;
+    for (const PushedOptional& opt : optionals) {
+      sparql::GraphPattern block;
+      block.triples = opt.triples;
+      block.filters = opt.filters;
+      q.where.optionals.push_back(std::move(block));
+    }
+    if (values != nullptr) q.where.values.push_back(*values);
+    return sparql::QueryToString(q);
+  }
+};
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_SUBQUERY_H_

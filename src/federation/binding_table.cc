@@ -1,0 +1,279 @@
+#include "federation/binding_table.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sparql/expr_eval.h"
+
+namespace lusail::fed {
+
+namespace {
+
+/// FNV-style hash of an id vector.
+struct IdRowHash {
+  size_t operator()(const std::vector<rdf::TermId>& row) const {
+    size_t h = 1469598103934665603ULL;
+    for (rdf::TermId id : row) {
+      h ^= id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Builds the merged output row for a compatible (left,right) pair.
+std::vector<rdf::TermId> MergeRows(const std::vector<rdf::TermId>& left,
+                                   const std::vector<rdf::TermId>& right,
+                                   const std::vector<int>& shared_left,
+                                   const std::vector<int>& shared_right,
+                                   const std::vector<int>& right_only) {
+  std::vector<rdf::TermId> out = left;
+  // Shared columns: prefer the bound value.
+  for (size_t i = 0; i < shared_left.size(); ++i) {
+    if (out[shared_left[i]] == rdf::kInvalidTermId) {
+      out[shared_left[i]] = right[shared_right[i]];
+    }
+  }
+  for (int idx : right_only) out.push_back(right[idx]);
+  return out;
+}
+
+bool Compatible(const std::vector<rdf::TermId>& left,
+                const std::vector<rdf::TermId>& right,
+                const std::vector<int>& shared_left,
+                const std::vector<int>& shared_right) {
+  for (size_t i = 0; i < shared_left.size(); ++i) {
+    rdf::TermId a = left[shared_left[i]];
+    rdf::TermId b = right[shared_right[i]];
+    if (a != rdf::kInvalidTermId && b != rdf::kInvalidTermId && a != b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Core join routine shared by inner and left-outer joins.
+BindingTable JoinImpl(const BindingTable& left, const BindingTable& right,
+                      bool left_outer) {
+  BindingTable out;
+  out.vars = left.vars;
+  std::vector<std::string> shared = BindingTable::SharedVars(left, right);
+  std::vector<int> shared_left, shared_right, right_only;
+  for (const std::string& v : shared) {
+    shared_left.push_back(left.VarIndex(v));
+    shared_right.push_back(right.VarIndex(v));
+  }
+  for (size_t i = 0; i < right.vars.size(); ++i) {
+    if (std::find(shared.begin(), shared.end(), right.vars[i]) ==
+        shared.end()) {
+      right_only.push_back(static_cast<int>(i));
+      out.vars.push_back(right.vars[i]);
+    }
+  }
+
+  // Partition right rows into hashable (all shared vars bound) and
+  // wildcard rows (some shared var unbound — rare; OPTIONAL results).
+  std::unordered_map<std::vector<rdf::TermId>, std::vector<size_t>, IdRowHash>
+      hash_index;
+  std::vector<size_t> right_wildcards;
+  for (size_t r = 0; r < right.rows.size(); ++r) {
+    std::vector<rdf::TermId> key;
+    key.reserve(shared_right.size());
+    bool keyed = true;
+    for (int idx : shared_right) {
+      rdf::TermId id = right.rows[r][idx];
+      if (id == rdf::kInvalidTermId) {
+        keyed = false;
+        break;
+      }
+      key.push_back(id);
+    }
+    if (keyed) {
+      hash_index[std::move(key)].push_back(r);
+    } else {
+      right_wildcards.push_back(r);
+    }
+  }
+
+  for (const auto& lrow : left.rows) {
+    bool matched = false;
+    std::vector<rdf::TermId> key;
+    key.reserve(shared_left.size());
+    bool keyed = true;
+    for (int idx : shared_left) {
+      rdf::TermId id = lrow[idx];
+      if (id == rdf::kInvalidTermId) {
+        keyed = false;
+        break;
+      }
+      key.push_back(id);
+    }
+    if (keyed) {
+      auto it = hash_index.find(key);
+      if (it != hash_index.end()) {
+        for (size_t r : it->second) {
+          out.rows.push_back(MergeRows(lrow, right.rows[r], shared_left,
+                                       shared_right, right_only));
+          matched = true;
+        }
+      }
+      for (size_t r : right_wildcards) {
+        if (Compatible(lrow, right.rows[r], shared_left, shared_right)) {
+          out.rows.push_back(MergeRows(lrow, right.rows[r], shared_left,
+                                       shared_right, right_only));
+          matched = true;
+        }
+      }
+    } else {
+      // Left row has an unbound shared var: scan everything.
+      for (size_t r = 0; r < right.rows.size(); ++r) {
+        if (Compatible(lrow, right.rows[r], shared_left, shared_right)) {
+          out.rows.push_back(MergeRows(lrow, right.rows[r], shared_left,
+                                       shared_right, right_only));
+          matched = true;
+        }
+      }
+    }
+    if (left_outer && !matched) {
+      std::vector<rdf::TermId> padded = lrow;
+      padded.resize(lrow.size() + right_only.size(), rdf::kInvalidTermId);
+      out.rows.push_back(std::move(padded));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int BindingTable::VarIndex(const std::string& var) const {
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> BindingTable::SharedVars(const BindingTable& a,
+                                                  const BindingTable& b) {
+  std::vector<std::string> shared;
+  for (const std::string& v : a.vars) {
+    if (b.VarIndex(v) >= 0) shared.push_back(v);
+  }
+  return shared;
+}
+
+BindingTable InternTable(const sparql::ResultTable& table,
+                         SharedDictionary* dict) {
+  BindingTable out;
+  out.vars = table.vars;
+  out.rows.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    std::vector<rdf::TermId> ids;
+    ids.reserve(row.size());
+    for (const auto& cell : row) {
+      ids.push_back(cell.has_value() ? dict->Intern(*cell)
+                                     : rdf::kInvalidTermId);
+    }
+    out.rows.push_back(std::move(ids));
+  }
+  return out;
+}
+
+sparql::ResultTable DecodeTable(const BindingTable& table,
+                                const SharedDictionary& dict) {
+  sparql::ResultTable out;
+  out.vars = table.vars;
+  out.rows.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    std::vector<std::optional<rdf::Term>> cells;
+    cells.reserve(row.size());
+    for (rdf::TermId id : row) {
+      if (id == rdf::kInvalidTermId) {
+        cells.push_back(std::nullopt);
+      } else {
+        cells.push_back(dict.term(id));
+      }
+    }
+    out.rows.push_back(std::move(cells));
+  }
+  return out;
+}
+
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right) {
+  // Build the hash on the smaller side for speed; the join is symmetric.
+  if (right.rows.size() > left.rows.size()) {
+    return JoinImpl(right, left, /*left_outer=*/false);
+  }
+  return JoinImpl(left, right, /*left_outer=*/false);
+}
+
+BindingTable LeftOuterJoin(const BindingTable& left,
+                           const BindingTable& right) {
+  return JoinImpl(left, right, /*left_outer=*/true);
+}
+
+void AppendUnion(BindingTable* dst, const BindingTable& src) {
+  if (dst->vars.empty() && dst->rows.empty()) {
+    *dst = src;
+    return;
+  }
+  std::vector<int> mapping(src.vars.size(), -1);
+  for (size_t i = 0; i < src.vars.size(); ++i) {
+    int idx = dst->VarIndex(src.vars[i]);
+    if (idx < 0) {
+      idx = static_cast<int>(dst->vars.size());
+      dst->vars.push_back(src.vars[i]);
+      for (auto& row : dst->rows) row.push_back(rdf::kInvalidTermId);
+    }
+    mapping[i] = idx;
+  }
+  for (const auto& row : src.rows) {
+    std::vector<rdf::TermId> aligned(dst->vars.size(), rdf::kInvalidTermId);
+    for (size_t i = 0; i < row.size(); ++i) aligned[mapping[i]] = row[i];
+    dst->rows.push_back(std::move(aligned));
+  }
+}
+
+void FilterRows(BindingTable* table, const sparql::Expr& filter,
+                const SharedDictionary& dict) {
+  std::vector<std::vector<rdf::TermId>> kept;
+  kept.reserve(table->rows.size());
+  for (auto& row : table->rows) {
+    // Decode on demand; cache per row to keep Term lifetimes valid during
+    // expression evaluation.
+    std::unordered_map<std::string, rdf::Term> decoded;
+    auto lookup = [&](const std::string& name) -> const rdf::Term* {
+      int idx = table->VarIndex(name);
+      if (idx < 0 || row[idx] == rdf::kInvalidTermId) return nullptr;
+      auto it = decoded.find(name);
+      if (it == decoded.end()) {
+        it = decoded.emplace(name, dict.term(row[idx])).first;
+      }
+      return &it->second;
+    };
+    if (sparql::EvalFilter(filter, lookup)) kept.push_back(std::move(row));
+  }
+  table->rows = std::move(kept);
+}
+
+BindingTable Project(const BindingTable& table,
+                     const std::vector<std::string>& vars, bool distinct) {
+  BindingTable out;
+  out.vars = vars;
+  std::vector<int> idx;
+  idx.reserve(vars.size());
+  for (const std::string& v : vars) idx.push_back(table.VarIndex(v));
+  std::unordered_set<std::vector<rdf::TermId>, IdRowHash> seen;
+  out.rows.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    std::vector<rdf::TermId> projected;
+    projected.reserve(idx.size());
+    for (int i : idx) {
+      projected.push_back(i >= 0 ? row[i] : rdf::kInvalidTermId);
+    }
+    if (distinct && !seen.insert(projected).second) continue;
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+}  // namespace lusail::fed

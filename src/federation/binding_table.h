@@ -1,0 +1,93 @@
+#ifndef LUSAIL_FEDERATION_BINDING_TABLE_H_
+#define LUSAIL_FEDERATION_BINDING_TABLE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "sparql/result_table.h"
+
+namespace lusail::fed {
+
+/// Thread-safe term dictionary owned by the federated query processor.
+/// Endpoint results are re-interned here so that all federation-level
+/// joins run on integer keys regardless of which endpoint produced a
+/// binding.
+class SharedDictionary {
+ public:
+  SharedDictionary() = default;
+  SharedDictionary(const SharedDictionary&) = delete;
+  SharedDictionary& operator=(const SharedDictionary&) = delete;
+
+  rdf::TermId Intern(const rdf::Term& term) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dict_.Intern(term);
+  }
+
+  rdf::Term term(rdf::TermId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dict_.term(id);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dict_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  rdf::Dictionary dict_;
+};
+
+/// A federation-level binding table: columns are variable names, cells are
+/// SharedDictionary ids (kInvalidTermId = unbound).
+struct BindingTable {
+  std::vector<std::string> vars;
+  std::vector<std::vector<rdf::TermId>> rows;
+
+  size_t NumRows() const { return rows.size(); }
+
+  /// Index of `var` in vars, or -1.
+  int VarIndex(const std::string& var) const;
+
+  /// Variables present in both tables.
+  static std::vector<std::string> SharedVars(const BindingTable& a,
+                                             const BindingTable& b);
+};
+
+/// Re-interns an endpoint result into the shared dictionary.
+BindingTable InternTable(const sparql::ResultTable& table,
+                         SharedDictionary* dict);
+
+/// Decodes a binding table back to term-level results (final answer).
+sparql::ResultTable DecodeTable(const BindingTable& table,
+                                const SharedDictionary& dict);
+
+/// Natural inner join on all shared variables (cartesian product when the
+/// tables share none). Rows with an unbound shared variable use SPARQL
+/// compatibility semantics: unbound is compatible with any value.
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right);
+
+/// Left outer join: left rows with no compatible right row survive with
+/// the right-only columns unbound (OPTIONAL at the federator).
+BindingTable LeftOuterJoin(const BindingTable& left,
+                           const BindingTable& right);
+
+/// Appends src's rows to dst, aligning columns by name; variables missing
+/// from src become unbound (UNION at the federator).
+void AppendUnion(BindingTable* dst, const BindingTable& src);
+
+/// Keeps the rows satisfying `filter` (decoding cells through `dict`).
+void FilterRows(BindingTable* table, const sparql::Expr& filter,
+                const SharedDictionary& dict);
+
+/// Projects the table onto `vars` (missing variables become unbound
+/// columns); optionally deduplicates rows.
+BindingTable Project(const BindingTable& table,
+                     const std::vector<std::string>& vars, bool distinct);
+
+}  // namespace lusail::fed
+
+#endif  // LUSAIL_FEDERATION_BINDING_TABLE_H_

@@ -1,0 +1,40 @@
+#include "federation/federation.h"
+
+namespace lusail::fed {
+
+size_t Federation::Add(std::shared_ptr<net::Endpoint> endpoint) {
+  endpoints_.push_back(std::move(endpoint));
+  return endpoints_.size() - 1;
+}
+
+Result<sparql::ResultTable> Federation::Execute(size_t i,
+                                                const std::string& text,
+                                                MetricsCollector* metrics,
+                                                const Deadline& deadline) const {
+  if (i >= endpoints_.size()) {
+    return Status::NotFound("no endpoint with index " + std::to_string(i));
+  }
+  if (deadline.Expired()) {
+    return Status::Timeout("query deadline expired before request to " +
+                           endpoints_[i]->id());
+  }
+  LUSAIL_ASSIGN_OR_RETURN(net::QueryResponse response,
+                          endpoints_[i]->Query(text));
+  if (metrics != nullptr) {
+    // Crude but robust ASK detection on the wire text (the endpoint parsed
+    // the query anyway; this avoids widening the interface).
+    bool is_ask = text.rfind("ASK", 0) == 0;
+    metrics->RecordRequest(response, is_ask);
+  }
+  return std::move(response.table);
+}
+
+Result<bool> Federation::Ask(size_t i, const std::string& text,
+                             MetricsCollector* metrics,
+                             const Deadline& deadline) const {
+  LUSAIL_ASSIGN_OR_RETURN(sparql::ResultTable table,
+                          Execute(i, text, metrics, deadline));
+  return !table.rows.empty();
+}
+
+}  // namespace lusail::fed

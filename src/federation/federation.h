@@ -1,0 +1,137 @@
+#ifndef LUSAIL_FEDERATION_FEDERATION_H_
+#define LUSAIL_FEDERATION_FEDERATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "net/endpoint.h"
+#include "sparql/result_table.h"
+
+namespace lusail::fed {
+
+/// Per-query cost summary a federated engine reports with its result.
+/// This is the data behind the paper's figures: runtime, request counts,
+/// and communication volume.
+struct ExecutionProfile {
+  uint64_t requests = 0;       ///< Total endpoint requests issued.
+  uint64_t ask_requests = 0;   ///< Subset that were ASK probes.
+  uint64_t bytes_sent = 0;     ///< Query text shipped to endpoints.
+  uint64_t bytes_received = 0; ///< Serialized results received.
+  uint64_t rows_received = 0;  ///< Binding rows received.
+  double network_ms = 0.0;     ///< Sum of simulated per-request network time.
+
+  double source_selection_ms = 0.0;
+  double analysis_ms = 0.0;    ///< Lusail's LADE phase (GJV + decomposition).
+  double execution_ms = 0.0;
+  double total_ms = 0.0;
+
+  /// OPTIONAL blocks LADE pushed into endpoint subqueries (Lusail only).
+  uint64_t pushed_optionals = 0;
+
+  /// Largest number of intermediate binding rows held at once — the
+  /// memory-footprint proxy of the paper's extended-version experiments.
+  uint64_t peak_intermediate_rows = 0;
+};
+
+/// Thread-safe accumulator for one federated query execution.
+class MetricsCollector {
+ public:
+  MetricsCollector() = default;
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+  void RecordRequest(const net::QueryResponse& response, bool is_ask) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (is_ask) ask_requests_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(response.request_bytes, std::memory_order_relaxed);
+    bytes_received_.fetch_add(response.response_bytes,
+                              std::memory_order_relaxed);
+    rows_received_.fetch_add(response.table.NumRows(),
+                             std::memory_order_relaxed);
+    network_us_.fetch_add(static_cast<uint64_t>(response.network_ms * 1000.0),
+                          std::memory_order_relaxed);
+  }
+
+  /// Copies the counters into a profile (phase timings are the caller's).
+  void FillCounters(ExecutionProfile* profile) const {
+    profile->requests = requests_.load(std::memory_order_relaxed);
+    profile->ask_requests = ask_requests_.load(std::memory_order_relaxed);
+    profile->bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    profile->bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    profile->rows_received = rows_received_.load(std::memory_order_relaxed);
+    profile->network_ms =
+        static_cast<double>(network_us_.load(std::memory_order_relaxed)) /
+        1000.0;
+  }
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> ask_requests_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> rows_received_{0};
+  std::atomic<uint64_t> network_us_{0};
+};
+
+/// The registry of endpoints a federated query runs against, plus the
+/// request path every engine uses (with per-query accounting and
+/// cooperative deadline checks).
+class Federation {
+ public:
+  Federation() = default;
+
+  /// Registers an endpoint; returns its index.
+  size_t Add(std::shared_ptr<net::Endpoint> endpoint);
+
+  size_t size() const { return endpoints_.size(); }
+
+  net::Endpoint* endpoint(size_t i) const { return endpoints_[i].get(); }
+  const std::string& id(size_t i) const { return endpoints_[i]->id(); }
+
+  /// Issues `text` at endpoint `i`. Accounts the exchange into `metrics`
+  /// (when non-null) and fails with Timeout when `deadline` has expired
+  /// before the request is issued.
+  Result<sparql::ResultTable> Execute(size_t i, const std::string& text,
+                                      MetricsCollector* metrics,
+                                      const Deadline& deadline) const;
+
+  /// Convenience ASK wrapper: true iff the endpoint returned a row.
+  Result<bool> Ask(size_t i, const std::string& text,
+                   MetricsCollector* metrics, const Deadline& deadline) const;
+
+ private:
+  std::vector<std::shared_ptr<net::Endpoint>> endpoints_;
+};
+
+/// Result of a federated query: the final table plus the cost profile.
+struct FederatedResult {
+  sparql::ResultTable table;
+  ExecutionProfile profile;
+};
+
+/// Common interface of Lusail and the baseline engines.
+class FederatedEngine {
+ public:
+  virtual ~FederatedEngine() = default;
+
+  /// Engine name for benchmark reports ("Lusail", "FedX", ...).
+  virtual std::string name() const = 0;
+
+  /// Executes a federated SPARQL query within `deadline`.
+  virtual Result<FederatedResult> Execute(const std::string& sparql_text,
+                                          const Deadline& deadline) = 0;
+
+  /// Executes with no deadline.
+  Result<FederatedResult> Execute(const std::string& sparql_text) {
+    return Execute(sparql_text, Deadline());
+  }
+};
+
+}  // namespace lusail::fed
+
+#endif  // LUSAIL_FEDERATION_FEDERATION_H_

@@ -1,0 +1,73 @@
+#include "federation/source_selection.h"
+
+#include <future>
+
+namespace lusail::fed {
+
+std::string PatternCacheKey(const sparql::TriplePattern& tp,
+                            const std::string& endpoint_id) {
+  auto slot = [](const sparql::TermOrVar& tv) {
+    return tv.is_variable() ? std::string("?") : tv.term().ToString();
+  };
+  return endpoint_id + "|" + slot(tp.s) + " " + slot(tp.p) + " " + slot(tp.o);
+}
+
+std::string AskQueryText(const sparql::TriplePattern& tp) {
+  return "ASK { " + tp.ToString() + " . }";
+}
+
+Result<std::vector<std::vector<int>>> SourceSelector::SelectSources(
+    const std::vector<sparql::TriplePattern>& patterns,
+    MetricsCollector* metrics, const Deadline& deadline, bool use_cache) {
+  const size_t num_eps = federation_->size();
+  std::vector<std::vector<int>> sources(patterns.size());
+
+  struct Probe {
+    size_t pattern;
+    size_t endpoint;
+    std::string cache_key;
+    std::future<Result<bool>> result;
+  };
+  std::vector<Probe> probes;
+
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    for (size_t ei = 0; ei < num_eps; ++ei) {
+      std::string key = PatternCacheKey(patterns[pi], federation_->id(ei));
+      if (use_cache) {
+        std::optional<bool> cached = cache_->Get(key);
+        if (cached.has_value()) {
+          if (*cached) sources[pi].push_back(static_cast<int>(ei));
+          continue;
+        }
+      }
+      Probe probe;
+      probe.pattern = pi;
+      probe.endpoint = ei;
+      probe.cache_key = std::move(key);
+      std::string text = AskQueryText(patterns[pi]);
+      probe.result = pool_->Submit(
+          [this, ei, text = std::move(text), metrics, deadline]() {
+            return federation_->Ask(ei, text, metrics, deadline);
+          });
+      probes.push_back(std::move(probe));
+    }
+  }
+
+  Status first_error;
+  for (Probe& probe : probes) {
+    Result<bool> answer = probe.result.get();
+    if (!answer.ok()) {
+      if (first_error.ok()) first_error = answer.status();
+      continue;
+    }
+    cache_->Put(probe.cache_key, *answer);
+    if (*answer) sources[probe.pattern].push_back(static_cast<int>(probe.endpoint));
+  }
+  if (!first_error.ok()) return first_error;
+
+  // Probes may resolve out of order across endpoints; keep lists sorted.
+  for (auto& list : sources) std::sort(list.begin(), list.end());
+  return sources;
+}
+
+}  // namespace lusail::fed

@@ -1,0 +1,38 @@
+#ifndef LUSAIL_NET_ENDPOINT_H_
+#define LUSAIL_NET_ENDPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sparql/result_table.h"
+
+namespace lusail::net {
+
+/// One request/response exchange with an endpoint, with the cost
+/// accounting a federated engine needs.
+struct QueryResponse {
+  sparql::ResultTable table;
+  size_t request_bytes = 0;   ///< Serialized query size.
+  size_t response_bytes = 0;  ///< Serialized result size.
+  double network_ms = 0.0;    ///< Simulated network time charged.
+  double server_ms = 0.0;     ///< Endpoint-side evaluation time.
+};
+
+/// Abstract SPARQL endpoint. Federated engines interact with endpoints
+/// exclusively through query *text* — exactly like HTTP SPARQL protocol
+/// endpoints in the paper — so request counts and byte volumes are honest.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Stable endpoint identifier (plays the role of the endpoint URL).
+  virtual const std::string& id() const = 0;
+
+  /// Parses and evaluates `sparql_text`, charging simulated network cost.
+  /// ASK queries yield a zero-column table with 0 or 1 rows. Thread-safe.
+  virtual Result<QueryResponse> Query(const std::string& sparql_text) = 0;
+};
+
+}  // namespace lusail::net
+
+#endif  // LUSAIL_NET_ENDPOINT_H_

@@ -1,0 +1,15 @@
+#include "net/latency_model.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lusail::net {
+
+void LatencyModel::Impose(size_t request_bytes, size_t response_bytes) const {
+  if (sleep_scale <= 0.0) return;
+  double ms = CostMillis(request_bytes, response_bytes) * sleep_scale;
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace lusail::net

@@ -1,0 +1,55 @@
+#ifndef LUSAIL_NET_LATENCY_MODEL_H_
+#define LUSAIL_NET_LATENCY_MODEL_H_
+
+#include <cstddef>
+
+namespace lusail::net {
+
+/// Deterministic network cost model for a simulated SPARQL endpoint.
+///
+/// Every request is charged `request_latency_ms` (round-trip setup) plus
+/// transfer time for the query text and the serialized result at
+/// `bandwidth_bytes_per_ms`. The charged time is always *accounted* in the
+/// metrics; it is additionally *imposed* on the calling thread (via sleep)
+/// scaled by `sleep_scale`, so wall-clock measurements reflect network
+/// behaviour. sleep_scale = 0 turns the simulation into pure accounting.
+///
+/// Presets mirror the paper's two deployments: a local cluster (1-10 Gbps
+/// Ethernet, sub-millisecond RTT) and a geo-distributed Azure federation
+/// (tens of milliseconds RTT across 7 regions, WAN bandwidth).
+struct LatencyModel {
+  double request_latency_ms = 0.0;
+  double bandwidth_bytes_per_ms = 0.0;  ///< 0 means infinite bandwidth.
+  double sleep_scale = 1.0;
+
+  /// No latency, infinite bandwidth, no sleeping (unit tests).
+  static LatencyModel None() { return LatencyModel{0.0, 0.0, 0.0}; }
+
+  /// ~0.2 ms RTT, 1 Gbps.
+  static LatencyModel LocalCluster() {
+    return LatencyModel{0.2, 125000.0, 1.0};
+  }
+
+  /// ~15 ms RTT, ~20 Mbps effective single-stream WAN throughput
+  /// (typical for cross-region transfers).
+  static LatencyModel GeoDistributed() {
+    return LatencyModel{15.0, 2500.0, 1.0};
+  }
+
+  /// Simulated milliseconds charged for one request/response exchange.
+  double CostMillis(size_t request_bytes, size_t response_bytes) const {
+    double ms = request_latency_ms;
+    if (bandwidth_bytes_per_ms > 0.0) {
+      ms += static_cast<double>(request_bytes + response_bytes) /
+            bandwidth_bytes_per_ms;
+    }
+    return ms;
+  }
+
+  /// Blocks the calling thread for sleep_scale * CostMillis(...).
+  void Impose(size_t request_bytes, size_t response_bytes) const;
+};
+
+}  // namespace lusail::net
+
+#endif  // LUSAIL_NET_LATENCY_MODEL_H_

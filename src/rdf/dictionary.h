@@ -1,0 +1,53 @@
+#ifndef LUSAIL_RDF_DICTIONARY_H_
+#define LUSAIL_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace lusail::rdf {
+
+/// Dense integer id of an interned term. Valid ids start at 0;
+/// kInvalidTermId marks "not present".
+using TermId = uint64_t;
+inline constexpr TermId kInvalidTermId = ~0ULL;
+
+/// Bidirectional Term <-> TermId map. Every triple store (one per endpoint)
+/// owns a private Dictionary; the federated query processor owns another
+/// one for join keys, re-interning endpoint results as they arrive.
+///
+/// Not thread-safe for concurrent interning; lookups of already-interned
+/// ids are safe once loading is complete.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Interns `term`, returning its id (existing or newly assigned).
+  TermId Intern(const Term& term);
+
+  /// Returns the id of `term` if interned, otherwise kInvalidTermId.
+  TermId Lookup(const Term& term) const;
+
+  /// Returns the term for `id`. Requires id < size().
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size(); }
+
+  /// Approximate memory usage in bytes (term payloads + table overhead).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> ids_;
+};
+
+}  // namespace lusail::rdf
+
+#endif  // LUSAIL_RDF_DICTIONARY_H_

@@ -1,0 +1,133 @@
+#include "rdf/ntriples.h"
+
+#include "common/string_util.h"
+
+namespace lusail::rdf {
+
+namespace {
+
+// Extracts the next term token from `line` starting at `*pos`, advancing
+// `*pos` past it. Handles IRIs, blank nodes, and literals with suffixes.
+Status NextToken(std::string_view line, size_t* pos, std::string_view* token) {
+  while (*pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[*pos]))) {
+    ++*pos;
+  }
+  if (*pos >= line.size()) {
+    return Status::ParseError("unexpected end of N-Triples line");
+  }
+  size_t start = *pos;
+  char c = line[start];
+  if (c == '<') {
+    size_t end = line.find('>', start);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    *pos = end + 1;
+  } else if (c == '_') {
+    size_t end = start;
+    while (end < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[end]))) {
+      ++end;
+    }
+    *pos = end;
+  } else if (c == '"') {
+    size_t end = start + 1;
+    while (end < line.size()) {
+      if (line[end] == '\\') {
+        end += 2;
+        continue;
+      }
+      if (line[end] == '"') break;
+      ++end;
+    }
+    if (end >= line.size()) {
+      return Status::ParseError("unterminated literal");
+    }
+    ++end;  // Past the closing quote.
+    // Absorb an optional @lang or ^^<datatype> suffix.
+    if (end < line.size() && line[end] == '@') {
+      while (end < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+    } else if (end + 1 < line.size() && line[end] == '^' &&
+               line[end + 1] == '^') {
+      size_t close = line.find('>', end);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated datatype IRI");
+      }
+      end = close + 1;
+    }
+    *pos = end;
+  } else {
+    return Status::ParseError("unexpected character in N-Triples line: " +
+                              std::string(1, c));
+  }
+  *token = line.substr(start, *pos - start);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string TermTriple::ToString() const {
+  return subject.ToString() + " " + predicate.ToString() + " " +
+         object.ToString() + " .";
+}
+
+Status ParseNTriplesLine(std::string_view line, TermTriple* triple,
+                         bool* has_triple) {
+  *has_triple = false;
+  std::string_view stripped = StripWhitespace(line);
+  if (stripped.empty() || stripped.front() == '#') {
+    return Status::OK();
+  }
+  size_t pos = 0;
+  std::string_view s_tok, p_tok, o_tok;
+  LUSAIL_RETURN_NOT_OK(NextToken(stripped, &pos, &s_tok));
+  LUSAIL_RETURN_NOT_OK(NextToken(stripped, &pos, &p_tok));
+  LUSAIL_RETURN_NOT_OK(NextToken(stripped, &pos, &o_tok));
+  std::string_view tail = StripWhitespace(stripped.substr(pos));
+  if (tail != ".") {
+    return Status::ParseError("N-Triples line must end with '.': " +
+                              std::string(stripped));
+  }
+  LUSAIL_ASSIGN_OR_RETURN(triple->subject, Term::Parse(s_tok));
+  LUSAIL_ASSIGN_OR_RETURN(triple->predicate, Term::Parse(p_tok));
+  LUSAIL_ASSIGN_OR_RETURN(triple->object, Term::Parse(o_tok));
+  if (!triple->predicate.is_iri()) {
+    return Status::ParseError("predicate must be an IRI: " +
+                              std::string(p_tok));
+  }
+  *has_triple = true;
+  return Status::OK();
+}
+
+Result<std::vector<TermTriple>> ParseNTriples(std::string_view text) {
+  std::vector<TermTriple> triples;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    TermTriple triple;
+    bool has_triple = false;
+    LUSAIL_RETURN_NOT_OK(ParseNTriplesLine(line, &triple, &has_triple));
+    if (has_triple) triples.push_back(std::move(triple));
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return triples;
+}
+
+std::string WriteNTriples(const std::vector<TermTriple>& triples) {
+  std::string out;
+  for (const TermTriple& t : triples) {
+    out += t.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lusail::rdf

@@ -1,0 +1,43 @@
+#ifndef LUSAIL_RDF_NTRIPLES_H_
+#define LUSAIL_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace lusail::rdf {
+
+/// A materialized RDF triple of Term values (pre-dictionary-encoding).
+struct TermTriple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  bool operator==(const TermTriple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+
+  /// N-Triples line without the trailing newline, e.g. `<s> <p> "o" .`
+  std::string ToString() const;
+};
+
+/// Parses one N-Triples line (`<s> <p> <o> .`, comments and blank lines
+/// yield no triple). Returns true via `*has_triple` when a triple was
+/// produced.
+Status ParseNTriplesLine(std::string_view line, TermTriple* triple,
+                         bool* has_triple);
+
+/// Parses a full N-Triples document into triples. Stops at the first
+/// syntax error.
+Result<std::vector<TermTriple>> ParseNTriples(std::string_view text);
+
+/// Serializes triples as an N-Triples document.
+std::string WriteNTriples(const std::vector<TermTriple>& triples);
+
+}  // namespace lusail::rdf
+
+#endif  // LUSAIL_RDF_NTRIPLES_H_

@@ -1,0 +1,156 @@
+#include "rdf/term.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace lusail::rdf {
+
+Term Term::Iri(std::string iri) {
+  Term t;
+  t.kind_ = TermKind::kIri;
+  t.lexical_ = std::move(iri);
+  return t;
+}
+
+Term Term::Literal(std::string lexical) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(lexical);
+  return t;
+}
+
+Term Term::TypedLiteral(std::string lexical, std::string datatype) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(lexical);
+  t.datatype_ = std::move(datatype);
+  return t;
+}
+
+Term Term::LangLiteral(std::string lexical, std::string lang) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(lexical);
+  t.lang_ = std::move(lang);
+  return t;
+}
+
+Term Term::Integer(int64_t value) {
+  return TypedLiteral(std::to_string(value), std::string(kXsdInteger));
+}
+
+Term Term::Double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return TypedLiteral(buf, std::string(kXsdDouble));
+}
+
+Term Term::BlankNode(std::string label) {
+  Term t;
+  t.kind_ = TermKind::kBlankNode;
+  t.lexical_ = std::move(label);
+  return t;
+}
+
+bool Term::IsNumeric() const {
+  return kind_ == TermKind::kLiteral &&
+         (datatype_ == kXsdInteger || datatype_ == kXsdDecimal ||
+          datatype_ == kXsdDouble);
+}
+
+double Term::AsDouble() const { return std::strtod(lexical_.c_str(), nullptr); }
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + lexical_ + ">";
+    case TermKind::kBlankNode:
+      return "_:" + lexical_;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(lexical_) + "\"";
+      if (!lang_.empty()) {
+        out += "@" + lang_;
+      } else if (!datatype_.empty()) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<Term> Term::Parse(std::string_view token) {
+  token = StripWhitespace(token);
+  if (token.empty()) {
+    return Status::ParseError("empty term token");
+  }
+  if (token.front() == '<') {
+    if (token.back() != '>') {
+      return Status::ParseError("unterminated IRI: " + std::string(token));
+    }
+    return Term::Iri(std::string(token.substr(1, token.size() - 2)));
+  }
+  if (StartsWith(token, "_:")) {
+    return Term::BlankNode(std::string(token.substr(2)));
+  }
+  if (token.front() == '"') {
+    // Find the closing quote, honoring backslash escapes.
+    size_t close = std::string_view::npos;
+    for (size_t i = 1; i < token.size(); ++i) {
+      if (token[i] == '\\') {
+        ++i;
+        continue;
+      }
+      if (token[i] == '"') {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated literal: " + std::string(token));
+    }
+    std::string lexical = UnescapeLiteral(token.substr(1, close - 1));
+    std::string_view rest = token.substr(close + 1);
+    if (rest.empty()) {
+      return Term::Literal(std::move(lexical));
+    }
+    if (rest.front() == '@') {
+      return Term::LangLiteral(std::move(lexical), std::string(rest.substr(1)));
+    }
+    if (StartsWith(rest, "^^<") && rest.back() == '>') {
+      return Term::TypedLiteral(std::move(lexical),
+                                std::string(rest.substr(3, rest.size() - 4)));
+    }
+    return Status::ParseError("malformed literal suffix: " +
+                              std::string(token));
+  }
+  return Status::ParseError("unrecognized term token: " + std::string(token));
+}
+
+bool Term::operator<(const Term& other) const {
+  return std::tie(kind_, lexical_, datatype_, lang_) <
+         std::tie(other.kind_, other.lexical_, other.datatype_, other.lang_);
+}
+
+size_t Term::Hash() const {
+  size_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ULL;
+  };
+  h ^= static_cast<size_t>(kind_);
+  h *= 1099511628211ULL;
+  mix(lexical_);
+  mix(datatype_);
+  mix(lang_);
+  return h;
+}
+
+}  // namespace lusail::rdf

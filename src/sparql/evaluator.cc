@@ -1,0 +1,594 @@
+#include "sparql/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sparql/expr_eval.h"
+
+namespace lusail::sparql {
+
+namespace {
+
+using rdf::Term;
+using rdf::TermId;
+using store::EncodedTriple;
+
+constexpr size_t kNoLimit = std::numeric_limits<size_t>::max();
+
+/// A partial solution: one TermId per variable slot; kInvalidTermId is
+/// unbound.
+using Binding = std::vector<TermId>;
+
+/// Per-execution state: variable slot map and the auxiliary dictionary for
+/// terms that appear in the query (or seeded VALUES) but not in the store.
+class EvalContext {
+ public:
+  explicit EvalContext(const store::TripleStore& store) : store_(store) {}
+
+  const store::TripleStore& store() const { return store_; }
+
+  int SlotFor(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    int slot = static_cast<int>(slot_names_.size());
+    slots_.emplace(name, slot);
+    slot_names_.push_back(name);
+    return slot;
+  }
+
+  int LookupSlot(const std::string& name) const {
+    auto it = slots_.find(name);
+    return it == slots_.end() ? -1 : it->second;
+  }
+
+  size_t NumSlots() const { return slot_names_.size(); }
+
+  /// Interns a term that may not exist in the store's dictionary. Store
+  /// ids are reused; foreign terms get ids past the store dictionary.
+  TermId InternForeign(const Term& t) {
+    TermId id = store_.dict().Lookup(t);
+    if (id != rdf::kInvalidTermId) return id;
+    auto it = aux_ids_.find(t);
+    if (it != aux_ids_.end()) return it->second;
+    TermId aux = store_.dict().size() + aux_terms_.size();
+    aux_terms_.push_back(t);
+    aux_ids_.emplace(t, aux);
+    return aux;
+  }
+
+  const Term& TermFor(TermId id) const {
+    if (id < store_.dict().size()) return store_.dict().term(id);
+    return aux_terms_[id - store_.dict().size()];
+  }
+
+ private:
+  const store::TripleStore& store_;
+  std::unordered_map<std::string, int> slots_;
+  std::vector<std::string> slot_names_;
+  std::vector<Term> aux_terms_;
+  std::unordered_map<Term, TermId, rdf::TermHash> aux_ids_;
+};
+
+/// Makes a VarLookup over (ctx, binding) for filter evaluation.
+VarLookup MakeLookup(const EvalContext& ctx, const Binding& binding) {
+  return [&ctx, &binding](const std::string& name) -> const Term* {
+    int slot = ctx.LookupSlot(name);
+    if (slot < 0) return nullptr;
+    TermId id = binding[slot];
+    if (id == rdf::kInvalidTermId) return nullptr;
+    return &ctx.TermFor(id);
+  };
+}
+
+/// Hash for deduplicating projected id-rows.
+struct IdRowHash {
+  size_t operator()(const std::vector<TermId>& row) const {
+    size_t h = 1469598103934665603ULL;
+    for (TermId id : row) {
+      h ^= id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+class GroupEvaluator {
+ public:
+  GroupEvaluator(EvalContext* ctx) : ctx_(*ctx) {}
+
+  /// Evaluates `gp` seeded with `input`, producing at most `max_rows`
+  /// solutions (the cap applies to the group's final output).
+  Result<std::vector<Binding>> Eval(const GraphPattern& gp,
+                                    std::vector<Binding> input,
+                                    size_t max_rows) {
+    // 1. VALUES data blocks join with the input seed first.
+    for (const ValuesClause& vc : gp.values) {
+      LUSAIL_ASSIGN_OR_RETURN(input, JoinValues(std::move(input), vc));
+    }
+    if (input.empty()) return input;
+
+    // 2. Basic graph pattern with inline filter pushdown.
+    std::vector<size_t> post_filters;
+    std::vector<Binding> rows;
+    LUSAIL_RETURN_NOT_OK(
+        EvalBgp(gp, std::move(input), max_rows, &rows, &post_filters));
+
+    // 3. UNION chains (each alternative seeded per partial solution).
+    for (const auto& chain : gp.unions) {
+      std::vector<Binding> unioned;
+      for (const GraphPattern& alt : chain) {
+        LUSAIL_ASSIGN_OR_RETURN(std::vector<Binding> branch,
+                                Eval(alt, rows, kNoLimit));
+        unioned.insert(unioned.end(),
+                       std::make_move_iterator(branch.begin()),
+                       std::make_move_iterator(branch.end()));
+      }
+      rows = std::move(unioned);
+    }
+
+    // 4. OPTIONAL blocks: left outer join, one row at a time.
+    for (const GraphPattern& opt : gp.optionals) {
+      std::vector<Binding> joined;
+      for (Binding& row : rows) {
+        LUSAIL_ASSIGN_OR_RETURN(std::vector<Binding> extended,
+                                Eval(opt, {row}, kNoLimit));
+        if (extended.empty()) {
+          joined.push_back(std::move(row));
+        } else {
+          joined.insert(joined.end(),
+                        std::make_move_iterator(extended.begin()),
+                        std::make_move_iterator(extended.end()));
+        }
+      }
+      rows = std::move(joined);
+    }
+
+    // 5. Remaining plain filters (those whose variables were not all bound
+    // within the BGP) and EXISTS / NOT EXISTS filters.
+    if (!post_filters.empty() || !gp.exists_filters.empty()) {
+      std::vector<Binding> kept;
+      for (Binding& row : rows) {
+        bool pass = true;
+        for (size_t fi : post_filters) {
+          if (!EvalFilter(gp.filters[fi], MakeLookup(ctx_, row))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          for (const auto& ef : gp.exists_filters) {
+            LUSAIL_ASSIGN_OR_RETURN(std::vector<Binding> probe,
+                                    Eval(ef.pattern, {row}, 1));
+            bool exists = !probe.empty();
+            if (exists == ef.negated) {
+              pass = false;
+              break;
+            }
+          }
+        }
+        if (pass) kept.push_back(std::move(row));
+        if (kept.size() >= max_rows) break;
+      }
+      rows = std::move(kept);
+    }
+
+    if (rows.size() > max_rows) rows.resize(max_rows);
+    return rows;
+  }
+
+ private:
+  /// Joins the current rows with a VALUES data block on shared variables.
+  Result<std::vector<Binding>> JoinValues(std::vector<Binding> input,
+                                          const ValuesClause& vc) {
+    std::vector<int> slots;
+    slots.reserve(vc.vars.size());
+    for (const Variable& v : vc.vars) slots.push_back(ctx_.SlotFor(v.name));
+    // Pre-intern the data block once.
+    std::vector<std::vector<TermId>> data;
+    data.reserve(vc.rows.size());
+    for (const auto& row : vc.rows) {
+      std::vector<TermId> ids;
+      ids.reserve(row.size());
+      for (const auto& cell : row) {
+        ids.push_back(cell.has_value() ? ctx_.InternForeign(*cell)
+                                       : rdf::kInvalidTermId);
+      }
+      data.push_back(std::move(ids));
+    }
+    std::vector<Binding> out;
+    for (const Binding& base : input) {
+      for (const auto& ids : data) {
+        Binding merged = base;
+        bool compatible = true;
+        for (size_t i = 0; i < slots.size(); ++i) {
+          if (ids[i] == rdf::kInvalidTermId) continue;  // UNDEF matches all.
+          TermId existing = merged[slots[i]];
+          if (existing == rdf::kInvalidTermId) {
+            merged[slots[i]] = ids[i];
+          } else if (existing != ids[i]) {
+            compatible = false;
+            break;
+          }
+        }
+        if (compatible) out.push_back(std::move(merged));
+      }
+    }
+    return out;
+  }
+
+  /// Greedy static join order: prefer patterns with the most bound slots,
+  /// then connectivity to already-bound variables, then the smallest
+  /// constant-only index count. Avoids cartesian products when possible.
+  std::vector<size_t> OrderPatterns(const std::vector<TriplePattern>& triples,
+                                    const std::set<std::string>& initial) {
+    std::vector<size_t> order;
+    std::vector<bool> used(triples.size(), false);
+    std::set<std::string> bound = initial;
+    auto const_id = [this](const TermOrVar& tv) -> std::optional<TermId> {
+      if (tv.is_variable()) return std::nullopt;
+      return ctx_.InternForeign(tv.term());
+    };
+    for (size_t n = 0; n < triples.size(); ++n) {
+      size_t best = triples.size();
+      // Order key: (disconnected, -bound_slots, estimated_count).
+      std::tuple<int, int, uint64_t> best_key{2, 0, 0};
+      for (size_t i = 0; i < triples.size(); ++i) {
+        if (used[i]) continue;
+        const TriplePattern& tp = triples[i];
+        int bound_slots = 0;
+        bool shares = false;
+        for (const TermOrVar* tv : {&tp.s, &tp.p, &tp.o}) {
+          if (!tv->is_variable()) {
+            ++bound_slots;
+          } else if (bound.count(tv->var().name)) {
+            ++bound_slots;
+            shares = true;
+          }
+        }
+        int disconnected = (bound_slots == 0 && !bound.empty() && n > 0) ||
+                                   (n > 0 && !shares && bound_slots == 0)
+                               ? 1
+                               : 0;
+        if (n > 0 && !shares && bound_slots > 0) {
+          // Constants only, no shared variable: still a cartesian product
+          // with what is bound so far, but a cheap one.
+          disconnected = 1;
+        }
+        if (n == 0) disconnected = 0;
+        uint64_t est = ctx_.store().Count(const_id(tp.s), const_id(tp.p),
+                                          const_id(tp.o));
+        std::tuple<int, int, uint64_t> key{disconnected, -bound_slots, est};
+        if (best == triples.size() || key < best_key) {
+          best = i;
+          best_key = key;
+        }
+      }
+      order.push_back(best);
+      used[best] = true;
+      for (const std::string& v : triples[best].VariableNames()) {
+        bound.insert(v);
+      }
+    }
+    return order;
+  }
+
+  Status EvalBgp(const GraphPattern& gp, std::vector<Binding> input,
+                 size_t max_rows, std::vector<Binding>* out,
+                 std::vector<size_t>* post_filters) {
+    // Make sure every variable in this group has a slot.
+    std::set<std::string> group_vars;
+    gp.CollectVariables(&group_vars);
+    for (const std::string& v : group_vars) ctx_.SlotFor(v);
+
+    if (gp.triples.empty()) {
+      // Pure filter/optional group: all plain filters become post filters.
+      for (size_t i = 0; i < gp.filters.size(); ++i) post_filters->push_back(i);
+      *out = std::move(input);
+      return Status::OK();
+    }
+
+    // Initially-bound variables: bound in every input row.
+    std::set<std::string> initial;
+    for (const std::string& v : group_vars) {
+      int slot = ctx_.LookupSlot(v);
+      bool all = !input.empty();
+      for (const Binding& row : input) {
+        if (row[slot] == rdf::kInvalidTermId) {
+          all = false;
+          break;
+        }
+      }
+      if (all) initial.insert(v);
+    }
+
+    std::vector<size_t> order = OrderPatterns(gp.triples, initial);
+
+    // Assign each filter to the earliest step after which its variables
+    // are all bound; unassignable filters run post-BGP.
+    std::vector<std::set<std::string>> bound_after(order.size());
+    std::set<std::string> running = initial;
+    for (size_t k = 0; k < order.size(); ++k) {
+      for (const std::string& v : gp.triples[order[k]].VariableNames()) {
+        running.insert(v);
+      }
+      bound_after[k] = running;
+    }
+    std::vector<std::vector<size_t>> inline_at(order.size());
+    for (size_t fi = 0; fi < gp.filters.size(); ++fi) {
+      std::set<std::string> fvars;
+      gp.filters[fi].CollectVariables(&fvars);
+      bool assigned = false;
+      for (size_t k = 0; k < order.size() && !assigned; ++k) {
+        if (std::includes(bound_after[k].begin(), bound_after[k].end(),
+                          fvars.begin(), fvars.end())) {
+          inline_at[k].push_back(fi);
+          assigned = true;
+        }
+      }
+      if (!assigned) post_filters->push_back(fi);
+    }
+
+    // The BGP may stop early only if no later stage can drop rows.
+    bool later_reduces = !post_filters->empty() || !gp.exists_filters.empty() ||
+                         !gp.unions.empty();
+    size_t bgp_max = later_reduces ? kNoLimit : max_rows;
+
+    for (Binding& row : input) {
+      Enumerate(gp, order, inline_at, 0, &row, bgp_max, out);
+      if (out->size() >= bgp_max) break;
+    }
+    return Status::OK();
+  }
+
+  void Enumerate(const GraphPattern& gp, const std::vector<size_t>& order,
+                 const std::vector<std::vector<size_t>>& inline_at,
+                 size_t step, Binding* row, size_t max_rows,
+                 std::vector<Binding>* out) {
+    if (out->size() >= max_rows) return;
+    if (step == order.size()) {
+      out->push_back(*row);
+      return;
+    }
+    const TriplePattern& tp = gp.triples[order[step]];
+
+    // Resolve each position: a constant id, a bound variable id, or a
+    // wildcard (with its slot recorded for assignment).
+    std::optional<TermId> pos[3];
+    int assign_slot[3] = {-1, -1, -1};
+    const TermOrVar* tvs[3] = {&tp.s, &tp.p, &tp.o};
+    for (int i = 0; i < 3; ++i) {
+      if (tvs[i]->is_variable()) {
+        int slot = ctx_.LookupSlot(tvs[i]->var().name);
+        TermId bound = (*row)[slot];
+        if (bound != rdf::kInvalidTermId) {
+          pos[i] = bound;
+        } else {
+          assign_slot[i] = slot;
+        }
+      } else {
+        TermId id = ctx_.store().dict().Lookup(tvs[i]->term());
+        if (id == rdf::kInvalidTermId) return;  // Constant not in store.
+        pos[i] = id;
+      }
+    }
+
+    auto matches = ctx_.store().Match(pos[0], pos[1], pos[2]);
+    for (const EncodedTriple& t : matches) {
+      TermId values[3] = {t.s, t.p, t.o};
+      // Assign unbound slots, honoring repeated variables in the pattern.
+      int assigned[3];
+      int num_assigned = 0;
+      bool ok = true;
+      for (int i = 0; i < 3 && ok; ++i) {
+        int slot = assign_slot[i];
+        if (slot < 0) continue;
+        TermId current = (*row)[slot];
+        if (current == rdf::kInvalidTermId) {
+          (*row)[slot] = values[i];
+          assigned[num_assigned++] = slot;
+        } else if (current != values[i]) {
+          ok = false;  // Repeated variable mismatch, e.g. (?x p ?x).
+        }
+      }
+      if (ok) {
+        bool filters_pass = true;
+        for (size_t fi : inline_at[step]) {
+          if (!EvalFilter(gp.filters[fi], MakeLookup(ctx_, *row))) {
+            filters_pass = false;
+            break;
+          }
+        }
+        if (filters_pass) {
+          Enumerate(gp, order, inline_at, step + 1, row, max_rows, out);
+        }
+      }
+      for (int i = 0; i < num_assigned; ++i) {
+        (*row)[assigned[i]] = rdf::kInvalidTermId;
+      }
+      if (out->size() >= max_rows) return;
+    }
+  }
+
+  EvalContext& ctx_;
+};
+
+}  // namespace
+
+namespace {
+
+/// True when the query is a single-triple-pattern group with no other
+/// operators and no repeated variables — eligible for index fast paths.
+bool IsSinglePatternGroup(const Query& query) {
+  const GraphPattern& gp = query.where;
+  if (gp.triples.size() != 1 || !gp.filters.empty() ||
+      !gp.exists_filters.empty() || !gp.optionals.empty() ||
+      !gp.unions.empty() || !gp.values.empty()) {
+    return false;
+  }
+  return gp.triples[0].VariableNames().size() ==
+         static_cast<size_t>(gp.triples[0].VariableCount());
+}
+
+/// Resolves a pattern slot to a term id; nullopt = wildcard; sets
+/// `*missing` when a constant is absent from the store (zero matches).
+std::optional<rdf::TermId> ResolveSlot(const store::TripleStore& store,
+                                       const TermOrVar& tv, bool* missing) {
+  if (tv.is_variable()) return std::nullopt;
+  rdf::TermId id = store.dict().Lookup(tv.term());
+  if (id == rdf::kInvalidTermId) *missing = true;
+  return id;
+}
+
+}  // namespace
+
+Result<ResultTable> Evaluator::Execute(const Query& query) const {
+  if (!store_->frozen()) {
+    return Status::Internal("evaluator requires a frozen store");
+  }
+
+  // Fast paths for the probe queries federated engines hammer endpoints
+  // with: single-pattern COUNT(*) and single-pattern ASK resolve directly
+  // against the covering indexes, no binding materialization.
+  if (IsSinglePatternGroup(query)) {
+    const TriplePattern& tp = query.where.triples[0];
+    bool missing = false;
+    std::optional<rdf::TermId> s = ResolveSlot(*store_, tp.s, &missing);
+    std::optional<rdf::TermId> p = ResolveSlot(*store_, tp.p, &missing);
+    std::optional<rdf::TermId> o = ResolveSlot(*store_, tp.o, &missing);
+    if (query.form == QueryForm::kAsk) {
+      ResultTable table;
+      if (!missing && store_->Ask(s, p, o)) table.rows.push_back({});
+      return table;
+    }
+    if (query.aggregate.has_value() && !query.aggregate->var.has_value() &&
+        query.form == QueryForm::kSelect) {
+      uint64_t count = missing ? 0 : store_->Count(s, p, o);
+      ResultTable table;
+      table.vars.push_back(query.aggregate->alias.name);
+      table.rows.push_back(
+          {rdf::Term::Integer(static_cast<int64_t>(count))});
+      return table;
+    }
+  }
+
+  EvalContext ctx(*store_);
+  // Register every variable (pattern + projection) before evaluation so
+  // binding widths are stable.
+  std::set<std::string> all_vars;
+  query.where.CollectVariables(&all_vars);
+  for (const std::string& v : all_vars) ctx.SlotFor(v);
+  std::vector<Variable> projection = query.EffectiveProjection();
+  for (const Variable& v : projection) ctx.SlotFor(v.name);
+
+  size_t max_rows = kNoLimit;
+  bool simple = !query.distinct && !query.aggregate.has_value();
+  if (query.form == QueryForm::kAsk) {
+    max_rows = 1;
+  } else if (simple && query.order_by.empty() && query.limit.has_value()) {
+    // ORDER BY needs the full result before truncation.
+    max_rows = *query.limit + query.offset.value_or(0);
+  }
+
+  std::vector<Binding> seed(1, Binding(ctx.NumSlots(), rdf::kInvalidTermId));
+  GroupEvaluator ge(&ctx);
+  LUSAIL_ASSIGN_OR_RETURN(std::vector<Binding> rows,
+                          ge.Eval(query.where, std::move(seed), max_rows));
+
+  ResultTable table;
+  if (query.form == QueryForm::kAsk) {
+    if (!rows.empty()) table.rows.push_back({});
+    return table;
+  }
+
+  if (query.aggregate.has_value()) {
+    const CountAggregate& agg = *query.aggregate;
+    uint64_t count = 0;
+    if (!agg.var.has_value()) {
+      count = rows.size();
+    } else {
+      int slot = ctx.LookupSlot(agg.var->name);
+      if (agg.distinct) {
+        std::unordered_set<TermId> seen;
+        for (const Binding& row : rows) {
+          if (slot >= 0 && row[slot] != rdf::kInvalidTermId) {
+            seen.insert(row[slot]);
+          }
+        }
+        count = seen.size();
+      } else {
+        for (const Binding& row : rows) {
+          if (slot >= 0 && row[slot] != rdf::kInvalidTermId) ++count;
+        }
+      }
+    }
+    table.vars.push_back(agg.alias.name);
+    table.rows.push_back({rdf::Term::Integer(static_cast<int64_t>(count))});
+    return table;
+  }
+
+  std::vector<int> slots;
+  slots.reserve(projection.size());
+  for (const Variable& v : projection) {
+    table.vars.push_back(v.name);
+    slots.push_back(ctx.LookupSlot(v.name));
+  }
+
+  // Project (optionally deduplicating on the projected ids).
+  std::vector<std::vector<TermId>> projected;
+  projected.reserve(rows.size());
+  std::unordered_set<std::vector<TermId>, IdRowHash> seen;
+  for (const Binding& row : rows) {
+    std::vector<TermId> p;
+    p.reserve(slots.size());
+    for (int slot : slots) {
+      p.push_back(slot >= 0 ? row[slot] : rdf::kInvalidTermId);
+    }
+    if (query.distinct && !seen.insert(p).second) continue;
+    projected.push_back(std::move(p));
+  }
+
+  // With ORDER BY the full result is decoded and sorted before the
+  // LIMIT/OFFSET window is cut; otherwise decode only the window.
+  size_t begin = std::min<size_t>(query.offset.value_or(0), projected.size());
+  size_t end = projected.size();
+  if (query.order_by.empty() && query.limit.has_value()) {
+    end = std::min(end, begin + *query.limit);
+  }
+  size_t decode_begin = query.order_by.empty() ? begin : 0;
+  size_t decode_end = query.order_by.empty() ? end : projected.size();
+  table.rows.reserve(decode_end - decode_begin);
+  for (size_t i = decode_begin; i < decode_end; ++i) {
+    std::vector<std::optional<Term>> out_row;
+    out_row.reserve(projected[i].size());
+    for (TermId id : projected[i]) {
+      if (id == rdf::kInvalidTermId) {
+        out_row.push_back(std::nullopt);
+      } else {
+        out_row.push_back(ctx.TermFor(id));
+      }
+    }
+    table.rows.push_back(std::move(out_row));
+  }
+  if (!query.order_by.empty()) {
+    SortRows(&table, query.order_by);
+    size_t window_end = table.rows.size();
+    if (query.limit.has_value()) {
+      window_end = std::min(window_end, begin + *query.limit);
+    }
+    if (begin > table.rows.size()) begin = table.rows.size();
+    table.rows.assign(table.rows.begin() + begin,
+                      table.rows.begin() + window_end);
+  }
+  return table;
+}
+
+Result<bool> Evaluator::Ask(const Query& query) const {
+  Query ask = query;
+  ask.form = QueryForm::kAsk;
+  LUSAIL_ASSIGN_OR_RETURN(ResultTable table, Execute(ask));
+  return !table.rows.empty();
+}
+
+}  // namespace lusail::sparql

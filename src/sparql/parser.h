@@ -1,0 +1,31 @@
+#ifndef LUSAIL_SPARQL_PARSER_H_
+#define LUSAIL_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sparql/ast.h"
+
+namespace lusail::sparql {
+
+/// Parses SPARQL query text into a Query AST.
+///
+/// Supported subset (everything Lusail, the baselines, and the paper's
+/// benchmark queries need):
+///   PREFIX declarations; SELECT [DISTINCT] (*, var list, or
+///   (COUNT(*|[DISTINCT] ?v) AS ?alias)); ASK; basic graph patterns with
+///   ';' / ',' abbreviations and the 'a' keyword; FILTER with comparison /
+///   logical / arithmetic operators and BOUND, STR, LANG, DATATYPE,
+///   isIRI, isLiteral, isBlank, REGEX (substring semantics), CONTAINS,
+///   STRSTARTS, sameTerm; FILTER [NOT] EXISTS { ... } including a nested
+///   SELECT inside the braces (the projection of such a nested SELECT is
+///   ignored — only emptiness matters, per Lusail's check queries);
+///   OPTIONAL { ... }; { A } UNION { B } UNION ...; VALUES blocks (single
+///   variable and tuple forms, UNDEF); LIMIT / OFFSET.
+///
+/// Unsupported constructs return Status::Unsupported or ParseError.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace lusail::sparql
+
+#endif  // LUSAIL_SPARQL_PARSER_H_

@@ -1,0 +1,27 @@
+#ifndef LUSAIL_SPARQL_SERIALIZER_H_
+#define LUSAIL_SPARQL_SERIALIZER_H_
+
+#include <string>
+
+#include "sparql/ast.h"
+
+namespace lusail::sparql {
+
+/// Renders an expression as SPARQL text (fully parenthesized).
+std::string ExprToString(const Expr& expr);
+
+/// Renders a group graph pattern, including nested blocks, as the text
+/// between (and including) its braces.
+std::string GraphPatternToString(const GraphPattern& pattern);
+
+/// Renders a complete query as SPARQL text with absolute IRIs (no PREFIX
+/// declarations). The output round-trips through ParseQuery.
+///
+/// Federated engines use this to ship subqueries to endpoints, so the
+/// serialized byte count is what the network simulator charges for a
+/// request.
+std::string QueryToString(const Query& query);
+
+}  // namespace lusail::sparql
+
+#endif  // LUSAIL_SPARQL_SERIALIZER_H_

@@ -1,0 +1,171 @@
+#include "store/triple_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <cassert>
+#include <tuple>
+
+namespace lusail::store {
+
+namespace {
+
+// Lexicographic comparators for the three index permutations.
+struct SpoLess {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+struct PosLess {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
+  }
+};
+struct OspLess {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
+  }
+};
+
+// Binary-searches `index` (sorted by `Less`) for the range whose first
+// `prefix_len` key components equal those of `key`. KeyFn extracts the
+// (k1, k2, k3) tuple in index order.
+template <typename KeyFn>
+std::span<const EncodedTriple> PrefixRange(
+    const std::vector<EncodedTriple>& index, const EncodedTriple& key,
+    int prefix_len, KeyFn key_fn) {
+  auto cmp_prefix = [&](const EncodedTriple& a, const EncodedTriple& b) {
+    auto ka = key_fn(a);
+    auto kb = key_fn(b);
+    for (int i = 0; i < prefix_len; ++i) {
+      if (ka[i] != kb[i]) return ka[i] < kb[i];
+    }
+    return false;
+  };
+  auto lo = std::lower_bound(index.begin(), index.end(), key, cmp_prefix);
+  auto hi = std::upper_bound(index.begin(), index.end(), key, cmp_prefix);
+  return {index.data() + (lo - index.begin()), static_cast<size_t>(hi - lo)};
+}
+
+}  // namespace
+
+void TripleStore::Add(const rdf::TermTriple& triple) {
+  assert(!frozen_ && "Add() after Freeze()");
+  EncodedTriple et{dict_.Intern(triple.subject), dict_.Intern(triple.predicate),
+                   dict_.Intern(triple.object)};
+  spo_.push_back(et);
+}
+
+void TripleStore::AddEncoded(EncodedTriple triple) {
+  assert(!frozen_ && "AddEncoded() after Freeze()");
+  spo_.push_back(triple);
+}
+
+Status TripleStore::LoadNTriplesFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open N-Triples file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadNTriples(buffer.str());
+}
+
+Status TripleStore::LoadNTriples(std::string_view text) {
+  LUSAIL_ASSIGN_OR_RETURN(std::vector<rdf::TermTriple> triples,
+                          rdf::ParseNTriples(text));
+  for (const rdf::TermTriple& t : triples) Add(t);
+  return Status::OK();
+}
+
+void TripleStore::Freeze() {
+  if (frozen_) return;
+  std::sort(spo_.begin(), spo_.end(), SpoLess());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess());
+
+  // Predicate statistics from a PSO-ordered pass (pos_ is POS ordered, so
+  // distinct objects are easy; distinct subjects need a set per predicate —
+  // we instead count from spo_ grouped by predicate using a small map pass).
+  predicate_stats_.clear();
+  for (size_t i = 0; i < pos_.size();) {
+    rdf::TermId p = pos_[i].p;
+    PredicateStats stats;
+    size_t j = i;
+    rdf::TermId last_o = rdf::kInvalidTermId;
+    while (j < pos_.size() && pos_[j].p == p) {
+      ++stats.triples;
+      if (pos_[j].o != last_o) {
+        ++stats.distinct_objects;
+        last_o = pos_[j].o;
+      }
+      ++j;
+    }
+    // Distinct subjects for this predicate: collect and sort.
+    std::vector<rdf::TermId> subjects;
+    subjects.reserve(stats.triples);
+    for (size_t k = i; k < j; ++k) subjects.push_back(pos_[k].s);
+    std::sort(subjects.begin(), subjects.end());
+    stats.distinct_subjects =
+        std::unique(subjects.begin(), subjects.end()) - subjects.begin();
+    predicate_stats_.emplace(p, stats);
+    i = j;
+  }
+  frozen_ = true;
+}
+
+std::span<const EncodedTriple> TripleStore::Match(
+    std::optional<rdf::TermId> s, std::optional<rdf::TermId> p,
+    std::optional<rdf::TermId> o) const {
+  assert(frozen_ && "Match() before Freeze()");
+  EncodedTriple key{s.value_or(0), p.value_or(0), o.value_or(0)};
+  auto spo_key = [](const EncodedTriple& t) {
+    return std::array<rdf::TermId, 3>{t.s, t.p, t.o};
+  };
+  auto pos_key = [](const EncodedTriple& t) {
+    return std::array<rdf::TermId, 3>{t.p, t.o, t.s};
+  };
+  auto osp_key = [](const EncodedTriple& t) {
+    return std::array<rdf::TermId, 3>{t.o, t.s, t.p};
+  };
+  if (s.has_value()) {
+    if (p.has_value()) {
+      return PrefixRange(spo_, key, o.has_value() ? 3 : 2, spo_key);
+    }
+    if (o.has_value()) {
+      return PrefixRange(osp_, key, 2, osp_key);  // (o, s) prefix.
+    }
+    return PrefixRange(spo_, key, 1, spo_key);
+  }
+  if (p.has_value()) {
+    return PrefixRange(pos_, key, o.has_value() ? 2 : 1, pos_key);
+  }
+  if (o.has_value()) {
+    return PrefixRange(osp_, key, 1, osp_key);
+  }
+  return {spo_.data(), spo_.size()};
+}
+
+PredicateStats TripleStore::StatsFor(rdf::TermId predicate) const {
+  auto it = predicate_stats_.find(predicate);
+  return it == predicate_stats_.end() ? PredicateStats{} : it->second;
+}
+
+std::vector<rdf::TermId> TripleStore::Predicates() const {
+  std::vector<rdf::TermId> out;
+  out.reserve(predicate_stats_.size());
+  for (const auto& [p, stats] : predicate_stats_) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t TripleStore::MemoryUsageBytes() const {
+  return (spo_.capacity() + pos_.capacity() + osp_.capacity()) *
+             sizeof(EncodedTriple) +
+         dict_.MemoryUsageBytes();
+}
+
+}  // namespace lusail::store

@@ -1,0 +1,115 @@
+#ifndef LUSAIL_STORE_TRIPLE_STORE_H_
+#define LUSAIL_STORE_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+
+namespace lusail::store {
+
+/// A dictionary-encoded triple.
+struct EncodedTriple {
+  rdf::TermId s;
+  rdf::TermId p;
+  rdf::TermId o;
+
+  bool operator==(const EncodedTriple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+/// Per-predicate statistics computed at Freeze() time. RDF engines keep
+/// these for query optimization (Virtuoso, RDF-3X); our endpoint engine
+/// uses them for BGP join ordering, and SELECT COUNT probes read them.
+struct PredicateStats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+};
+
+/// In-memory dictionary-encoded triple store with three covering sorted
+/// indexes (SPO, POS, OSP). Every bound-position combination of a triple
+/// pattern is a prefix of one of the three orders, so all lookups are
+/// binary-search range scans with no residual filtering.
+///
+/// Usage: Add() triples, then Freeze() once; Match()/Count() afterwards.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  /// Interns the triple's terms and buffers it. Requires !frozen().
+  void Add(const rdf::TermTriple& triple);
+
+  /// Adds an already-encoded triple (ids must come from dict()).
+  void AddEncoded(EncodedTriple triple);
+
+  /// Bulk-loads an N-Triples document.
+  Status LoadNTriples(std::string_view text);
+
+  /// Bulk-loads an N-Triples file from disk.
+  Status LoadNTriplesFile(const std::string& path);
+
+  /// Sorts the three indexes, deduplicates, and computes statistics.
+  /// Idempotent; Add() after Freeze() is a programming error.
+  void Freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// Number of distinct triples (valid after Freeze()).
+  size_t size() const { return spo_.size(); }
+
+  const rdf::Dictionary& dict() const { return dict_; }
+  rdf::Dictionary* mutable_dict() { return &dict_; }
+
+  /// Returns all triples matching the pattern; std::nullopt positions are
+  /// wildcards. The result is a contiguous range of one of the indexes
+  /// (ordering depends on which index served the lookup). Requires
+  /// frozen().
+  std::span<const EncodedTriple> Match(std::optional<rdf::TermId> s,
+                                       std::optional<rdf::TermId> p,
+                                       std::optional<rdf::TermId> o) const;
+
+  /// Exact cardinality of a pattern (size of the Match range).
+  uint64_t Count(std::optional<rdf::TermId> s, std::optional<rdf::TermId> p,
+                 std::optional<rdf::TermId> o) const {
+    return Match(s, p, o).size();
+  }
+
+  /// True if at least one triple matches (the ASK fast path).
+  bool Ask(std::optional<rdf::TermId> s, std::optional<rdf::TermId> p,
+           std::optional<rdf::TermId> o) const {
+    return !Match(s, p, o).empty();
+  }
+
+  /// Per-predicate statistics; unknown predicates report zeros.
+  PredicateStats StatsFor(rdf::TermId predicate) const;
+
+  /// All distinct predicates in the store.
+  std::vector<rdf::TermId> Predicates() const;
+
+  /// Approximate memory footprint: indexes + dictionary.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  rdf::Dictionary dict_;
+  bool frozen_ = false;
+  // Three covering permutations. spo_ is also the canonical triple list.
+  std::vector<EncodedTriple> spo_;
+  std::vector<EncodedTriple> pos_;
+  std::vector<EncodedTriple> osp_;
+  std::unordered_map<rdf::TermId, PredicateStats> predicate_stats_;
+};
+
+}  // namespace lusail::store
+
+#endif  // LUSAIL_STORE_TRIPLE_STORE_H_

@@ -1,0 +1,51 @@
+#ifndef LUSAIL_WORKLOAD_FEDERATION_BUILDER_H_
+#define LUSAIL_WORKLOAD_FEDERATION_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/federation.h"
+#include "net/latency_model.h"
+#include "net/sparql_endpoint.h"
+#include "rdf/ntriples.h"
+
+namespace lusail::workload {
+
+/// One endpoint's dataset before deployment.
+struct EndpointSpec {
+  std::string id;
+  std::vector<rdf::TermTriple> triples;
+};
+
+/// Deploys the specs as simulated SPARQL endpoints under one latency
+/// model and returns the federation.
+std::unique_ptr<fed::Federation> BuildFederation(
+    std::vector<EndpointSpec> specs, const net::LatencyModel& latency);
+
+/// Writes each endpoint's dataset to `<directory>/<id>.nt` (N-Triples).
+/// Creates the directory if needed.
+Status ExportFederation(const std::vector<EndpointSpec>& specs,
+                        const std::string& directory);
+
+/// Loads every `*.nt` file in `directory` as one endpoint (the endpoint
+/// id is the file stem) and deploys the federation. Files are loaded in
+/// lexicographic order for stable endpoint indices.
+Result<std::unique_ptr<fed::Federation>> LoadFederationFromDirectory(
+    const std::string& directory, const net::LatencyModel& latency);
+
+/// The toy decentralized graph of the paper's Figure 1: two universities
+/// (EP1 hosts MIT, EP2 hosts CMU), professors Ann / Tim / Joy / Ben,
+/// students Kim / Lee / Sam, and the interlink — Tim's PhD is from MIT,
+/// which lives at the *other* endpoint. Running the paper's query Q_a
+/// (Figure 2) over this federation must yield exactly three answers:
+/// (Kim, Joy, CMU, "CCCC"), (Kim, Tim, MIT, "XXX"), (Lee, Ben, MIT,
+/// "XXX").
+std::vector<EndpointSpec> Figure1Federation();
+
+/// The paper's query Q_a (Figure 2) over the Figure 1 federation.
+std::string Figure2QueryQa();
+
+}  // namespace lusail::workload
+
+#endif  // LUSAIL_WORKLOAD_FEDERATION_BUILDER_H_

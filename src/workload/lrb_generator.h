@@ -1,0 +1,83 @@
+#ifndef LUSAIL_WORKLOAD_LRB_GENERATOR_H_
+#define LUSAIL_WORKLOAD_LRB_GENERATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/federation_builder.h"
+
+namespace lusail::workload {
+
+/// Configuration of the LargeRDFBench-style federation: 13 heterogeneous
+/// datasets (DBpedia, GeoNames, DrugBank, KEGG, ChEBI, LinkedMDB,
+/// Jamendo, NYTimes, SWDogFood, Affymetrix and the three LinkedTCGA
+/// slices) with the benchmark's interlink structure: sameAs bridges into
+/// DBpedia, compound chains DrugBank→KEGG→ChEBI, geo links into GeoNames,
+/// and literal-valued joins (drug names, gene symbols) between the
+/// biomedical sets. The TCGA slices dominate the volume, as in the paper.
+struct LrbConfig {
+  int dbpedia_persons = 2000;
+  int dbpedia_films = 600;
+  int dbpedia_drugs = 300;
+  int geonames_places = 2500;
+  int num_countries = 40;
+  int drugbank_drugs = 800;
+  int kegg_compounds = 700;
+  int chebi_compounds = 900;
+  int lmdb_films = 1000;
+  int jamendo_artists = 500;
+  int jamendo_records = 1000;
+  int nytimes_topics = 800;
+  int swdf_papers = 400;
+  int swdf_people = 200;
+  int affymetrix_probes = 1200;
+  int tcga_patients = 300;
+  int tcga_meth_rows_per_patient = 40;   ///< LinkedTCGA-M (largest).
+  int tcga_expr_rows_per_patient = 25;   ///< LinkedTCGA-E.
+  int num_genes = 400;
+  uint64_t seed = 11;
+
+  static LrbConfig Small();
+};
+
+/// Deterministic LargeRDFBench-style generator and query workload.
+class LrbGenerator {
+ public:
+  explicit LrbGenerator(LrbConfig config) : config_(config) {}
+
+  const LrbConfig& config() const { return config_; }
+
+  /// The 13 endpoints, ids: dbpedia, geonames, drugbank, kegg, chebi,
+  /// linkedmdb, jamendo, nytimes, swdf, affymetrix, tcga-a, tcga-m,
+  /// tcga-e.
+  std::vector<EndpointSpec> GenerateAll() const;
+
+  /// Simple category (S1..S14): 2-4 triple patterns, 2-3 datasets.
+  static std::vector<std::pair<std::string, std::string>> SimpleQueries();
+
+  /// Complex category (C1..C10): more triple patterns and advanced
+  /// clauses (DISTINCT, OPTIONAL, FILTER, LIMIT; C5 joins two disjoint
+  /// subgraphs through a FILTER variable).
+  static std::vector<std::pair<std::string, std::string>> ComplexQueries();
+
+  /// Large category (B1..B8): large intermediate results; B1 contains a
+  /// UNION over the biggest endpoints; B5/B6 join disjoint subgraphs by
+  /// FILTER.
+  static std::vector<std::pair<std::string, std::string>> LargeQueries();
+
+  /// Bio2RDF-style log queries R1..R5 (Table 2).
+  static std::vector<std::pair<std::string, std::string>> Bio2RdfQueries();
+
+  /// Canonical drug name / gene symbol helpers shared by datasets (these
+  /// literal joins are what C1/C7/B5-style queries exercise).
+  static std::string DrugName(int i);
+  static std::string GeneSymbol(int i);
+
+ private:
+  LrbConfig config_;
+};
+
+}  // namespace lusail::workload
+
+#endif  // LUSAIL_WORKLOAD_LRB_GENERATOR_H_

@@ -1,0 +1,96 @@
+#ifndef LUSAIL_WORKLOAD_LUBM_GENERATOR_H_
+#define LUSAIL_WORKLOAD_LUBM_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/federation_builder.h"
+
+namespace lusail::workload {
+
+/// Configuration of the LUBM-style university generator. Each university
+/// is one endpoint; cross-university interlinks come from remote
+/// PhD / undergraduate degrees, mirroring the LUBM federation the paper
+/// scales to 256 endpoints.
+struct LubmConfig {
+  int num_universities = 2;
+  int departments_per_university = 3;
+  int professors_per_department = 6;
+  int grad_students_per_department = 15;
+  int undergrad_students_per_department = 25;
+  int courses_per_department = 8;  ///< Half of them graduate courses.
+
+  /// Fraction of professors whose PhD is from another university (the
+  /// interlink that makes ?U a global join variable in Q_a / Q4).
+  double remote_phd_fraction = 0.3;
+
+  /// Fraction of graduate students with a remote undergraduate degree.
+  /// Remote targets are skewed toward university0, so Q3's pattern
+  /// (?x ub:undergraduateDegreeFrom <univ0>) is relevant at some but not
+  /// all endpoints.
+  double remote_undergrad_fraction = 0.25;
+
+  /// Fraction of professors who teach no course. 0 matches real LUBM
+  /// (every faculty teaches), keeping Q2 a single subquery; raise it to
+  /// reproduce the paper's "Ann" extraneous-GJV example on Q_a.
+  double professor_no_course_fraction = 0.0;
+
+  uint64_t seed = 42;
+
+  /// A small configuration for unit tests (2 universities, ~500 triples
+  /// each).
+  static LubmConfig Small();
+
+  /// The default benchmark configuration (~6k triples per university).
+  static LubmConfig Bench();
+
+  /// A tiny per-university configuration for the 64-256 endpoint sweeps.
+  static LubmConfig Sweep();
+};
+
+/// Deterministic LUBM-style data generator.
+class LubmGenerator {
+ public:
+  explicit LubmGenerator(LubmConfig config) : config_(config) {}
+
+  const LubmConfig& config() const { return config_; }
+
+  /// IRI of university `u`.
+  static std::string UniversityIri(int u);
+
+  /// Triples of university `u`'s endpoint (deterministic in seed and u).
+  std::vector<rdf::TermTriple> GenerateUniversity(int u) const;
+
+  /// All endpoints of the federation.
+  std::vector<EndpointSpec> GenerateAll() const;
+
+  // --- Benchmark queries (Section 5.2: Q1..Q4 are LUBM Q2, Q9, Q13 and a
+  // Q9 variant that reaches into remote universities). ---
+
+  /// The paper's running example Q_a (Figure 2).
+  static std::string QueryQa();
+
+  /// Q1 = LUBM Q2: the student/department/university triangle.
+  static std::string Q1();
+
+  /// Q2 = LUBM Q9: the student/advisor/course triangle.
+  static std::string Q2();
+
+  /// Q3 = LUBM Q13-like: graduate students with an undergraduate degree
+  /// from `university` (default university0).
+  static std::string Q3(int university = 0);
+
+  /// Q4 = Q9 variant: the triangle plus the advisor's alma mater address
+  /// (crosses endpoints through ub:PhDDegreeFrom).
+  static std::string Q4();
+
+  /// All four benchmark queries with labels.
+  static std::vector<std::pair<std::string, std::string>> BenchmarkQueries();
+
+ private:
+  LubmConfig config_;
+};
+
+}  // namespace lusail::workload
+
+#endif  // LUSAIL_WORKLOAD_LUBM_GENERATOR_H_

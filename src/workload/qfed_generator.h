@@ -1,0 +1,64 @@
+#ifndef LUSAIL_WORKLOAD_QFED_GENERATOR_H_
+#define LUSAIL_WORKLOAD_QFED_GENERATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/federation_builder.h"
+
+namespace lusail::workload {
+
+/// Configuration of the QFed-style linked life-science federation: four
+/// real-world-shaped datasets (DrugBank, Diseasome, Sider, DailyMed) with
+/// cross-dataset interlinks (diseasome:possibleDrug, dailymed:genericDrug
+/// and sider:sameAs all reference DrugBank drug IRIs).
+struct QFedConfig {
+  int num_drugs = 1500;
+  int num_diseases = 600;
+  int num_sider_drugs = 500;
+  int num_labels = 700;
+  /// Length of the "big literal" drug indications / label descriptions
+  /// that drive the C2P2B* queries' communication volume.
+  int big_literal_chars = 400;
+  uint64_t seed = 7;
+
+  static QFedConfig Small();
+};
+
+/// Deterministic QFed-style generator.
+class QFedGenerator {
+ public:
+  explicit QFedGenerator(QFedConfig config) : config_(config) {}
+
+  const QFedConfig& config() const { return config_; }
+
+  std::vector<rdf::TermTriple> GenerateDrugBank() const;
+  std::vector<rdf::TermTriple> GenerateDiseasome() const;
+  std::vector<rdf::TermTriple> GenerateSider() const;
+  std::vector<rdf::TermTriple> GenerateDailyMed() const;
+
+  /// The four endpoints: drugbank, diseasome, sider, dailymed.
+  std::vector<EndpointSpec> GenerateAll() const;
+
+  // --- The C2P2 query family (Figure 8): 2 classes, 2 interlinking
+  // predicates, with B (big literal), O (OPTIONAL) and F (FILTER)
+  // variants. ---
+  static std::string C2P2();
+  static std::string C2P2F();
+  static std::string C2P2B();
+  static std::string C2P2BF();
+  static std::string C2P2BO();
+  static std::string C2P2BOF();
+  static std::string C2P2OF();
+
+  /// All benchmark queries with the labels of Figure 8.
+  static std::vector<std::pair<std::string, std::string>> BenchmarkQueries();
+
+ private:
+  QFedConfig config_;
+};
+
+}  // namespace lusail::workload
+
+#endif  // LUSAIL_WORKLOAD_QFED_GENERATOR_H_

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "baselines/fedx_engine.h"
+#include "baselines/hibiscus.h"
+#include "baselines/splendid_engine.h"
+#include "core/lusail_engine.h"
+#include "workload/federation_builder.h"
+#include "workload/qfed_generator.h"
+
+namespace lusail::baselines {
+namespace {
+
+using workload::BuildFederation;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::QFedGenerator gen(workload::QFedConfig::Small());
+    federation_ =
+        BuildFederation(gen.GenerateAll(), net::LatencyModel::None());
+  }
+
+  std::unique_ptr<fed::Federation> federation_;
+};
+
+TEST_F(BaselinesTest, FedXAnswersC2P2) {
+  FedXEngine fedx(federation_.get());
+  auto result = fedx.Execute(workload::QFedGenerator::C2P2());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->table.NumRows(), 0u);
+  EXPECT_GT(result->profile.requests, 0u);
+}
+
+TEST_F(BaselinesTest, FedXSequentialBoundJoinsIssueMoreRequestsThanLusail) {
+  // The paper's central observation: schema-only decomposition sends far
+  // more requests than instance-aware decomposition. The effect needs
+  // full benchmark scale (at toy scale both engines issue a handful of
+  // requests and analysis probes dominate).
+  workload::QFedGenerator gen{workload::QFedConfig()};
+  auto full = BuildFederation(gen.GenerateAll(), net::LatencyModel::None());
+  FedXEngine fedx(full.get());
+  core::LusailEngine lusail(full.get());
+  std::string query = workload::QFedGenerator::C2P2B();
+  auto fedx_result = fedx.Execute(query);
+  auto lusail_result = lusail.Execute(query);
+  ASSERT_TRUE(fedx_result.ok());
+  ASSERT_TRUE(lusail_result.ok());
+  EXPECT_GT(fedx_result->profile.requests, lusail_result->profile.requests);
+}
+
+TEST_F(BaselinesTest, FedXTimesOutCooperatively) {
+  FedXEngine fedx(federation_.get());
+  auto result = fedx.Execute(workload::QFedGenerator::C2P2B(),
+                             Deadline::AfterMillis(0.01));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(BaselinesTest, HibiscusAuthorityExtraction) {
+  EXPECT_EQ(HibiscusIndex::Authority(
+                rdf::Term::Iri("http://drugbank.example.org/resource/x/1")),
+            "http://drugbank.example.org");
+  EXPECT_EQ(HibiscusIndex::Authority(rdf::Term::Literal("v")), "~lit");
+  EXPECT_EQ(HibiscusIndex::Authority(rdf::Term::BlankNode("b")), "~bnode");
+  EXPECT_EQ(HibiscusIndex::Authority(rdf::Term::Iri("urn:isbn:123")),
+            "urn:isbn:123");
+}
+
+TEST_F(BaselinesTest, HibiscusPrunesByPredicate) {
+  HibiscusIndex index = HibiscusIndex::Build(*federation_);
+  sparql::TriplePattern tp{
+      sparql::Variable{"d"},
+      rdf::Term::Iri("http://drugbank.example.org/vocab#name"),
+      sparql::Variable{"n"}};
+  auto sources = index.Sources(tp);
+  ASSERT_TRUE(sources.has_value());
+  EXPECT_EQ(*sources, (std::vector<int>{0}));  // Only drugbank.
+}
+
+TEST_F(BaselinesTest, HibiscusPrunesByObjectAuthority) {
+  HibiscusIndex index = HibiscusIndex::Build(*federation_);
+  // possibleDrug objects live under drugbank.example.org; an object from a
+  // foreign authority must prune diseasome away.
+  sparql::TriplePattern match{
+      sparql::Variable{"x"},
+      rdf::Term::Iri("http://diseasome.example.org/vocab#possibleDrug"),
+      rdf::Term::Iri("http://drugbank.example.org/resource/drugs/3")};
+  sparql::TriplePattern miss{
+      sparql::Variable{"x"},
+      rdf::Term::Iri("http://diseasome.example.org/vocab#possibleDrug"),
+      rdf::Term::Iri("http://elsewhere.example.net/thing")};
+  EXPECT_FALSE(index.Sources(match)->empty());
+  EXPECT_TRUE(index.Sources(miss)->empty());
+}
+
+TEST_F(BaselinesTest, HibiscusFallsBackOnVariablePredicate) {
+  HibiscusIndex index = HibiscusIndex::Build(*federation_);
+  sparql::TriplePattern tp{sparql::Variable{"s"}, sparql::Variable{"p"},
+                           sparql::Variable{"o"}};
+  EXPECT_FALSE(index.Sources(tp).has_value());
+}
+
+TEST_F(BaselinesTest, HibiscusAvoidsAskProbes) {
+  HibiscusIndex index = HibiscusIndex::Build(*federation_);
+  FedXEngine with_index(federation_.get());
+  with_index.set_source_provider(&index);
+  EXPECT_EQ(with_index.name(), "FedX+HiBISCuS");
+  auto result = with_index.Execute(workload::QFedGenerator::C2P2F());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->profile.ask_requests, 0u)
+      << "index-based source selection needs no ASK probes";
+  EXPECT_GT(result->table.NumRows(), 0u);
+}
+
+TEST_F(BaselinesTest, SplendidIndexEnablesSourceSelection) {
+  SplendidEngine splendid(federation_.get());
+  splendid.BuildIndex();
+  EXPECT_GE(splendid.index_build_millis(), 0.0);
+  auto result = splendid.Execute(workload::QFedGenerator::C2P2F());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->table.NumRows(), 0u);
+  EXPECT_EQ(result->profile.ask_requests, 0u);
+}
+
+TEST_F(BaselinesTest, SplendidWithoutIndexStillWorks) {
+  SplendidEngine splendid(federation_.get());
+  auto result = splendid.Execute(workload::QFedGenerator::C2P2F());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->table.NumRows(), 0u);
+  EXPECT_GT(result->profile.ask_requests, 0u);
+}
+
+TEST_F(BaselinesTest, FedXLimitCutsRequestsShort) {
+  // FedX terminates early once LIMIT results exist (the paper's C4
+  // observation); Lusail computes the complete result first.
+  FedXEngine fedx(federation_.get());
+  std::string base = workload::QFedGenerator::C2P2();
+  std::string limited = base + " LIMIT 3";
+  auto full = fedx.Execute(base);
+  auto cut = fedx.Execute(limited);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut->table.NumRows(), 3u);
+  EXPECT_LT(cut->profile.requests, full->profile.requests);
+}
+
+}  // namespace
+}  // namespace lusail::baselines
+
+namespace lusail::baselines {
+namespace {
+
+TEST(HibiscusJoinPruningTest, PrunesSourcesWithDisjointJoinAuthorities) {
+  using rdf::Term;
+  // Two endpoints share the predicate vocabulary, but their :link objects
+  // point into different namespaces; only ep0's objects can join the
+  // :name subjects (which live at ep0's target namespace only).
+  std::vector<workload::EndpointSpec> specs(3);
+  specs[0].id = "ep0";
+  specs[0].triples = {
+      {Term::Iri("http://a.org/x1"), Term::Iri("http://v/link"),
+       Term::Iri("http://target.org/t1")}};
+  specs[1].id = "ep1";
+  specs[1].triples = {
+      {Term::Iri("http://b.org/x2"), Term::Iri("http://v/link"),
+       Term::Iri("http://elsewhere.org/e1")}};
+  specs[2].id = "ep2";
+  specs[2].triples = {
+      {Term::Iri("http://target.org/t1"), Term::Iri("http://v/name"),
+       Term::Literal("T1")}};
+  auto federation =
+      workload::BuildFederation(specs, net::LatencyModel::None());
+  HibiscusIndex index = HibiscusIndex::Build(*federation);
+
+  auto q = sparql::ParseQuery(
+      "SELECT * WHERE { ?x <http://v/link> ?t . ?t <http://v/name> ?n . }");
+  ASSERT_TRUE(q.ok());
+  std::vector<std::vector<int>> sources = {
+      *index.Sources(q->where.triples[0]),
+      *index.Sources(q->where.triples[1])};
+  ASSERT_EQ(sources[0], (std::vector<int>{0, 1}));
+  ASSERT_EQ(sources[1], (std::vector<int>{2}));
+
+  index.PruneJointSources(q->where.triples, &sources);
+  // ep1's link objects (elsewhere.org) cannot join ep2's name subjects
+  // (target.org): join-aware pruning drops ep1.
+  EXPECT_EQ(sources[0], (std::vector<int>{0}));
+  EXPECT_EQ(sources[1], (std::vector<int>{2}));
+}
+
+TEST(HibiscusJoinPruningTest, KeepsLiteralJoins) {
+  using rdf::Term;
+  std::vector<workload::EndpointSpec> specs(2);
+  specs[0].id = "ep0";
+  specs[0].triples = {{Term::Iri("http://a.org/x"),
+                       Term::Iri("http://v/nameA"), Term::Literal("X")}};
+  specs[1].id = "ep1";
+  specs[1].triples = {{Term::Iri("http://b.org/y"),
+                       Term::Iri("http://v/nameB"), Term::Literal("X")}};
+  auto federation =
+      workload::BuildFederation(specs, net::LatencyModel::None());
+  HibiscusIndex index = HibiscusIndex::Build(*federation);
+  auto q = sparql::ParseQuery(
+      "SELECT * WHERE { ?a <http://v/nameA> ?n . ?b <http://v/nameB> ?n . }");
+  ASSERT_TRUE(q.ok());
+  std::vector<std::vector<int>> sources = {{0}, {1}};
+  index.PruneJointSources(q->where.triples, &sources);
+  EXPECT_EQ(sources[0], (std::vector<int>{0}))
+      << "literal-literal joins must survive";
+  EXPECT_EQ(sources[1], (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace lusail::baselines

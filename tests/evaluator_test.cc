@@ -1,0 +1,335 @@
+#include "sparql/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/expr_eval.h"
+#include "sparql/parser.h"
+#include "store/triple_store.h"
+
+namespace lusail::sparql {
+namespace {
+
+using rdf::Term;
+using rdf::TermTriple;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add = [this](const Term& s, const std::string& p, const Term& o) {
+      store_.Add(TermTriple{s, Term::Iri("http://ex/" + p), o});
+    };
+    Term alice = Term::Iri("http://ex/alice");
+    Term bob = Term::Iri("http://ex/bob");
+    Term carol = Term::Iri("http://ex/carol");
+    Term person = Term::Iri("http://ex/Person");
+    add(alice, "type", person);
+    add(bob, "type", person);
+    add(carol, "type", person);
+    add(alice, "knows", bob);
+    add(bob, "knows", carol);
+    add(alice, "knows", carol);
+    add(alice, "age", Term::Integer(30));
+    add(bob, "age", Term::Integer(25));
+    add(carol, "age", Term::Integer(35));
+    add(alice, "email", Term::Literal("alice@example.org"));
+    add(alice, "name", Term::LangLiteral("Alice", "en"));
+    add(bob, "name", Term::Literal("Bob"));
+    store_.Freeze();
+  }
+
+  ResultTable Run(const std::string& text) {
+    auto query = ParseQuery("PREFIX ex: <http://ex/>\n" + text);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    Evaluator evaluator(&store_);
+    auto result = evaluator.Execute(*query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : ResultTable{};
+  }
+
+  store::TripleStore store_;
+};
+
+TEST_F(EvaluatorTest, SingleTriplePattern) {
+  ResultTable t = Run("SELECT ?x WHERE { ?x ex:type ex:Person . }");
+  EXPECT_EQ(t.NumRows(), 3u);
+}
+
+TEST_F(EvaluatorTest, TwoPatternJoin) {
+  ResultTable t =
+      Run("SELECT ?x ?y WHERE { ?x ex:knows ?y . ?y ex:age ?a . }");
+  EXPECT_EQ(t.NumRows(), 3u);
+}
+
+TEST_F(EvaluatorTest, TriangleJoin) {
+  // alice knows bob, bob knows carol, alice knows carol.
+  ResultTable t = Run(
+      "SELECT ?a ?b ?c WHERE { ?a ex:knows ?b . ?b ex:knows ?c . "
+      "?a ex:knows ?c . }");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.rows[0][0]->lexical(), "http://ex/alice");
+}
+
+TEST_F(EvaluatorTest, RepeatedVariableInPattern) {
+  // Nobody knows themselves.
+  ResultTable t = Run("SELECT ?x WHERE { ?x ex:knows ?x . }");
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST_F(EvaluatorTest, ConstantNotInStoreGivesEmpty) {
+  ResultTable t = Run("SELECT ?x WHERE { ?x ex:knows ex:nonexistent . }");
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST_F(EvaluatorTest, NumericFilter) {
+  ResultTable t =
+      Run("SELECT ?x WHERE { ?x ex:age ?a . FILTER (?a > 28) }");
+  EXPECT_EQ(t.NumRows(), 2u);  // alice 30, carol 35.
+}
+
+TEST_F(EvaluatorTest, StringFunctions) {
+  ResultTable t = Run(
+      "SELECT ?x WHERE { ?x ex:email ?e . FILTER (CONTAINS(?e, \"@\") && "
+      "STRSTARTS(?e, \"alice\")) }");
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST_F(EvaluatorTest, LangAndDatatype) {
+  ResultTable t = Run(
+      "SELECT ?x WHERE { ?x ex:name ?n . FILTER (LANG(?n) = \"en\") }");
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST_F(EvaluatorTest, OptionalKeepsUnmatchedRows) {
+  ResultTable t = Run(
+      "SELECT ?x ?e WHERE { ?x ex:type ex:Person . "
+      "OPTIONAL { ?x ex:email ?e . } }");
+  ASSERT_EQ(t.NumRows(), 3u);
+  int unbound = 0;
+  for (const auto& row : t.rows) {
+    if (!row[1].has_value()) ++unbound;
+  }
+  EXPECT_EQ(unbound, 2);  // bob and carol have no email.
+}
+
+TEST_F(EvaluatorTest, BoundFilterAfterOptional) {
+  ResultTable t = Run(
+      "SELECT ?x WHERE { ?x ex:type ex:Person . "
+      "OPTIONAL { ?x ex:email ?e . } FILTER (!BOUND(?e)) }");
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST_F(EvaluatorTest, Union) {
+  ResultTable t = Run(
+      "SELECT ?x WHERE { { ?x ex:email ?v . } UNION { ?x ex:age ?v . } }");
+  EXPECT_EQ(t.NumRows(), 4u);  // 1 email + 3 ages.
+}
+
+TEST_F(EvaluatorTest, ValuesJoin) {
+  ResultTable t = Run(
+      "SELECT ?x ?a WHERE { ?x ex:age ?a . "
+      "VALUES ?x { ex:alice ex:carol ex:ghost } }");
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST_F(EvaluatorTest, ValuesWithForeignTermsIsSafe) {
+  // VALUES terms absent from the store must not crash or match.
+  ResultTable t = Run(
+      "SELECT ?x WHERE { ?x ex:knows ?y . "
+      "VALUES ?y { <http://other/unknown> } }");
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST_F(EvaluatorTest, FilterExists) {
+  ResultTable t = Run(
+      "SELECT ?x WHERE { ?x ex:type ex:Person . "
+      "FILTER EXISTS { ?x ex:email ?e . } }");
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST_F(EvaluatorTest, FilterNotExists) {
+  ResultTable t = Run(
+      "SELECT ?x WHERE { ?x ex:type ex:Person . "
+      "FILTER NOT EXISTS { ?x ex:email ?e . } }");
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST_F(EvaluatorTest, Distinct) {
+  ResultTable t = Run("SELECT DISTINCT ?x WHERE { ?x ex:knows ?y . }");
+  EXPECT_EQ(t.NumRows(), 2u);  // alice, bob.
+}
+
+TEST_F(EvaluatorTest, LimitAndOffset) {
+  ResultTable all = Run("SELECT ?x ?a WHERE { ?x ex:age ?a . }");
+  ResultTable limited =
+      Run("SELECT ?x ?a WHERE { ?x ex:age ?a . } LIMIT 2");
+  ResultTable offset =
+      Run("SELECT ?x ?a WHERE { ?x ex:age ?a . } LIMIT 2 OFFSET 2");
+  EXPECT_EQ(all.NumRows(), 3u);
+  EXPECT_EQ(limited.NumRows(), 2u);
+  EXPECT_EQ(offset.NumRows(), 1u);
+}
+
+TEST_F(EvaluatorTest, CountStar) {
+  ResultTable t = Run("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o . }");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.rows[0][0]->lexical(), std::to_string(store_.size()));
+}
+
+TEST_F(EvaluatorTest, CountDistinct) {
+  ResultTable t = Run(
+      "SELECT (COUNT(DISTINCT ?x) AS ?c) WHERE { ?x ex:knows ?y . }");
+  EXPECT_EQ(t.rows[0][0]->lexical(), "2");
+}
+
+TEST_F(EvaluatorTest, Ask) {
+  Evaluator evaluator(&store_);
+  auto yes = ParseQuery("ASK { <http://ex/alice> <http://ex/knows> ?x . }");
+  auto no = ParseQuery("ASK { <http://ex/carol> <http://ex/knows> ?x . }");
+  EXPECT_TRUE(*evaluator.Ask(*yes));
+  EXPECT_FALSE(*evaluator.Ask(*no));
+}
+
+TEST_F(EvaluatorTest, ProjectionOfNeverBoundVariable) {
+  ResultTable t = Run("SELECT ?x ?nothere WHERE { ?x ex:age ?a . }");
+  ASSERT_EQ(t.NumRows(), 3u);
+  EXPECT_FALSE(t.rows[0][1].has_value());
+}
+
+TEST_F(EvaluatorTest, SelectStarCoversAllVariables) {
+  ResultTable t = Run("SELECT * WHERE { ?x ex:knows ?y . }");
+  EXPECT_EQ(t.vars.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation unit tests.
+// ---------------------------------------------------------------------
+
+TEST(ExprEvalTest, ArithmeticAndComparison) {
+  auto lookup = [](const std::string&) -> const Term* { return nullptr; };
+  Expr five = Expr::Const(Term::Integer(5));
+  Expr three = Expr::Const(Term::Integer(3));
+  auto sum = EvalExpr(Expr::Binary(ExprOp::kAdd, five, three), lookup);
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(sum->lexical(), "8");
+  auto prod = EvalExpr(Expr::Binary(ExprOp::kMul, five, three), lookup);
+  EXPECT_EQ(prod->lexical(), "15");
+  EXPECT_TRUE(EvalFilter(Expr::Binary(ExprOp::kGt, five, three), lookup));
+  EXPECT_FALSE(EvalFilter(Expr::Binary(ExprOp::kLt, five, three), lookup));
+}
+
+TEST(ExprEvalTest, DivisionByZeroIsError) {
+  auto lookup = [](const std::string&) -> const Term* { return nullptr; };
+  Expr e = Expr::Binary(ExprOp::kDiv, Expr::Const(Term::Integer(1)),
+                        Expr::Const(Term::Integer(0)));
+  EXPECT_FALSE(EvalExpr(e, lookup).has_value());
+  EXPECT_FALSE(EvalFilter(e, lookup));  // Errors coerce to false.
+}
+
+TEST(ExprEvalTest, UnboundVariableIsErrorExceptBound) {
+  auto lookup = [](const std::string&) -> const Term* { return nullptr; };
+  EXPECT_FALSE(EvalFilter(Expr::Var("x"), lookup));
+  Expr bound = Expr::Unary(ExprOp::kBound, Expr::Var("x"));
+  auto v = EvalExpr(bound, lookup);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->lexical(), "false");
+}
+
+TEST(ExprEvalTest, LogicalErrorPropagation) {
+  auto lookup = [](const std::string&) -> const Term* { return nullptr; };
+  Expr err = Expr::Var("unbound");
+  Expr t = Expr::Const(Term::TypedLiteral("true", std::string(rdf::kXsdBoolean)));
+  Expr f = Expr::Const(Term::TypedLiteral("false", std::string(rdf::kXsdBoolean)));
+  // false && error = false; true || error = true; true && error = error.
+  EXPECT_FALSE(EvalFilter(Expr::Binary(ExprOp::kAnd, f, err), lookup));
+  EXPECT_TRUE(EvalFilter(Expr::Binary(ExprOp::kOr, t, err), lookup));
+  EXPECT_FALSE(EvalExpr(Expr::Binary(ExprOp::kAnd, t, err), lookup)
+                   .has_value());
+}
+
+TEST(ExprEvalTest, NumericEqualityAcrossTypes) {
+  auto lookup = [](const std::string&) -> const Term* { return nullptr; };
+  Expr i = Expr::Const(Term::Integer(5));
+  Expr d = Expr::Const(Term::Double(5.0));
+  EXPECT_TRUE(EvalFilter(Expr::Binary(ExprOp::kEq, i, d), lookup));
+}
+
+TEST(ExprEvalTest, SameTermIsStricterThanEquals) {
+  auto lookup = [](const std::string&) -> const Term* { return nullptr; };
+  Expr i = Expr::Const(Term::Integer(5));
+  Expr d = Expr::Const(Term::Double(5.0));
+  EXPECT_FALSE(EvalFilter(Expr::Binary(ExprOp::kSameTerm, i, d), lookup));
+}
+
+}  // namespace
+}  // namespace lusail::sparql
+
+namespace lusail::sparql {
+namespace {
+
+class OrderByEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 5; ++i) {
+      store_.Add(rdf::TermTriple{
+          rdf::Term::Iri("http://ex/item" + std::to_string(i)),
+          rdf::Term::Iri("http://ex/rank"),
+          rdf::Term::Integer((i * 7) % 5)});  // 0,2,4,1,3.
+    }
+    store_.Freeze();
+  }
+  store::TripleStore store_;
+};
+
+TEST_F(OrderByEvalTest, AscendingNumericOrder) {
+  Evaluator evaluator(&store_);
+  auto q = ParseQuery(
+      "SELECT ?x ?r WHERE { ?x <http://ex/rank> ?r . } ORDER BY ?r");
+  auto result = evaluator.Execute(*q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->NumRows(), 5u);
+  for (size_t i = 0; i + 1 < result->rows.size(); ++i) {
+    EXPECT_LE(result->rows[i][1]->AsDouble(),
+              result->rows[i + 1][1]->AsDouble());
+  }
+}
+
+TEST_F(OrderByEvalTest, DescendingWithLimitTakesTop) {
+  Evaluator evaluator(&store_);
+  auto q = ParseQuery(
+      "SELECT ?x ?r WHERE { ?x <http://ex/rank> ?r . } ORDER BY DESC(?r) "
+      "LIMIT 2");
+  auto result = evaluator.Execute(*q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(result->rows[0][1]->AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(result->rows[1][1]->AsDouble(), 3.0);
+}
+
+TEST_F(OrderByEvalTest, OffsetAppliesAfterSort) {
+  Evaluator evaluator(&store_);
+  auto q = ParseQuery(
+      "SELECT ?r WHERE { ?x <http://ex/rank> ?r . } ORDER BY ?r "
+      "LIMIT 2 OFFSET 1");
+  auto result = evaluator.Execute(*q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(result->rows[0][0]->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(result->rows[1][0]->AsDouble(), 2.0);
+}
+
+TEST(CompareForOrderTest, TotalOrderSemantics) {
+  using rdf::Term;
+  std::optional<Term> unbound;
+  std::optional<Term> blank = Term::BlankNode("b");
+  std::optional<Term> iri = Term::Iri("http://a");
+  std::optional<Term> lit = Term::Literal("a");
+  EXPECT_LT(CompareForOrder(unbound, blank), 0);
+  EXPECT_LT(CompareForOrder(blank, iri), 0);
+  EXPECT_LT(CompareForOrder(iri, lit), 0);
+  EXPECT_EQ(CompareForOrder(lit, lit), 0);
+  // Numeric literals compare by value, not lexically.
+  EXPECT_LT(CompareForOrder(Term::Integer(9), Term::Integer(10)), 0);
+}
+
+}  // namespace
+}  // namespace lusail::sparql

@@ -1,0 +1,145 @@
+// Tests for federation export/import via N-Triples files, federated
+// ORDER BY, and failure injection (endpoints that error out mid-query).
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/fedx_engine.h"
+#include "core/lusail_engine.h"
+#include "net/endpoint.h"
+#include "workload/federation_builder.h"
+#include "workload/lubm_generator.h"
+
+namespace lusail {
+namespace {
+
+class FederationIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lusail_io_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FederationIoTest, ExportImportRoundTrip) {
+  auto specs = workload::Figure1Federation();
+  ASSERT_TRUE(workload::ExportFederation(specs, dir_.string()).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "EP1.nt"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "EP2.nt"));
+
+  auto loaded = workload::LoadFederationFromDirectory(
+      dir_.string(), net::LatencyModel::None());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->size(), 2u);
+
+  // The reloaded federation answers Q_a identically.
+  core::LusailEngine engine(loaded->get());
+  auto result = engine.Execute(workload::Figure2QueryQa());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.NumRows(), 3u);
+}
+
+TEST_F(FederationIoTest, MissingDirectoryIsNotFound) {
+  auto loaded = workload::LoadFederationFromDirectory(
+      (dir_ / "nope").string(), net::LatencyModel::None());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FederationIoTest, CorruptFileIsReported) {
+  std::filesystem::create_directories(dir_);
+  std::ofstream(dir_ / "bad.nt") << "this is not ntriples\n";
+  auto loaded = workload::LoadFederationFromDirectory(
+      dir_.string(), net::LatencyModel::None());
+  EXPECT_FALSE(loaded.ok());
+}
+
+// ---------------------------------------------------------------------
+// Federated ORDER BY
+// ---------------------------------------------------------------------
+
+TEST(FederatedOrderByTest, EnginesSortAcrossEndpoints) {
+  workload::LubmGenerator gen(workload::LubmConfig::Small());
+  auto federation =
+      workload::BuildFederation(gen.GenerateAll(), net::LatencyModel::None());
+  std::string query =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?u ?n WHERE { ?u ub:name ?n . ?u a ub:University . } "
+      "ORDER BY DESC(?n)";
+  core::LusailEngine lusail(federation.get());
+  baselines::FedXEngine fedx(federation.get());
+  for (fed::FederatedEngine* engine :
+       std::initializer_list<fed::FederatedEngine*>{&lusail, &fedx}) {
+    auto result = engine->Execute(query);
+    ASSERT_TRUE(result.ok()) << engine->name();
+    ASSERT_EQ(result->table.NumRows(), 2u) << engine->name();
+    EXPECT_EQ(result->table.rows[0][1]->lexical(), "University1");
+    EXPECT_EQ(result->table.rows[1][1]->lexical(), "University0");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------
+
+/// An endpoint that fails every request after the first `healthy` ones.
+class FlakyEndpoint : public net::Endpoint {
+ public:
+  FlakyEndpoint(std::shared_ptr<net::Endpoint> inner, int healthy)
+      : inner_(std::move(inner)), remaining_(healthy) {}
+
+  const std::string& id() const override { return inner_->id(); }
+
+  Result<net::QueryResponse> Query(const std::string& text) override {
+    if (remaining_-- <= 0) {
+      return Status::Internal("injected endpoint failure at " + id());
+    }
+    return inner_->Query(text);
+  }
+
+ private:
+  std::shared_ptr<net::Endpoint> inner_;
+  std::atomic<int> remaining_;
+};
+
+TEST(FailureInjectionTest, EnginesSurfaceEndpointErrors) {
+  auto specs = workload::Figure1Federation();
+  auto healthy =
+      workload::BuildFederation(specs, net::LatencyModel::None());
+  // Rebuild a federation where EP2 dies after 3 requests.
+  fed::Federation flaky;
+  flaky.Add(std::shared_ptr<net::Endpoint>(
+      healthy->endpoint(0), [](net::Endpoint*) {}));  // Aliasing, not owned.
+  auto ep2 = std::shared_ptr<net::Endpoint>(healthy->endpoint(1),
+                                            [](net::Endpoint*) {});
+  flaky.Add(std::make_shared<FlakyEndpoint>(ep2, 3));
+
+  core::LusailEngine lusail(&flaky);
+  auto result = lusail.Execute(workload::Figure2QueryQa());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("injected"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, HealthyEndpointsUnaffectedByOtherFederations) {
+  // The same endpoints can serve two federations; failures in one wrapper
+  // never leak into direct use.
+  auto specs = workload::Figure1Federation();
+  auto federation =
+      workload::BuildFederation(specs, net::LatencyModel::None());
+  core::LusailEngine engine(federation.get());
+  for (int i = 0; i < 3; ++i) {
+    auto result = engine.Execute(workload::Figure2QueryQa());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->table.NumRows(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace lusail

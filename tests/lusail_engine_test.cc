@@ -1,0 +1,156 @@
+#include "core/lusail_engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/fedx_engine.h"
+#include "sparql/evaluator.h"
+#include "sparql/parser.h"
+#include "store/triple_store.h"
+#include "workload/federation_builder.h"
+#include "workload/lubm_generator.h"
+
+namespace lusail {
+namespace {
+
+using core::LusailEngine;
+using core::LusailOptions;
+using workload::BuildFederation;
+using workload::EndpointSpec;
+using workload::Figure1Federation;
+using workload::Figure2QueryQa;
+
+/// Renders a result table as a set of sorted row strings (order-free
+/// comparison).
+std::set<std::string> RowSet(const sparql::ResultTable& table) {
+  // Map columns by variable name so engines with different projection
+  // orders compare equal.
+  std::vector<size_t> order(table.vars.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return table.vars[a] < table.vars[b];
+  });
+  std::set<std::string> rows;
+  for (const auto& row : table.rows) {
+    std::string line;
+    for (size_t i : order) {
+      line += table.vars[i] + "=" +
+              (row[i].has_value() ? row[i]->ToString() : "UNDEF") + "|";
+    }
+    rows.insert(line);
+  }
+  return rows;
+}
+
+/// Evaluates a query over the union of all endpoint data (the oracle for
+/// queries whose per-entity data is endpoint-local).
+sparql::ResultTable OracleExecute(const std::vector<EndpointSpec>& specs,
+                                  const std::string& query_text) {
+  store::TripleStore store;
+  for (const EndpointSpec& spec : specs) {
+    for (const rdf::TermTriple& t : spec.triples) store.Add(t);
+  }
+  store.Freeze();
+  sparql::Evaluator evaluator(&store);
+  auto query = sparql::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  auto result = evaluator.Execute(*query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(LusailFigure1Test, QaReturnsThePaperThreeAnswers) {
+  auto federation = BuildFederation(Figure1Federation(),
+                                    net::LatencyModel::None());
+  LusailEngine lusail(federation.get());
+  auto result = lusail.Execute(Figure2QueryQa());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const sparql::ResultTable& table = result->table;
+  ASSERT_EQ(table.vars, (std::vector<std::string>{"S", "P", "U", "A"}));
+  std::set<std::string> rows = RowSet(table);
+  EXPECT_EQ(rows.size(), 3u);
+  auto has = [&rows](const std::string& needle) {
+    return std::any_of(rows.begin(), rows.end(), [&](const std::string& r) {
+      return r.find(needle) != std::string::npos;
+    });
+  };
+  // (Kim, Joy, CMU, "CCCC"), (Kim, Tim, MIT, "XXX"), (Lee, Ben, MIT, "XXX").
+  EXPECT_TRUE(has("Joy")) << "missing the Kim/Joy/CMU answer";
+  EXPECT_TRUE(has("Tim")) << "missing the Kim/Tim/MIT interlink answer";
+  EXPECT_TRUE(has("Ben")) << "missing the Lee/Ben/MIT answer";
+  EXPECT_TRUE(has("\"CCCC\""));
+  EXPECT_TRUE(has("\"XXX\""));
+}
+
+TEST(LusailFigure1Test, QaDetectsUAndPAsGlobalJoinVariables) {
+  auto federation = BuildFederation(Figure1Federation(),
+                                    net::LatencyModel::None());
+  LusailEngine lusail(federation.get());
+  auto analyzed = lusail.Analyze(Figure2QueryQa());
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::set<std::string> gjvs = analyzed->gjvs.GjvNames();
+  EXPECT_TRUE(gjvs.count("U")) << "?U must be global (Tim's MIT interlink)";
+  EXPECT_TRUE(gjvs.count("P"))
+      << "?P must be global (Ann advises but teaches nothing)";
+  EXPECT_FALSE(gjvs.count("S")) << "?S is local at both endpoints";
+  EXPECT_FALSE(gjvs.count("C")) << "?C is local at both endpoints";
+  EXPECT_GT(analyzed->decomposition.subqueries.size(), 1u);
+}
+
+TEST(LusailFigure1Test, FedXReturnsTheSameAnswers) {
+  auto specs = Figure1Federation();
+  auto federation = BuildFederation(specs, net::LatencyModel::None());
+  LusailEngine lusail(federation.get());
+  baselines::FedXEngine fedx(federation.get());
+  auto lusail_result = lusail.Execute(Figure2QueryQa());
+  auto fedx_result = fedx.Execute(Figure2QueryQa());
+  ASSERT_TRUE(lusail_result.ok()) << lusail_result.status().ToString();
+  ASSERT_TRUE(fedx_result.ok()) << fedx_result.status().ToString();
+  EXPECT_EQ(RowSet(lusail_result->table), RowSet(fedx_result->table));
+}
+
+TEST(LusailLubmTest, AllQueriesMatchOracleOnSmallFederation) {
+  workload::LubmGenerator generator(workload::LubmConfig::Small());
+  auto specs = generator.GenerateAll();
+  auto federation = BuildFederation(specs, net::LatencyModel::None());
+  LusailEngine lusail(federation.get());
+  for (const auto& [label, query] : workload::LubmGenerator::BenchmarkQueries()) {
+    auto result = lusail.Execute(query);
+    ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+    sparql::ResultTable oracle = OracleExecute(specs, query);
+    EXPECT_EQ(RowSet(result->table), RowSet(oracle)) << "query " << label;
+    EXPECT_FALSE(result->table.rows.empty())
+        << label << " should have answers on the small federation";
+  }
+}
+
+TEST(LusailLubmTest, Q1AndQ2DecomposeToSingleSubquery) {
+  workload::LubmGenerator generator(workload::LubmConfig::Small());
+  auto federation =
+      BuildFederation(generator.GenerateAll(), net::LatencyModel::None());
+  LusailEngine lusail(federation.get());
+  for (const std::string& query :
+       {workload::LubmGenerator::Q1(), workload::LubmGenerator::Q2()}) {
+    auto analyzed = lusail.Analyze(query);
+    ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    EXPECT_EQ(analyzed->decomposition.subqueries.size(), 1u)
+        << "paper: Q1/Q2 are answerable endpoint-locally";
+  }
+}
+
+TEST(LusailLubmTest, Q4DetectsUAsGjvAndDecomposes) {
+  workload::LubmGenerator generator(workload::LubmConfig::Small());
+  auto federation =
+      BuildFederation(generator.GenerateAll(), net::LatencyModel::None());
+  LusailEngine lusail(federation.get());
+  auto analyzed = lusail.Analyze(workload::LubmGenerator::Q4());
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_TRUE(analyzed->gjvs.IsGjv("U"))
+      << "remote PhD degrees make ?U global";
+  EXPECT_GE(analyzed->decomposition.subqueries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lusail

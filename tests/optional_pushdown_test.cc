@@ -1,0 +1,175 @@
+// Tests for OPTIONAL push-down: endpoint-local optional blocks must be
+// evaluated inside subqueries (visible through endpoint request counts
+// and result equality), while cross-endpoint optionals stay at the
+// federator.
+
+#include <gtest/gtest.h>
+
+#include "core/lusail_engine.h"
+#include "net/sparql_endpoint.h"
+#include "sparql/evaluator.h"
+#include "sparql/parser.h"
+#include "store/triple_store.h"
+#include "workload/federation_builder.h"
+#include "workload/qfed_generator.h"
+
+namespace lusail {
+namespace {
+
+std::multiset<std::string> RowBag(const sparql::ResultTable& table) {
+  std::vector<size_t> order(table.vars.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return table.vars[a] < table.vars[b];
+  });
+  std::multiset<std::string> rows;
+  for (const auto& row : table.rows) {
+    std::string line;
+    for (size_t i : order) {
+      line += table.vars[i] + "=" +
+              (row[i].has_value() ? row[i]->ToString() : "UNDEF") + "|";
+    }
+    rows.insert(line);
+  }
+  return rows;
+}
+
+class OptionalPushdownTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::QFedGenerator gen(workload::QFedConfig::Small());
+    specs_ = gen.GenerateAll();
+    federation_ =
+        workload::BuildFederation(specs_, net::LatencyModel::None());
+  }
+
+  sparql::ResultTable Oracle(const std::string& text) {
+    store::TripleStore store;
+    for (const auto& spec : specs_) {
+      for (const rdf::TermTriple& t : spec.triples) store.Add(t);
+    }
+    store.Freeze();
+    sparql::Evaluator evaluator(&store);
+    auto query = sparql::ParseQuery(text);
+    EXPECT_TRUE(query.ok());
+    auto result = evaluator.Execute(*query);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  }
+
+  uint64_t DailymedRequests() {
+    // Endpoint index 3 is dailymed.
+    auto* ep =
+        dynamic_cast<net::SparqlEndpoint*>(federation_->endpoint(3));
+    return ep->stats().requests;
+  }
+
+  std::vector<workload::EndpointSpec> specs_;
+  std::unique_ptr<fed::Federation> federation_;
+};
+
+TEST_F(OptionalPushdownTest, LocalOptionalIsPushedIntoSubquery) {
+  // ?label dm:description ?desc is colocated with ?label dm:genericDrug
+  // at dailymed: the OPTIONAL must execute inside the dailymed subquery,
+  // not as a separate federator-level pipeline (which needs its own
+  // source selection, analysis, and fetch round).
+  std::string query = workload::QFedGenerator::C2P2BO();
+
+  core::LusailEngine with_pushdown(federation_.get());
+  auto pushed = with_pushdown.Execute(query);
+  ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
+  EXPECT_EQ(RowBag(pushed->table), RowBag(Oracle(query)));
+
+  core::LusailOptions no_pushdown_options;
+  no_pushdown_options.enable_optional_pushdown = false;
+  core::LusailEngine without_pushdown(federation_.get(),
+                                      no_pushdown_options);
+  auto federated = without_pushdown.Execute(query);
+  ASSERT_TRUE(federated.ok()) << federated.status().ToString();
+  EXPECT_EQ(RowBag(federated->table), RowBag(pushed->table))
+      << "push-down must not change results";
+
+  // The decision itself is observable in the profile.
+  EXPECT_EQ(pushed->profile.pushed_optionals, 1u);
+  EXPECT_EQ(federated->profile.pushed_optionals, 0u);
+}
+
+TEST_F(OptionalPushdownTest, CrossEndpointOptionalStaysAtFederator) {
+  // OPTIONAL { ?drug db:indication ?ind } attaches to ?drug, which is
+  // bound at *diseasome* (possibleDrug) in the mandatory part — the
+  // optional's pattern lives at drugbank, a different source list, so it
+  // must not be pushed, and results must still match the oracle.
+  std::string query = R"(
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX db: <http://drugbank.example.org/vocab#>
+PREFIX dis: <http://diseasome.example.org/vocab#>
+SELECT ?disease ?drug ?ind WHERE {
+  ?disease rdf:type dis:disease .
+  ?disease dis:possibleDrug ?drug .
+  OPTIONAL { ?drug db:indication ?ind . }
+})";
+  core::LusailEngine engine(federation_.get());
+  auto result = engine.Execute(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RowBag(result->table), RowBag(Oracle(query)));
+  EXPECT_EQ(result->profile.pushed_optionals, 0u)
+      << "cross-endpoint optional must not be pushed";
+  // Every disease-drug pair survives (left join semantics).
+  auto mandatory = engine.Execute(
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX dis: <http://diseasome.example.org/vocab#>\n"
+      "SELECT ?disease ?drug WHERE { ?disease rdf:type dis:disease . "
+      "?disease dis:possibleDrug ?drug . }");
+  ASSERT_TRUE(mandatory.ok());
+  EXPECT_EQ(result->table.NumRows(), mandatory->table.NumRows());
+}
+
+TEST_F(OptionalPushdownTest, OptionalFilterTravelsWithTheBlock) {
+  std::string query = R"(
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX dm: <http://dailymed.example.org/vocab#>
+SELECT ?label ?ing ?desc WHERE {
+  ?label rdf:type dm:drugs .
+  ?label dm:activeIngredient ?ing .
+  OPTIONAL { ?label dm:description ?desc . FILTER (CONTAINS(?desc, "the")) }
+})";
+  core::LusailEngine engine(federation_.get());
+  auto result = engine.Execute(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RowBag(result->table), RowBag(Oracle(query)));
+}
+
+TEST_F(OptionalPushdownTest, TwoLocalOptionalsBothPush) {
+  std::string query = R"(
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX dm: <http://dailymed.example.org/vocab#>
+SELECT ?label ?ing ?desc WHERE {
+  ?label rdf:type dm:drugs .
+  OPTIONAL { ?label dm:activeIngredient ?ing . }
+  OPTIONAL { ?label dm:description ?desc . }
+})";
+  core::LusailEngine engine(federation_.get());
+  auto result = engine.Execute(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RowBag(result->table), RowBag(Oracle(query)));
+  EXPECT_EQ(result->profile.pushed_optionals, 2u);
+}
+
+TEST_F(OptionalPushdownTest, SubqueryToSparqlRendersOptionals) {
+  core::Subquery sq;
+  sq.projection = {"s", "o"};
+  sq.triple_indices = {0};
+  std::vector<sparql::TriplePattern> triples = {
+      {sparql::Variable{"s"}, rdf::Term::Iri("http://p"),
+       sparql::Variable{"o"}}};
+  core::PushedOptional opt;
+  opt.triples.push_back({sparql::Variable{"s"}, rdf::Term::Iri("http://q"),
+                         sparql::Variable{"x"}});
+  sq.optionals.push_back(opt);
+  std::string text = sq.ToSparql(triples);
+  EXPECT_NE(text.find("OPTIONAL"), std::string::npos);
+  EXPECT_TRUE(sparql::ParseQuery(text).ok()) << text;
+}
+
+}  // namespace
+}  // namespace lusail

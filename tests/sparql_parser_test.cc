@@ -1,0 +1,264 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/serializer.h"
+
+namespace lusail::sparql {
+namespace {
+
+Query MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString() << "\n" << text;
+  return q.ok() ? *q : Query{};
+}
+
+TEST(ParserTest, BasicSelect) {
+  Query q = MustParse(
+      "SELECT ?s ?o WHERE { ?s <http://p> ?o . }");
+  EXPECT_EQ(q.form, QueryForm::kSelect);
+  ASSERT_EQ(q.projection.size(), 2u);
+  EXPECT_EQ(q.projection[0].name, "s");
+  ASSERT_EQ(q.where.triples.size(), 1u);
+  EXPECT_TRUE(q.where.triples[0].s.is_variable());
+  EXPECT_EQ(q.where.triples[0].p.term().lexical(), "http://p");
+}
+
+TEST(ParserTest, PrefixResolution) {
+  Query q = MustParse(
+      "PREFIX ex: <http://example.org/>\n"
+      "SELECT ?x WHERE { ?x ex:knows ex:bob . }");
+  EXPECT_EQ(q.where.triples[0].p.term().lexical(),
+            "http://example.org/knows");
+  EXPECT_EQ(q.where.triples[0].o.term().lexical(), "http://example.org/bob");
+}
+
+TEST(ParserTest, UndeclaredPrefixFails) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ex:p ?y . }").ok());
+}
+
+TEST(ParserTest, RdfTypeShorthand) {
+  Query q = MustParse("SELECT ?x WHERE { ?x a <http://C> . }");
+  EXPECT_EQ(q.where.triples[0].p.term().lexical(), rdf::kRdfType);
+}
+
+TEST(ParserTest, PredicateObjectLists) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://p> ?a , ?b ; <http://q> ?c . }");
+  ASSERT_EQ(q.where.triples.size(), 3u);
+  // All three share the subject ?x.
+  for (const TriplePattern& tp : q.where.triples) {
+    EXPECT_EQ(tp.s.var().name, "x");
+  }
+  EXPECT_EQ(q.where.triples[2].p.term().lexical(), "http://q");
+}
+
+TEST(ParserTest, SelectStar) {
+  Query q = MustParse("SELECT * WHERE { ?s ?p ?o . }");
+  EXPECT_TRUE(q.select_all);
+  auto proj = q.EffectiveProjection();
+  EXPECT_EQ(proj.size(), 3u);
+}
+
+TEST(ParserTest, AskForm) {
+  Query q = MustParse("ASK { ?s <http://p> ?o . }");
+  EXPECT_EQ(q.form, QueryForm::kAsk);
+}
+
+TEST(ParserTest, DistinctLimitOffset) {
+  Query q = MustParse(
+      "SELECT DISTINCT ?s WHERE { ?s ?p ?o . } LIMIT 10 OFFSET 5");
+  EXPECT_TRUE(q.distinct);
+  EXPECT_EQ(q.limit, 10u);
+  EXPECT_EQ(q.offset, 5u);
+}
+
+TEST(ParserTest, CountStar) {
+  Query q = MustParse(
+      "SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(q.aggregate.has_value());
+  EXPECT_FALSE(q.aggregate->var.has_value());
+  EXPECT_EQ(q.aggregate->alias.name, "c");
+}
+
+TEST(ParserTest, CountDistinctVar) {
+  Query q = MustParse(
+      "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(q.aggregate.has_value());
+  EXPECT_TRUE(q.aggregate->distinct);
+  EXPECT_EQ(q.aggregate->var->name, "s");
+}
+
+TEST(ParserTest, FilterComparison) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://age> ?a . FILTER (?a >= 18 && ?a < 65) }");
+  ASSERT_EQ(q.where.filters.size(), 1u);
+  EXPECT_EQ(q.where.filters[0].op, ExprOp::kAnd);
+}
+
+TEST(ParserTest, FilterFunctions) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://name> ?n . "
+      "FILTER (CONTAINS(?n, \"ali\") || STRSTARTS(STR(?x), \"http\")) }");
+  EXPECT_EQ(q.where.filters[0].op, ExprOp::kOr);
+}
+
+TEST(ParserTest, FilterNotExists) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://p> ?y . "
+      "FILTER NOT EXISTS { ?y <http://q> ?z . } }");
+  ASSERT_EQ(q.where.exists_filters.size(), 1u);
+  EXPECT_TRUE(q.where.exists_filters[0].negated);
+  EXPECT_EQ(q.where.exists_filters[0].pattern.triples.size(), 1u);
+}
+
+TEST(ParserTest, FilterNotExistsWithNestedSelect) {
+  // The exact shape of Lusail's Figure 5 check queries.
+  Query q = MustParse(
+      "SELECT ?P WHERE { ?P a <http://T> . ?S <http://pi> ?P . "
+      "FILTER NOT EXISTS { SELECT ?P WHERE { ?P <http://pj> ?C . } } } "
+      "LIMIT 1");
+  ASSERT_EQ(q.where.exists_filters.size(), 1u);
+  EXPECT_EQ(q.where.exists_filters[0].pattern.triples.size(), 1u);
+  EXPECT_EQ(q.limit, 1u);
+}
+
+TEST(ParserTest, OptionalBlock) {
+  Query q = MustParse(
+      "SELECT ?x ?e WHERE { ?x <http://p> ?y . "
+      "OPTIONAL { ?x <http://email> ?e . } }");
+  ASSERT_EQ(q.where.optionals.size(), 1u);
+}
+
+TEST(ParserTest, UnionChain) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { { ?x <http://a> ?y . } UNION { ?x <http://b> ?y . } "
+      "UNION { ?x <http://c> ?y . } }");
+  ASSERT_EQ(q.where.unions.size(), 1u);
+  EXPECT_EQ(q.where.unions[0].size(), 3u);
+}
+
+TEST(ParserTest, PlainNestedGroupFlattens) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { { ?x <http://a> ?y . ?y <http://b> ?z . } }");
+  EXPECT_EQ(q.where.triples.size(), 2u);
+  EXPECT_TRUE(q.where.unions.empty());
+}
+
+TEST(ParserTest, ValuesSingleVar) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://p> ?y . "
+      "VALUES ?y { <http://v1> \"v2\" UNDEF } }");
+  ASSERT_EQ(q.where.values.size(), 1u);
+  EXPECT_EQ(q.where.values[0].rows.size(), 3u);
+  EXPECT_FALSE(q.where.values[0].rows[2][0].has_value());
+}
+
+TEST(ParserTest, ValuesTupleForm) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://p> ?y . "
+      "VALUES (?x ?y) { (<http://a> 1) (<http://b> 2) } }");
+  ASSERT_EQ(q.where.values.size(), 1u);
+  EXPECT_EQ(q.where.values[0].vars.size(), 2u);
+  EXPECT_EQ(q.where.values[0].rows.size(), 2u);
+}
+
+TEST(ParserTest, LiteralForms) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://p> \"lit\"@en . "
+      "?x <http://q> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> . "
+      "?x <http://r> 3.25 . ?x <http://s> true . }");
+  EXPECT_EQ(q.where.triples[0].o.term().lang(), "en");
+  EXPECT_TRUE(q.where.triples[1].o.term().IsNumeric());
+  EXPECT_TRUE(q.where.triples[2].o.term().IsNumeric());
+  EXPECT_EQ(q.where.triples[3].o.term().datatype(), rdf::kXsdBoolean);
+}
+
+TEST(ParserTest, CommentsAreIgnored) {
+  Query q = MustParse(
+      "# leading comment\nSELECT ?x # trailing\nWHERE { ?x ?p ?o . }");
+  EXPECT_EQ(q.projection.size(), 1u);
+}
+
+TEST(ParserTest, ErrorsCarryContext) {
+  auto r = ParseQuery("SELECT ?x WHERE { ?x <http://p> }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("DELETE WHERE { ?s ?p ?o }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?o . } trailing").ok());
+}
+
+// ---------------------------------------------------------------------
+// Serializer round-trips (property-style).
+// ---------------------------------------------------------------------
+
+class SerializerRoundTripTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(SerializerRoundTripTest, ParseSerializeParseIsStable) {
+  Query q1 = MustParse(GetParam());
+  std::string text1 = QueryToString(q1);
+  auto q2 = ParseQuery(text1);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString() << "\nserialized: " << text1;
+  std::string text2 = QueryToString(*q2);
+  EXPECT_EQ(text1, text2) << "serialization must reach a fixpoint";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, SerializerRoundTripTest,
+    ::testing::Values(
+        "SELECT ?s WHERE { ?s <http://p> ?o . }",
+        "SELECT DISTINCT ?s ?o WHERE { ?s <http://p> ?o . ?o <http://q> "
+        "\"x\"@en . } LIMIT 3 OFFSET 1",
+        "ASK { ?s <http://p> \"v\" . }",
+        "SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o . }",
+        "SELECT ?s WHERE { ?s <http://p> ?o . FILTER (?o > 5 && "
+        "CONTAINS(STR(?s), \"x\")) }",
+        "SELECT ?s WHERE { ?s <http://p> ?o . OPTIONAL { ?s <http://q> ?r . "
+        "} }",
+        "SELECT ?s WHERE { { ?s <http://a> ?o . } UNION { ?s <http://b> ?o . "
+        "} }",
+        "SELECT ?s WHERE { ?s <http://p> ?o . VALUES ?o { 1 2 UNDEF } }",
+        "SELECT ?s WHERE { ?s <http://p> ?o . FILTER NOT EXISTS { ?o "
+        "<http://q> ?z . } }"));
+
+}  // namespace
+}  // namespace lusail::sparql
+
+namespace lusail::sparql {
+namespace {
+
+TEST(OrderByTest, ParsesPlainAndDirectedKeys) {
+  Query q = *ParseQuery(
+      "SELECT ?a ?b WHERE { ?a <http://p> ?b . } ORDER BY ?a DESC(?b) "
+      "LIMIT 5");
+  ASSERT_EQ(q.order_by.size(), 2u);
+  EXPECT_EQ(q.order_by[0].var.name, "a");
+  EXPECT_FALSE(q.order_by[0].descending);
+  EXPECT_TRUE(q.order_by[1].descending);
+  EXPECT_EQ(q.limit, 5u);
+}
+
+TEST(OrderByTest, SerializerRoundTrip) {
+  Query q = *ParseQuery(
+      "SELECT ?a WHERE { ?a <http://p> ?b . } ORDER BY DESC(?a) ?b");
+  std::string text = QueryToString(q);
+  auto q2 = ParseQuery(text);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString() << "\n" << text;
+  ASSERT_EQ(q2->order_by.size(), 2u);
+  EXPECT_TRUE(q2->order_by[0].descending);
+  EXPECT_EQ(QueryToString(*q2), text);
+}
+
+TEST(OrderByTest, EmptyOrderByIsAnError) {
+  EXPECT_FALSE(ParseQuery("SELECT ?a WHERE { ?a ?p ?o . } ORDER BY").ok());
+}
+
+}  // namespace
+}  // namespace lusail::sparql

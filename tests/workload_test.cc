@@ -1,0 +1,253 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sparql/evaluator.h"
+#include "sparql/parser.h"
+#include "store/triple_store.h"
+#include "workload/federation_builder.h"
+#include "workload/lrb_generator.h"
+#include "workload/lubm_generator.h"
+#include "workload/qfed_generator.h"
+
+namespace lusail {
+namespace {
+
+using workload::EndpointSpec;
+
+/// Builds a single store holding the union of all endpoint data.
+std::unique_ptr<store::TripleStore> UnionStore(
+    const std::vector<EndpointSpec>& specs) {
+  auto store = std::make_unique<store::TripleStore>();
+  for (const EndpointSpec& spec : specs) {
+    for (const rdf::TermTriple& t : spec.triples) store->Add(t);
+  }
+  store->Freeze();
+  return store;
+}
+
+size_t OracleCount(const store::TripleStore& store, const std::string& text) {
+  sparql::Evaluator evaluator(&store);
+  auto query = sparql::ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString() << "\n" << text;
+  if (!query.ok()) return 0;
+  auto result = evaluator.Execute(*query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << text;
+  if (!result.ok()) return 0;
+  return result->NumRows();
+}
+
+// ---------------------------------------------------------------------
+// LUBM
+// ---------------------------------------------------------------------
+
+TEST(LubmGeneratorTest, IsDeterministic) {
+  workload::LubmGenerator a(workload::LubmConfig::Small());
+  workload::LubmGenerator b(workload::LubmConfig::Small());
+  auto ta = a.GenerateUniversity(1);
+  auto tb = b.GenerateUniversity(1);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+}
+
+TEST(LubmGeneratorTest, DifferentSeedsDiffer) {
+  workload::LubmConfig c1 = workload::LubmConfig::Small();
+  workload::LubmConfig c2 = c1;
+  c2.seed = 99;
+  auto ta = workload::LubmGenerator(c1).GenerateUniversity(0);
+  auto tb = workload::LubmGenerator(c2).GenerateUniversity(0);
+  EXPECT_NE(rdf::WriteNTriples(ta), rdf::WriteNTriples(tb));
+}
+
+TEST(LubmGeneratorTest, EveryCourseIsTaughtAndEveryGradCourseTaken) {
+  workload::LubmGenerator gen(workload::LubmConfig::Small());
+  auto store = UnionStore(gen.GenerateAll());
+  constexpr const char* kUb =
+      "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+  // Graduate courses without a teacher.
+  EXPECT_EQ(
+      0u,
+      OracleCount(*store,
+                  std::string("PREFIX ub: <") + kUb +
+                      "> PREFIX rdf: "
+                      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+                      "SELECT ?c WHERE { ?c rdf:type ub:GraduateCourse . "
+                      "FILTER NOT EXISTS { ?p ub:teacherOf ?c . } }"));
+  // Graduate courses nobody takes.
+  EXPECT_EQ(
+      0u,
+      OracleCount(*store,
+                  std::string("PREFIX ub: <") + kUb +
+                      "> PREFIX rdf: "
+                      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+                      "SELECT ?c WHERE { ?c rdf:type ub:GraduateCourse . "
+                      "FILTER NOT EXISTS { ?s ub:takesCourse ?c . } }"));
+}
+
+TEST(LubmGeneratorTest, AllBenchmarkQueriesHaveAnswers) {
+  workload::LubmGenerator gen(workload::LubmConfig::Small());
+  auto store = UnionStore(gen.GenerateAll());
+  for (const auto& [label, query] :
+       workload::LubmGenerator::BenchmarkQueries()) {
+    EXPECT_GT(OracleCount(*store, query), 0u) << label;
+  }
+  EXPECT_GT(OracleCount(*store, workload::LubmGenerator::QueryQa()), 0u);
+}
+
+TEST(LubmGeneratorTest, RemotePhdDegreesExist) {
+  workload::LubmConfig cfg = workload::LubmConfig::Small();
+  workload::LubmGenerator gen(cfg);
+  bool found_remote = false;
+  for (int u = 0; u < cfg.num_universities && !found_remote; ++u) {
+    std::string own = workload::LubmGenerator::UniversityIri(u);
+    for (const rdf::TermTriple& t : gen.GenerateUniversity(u)) {
+      if (t.predicate.lexical().find("PhDDegreeFrom") != std::string::npos &&
+          t.object.lexical() != own) {
+        found_remote = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_remote) << "interlinks are required for GJV detection";
+}
+
+// ---------------------------------------------------------------------
+// QFed
+// ---------------------------------------------------------------------
+
+TEST(QFedGeneratorTest, FourEndpointsWithExpectedIds) {
+  workload::QFedGenerator gen(workload::QFedConfig::Small());
+  auto specs = gen.GenerateAll();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].id, "drugbank");
+  EXPECT_EQ(specs[1].id, "diseasome");
+  EXPECT_EQ(specs[2].id, "sider");
+  EXPECT_EQ(specs[3].id, "dailymed");
+  for (const auto& spec : specs) EXPECT_FALSE(spec.triples.empty());
+}
+
+TEST(QFedGeneratorTest, AllBenchmarkQueriesHaveAnswers) {
+  workload::QFedGenerator gen(workload::QFedConfig::Small());
+  auto store = UnionStore(gen.GenerateAll());
+  for (const auto& [label, query] :
+       workload::QFedGenerator::BenchmarkQueries()) {
+    EXPECT_GT(OracleCount(*store, query), 0u) << label;
+  }
+}
+
+TEST(QFedGeneratorTest, FilterVariantIsMoreSelective) {
+  workload::QFedGenerator gen(workload::QFedConfig::Small());
+  auto store = UnionStore(gen.GenerateAll());
+  size_t base = OracleCount(*store, workload::QFedGenerator::C2P2());
+  size_t filtered = OracleCount(*store, workload::QFedGenerator::C2P2F());
+  EXPECT_LT(filtered, base);
+  EXPECT_GT(filtered, 0u);
+}
+
+TEST(QFedGeneratorTest, BigLiteralsAreBig) {
+  workload::QFedConfig cfg = workload::QFedConfig::Small();
+  workload::QFedGenerator gen(cfg);
+  bool found = false;
+  for (const rdf::TermTriple& t : gen.GenerateDrugBank()) {
+    if (t.predicate.lexical().find("indication") != std::string::npos) {
+      EXPECT_GE(t.object.lexical().size(),
+                static_cast<size_t>(cfg.big_literal_chars));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------
+// LargeRDFBench
+// ---------------------------------------------------------------------
+
+TEST(LrbGeneratorTest, ThirteenEndpoints) {
+  workload::LrbGenerator gen(workload::LrbConfig::Small());
+  auto specs = gen.GenerateAll();
+  ASSERT_EQ(specs.size(), 13u);
+  std::set<std::string> ids;
+  for (const auto& spec : specs) {
+    ids.insert(spec.id);
+    EXPECT_FALSE(spec.triples.empty()) << spec.id;
+  }
+  EXPECT_EQ(ids.size(), 13u) << "endpoint ids must be unique";
+}
+
+TEST(LrbGeneratorTest, TcgaMIsTheLargestEndpoint) {
+  workload::LrbGenerator gen(workload::LrbConfig::Small());
+  auto specs = gen.GenerateAll();
+  size_t tcga_m = 0, max_other = 0;
+  for (const auto& spec : specs) {
+    if (spec.id == "tcga-m") {
+      tcga_m = spec.triples.size();
+    } else {
+      max_other = std::max(max_other, spec.triples.size());
+    }
+  }
+  EXPECT_GT(tcga_m, max_other)
+      << "LinkedTCGA-M dominates the volume in the paper's Table 1";
+}
+
+TEST(LrbGeneratorTest, AllQueriesParseAndHaveAnswers) {
+  workload::LrbGenerator gen(workload::LrbConfig::Small());
+  auto store = UnionStore(gen.GenerateAll());
+  auto check = [&](const std::vector<std::pair<std::string, std::string>>&
+                       queries) {
+    for (const auto& [label, query] : queries) {
+      EXPECT_GT(OracleCount(*store, query), 0u) << label;
+    }
+  };
+  check(workload::LrbGenerator::SimpleQueries());
+  check(workload::LrbGenerator::ComplexQueries());
+  check(workload::LrbGenerator::LargeQueries());
+  check(workload::LrbGenerator::Bio2RdfQueries());
+}
+
+TEST(LrbGeneratorTest, QueryCategorySizesMatchTheBenchmark) {
+  EXPECT_EQ(workload::LrbGenerator::SimpleQueries().size(), 14u);
+  EXPECT_EQ(workload::LrbGenerator::ComplexQueries().size(), 10u);
+  EXPECT_EQ(workload::LrbGenerator::LargeQueries().size(), 8u);
+  EXPECT_EQ(workload::LrbGenerator::Bio2RdfQueries().size(), 5u);
+}
+
+TEST(LrbGeneratorTest, LargeQueriesHaveLargerResults) {
+  workload::LrbGenerator gen(workload::LrbConfig::Small());
+  auto store = UnionStore(gen.GenerateAll());
+  // The B category must produce clearly more rows on average than S.
+  size_t s_total = 0, b_total = 0;
+  for (const auto& [label, query] : workload::LrbGenerator::SimpleQueries()) {
+    s_total += OracleCount(*store, query);
+  }
+  for (const auto& [label, query] : workload::LrbGenerator::LargeQueries()) {
+    b_total += OracleCount(*store, query);
+  }
+  EXPECT_GT(b_total / 8, s_total / 14);
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 toy federation
+// ---------------------------------------------------------------------
+
+TEST(Figure1Test, HasInterlink) {
+  auto specs = workload::Figure1Federation();
+  ASSERT_EQ(specs.size(), 2u);
+  // EP2 references MIT (hosted at EP1) through PhDDegreeFrom.
+  bool found = false;
+  for (const rdf::TermTriple& t : specs[1].triples) {
+    if (t.predicate.lexical().find("PhDDegreeFrom") != std::string::npos &&
+        t.object.lexical() == "http://www.mit.edu") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Figure1Test, OracleQaHasExactlyThreeAnswers) {
+  auto store = UnionStore(workload::Figure1Federation());
+  EXPECT_EQ(OracleCount(*store, workload::Figure2QueryQa()), 3u);
+}
+
+}  // namespace
+}  // namespace lusail
