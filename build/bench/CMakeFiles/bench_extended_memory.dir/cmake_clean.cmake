@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_memory.dir/bench_extended_memory.cc.o"
+  "CMakeFiles/bench_extended_memory.dir/bench_extended_memory.cc.o.d"
+  "bench_extended_memory"
+  "bench_extended_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

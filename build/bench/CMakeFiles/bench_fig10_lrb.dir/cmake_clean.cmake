@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lrb.dir/bench_fig10_lrb.cc.o"
+  "CMakeFiles/bench_fig10_lrb.dir/bench_fig10_lrb.cc.o.d"
+  "bench_fig10_lrb"
+  "bench_fig10_lrb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lrb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

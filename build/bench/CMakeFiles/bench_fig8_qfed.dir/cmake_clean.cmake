@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_qfed.dir/bench_fig8_qfed.cc.o"
+  "CMakeFiles/bench_fig8_qfed.dir/bench_fig8_qfed.cc.o.d"
+  "bench_fig8_qfed"
+  "bench_fig8_qfed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_qfed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

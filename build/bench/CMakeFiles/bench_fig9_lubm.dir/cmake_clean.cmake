@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_lubm.dir/bench_fig9_lubm.cc.o"
+  "CMakeFiles/bench_fig9_lubm.dir/bench_fig9_lubm.cc.o.d"
+  "bench_fig9_lubm"
+  "bench_fig9_lubm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_lubm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/geo_distributed.cpp" "examples/CMakeFiles/geo_distributed.dir/geo_distributed.cpp.o" "gcc" "examples/CMakeFiles/geo_distributed.dir/geo_distributed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lusail_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/life_sciences.dir/life_sciences.cpp.o"
+  "CMakeFiles/life_sciences.dir/life_sciences.cpp.o.d"
+  "life_sciences"
+  "life_sciences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/life_sciences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

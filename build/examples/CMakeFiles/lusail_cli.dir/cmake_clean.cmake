@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_cli.dir/lusail_cli.cpp.o"
+  "CMakeFiles/lusail_cli.dir/lusail_cli.cpp.o.d"
+  "lusail_cli"
+  "lusail_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/anapsid_engine.cc" "src/CMakeFiles/lusail_baselines.dir/baselines/anapsid_engine.cc.o" "gcc" "src/CMakeFiles/lusail_baselines.dir/baselines/anapsid_engine.cc.o.d"
+  "/root/repo/src/baselines/fedx_engine.cc" "src/CMakeFiles/lusail_baselines.dir/baselines/fedx_engine.cc.o" "gcc" "src/CMakeFiles/lusail_baselines.dir/baselines/fedx_engine.cc.o.d"
+  "/root/repo/src/baselines/hibiscus.cc" "src/CMakeFiles/lusail_baselines.dir/baselines/hibiscus.cc.o" "gcc" "src/CMakeFiles/lusail_baselines.dir/baselines/hibiscus.cc.o.d"
+  "/root/repo/src/baselines/splendid_engine.cc" "src/CMakeFiles/lusail_baselines.dir/baselines/splendid_engine.cc.o" "gcc" "src/CMakeFiles/lusail_baselines.dir/baselines/splendid_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lusail_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

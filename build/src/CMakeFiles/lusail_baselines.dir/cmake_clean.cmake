@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_baselines.dir/baselines/anapsid_engine.cc.o"
+  "CMakeFiles/lusail_baselines.dir/baselines/anapsid_engine.cc.o.d"
+  "CMakeFiles/lusail_baselines.dir/baselines/fedx_engine.cc.o"
+  "CMakeFiles/lusail_baselines.dir/baselines/fedx_engine.cc.o.d"
+  "CMakeFiles/lusail_baselines.dir/baselines/hibiscus.cc.o"
+  "CMakeFiles/lusail_baselines.dir/baselines/hibiscus.cc.o.d"
+  "CMakeFiles/lusail_baselines.dir/baselines/splendid_engine.cc.o"
+  "CMakeFiles/lusail_baselines.dir/baselines/splendid_engine.cc.o.d"
+  "liblusail_baselines.a"
+  "liblusail_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

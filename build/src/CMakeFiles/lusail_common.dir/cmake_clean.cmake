@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_common.dir/common/status.cc.o"
+  "CMakeFiles/lusail_common.dir/common/status.cc.o.d"
+  "CMakeFiles/lusail_common.dir/common/string_util.cc.o"
+  "CMakeFiles/lusail_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/lusail_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/lusail_common.dir/common/thread_pool.cc.o.d"
+  "liblusail_common.a"
+  "liblusail_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/lusail_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/lusail_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/decomposer.cc" "src/CMakeFiles/lusail_core.dir/core/decomposer.cc.o" "gcc" "src/CMakeFiles/lusail_core.dir/core/decomposer.cc.o.d"
+  "/root/repo/src/core/gjv_detector.cc" "src/CMakeFiles/lusail_core.dir/core/gjv_detector.cc.o" "gcc" "src/CMakeFiles/lusail_core.dir/core/gjv_detector.cc.o.d"
+  "/root/repo/src/core/hash_join.cc" "src/CMakeFiles/lusail_core.dir/core/hash_join.cc.o" "gcc" "src/CMakeFiles/lusail_core.dir/core/hash_join.cc.o.d"
+  "/root/repo/src/core/join_optimizer.cc" "src/CMakeFiles/lusail_core.dir/core/join_optimizer.cc.o" "gcc" "src/CMakeFiles/lusail_core.dir/core/join_optimizer.cc.o.d"
+  "/root/repo/src/core/lusail_engine.cc" "src/CMakeFiles/lusail_core.dir/core/lusail_engine.cc.o" "gcc" "src/CMakeFiles/lusail_core.dir/core/lusail_engine.cc.o.d"
+  "/root/repo/src/core/query_graph.cc" "src/CMakeFiles/lusail_core.dir/core/query_graph.cc.o" "gcc" "src/CMakeFiles/lusail_core.dir/core/query_graph.cc.o.d"
+  "/root/repo/src/core/sape.cc" "src/CMakeFiles/lusail_core.dir/core/sape.cc.o" "gcc" "src/CMakeFiles/lusail_core.dir/core/sape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lusail_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

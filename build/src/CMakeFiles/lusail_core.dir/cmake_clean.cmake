@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/lusail_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/lusail_core.dir/core/decomposer.cc.o"
+  "CMakeFiles/lusail_core.dir/core/decomposer.cc.o.d"
+  "CMakeFiles/lusail_core.dir/core/gjv_detector.cc.o"
+  "CMakeFiles/lusail_core.dir/core/gjv_detector.cc.o.d"
+  "CMakeFiles/lusail_core.dir/core/hash_join.cc.o"
+  "CMakeFiles/lusail_core.dir/core/hash_join.cc.o.d"
+  "CMakeFiles/lusail_core.dir/core/join_optimizer.cc.o"
+  "CMakeFiles/lusail_core.dir/core/join_optimizer.cc.o.d"
+  "CMakeFiles/lusail_core.dir/core/lusail_engine.cc.o"
+  "CMakeFiles/lusail_core.dir/core/lusail_engine.cc.o.d"
+  "CMakeFiles/lusail_core.dir/core/query_graph.cc.o"
+  "CMakeFiles/lusail_core.dir/core/query_graph.cc.o.d"
+  "CMakeFiles/lusail_core.dir/core/sape.cc.o"
+  "CMakeFiles/lusail_core.dir/core/sape.cc.o.d"
+  "liblusail_core.a"
+  "liblusail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_federation.dir/federation/binding_table.cc.o"
+  "CMakeFiles/lusail_federation.dir/federation/binding_table.cc.o.d"
+  "CMakeFiles/lusail_federation.dir/federation/federation.cc.o"
+  "CMakeFiles/lusail_federation.dir/federation/federation.cc.o.d"
+  "CMakeFiles/lusail_federation.dir/federation/source_selection.cc.o"
+  "CMakeFiles/lusail_federation.dir/federation/source_selection.cc.o.d"
+  "liblusail_federation.a"
+  "liblusail_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_net.dir/net/latency_model.cc.o"
+  "CMakeFiles/lusail_net.dir/net/latency_model.cc.o.d"
+  "CMakeFiles/lusail_net.dir/net/sparql_endpoint.cc.o"
+  "CMakeFiles/lusail_net.dir/net/sparql_endpoint.cc.o.d"
+  "liblusail_net.a"
+  "liblusail_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_rdf.dir/rdf/dictionary.cc.o"
+  "CMakeFiles/lusail_rdf.dir/rdf/dictionary.cc.o.d"
+  "CMakeFiles/lusail_rdf.dir/rdf/ntriples.cc.o"
+  "CMakeFiles/lusail_rdf.dir/rdf/ntriples.cc.o.d"
+  "CMakeFiles/lusail_rdf.dir/rdf/term.cc.o"
+  "CMakeFiles/lusail_rdf.dir/rdf/term.cc.o.d"
+  "liblusail_rdf.a"
+  "liblusail_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

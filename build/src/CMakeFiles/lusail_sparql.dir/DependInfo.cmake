@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/ast.cc" "src/CMakeFiles/lusail_sparql.dir/sparql/ast.cc.o" "gcc" "src/CMakeFiles/lusail_sparql.dir/sparql/ast.cc.o.d"
+  "/root/repo/src/sparql/evaluator.cc" "src/CMakeFiles/lusail_sparql.dir/sparql/evaluator.cc.o" "gcc" "src/CMakeFiles/lusail_sparql.dir/sparql/evaluator.cc.o.d"
+  "/root/repo/src/sparql/expr_eval.cc" "src/CMakeFiles/lusail_sparql.dir/sparql/expr_eval.cc.o" "gcc" "src/CMakeFiles/lusail_sparql.dir/sparql/expr_eval.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/lusail_sparql.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/lusail_sparql.dir/sparql/parser.cc.o.d"
+  "/root/repo/src/sparql/serializer.cc" "src/CMakeFiles/lusail_sparql.dir/sparql/serializer.cc.o" "gcc" "src/CMakeFiles/lusail_sparql.dir/sparql/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lusail_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_sparql.dir/sparql/ast.cc.o"
+  "CMakeFiles/lusail_sparql.dir/sparql/ast.cc.o.d"
+  "CMakeFiles/lusail_sparql.dir/sparql/evaluator.cc.o"
+  "CMakeFiles/lusail_sparql.dir/sparql/evaluator.cc.o.d"
+  "CMakeFiles/lusail_sparql.dir/sparql/expr_eval.cc.o"
+  "CMakeFiles/lusail_sparql.dir/sparql/expr_eval.cc.o.d"
+  "CMakeFiles/lusail_sparql.dir/sparql/parser.cc.o"
+  "CMakeFiles/lusail_sparql.dir/sparql/parser.cc.o.d"
+  "CMakeFiles/lusail_sparql.dir/sparql/serializer.cc.o"
+  "CMakeFiles/lusail_sparql.dir/sparql/serializer.cc.o.d"
+  "liblusail_sparql.a"
+  "liblusail_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

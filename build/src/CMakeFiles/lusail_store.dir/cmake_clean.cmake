@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_store.dir/store/triple_store.cc.o"
+  "CMakeFiles/lusail_store.dir/store/triple_store.cc.o.d"
+  "liblusail_store.a"
+  "liblusail_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/federation_builder.cc" "src/CMakeFiles/lusail_workload.dir/workload/federation_builder.cc.o" "gcc" "src/CMakeFiles/lusail_workload.dir/workload/federation_builder.cc.o.d"
+  "/root/repo/src/workload/lrb_generator.cc" "src/CMakeFiles/lusail_workload.dir/workload/lrb_generator.cc.o" "gcc" "src/CMakeFiles/lusail_workload.dir/workload/lrb_generator.cc.o.d"
+  "/root/repo/src/workload/lubm_generator.cc" "src/CMakeFiles/lusail_workload.dir/workload/lubm_generator.cc.o" "gcc" "src/CMakeFiles/lusail_workload.dir/workload/lubm_generator.cc.o.d"
+  "/root/repo/src/workload/qfed_generator.cc" "src/CMakeFiles/lusail_workload.dir/workload/qfed_generator.cc.o" "gcc" "src/CMakeFiles/lusail_workload.dir/workload/qfed_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lusail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lusail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_workload.dir/workload/federation_builder.cc.o"
+  "CMakeFiles/lusail_workload.dir/workload/federation_builder.cc.o.d"
+  "CMakeFiles/lusail_workload.dir/workload/lrb_generator.cc.o"
+  "CMakeFiles/lusail_workload.dir/workload/lrb_generator.cc.o.d"
+  "CMakeFiles/lusail_workload.dir/workload/lubm_generator.cc.o"
+  "CMakeFiles/lusail_workload.dir/workload/lubm_generator.cc.o.d"
+  "CMakeFiles/lusail_workload.dir/workload/qfed_generator.cc.o"
+  "CMakeFiles/lusail_workload.dir/workload/qfed_generator.cc.o.d"
+  "liblusail_workload.a"
+  "liblusail_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_execution_test.dir/core_execution_test.cc.o"
+  "CMakeFiles/core_execution_test.dir/core_execution_test.cc.o.d"
+  "core_execution_test"
+  "core_execution_test.pdb"
+  "core_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_io_test.dir/federation_io_test.cc.o"
+  "CMakeFiles/federation_io_test.dir/federation_io_test.cc.o.d"
+  "federation_io_test"
+  "federation_io_test.pdb"
+  "federation_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

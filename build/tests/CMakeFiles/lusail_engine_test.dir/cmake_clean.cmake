@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusail_engine_test.dir/lusail_engine_test.cc.o"
+  "CMakeFiles/lusail_engine_test.dir/lusail_engine_test.cc.o.d"
+  "lusail_engine_test"
+  "lusail_engine_test.pdb"
+  "lusail_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusail_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

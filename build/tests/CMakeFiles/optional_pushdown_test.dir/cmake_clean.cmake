@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optional_pushdown_test.dir/optional_pushdown_test.cc.o"
+  "CMakeFiles/optional_pushdown_test.dir/optional_pushdown_test.cc.o.d"
+  "optional_pushdown_test"
+  "optional_pushdown_test.pdb"
+  "optional_pushdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optional_pushdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lusail_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/rdf_test[1]_include.cmake")
+include("/root/repo/build/tests/triple_store_test[1]_include.cmake")
+include("/root/repo/build/tests/sparql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/federation_test[1]_include.cmake")
+include("/root/repo/build/tests/core_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/core_execution_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/random_query_test[1]_include.cmake")
+include("/root/repo/build/tests/optional_pushdown_test[1]_include.cmake")
+include("/root/repo/build/tests/federation_io_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_edge_cases_test[1]_include.cmake")
