@@ -99,7 +99,7 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
   LUSAIL_ASSIGN_OR_RETURN(
       std::vector<std::vector<int>> sources,
       selector.SelectSources(pattern.triples, metrics, deadline,
-                             options_.use_cache));
+                             options_.use_cache, Retry()));
   profile->source_selection_ms += timer.ElapsedMillis();
 
   timer.Restart();
@@ -130,7 +130,7 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
       fetch.group = g;
       fetch.result = pool_.Submit([this, ep, text, metrics, deadline]() {
         return federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                                    deadline);
+                                    deadline, Retry());
       });
       fetches.push_back(std::move(fetch));
     }

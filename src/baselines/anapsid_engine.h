@@ -16,6 +16,10 @@ namespace lusail::baselines {
 struct AnapsidOptions {
   size_t num_threads = 0;
   bool use_cache = true;
+
+  /// Client-side retry policy for endpoint requests (same decorator the
+  /// Lusail engine uses). Disabled (fail-stop) by default.
+  net::RetryPolicy retry_policy;
 };
 
 /// ANAPSID-style adaptive federated engine (Acosta et al., ISWC 2011) —
@@ -66,6 +70,11 @@ class AnapsidEngine : public fed::FederatedEngine {
                                            fed::MetricsCollector* metrics,
                                            const Deadline& deadline,
                                            fed::ExecutionProfile* profile);
+
+  /// The engine's retry policy, or null when retries are disabled.
+  const net::RetryPolicy* Retry() const {
+    return options_.retry_policy.enabled() ? &options_.retry_policy : nullptr;
+  }
 
   const fed::Federation* federation_;
   AnapsidOptions options_;

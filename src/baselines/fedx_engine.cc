@@ -76,7 +76,7 @@ Result<std::vector<std::vector<int>>> FedXEngine::SelectSources(
     LUSAIL_ASSIGN_OR_RETURN(
         std::vector<std::vector<int>> asked,
         selector.SelectSources(need_ask, metrics, deadline,
-                               options_.use_cache));
+                               options_.use_cache, Retry()));
     for (size_t k = 0; k < need_ask.size(); ++k) {
       sources[need_ask_index[k]] = std::move(asked[k]);
     }
@@ -200,7 +200,7 @@ Result<BindingTable> FedXEngine::BoundJoinStep(
       LUSAIL_ASSIGN_OR_RETURN(
           sparql::ResultTable part,
           federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                               deadline));
+                               deadline, Retry()));
       fed::AppendUnion(&fetched, fed::InternTable(part, dict));
     }
     return fetched;
@@ -274,7 +274,7 @@ Result<BindingTable> FedXEngine::BoundJoinStep(
       LUSAIL_ASSIGN_OR_RETURN(
           sparql::ResultTable part,
           federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                               deadline));
+                               deadline, Retry()));
       fed::AppendUnion(&fetched, fed::InternTable(part, dict));
     }
     if (result_cap.has_value()) {

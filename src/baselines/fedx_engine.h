@@ -43,6 +43,11 @@ struct FedXOptions {
   size_t bound_join_block_size = 15;
   size_t num_threads = 0;
   bool use_cache = true;
+
+  /// Client-side retry policy for endpoint requests (same decorator the
+  /// Lusail engine uses, so resilience comparisons are apples-to-apples).
+  /// Disabled (fail-stop) by default.
+  net::RetryPolicy retry_policy;
 };
 
 /// Reimplementation of the FedX federated engine (Schwarte et al., ISWC
@@ -110,6 +115,11 @@ class FedXEngine : public fed::FederatedEngine {
       const sparql::GraphPattern& pattern, std::optional<uint64_t> result_cap,
       fed::SharedDictionary* dict, fed::MetricsCollector* metrics,
       const Deadline& deadline, fed::ExecutionProfile* profile);
+
+  /// The engine's retry policy, or null when retries are disabled.
+  const net::RetryPolicy* Retry() const {
+    return options_.retry_policy.enabled() ? &options_.retry_policy : nullptr;
+  }
 
   const fed::Federation* federation_;
   FedXOptions options_;

@@ -18,7 +18,14 @@ enum class StatusCode {
   kTimeout,           ///< Query exceeded its deadline.
   kUnsupported,       ///< Feature outside the implemented SPARQL subset.
   kInternal,          ///< Invariant violation; indicates a bug.
+  kUnavailable,       ///< Transient endpoint failure (outage, rate limit).
 };
+
+/// True for failure classes that a retry may fix: the request itself was
+/// well-formed but the endpoint could not serve it right now.
+inline bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
+}
 
 /// Returns a human-readable name for `code`, e.g. "ParseError".
 const char* StatusCodeToString(StatusCode code);
@@ -54,8 +61,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// True when retrying the failed operation may succeed (transient
+  /// endpoint unavailability or a per-attempt timeout).
+  bool IsRetryable() const { return IsRetryableCode(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -2,6 +2,7 @@
 #define LUSAIL_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <limits>
 
 namespace lusail {
 
@@ -48,6 +49,17 @@ class Deadline {
 
   bool Expired() const {
     return has_deadline_ && Clock::now() >= expiry_;
+  }
+
+  /// Milliseconds until expiry: +infinity without a deadline, never
+  /// negative. Retry loops use this to cap backoff sleeps so no attempt
+  /// ever sleeps past the query deadline.
+  double RemainingMillis() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    double ms = std::chrono::duration<double, std::milli>(expiry_ -
+                                                          Clock::now())
+                    .count();
+    return ms > 0.0 ? ms : 0.0;
   }
 
   bool has_deadline() const { return has_deadline_; }

@@ -52,7 +52,8 @@ Status CostModel::CollectStatistics(
     const std::vector<sparql::TriplePattern>& triples,
     const std::vector<std::vector<int>>& sources,
     const std::vector<sparql::Expr>& filters,
-    fed::MetricsCollector* metrics, const Deadline& deadline) {
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    const net::RetryPolicy* retry, bool tolerate_failures) {
   struct Probe {
     int tp;
     int ep;
@@ -80,18 +81,21 @@ Status CostModel::CollectStatistics(
       Probe probe;
       probe.tp = static_cast<int>(ti);
       probe.ep = ep;
-      probe.result = pool_->Submit([this, ep, text, metrics, deadline]() {
+      probe.result = pool_->Submit([this, ep, text, metrics, deadline,
+                                    retry]() {
         return federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                                    deadline);
+                                    deadline, retry);
       });
       probes.push_back(std::move(probe));
     }
   }
 
+  size_t failed = 0;
   Status first_error;
   for (Probe& probe : probes) {
     Result<sparql::ResultTable> table = probe.result.get();
     if (!table.ok()) {
+      ++failed;
       if (first_error.ok()) first_error = table.status();
       continue;
     }
@@ -102,7 +106,14 @@ Status CostModel::CollectStatistics(
     }
     counts_[{probe.tp, probe.ep}] = count;
   }
-  return first_error;
+  if (failed > 0 && !tolerate_failures) {
+    return Status(first_error.code(),
+                  std::to_string(failed) + " of " +
+                      std::to_string(probes.size()) +
+                      " COUNT probes failed; first: " +
+                      first_error.ToString());
+  }
+  return Status::OK();
 }
 
 uint64_t CostModel::PatternCount(int tp_index, int ep) const {

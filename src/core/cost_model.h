@@ -31,11 +31,17 @@ class CostModel {
       : federation_(federation), pool_(pool) {}
 
   /// Issues the COUNT probes (in parallel) and stores the statistics.
+  /// Probes go through `retry` when given. A failed probe normally fails
+  /// collection; with `tolerate_failures` it is skipped instead — its
+  /// (pattern, endpoint) count stays 0, biasing that subquery toward the
+  /// concurrent phase, which only affects performance, not correctness.
   Status CollectStatistics(const std::vector<sparql::TriplePattern>& triples,
                            const std::vector<std::vector<int>>& sources,
                            const std::vector<sparql::Expr>& filters,
                            fed::MetricsCollector* metrics,
-                           const Deadline& deadline);
+                           const Deadline& deadline,
+                           const net::RetryPolicy* retry = nullptr,
+                           bool tolerate_failures = false);
 
   /// Cardinality of pattern `tp_index` at endpoint `ep` (0 if unprobed).
   uint64_t PatternCount(int tp_index, int ep) const;

@@ -44,7 +44,7 @@ Result<GjvResult> GjvDetector::Detect(
     const std::vector<TriplePattern>& triples,
     const std::vector<std::vector<int>>& sources,
     fed::MetricsCollector* metrics, const Deadline& deadline,
-    bool use_cache) {
+    bool use_cache, const net::RetryPolicy* retry, bool tolerate_failures) {
   GjvResult result;
   std::vector<JoinVariable> join_vars = QueryGraph::JoinVariables(triples);
   std::vector<Check> checks;
@@ -146,11 +146,11 @@ Result<GjvResult> GjvDetector::Detect(
       std::string text = check.query_text;
       p.nonempty =
           pool_->Submit([this, ep, text = std::move(text), metrics,
-                         deadline]() -> Result<bool> {
+                         deadline, retry]() -> Result<bool> {
             LUSAIL_ASSIGN_OR_RETURN(
                 sparql::ResultTable table,
                 federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                                     deadline));
+                                     deadline, retry));
             return !table.rows.empty();
           });
       pending.push_back(std::move(p));
@@ -158,11 +158,19 @@ Result<GjvResult> GjvDetector::Detect(
     }
   }
 
-  Status first_error;
+  std::vector<Status> failures;
   for (Pending& p : pending) {
     Result<bool> nonempty = p.nonempty.get();
     if (!nonempty.ok()) {
-      if (first_error.ok()) first_error = nonempty.status();
+      if (tolerate_failures) {
+        // Unverifiable locality: conservatively treat the pair as causing
+        // (its variable goes global), which is always correct — it only
+        // costs an extra federator-side join.
+        result.causes[checks[p.check_index].var].insert(
+            checks[p.check_index].pair);
+      } else {
+        failures.push_back(nonempty.status());
+      }
       continue;
     }
     cache_->Put(p.cache_key, *nonempty);
@@ -171,7 +179,13 @@ Result<GjvResult> GjvDetector::Detect(
           checks[p.check_index].pair);
     }
   }
-  if (!first_error.ok()) return first_error;
+  if (!failures.empty()) {
+    std::string msg = std::to_string(failures.size()) + " of " +
+                      std::to_string(pending.size()) +
+                      " locality check queries failed; first: " +
+                      failures.front().ToString();
+    return Status(failures.front().code(), std::move(msg));
+  }
   return result;
 }
 

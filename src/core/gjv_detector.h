@@ -69,11 +69,16 @@ class GjvDetector {
 
   /// Runs detection for `triples`, whose per-pattern relevant sources are
   /// `sources` (from source selection). `use_cache=false` forces fresh
-  /// check queries.
+  /// check queries. Check queries go through `retry` when given. A failed
+  /// check normally fails detection; with `tolerate_failures` the pair is
+  /// conservatively treated as a causing pair instead (uncached) — its
+  /// variable becomes global, which is always correct, just less optimal.
   Result<GjvResult> Detect(const std::vector<sparql::TriplePattern>& triples,
                            const std::vector<std::vector<int>>& sources,
                            fed::MetricsCollector* metrics,
-                           const Deadline& deadline, bool use_cache);
+                           const Deadline& deadline, bool use_cache,
+                           const net::RetryPolicy* retry = nullptr,
+                           bool tolerate_failures = false);
 
   /// Builds the Figure 5 check-query text for one (outer, inner) pair:
   /// SELECT ?v WHERE { [type triples] <outer pattern> FILTER NOT EXISTS {

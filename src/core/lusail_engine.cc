@@ -46,21 +46,26 @@ Result<AnalyzedQuery> LusailEngine::Analyze(const std::string& sparql_text) {
   out.query = query;
   fed::MetricsCollector metrics;
   Deadline deadline;
+  const net::RetryPolicy* retry =
+      options_.retry_policy.enabled() ? &options_.retry_policy : nullptr;
+  const bool tolerate = options_.partial_results;
 
   fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
   LUSAIL_ASSIGN_OR_RETURN(
       out.sources, selector.SelectSources(query.where.triples, &metrics,
-                                          deadline, options_.use_cache));
+                                          deadline, options_.use_cache,
+                                          retry, tolerate));
 
   GjvDetector detector(federation_, &check_cache_, &pool_);
   LUSAIL_ASSIGN_OR_RETURN(
       out.gjvs, detector.Detect(query.where.triples, out.sources, &metrics,
-                                deadline, options_.use_cache));
+                                deadline, options_.use_cache, retry,
+                                tolerate));
 
   CostModel cost_model(federation_, &pool_);
   LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(
       query.where.triples, out.sources, query.where.filters, &metrics,
-      deadline));
+      deadline, retry, tolerate));
   Decomposer decomposer(&cost_model);
   out.decomposition =
       decomposer.Decompose(query.where.triples, out.sources, out.gjvs,
@@ -119,11 +124,14 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
     }
   }
 
+  const net::RetryPolicy* retry =
+      options_.retry_policy.enabled() ? &options_.retry_policy : nullptr;
+  const bool tolerate = options_.partial_results;
   fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
   LUSAIL_ASSIGN_OR_RETURN(
       std::vector<std::vector<int>> sources,
-      selector.SelectSources(combined, metrics, deadline,
-                             options_.use_cache));
+      selector.SelectSources(combined, metrics, deadline, options_.use_cache,
+                             retry, tolerate));
   profile->source_selection_ms += timer.ElapsedMillis();
 
   // Mandatory patterns with no relevant source: the query has no answers.
@@ -147,10 +155,12 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
   GjvDetector detector(federation_, &check_cache_, &pool_);
   LUSAIL_ASSIGN_OR_RETURN(GjvResult gjvs,
                           detector.Detect(combined, sources, metrics,
-                                          deadline, options_.use_cache));
+                                          deadline, options_.use_cache,
+                                          retry, tolerate));
   CostModel cost_model(federation_, &pool_);
   LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(triples, sources, filters,
-                                                    metrics, deadline));
+                                                    metrics, deadline, retry,
+                                                    tolerate));
   Decomposer decomposer(&cost_model);
   Decomposition decomposition =
       decomposer.Decompose(triples, sources, gjvs, filters, needed_vars);

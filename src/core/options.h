@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "net/resilience.h"
+
 namespace lusail::core {
 
 /// Threshold for deciding which subqueries SAPE delays (Section 4.1,
@@ -51,6 +53,24 @@ struct LusailOptions {
 
   /// Partitions for the parallel hash join.
   size_t join_partitions = 8;
+
+  /// Client-side retry policy for every endpoint request this engine
+  /// issues (ASK probes, check queries, COUNT probes, subqueries). The
+  /// default (max_attempts = 1) is the fail-stop behaviour of the paper's
+  /// setup; enable retries (e.g. net::RetryPolicy::Standard()) to ride
+  /// out transient endpoint failures. Retries engage the federation's
+  /// per-endpoint circuit breakers and never sleep past the query
+  /// deadline.
+  net::RetryPolicy retry_policy;
+
+  /// When true, an endpoint that stays down past the retry budget is
+  /// *dropped* instead of failing the query: its contribution to each
+  /// subquery's per-endpoint union is skipped and the degradation is
+  /// reported in ExecutionProfile (partial, failed_endpoint_ids,
+  /// subqueries_dropped). The result is then a lower bound of the exact
+  /// answer. When false (default) such failures abort the query with an
+  /// aggregated multi-endpoint error.
+  bool partial_results = false;
 };
 
 }  // namespace lusail::core

@@ -32,6 +32,51 @@ std::vector<rdf::TermId> DistinctColumn(const BindingTable& table,
   return out;
 }
 
+/// The engine's retry policy, or null when retries are disabled (the
+/// federation then uses the plain fail-stop request path).
+const net::RetryPolicy* RetryOf(const LusailOptions* options) {
+  return options->retry_policy.enabled() ? &options->retry_policy : nullptr;
+}
+
+/// One failed endpoint request: which endpoint, and why.
+struct EndpointFailure {
+  int endpoint;
+  Status status;
+};
+
+/// Builds one Status describing *all* endpoint failures of a phase, not
+/// just the first: count, the distinct endpoint ids, and up to four
+/// per-endpoint messages. Debugging a multi-endpoint outage needs the
+/// full picture, not a single truncated message.
+Status AggregateFailures(const fed::Federation* federation, const char* phase,
+                         const std::vector<EndpointFailure>& failures,
+                         size_t total_requests) {
+  std::vector<std::string> ids;
+  for (const EndpointFailure& f : failures) {
+    std::string id = federation->id(static_cast<size_t>(f.endpoint));
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+      ids.push_back(std::move(id));
+    }
+  }
+  std::string msg = std::to_string(failures.size()) + " of " +
+                    std::to_string(total_requests) +
+                    " endpoint requests failed in " + phase +
+                    " (endpoints: ";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) msg += ", ";
+    msg += ids[i];
+  }
+  msg += ")";
+  const size_t kMaxDetailed = 4;
+  for (size_t i = 0; i < failures.size() && i < kMaxDetailed; ++i) {
+    msg += "; " +
+           federation->id(static_cast<size_t>(failures[i].endpoint)) + ": " +
+           failures[i].status.ToString();
+  }
+  if (failures.size() > kMaxDetailed) msg += "; ...";
+  return Status(failures.front().status.code(), std::move(msg));
+}
+
 /// Joins every group of tables that (transitively) share variables,
 /// using the DP join order within each group; disjoint groups remain.
 std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
@@ -74,27 +119,45 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
     const sparql::ValuesClause* values, fed::SharedDictionary* dict,
     fed::MetricsCollector* metrics, const Deadline& deadline) {
   std::string text = sq.ToSparql(triples, values);
+  const net::RetryPolicy* retry = RetryOf(options_);
   std::vector<std::future<Result<sparql::ResultTable>>> futures;
   futures.reserve(sq.sources.size());
   for (int ep : sq.sources) {
     futures.push_back(
-        pool_->Submit([this, ep, text, metrics, deadline]() {
+        pool_->Submit([this, ep, text, metrics, deadline, retry]() {
           return federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                                      deadline);
+                                      deadline, retry);
         }));
   }
   BindingTable merged;
   merged.vars = sq.projection;
-  Status first_error;
-  for (auto& f : futures) {
-    Result<sparql::ResultTable> table = f.get();
+  std::vector<EndpointFailure> failures;
+  size_t successes = 0;
+  for (size_t k = 0; k < futures.size(); ++k) {
+    Result<sparql::ResultTable> table = futures[k].get();
     if (!table.ok()) {
-      if (first_error.ok()) first_error = table.status();
+      failures.push_back({sq.sources[k], table.status()});
       continue;
     }
+    ++successes;
     fed::AppendUnion(&merged, fed::InternTable(*table, dict));
   }
-  if (!first_error.ok()) return first_error;
+  if (!failures.empty()) {
+    if (!options_->partial_results) {
+      return AggregateFailures(federation_, "subquery evaluation", failures,
+                               futures.size());
+    }
+    // Graceful degradation: each per-endpoint result is one branch of the
+    // subquery's UNION — dropping a branch yields a subset of the exact
+    // answer, which is exactly what partial_results promises.
+    if (metrics != nullptr) {
+      for (const EndpointFailure& f : failures) {
+        metrics->RecordEndpointDropped(
+            federation_->id(static_cast<size_t>(f.endpoint)));
+      }
+      if (successes == 0) metrics->RecordSubqueryDropped();
+    }
+  }
   return merged;
 }
 
@@ -144,40 +207,63 @@ Result<BindingTable> SapeExecutor::Execute(
   // Algorithm 3 lines 6-7.
   struct Fetch {
     size_t sq_index;
+    int endpoint;
     std::future<Result<sparql::ResultTable>> result;
   };
+  const net::RetryPolicy* retry = RetryOf(options_);
   std::vector<Fetch> fetches;
   std::vector<size_t> phase1_order;
   std::map<size_t, BindingTable> phase1_tables;
+  std::map<size_t, size_t> phase1_successes;
   for (size_t i = 0; i < subqueries.size(); ++i) {
     if (subqueries[i].delayed) continue;
     phase1_order.push_back(i);
     BindingTable empty;
     empty.vars = subqueries[i].projection;
     phase1_tables.emplace(i, std::move(empty));
+    phase1_successes.emplace(i, 0);
     std::string text = subqueries[i].ToSparql(triples, nullptr);
     for (int ep : subqueries[i].sources) {
       Fetch fetch;
       fetch.sq_index = i;
+      fetch.endpoint = ep;
       fetch.result = pool_->Submit(
-          [this, ep, text, metrics, deadline]() {
+          [this, ep, text, metrics, deadline, retry]() {
             return federation_->Execute(static_cast<size_t>(ep), text,
-                                        metrics, deadline);
+                                        metrics, deadline, retry);
           });
       fetches.push_back(std::move(fetch));
     }
   }
-  Status phase1_error;
+  std::vector<EndpointFailure> phase1_failures;
+  std::set<size_t> phase1_failed_sqs;
   for (Fetch& fetch : fetches) {
     Result<sparql::ResultTable> part = fetch.result.get();
     if (!part.ok()) {
-      if (phase1_error.ok()) phase1_error = part.status();
+      phase1_failures.push_back({fetch.endpoint, part.status()});
+      phase1_failed_sqs.insert(fetch.sq_index);
       continue;
     }
+    ++phase1_successes[fetch.sq_index];
     fed::AppendUnion(&phase1_tables[fetch.sq_index],
                      fed::InternTable(*part, dict));
   }
-  if (!phase1_error.ok()) return phase1_error;
+  if (!phase1_failures.empty()) {
+    if (!options_->partial_results) {
+      return AggregateFailures(federation_, "SAPE phase 1 (concurrent "
+                               "subqueries)", phase1_failures,
+                               fetches.size());
+    }
+    if (metrics != nullptr) {
+      for (const EndpointFailure& f : phase1_failures) {
+        metrics->RecordEndpointDropped(
+            federation_->id(static_cast<size_t>(f.endpoint)));
+      }
+      for (size_t sq_index : phase1_failed_sqs) {
+        if (phase1_successes[sq_index] == 0) metrics->RecordSubqueryDropped();
+      }
+    }
+  }
   std::vector<BindingTable> tables;
   for (size_t i : phase1_order) {
     tables.push_back(std::move(phase1_tables[i]));
@@ -271,9 +357,9 @@ Result<BindingTable> SapeExecutor::Execute(
       std::vector<std::future<Result<bool>>> probes;
       for (int ep : sources) {
         probes.push_back(pool_->Submit([this, ep, ask_text, metrics,
-                                        deadline]() {
+                                        deadline, retry]() {
           return federation_->Ask(static_cast<size_t>(ep), ask_text, metrics,
-                                  deadline);
+                                  deadline, retry);
         }));
       }
       std::vector<int> kept;

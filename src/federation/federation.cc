@@ -1,16 +1,59 @@
 #include "federation/federation.h"
 
+#include <cctype>
+
+#include "common/string_util.h"
+
 namespace lusail::fed {
+
+bool LooksLikeAskQuery(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size()) {
+    // Skip whitespace and '#' comments.
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    if (text[i] == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    // Read the next keyword.
+    size_t start = i;
+    while (i < text.size() &&
+           std::isalpha(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i == start) return false;  // Starts with '{', '<', digits, ...
+    std::string word = text.substr(start, i - start);
+    if (EqualsIgnoreCase(word, "ASK")) return true;
+    if (EqualsIgnoreCase(word, "PREFIX") || EqualsIgnoreCase(word, "BASE")) {
+      // Skip the declaration through its closing '>' of the IRI.
+      while (i < text.size() && text[i] != '>') ++i;
+      if (i < text.size()) ++i;
+      continue;
+    }
+    return false;  // SELECT, CONSTRUCT, ...
+  }
+  return false;
+}
 
 size_t Federation::Add(std::shared_ptr<net::Endpoint> endpoint) {
   endpoints_.push_back(std::move(endpoint));
+  breakers_.push_back(std::make_unique<net::CircuitBreaker>(breaker_config_));
   return endpoints_.size() - 1;
 }
 
-Result<sparql::ResultTable> Federation::Execute(size_t i,
-                                                const std::string& text,
-                                                MetricsCollector* metrics,
-                                                const Deadline& deadline) const {
+void Federation::ConfigureBreakers(const net::CircuitBreakerConfig& config) {
+  breaker_config_ = config;
+  for (auto& breaker : breakers_) {
+    breaker = std::make_unique<net::CircuitBreaker>(config);
+  }
+}
+
+Result<sparql::ResultTable> Federation::Execute(
+    size_t i, const std::string& text, MetricsCollector* metrics,
+    const Deadline& deadline, const net::RetryPolicy* retry) const {
   if (i >= endpoints_.size()) {
     return Status::NotFound("no endpoint with index " + std::to_string(i));
   }
@@ -18,22 +61,28 @@ Result<sparql::ResultTable> Federation::Execute(size_t i,
     return Status::Timeout("query deadline expired before request to " +
                            endpoints_[i]->id());
   }
-  LUSAIL_ASSIGN_OR_RETURN(net::QueryResponse response,
-                          endpoints_[i]->Query(text));
-  if (metrics != nullptr) {
-    // Crude but robust ASK detection on the wire text (the endpoint parsed
-    // the query anyway; this avoids widening the interface).
-    bool is_ask = text.rfind("ASK", 0) == 0;
-    metrics->RecordRequest(response, is_ask);
+  Result<net::QueryResponse> response = Status::Internal("unreachable");
+  if (retry != nullptr && retry->enabled()) {
+    net::RetryOutcome outcome;
+    response = net::QueryWithRetry(endpoints_[i].get(), text, deadline,
+                                   *retry, breakers_[i].get(), &outcome);
+    if (metrics != nullptr) metrics->RecordRetryOutcome(outcome);
+  } else {
+    response = endpoints_[i]->QueryWithDeadline(text, deadline);
   }
-  return std::move(response.table);
+  if (!response.ok()) return response.status();
+  if (metrics != nullptr) {
+    metrics->RecordRequest(*response, LooksLikeAskQuery(text));
+  }
+  return std::move(response->table);
 }
 
 Result<bool> Federation::Ask(size_t i, const std::string& text,
                              MetricsCollector* metrics,
-                             const Deadline& deadline) const {
+                             const Deadline& deadline,
+                             const net::RetryPolicy* retry) const {
   LUSAIL_ASSIGN_OR_RETURN(sparql::ResultTable table,
-                          Execute(i, text, metrics, deadline));
+                          Execute(i, text, metrics, deadline, retry));
   return !table.rows.empty();
 }
 

@@ -4,12 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "net/endpoint.h"
+#include "net/resilience.h"
 #include "sparql/result_table.h"
 
 namespace lusail::fed {
@@ -36,6 +39,22 @@ struct ExecutionProfile {
   /// Largest number of intermediate binding rows held at once — the
   /// memory-footprint proxy of the paper's extended-version experiments.
   uint64_t peak_intermediate_rows = 0;
+
+  // --- Fault tolerance (client-side resilience + degradation) ---
+
+  uint64_t retries = 0;             ///< Endpoint requests retried.
+  uint64_t breaker_rejections = 0;  ///< Requests refused by an open breaker.
+  uint64_t breaker_trips = 0;       ///< Circuit-breaker trips this query.
+  uint64_t endpoints_failed = 0;    ///< Distinct endpoints dropped.
+  uint64_t subqueries_dropped = 0;  ///< Subqueries that lost every endpoint.
+
+  /// Ids of the endpoints whose contributions were dropped (partial
+  /// results mode); empty when the result is exact.
+  std::vector<std::string> failed_endpoint_ids;
+
+  /// True when any endpoint contribution was dropped: the result is a
+  /// lower bound of the exact answer, not the exact answer.
+  bool partial = false;
 };
 
 /// Thread-safe accumulator for one federated query execution.
@@ -57,6 +76,27 @@ class MetricsCollector {
                           std::memory_order_relaxed);
   }
 
+  /// Folds one retry loop's accounting into the query totals.
+  void RecordRetryOutcome(const net::RetryOutcome& outcome) {
+    retries_.fetch_add(outcome.retries, std::memory_order_relaxed);
+    breaker_rejections_.fetch_add(outcome.breaker_rejections,
+                                  std::memory_order_relaxed);
+    breaker_trips_.fetch_add(outcome.breaker_trips,
+                             std::memory_order_relaxed);
+  }
+
+  /// Records that `endpoint_id`'s contribution was dropped from a
+  /// subquery union (partial-results degradation).
+  void RecordEndpointDropped(const std::string& endpoint_id) {
+    std::lock_guard<std::mutex> lock(dropped_mu_);
+    dropped_endpoints_.insert(endpoint_id);
+  }
+
+  /// Records a subquery that lost *all* of its endpoints.
+  void RecordSubqueryDropped() {
+    subqueries_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Copies the counters into a profile (phase timings are the caller's).
   void FillCounters(ExecutionProfile* profile) const {
     profile->requests = requests_.load(std::memory_order_relaxed);
@@ -67,6 +107,20 @@ class MetricsCollector {
     profile->network_ms =
         static_cast<double>(network_us_.load(std::memory_order_relaxed)) /
         1000.0;
+    profile->retries = retries_.load(std::memory_order_relaxed);
+    profile->breaker_rejections =
+        breaker_rejections_.load(std::memory_order_relaxed);
+    profile->breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+    profile->subqueries_dropped =
+        subqueries_dropped_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(dropped_mu_);
+      profile->failed_endpoint_ids.assign(dropped_endpoints_.begin(),
+                                          dropped_endpoints_.end());
+    }
+    profile->endpoints_failed = profile->failed_endpoint_ids.size();
+    profile->partial =
+        profile->endpoints_failed > 0 || profile->subqueries_dropped > 0;
   }
 
  private:
@@ -76,7 +130,18 @@ class MetricsCollector {
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint64_t> rows_received_{0};
   std::atomic<uint64_t> network_us_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> breaker_rejections_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<uint64_t> subqueries_dropped_{0};
+  mutable std::mutex dropped_mu_;
+  std::set<std::string> dropped_endpoints_;
 };
+
+/// True when `text` is an ASK query, tolerating leading whitespace,
+/// comments, and PREFIX/BASE declarations (matching is case-insensitive,
+/// like SPARQL keywords).
+bool LooksLikeAskQuery(const std::string& text);
 
 /// The registry of endpoints a federated query runs against, plus the
 /// request path every engine uses (with per-query accounting and
@@ -85,7 +150,8 @@ class Federation {
  public:
   Federation() = default;
 
-  /// Registers an endpoint; returns its index.
+  /// Registers an endpoint; returns its index. A circuit breaker is
+  /// created alongside it (engaged only by retry-policy executions).
   size_t Add(std::shared_ptr<net::Endpoint> endpoint);
 
   size_t size() const { return endpoints_.size(); }
@@ -93,19 +159,36 @@ class Federation {
   net::Endpoint* endpoint(size_t i) const { return endpoints_[i].get(); }
   const std::string& id(size_t i) const { return endpoints_[i]->id(); }
 
+  /// Replaces every endpoint's circuit breaker with a fresh one using
+  /// `config` (also applied to endpoints added later).
+  void ConfigureBreakers(const net::CircuitBreakerConfig& config);
+
+  /// The circuit breaker guarding endpoint `i`. Shared by all engines on
+  /// this federation — endpoint health is a property of the endpoint,
+  /// not of any one client.
+  net::CircuitBreaker* breaker(size_t i) const { return breakers_[i].get(); }
+
   /// Issues `text` at endpoint `i`. Accounts the exchange into `metrics`
   /// (when non-null) and fails with Timeout when `deadline` has expired
-  /// before the request is issued.
+  /// before the request is issued. With a non-null `retry` whose policy
+  /// is enabled, retryable failures are retried with backoff under the
+  /// endpoint's circuit breaker, never sleeping past `deadline`; retry
+  /// and breaker activity is accounted into `metrics`.
   Result<sparql::ResultTable> Execute(size_t i, const std::string& text,
                                       MetricsCollector* metrics,
-                                      const Deadline& deadline) const;
+                                      const Deadline& deadline,
+                                      const net::RetryPolicy* retry =
+                                          nullptr) const;
 
   /// Convenience ASK wrapper: true iff the endpoint returned a row.
   Result<bool> Ask(size_t i, const std::string& text,
-                   MetricsCollector* metrics, const Deadline& deadline) const;
+                   MetricsCollector* metrics, const Deadline& deadline,
+                   const net::RetryPolicy* retry = nullptr) const;
 
  private:
   std::vector<std::shared_ptr<net::Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<net::CircuitBreaker>> breakers_;
+  net::CircuitBreakerConfig breaker_config_;
 };
 
 /// Result of a federated query: the final table plus the cost profile.

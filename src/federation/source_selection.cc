@@ -1,5 +1,6 @@
 #include "federation/source_selection.h"
 
+#include <algorithm>
 #include <future>
 
 namespace lusail::fed {
@@ -18,7 +19,8 @@ std::string AskQueryText(const sparql::TriplePattern& tp) {
 
 Result<std::vector<std::vector<int>>> SourceSelector::SelectSources(
     const std::vector<sparql::TriplePattern>& patterns,
-    MetricsCollector* metrics, const Deadline& deadline, bool use_cache) {
+    MetricsCollector* metrics, const Deadline& deadline, bool use_cache,
+    const net::RetryPolicy* retry, bool tolerate_failures) {
   const size_t num_eps = federation_->size();
   std::vector<std::vector<int>> sources(patterns.size());
 
@@ -46,27 +48,54 @@ Result<std::vector<std::vector<int>>> SourceSelector::SelectSources(
       probe.cache_key = std::move(key);
       std::string text = AskQueryText(patterns[pi]);
       probe.result = pool_->Submit(
-          [this, ei, text = std::move(text), metrics, deadline]() {
-            return federation_->Ask(ei, text, metrics, deadline);
+          [this, ei, text = std::move(text), metrics, deadline, retry]() {
+            return federation_->Ask(ei, text, metrics, deadline, retry);
           });
       probes.push_back(std::move(probe));
     }
   }
 
-  Status first_error;
+  std::vector<std::pair<size_t, Status>> failures;
   for (Probe& probe : probes) {
     Result<bool> answer = probe.result.get();
     if (!answer.ok()) {
-      if (first_error.ok()) first_error = answer.status();
+      if (tolerate_failures) {
+        // Unreachable endpoint: conservatively assume it is relevant (and
+        // leave it uncached) so it is retried/dropped at execution time.
+        sources[probe.pattern].push_back(static_cast<int>(probe.endpoint));
+      } else {
+        failures.emplace_back(probe.endpoint, answer.status());
+      }
       continue;
     }
     cache_->Put(probe.cache_key, *answer);
     if (*answer) sources[probe.pattern].push_back(static_cast<int>(probe.endpoint));
   }
-  if (!first_error.ok()) return first_error;
+  if (!failures.empty()) {
+    std::string msg = std::to_string(failures.size()) + " of " +
+                      std::to_string(probes.size()) +
+                      " source-selection probes failed (endpoints: ";
+    std::vector<std::string> ids;
+    for (const auto& [ei, status] : failures) {
+      std::string id = federation_->id(ei);
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+        ids.push_back(std::move(id));
+      }
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) msg += ", ";
+      msg += ids[i];
+    }
+    msg += "); first: " + failures.front().second.ToString();
+    return Status(failures.front().second.code(), std::move(msg));
+  }
 
-  // Probes may resolve out of order across endpoints; keep lists sorted.
-  for (auto& list : sources) std::sort(list.begin(), list.end());
+  // Conservative keeps may duplicate endpoints already found relevant.
+  for (auto& list : sources) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
   return sources;
 }
 

@@ -72,10 +72,17 @@ class SourceSelector {
 
   /// Returns, per triple pattern, the sorted list of endpoint indices
   /// with at least one matching triple. `use_cache=false` forces fresh
-  /// probes (and still populates the cache).
+  /// probes (and still populates the cache). Probes go through `retry`
+  /// when given. A failed probe normally fails the selection (with every
+  /// failure aggregated into one status); with `tolerate_failures` the
+  /// endpoint is conservatively kept as relevant instead (uncached), so a
+  /// flaky endpoint degrades at execution time rather than silently
+  /// losing sources here.
   Result<std::vector<std::vector<int>>> SelectSources(
       const std::vector<sparql::TriplePattern>& patterns,
-      MetricsCollector* metrics, const Deadline& deadline, bool use_cache);
+      MetricsCollector* metrics, const Deadline& deadline, bool use_cache,
+      const net::RetryPolicy* retry = nullptr,
+      bool tolerate_failures = false);
 
  private:
   const Federation* federation_;

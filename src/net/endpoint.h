@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "sparql/result_table.h"
 
 namespace lusail::net {
@@ -31,6 +32,16 @@ class Endpoint {
   /// Parses and evaluates `sparql_text`, charging simulated network cost.
   /// ASK queries yield a zero-column table with 0 or 1 rows. Thread-safe.
   virtual Result<QueryResponse> Query(const std::string& sparql_text) = 0;
+
+  /// Deadline-aware variant used by resilient decorators: implementations
+  /// that sleep (retry backoff, injected slowness) must never sleep past
+  /// `deadline`. The default ignores the deadline (a plain endpoint does
+  /// not sleep beyond its latency model).
+  virtual Result<QueryResponse> QueryWithDeadline(
+      const std::string& sparql_text, const Deadline& deadline) {
+    (void)deadline;
+    return Query(sparql_text);
+  }
 };
 
 }  // namespace lusail::net

@@ -1,0 +1,235 @@
+#include "net/resilience.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace lusail::net {
+
+// ---------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      double open_ms = std::chrono::duration<double, std::milli>(
+                           Clock::now() - opened_at_)
+                           .count();
+      if (open_ms < config_.open_cooldown_ms) return false;
+      state_ = State::kHalfOpen;
+      half_open_in_flight_ = 0;
+      [[fallthrough]];
+    }
+    case State::kHalfOpen:
+      if (half_open_in_flight_ >= config_.half_open_probes) return false;
+      ++half_open_in_flight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The probe proved the endpoint healthy again.
+    state_ = State::kClosed;
+    window_.clear();
+    window_failures_ = 0;
+    half_open_in_flight_ = 0;
+    return;
+  }
+  if (state_ == State::kOpen) return;  // Late response; ignore.
+  window_.push_back(false);
+  if (window_.size() > config_.window_size) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+bool CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    TripLocked();
+    return true;
+  }
+  if (state_ == State::kOpen) return false;  // Late response; ignore.
+  window_.push_back(true);
+  ++window_failures_;
+  if (window_.size() > config_.window_size) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+  if (window_.size() >= config_.min_samples) {
+    double rate = static_cast<double>(window_failures_) /
+                  static_cast<double>(window_.size());
+    if (rate >= config_.failure_rate_threshold) {
+      TripLocked();
+      return true;
+    }
+  }
+  return false;
+}
+
+void CircuitBreaker::TripLocked() {
+  state_ = State::kOpen;
+  opened_at_ = Clock::now();
+  half_open_in_flight_ = 0;
+  window_.clear();
+  window_failures_ = 0;
+  trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  window_.clear();
+  window_failures_ = 0;
+  half_open_in_flight_ = 0;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// QueryWithRetry
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Sleeps `millis`, clamped to the remaining deadline. Returns the time
+/// actually slept.
+double SleepWithin(double millis, const Deadline& deadline) {
+  double capped = std::min(millis, deadline.RemainingMillis());
+  if (capped <= 0.0) return 0.0;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(capped));
+  return capped;
+}
+
+}  // namespace
+
+Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
+                                     const std::string& text,
+                                     const Deadline& deadline,
+                                     const RetryPolicy& policy,
+                                     CircuitBreaker* breaker,
+                                     RetryOutcome* outcome) {
+  RetryOutcome local;
+  RetryOutcome* out = outcome != nullptr ? outcome : &local;
+  if (!policy.use_circuit_breaker) breaker = nullptr;
+
+  // Jitter stream: reproducible per (seed, query text).
+  Rng rng(policy.jitter_seed ^ std::hash<std::string>{}(text));
+  int max_attempts = std::max(1, policy.max_attempts);
+  double prev_backoff = policy.initial_backoff_ms;
+  Status last = Status::Unavailable("no attempt issued to " + endpoint->id());
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (deadline.Expired()) {
+      return Status::Timeout("query deadline expired before attempt " +
+                             std::to_string(attempt + 1) + " to " +
+                             endpoint->id());
+    }
+    if (breaker != nullptr && !breaker->AllowRequest()) {
+      ++out->breaker_rejections;
+      return Status::Unavailable("circuit breaker open for " + endpoint->id());
+    }
+    ++out->attempts;
+    Result<QueryResponse> response = endpoint->QueryWithDeadline(text, deadline);
+    if (response.ok()) {
+      if (breaker != nullptr) breaker->RecordSuccess();
+      return response;
+    }
+    last = response.status();
+    // Client-side errors (parse, unsupported, ...) say nothing about the
+    // endpoint's health; only server-side failures feed the breaker.
+    if (breaker != nullptr &&
+        (last.IsRetryable() || last.code() == StatusCode::kInternal)) {
+      if (breaker->RecordFailure()) ++out->breaker_trips;
+    }
+    if (!last.IsRetryable() || attempt + 1 >= max_attempts) break;
+
+    double backoff;
+    if (policy.decorrelated_jitter) {
+      // AWS-style decorrelated jitter: U[initial, 3 * previous].
+      double lo = policy.initial_backoff_ms;
+      double hi = std::max(lo, prev_backoff * 3.0);
+      backoff = lo + rng.NextDouble() * (hi - lo);
+    } else {
+      backoff = prev_backoff;
+    }
+    backoff = std::min(backoff, policy.max_backoff_ms);
+    prev_backoff = policy.decorrelated_jitter
+                       ? backoff
+                       : std::min(prev_backoff * policy.backoff_multiplier,
+                                  policy.max_backoff_ms);
+    if (deadline.has_deadline() && deadline.RemainingMillis() <= 0.0) break;
+    out->backoff_ms += SleepWithin(backoff, deadline);
+    ++out->retries;
+  }
+
+  if (out->attempts > 1) {
+    return Status(last.code(), last.message() + " (after " +
+                                   std::to_string(out->attempts) +
+                                   " attempts to " + endpoint->id() + ")");
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------
+// ResilientEndpoint
+// ---------------------------------------------------------------------
+
+Result<QueryResponse> ResilientEndpoint::QueryWithDeadline(
+    const std::string& text, const Deadline& deadline) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RetryOutcome outcome;
+  Result<QueryResponse> response =
+      QueryWithRetry(inner_.get(), text, deadline, policy_, &breaker_,
+                     &outcome);
+  attempts_.fetch_add(outcome.attempts, std::memory_order_relaxed);
+  retries_.fetch_add(outcome.retries, std::memory_order_relaxed);
+  breaker_rejections_.fetch_add(outcome.breaker_rejections,
+                                std::memory_order_relaxed);
+  breaker_trips_.fetch_add(outcome.breaker_trips, std::memory_order_relaxed);
+  backoff_us_.fetch_add(static_cast<uint64_t>(outcome.backoff_ms * 1000.0),
+                        std::memory_order_relaxed);
+  if (!response.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+ResilienceStats ResilientEndpoint::stats() const {
+  ResilienceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.attempts = attempts_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.breaker_rejections =
+      breaker_rejections_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  stats.backoff_ms =
+      static_cast<double>(backoff_us_.load(std::memory_order_relaxed)) /
+      1000.0;
+  return stats;
+}
+
+}  // namespace lusail::net

@@ -1,0 +1,211 @@
+#ifndef LUSAIL_NET_RESILIENCE_H_
+#define LUSAIL_NET_RESILIENCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "net/endpoint.h"
+
+namespace lusail::net {
+
+/// Client-side retry configuration for endpoint requests. The defaults
+/// (max_attempts = 1) mean *no* retrying — the fail-stop behaviour every
+/// engine had before the fault-tolerance layer existed.
+///
+/// Retries apply only to retryable failures (Status::IsRetryable():
+/// kUnavailable, kTimeout); malformed queries and engine bugs fail
+/// immediately. Between attempts the client sleeps an exponentially
+/// growing backoff with decorrelated jitter, capped both by
+/// `max_backoff_ms` and by the remaining query deadline, so a retry loop
+/// never sleeps past the deadline.
+struct RetryPolicy {
+  /// Total attempts per request (first try included). 1 disables retries.
+  int max_attempts = 1;
+
+  /// Backoff before the first retry.
+  double initial_backoff_ms = 2.0;
+
+  /// Upper bound for any single backoff sleep.
+  double max_backoff_ms = 50.0;
+
+  /// Growth factor of the deterministic (jitter-free) backoff schedule.
+  double backoff_multiplier = 2.0;
+
+  /// Decorrelated jitter (sleep ~ U[initial, 3 * previous]) instead of
+  /// the deterministic schedule; avoids synchronized retry storms.
+  bool decorrelated_jitter = true;
+
+  /// Seed for the jitter RNG; the per-request stream also mixes in the
+  /// query text so runs are reproducible.
+  uint64_t jitter_seed = 0x5eedULL;
+
+  /// Consult the per-endpoint circuit breaker (when the caller provides
+  /// one) before each attempt.
+  bool use_circuit_breaker = true;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  static RetryPolicy NoRetry() { return RetryPolicy{}; }
+
+  /// A sensible production default: up to `attempts` tries with jittered
+  /// exponential backoff between 2 ms and 50 ms.
+  static RetryPolicy Standard(int attempts = 4) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    return p;
+  }
+};
+
+/// Circuit-breaker tuning. The breaker watches a sliding window of
+/// request outcomes; when the failure rate over at least `min_samples`
+/// outcomes reaches `failure_rate_threshold` it *opens* and rejects
+/// requests without contacting the endpoint. After `open_cooldown_ms` it
+/// lets `half_open_probes` trial requests through (*half-open*); a probe
+/// success closes the breaker, a probe failure re-opens it.
+struct CircuitBreakerConfig {
+  size_t window_size = 32;             ///< Outcomes kept in the window.
+  /// Outcomes required before the failure rate is evaluated at all. Keep
+  /// this a decent fraction of `window_size`: with few samples, sustained
+  /// but tolerable transient noise (say a 20% fault rate) spuriously
+  /// crosses the threshold far too often.
+  size_t min_samples = 16;
+  double failure_rate_threshold = 0.5; ///< Open at >= this failure rate.
+  double open_cooldown_ms = 100.0;     ///< Open -> half-open delay.
+  int half_open_probes = 1;            ///< Concurrent half-open trials.
+};
+
+/// Thread-safe circuit breaker state machine (closed / open / half-open).
+/// One instance guards one endpoint; all engines sharing a Federation
+/// share its breakers, mirroring how real deployments share endpoint
+/// health.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = CircuitBreakerConfig())
+      : config_(config) {}
+
+  /// True when a request may be issued now. An expired open-cooldown
+  /// transitions the breaker to half-open and admits up to
+  /// `half_open_probes` trials.
+  bool AllowRequest();
+
+  /// Records a successful request. A half-open success closes the breaker
+  /// and clears the outcome window.
+  void RecordSuccess();
+
+  /// Records a failed request. Returns true when this failure *tripped*
+  /// the breaker (closed -> open or half-open -> open).
+  bool RecordFailure();
+
+  State state() const;
+
+  /// Cumulative number of times the breaker tripped open.
+  uint64_t trips() const {
+    return trips_.load(std::memory_order_relaxed);
+  }
+
+  /// Back to closed with an empty window (tests, endpoint replacement).
+  void Reset();
+
+  const CircuitBreakerConfig& config() const { return config_; }
+
+  static const char* StateName(State state);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void TripLocked();
+
+  CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::deque<bool> window_;  ///< Recent outcomes; true = failure.
+  size_t window_failures_ = 0;
+  int half_open_in_flight_ = 0;
+  Clock::time_point opened_at_{};
+  std::atomic<uint64_t> trips_{0};
+};
+
+/// Per-call resilience accounting returned by QueryWithRetry; callers
+/// fold it into their own stats (engine metrics, decorator counters).
+struct RetryOutcome {
+  int attempts = 0;            ///< Requests actually issued.
+  int retries = 0;             ///< attempts - 1, when > 0.
+  int breaker_rejections = 0;  ///< Attempts refused by an open breaker.
+  int breaker_trips = 0;       ///< Failures that tripped the breaker.
+  double backoff_ms = 0.0;     ///< Total time slept between attempts.
+};
+
+/// The shared retry loop: issues `text` at `endpoint` under `policy`,
+/// consulting `breaker` (may be null) before each attempt and recording
+/// outcomes into it. Honors `deadline`: no attempt starts and no backoff
+/// sleeps past it. `outcome` (may be null) receives per-call accounting.
+Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
+                                     const std::string& text,
+                                     const Deadline& deadline,
+                                     const RetryPolicy& policy,
+                                     CircuitBreaker* breaker,
+                                     RetryOutcome* outcome);
+
+/// Cumulative client-side statistics of one ResilientEndpoint.
+struct ResilienceStats {
+  uint64_t requests = 0;            ///< Calls to Query*.
+  uint64_t attempts = 0;            ///< Requests issued to the inner endpoint.
+  uint64_t retries = 0;
+  uint64_t failures = 0;            ///< Calls that failed after all retries.
+  uint64_t breaker_rejections = 0;
+  uint64_t breaker_trips = 0;
+  double backoff_ms = 0.0;
+};
+
+/// Decorator giving any endpoint a retry policy and a circuit breaker.
+/// Stacks under FaultInjectingEndpoint in tests and over real endpoints
+/// in deployments:
+///
+///   engine -> ResilientEndpoint -> FaultInjectingEndpoint -> SparqlEndpoint
+class ResilientEndpoint : public Endpoint {
+ public:
+  ResilientEndpoint(std::shared_ptr<Endpoint> inner, RetryPolicy policy,
+                    CircuitBreakerConfig breaker_config = CircuitBreakerConfig())
+      : inner_(std::move(inner)), policy_(policy), breaker_(breaker_config) {}
+
+  const std::string& id() const override { return inner_->id(); }
+
+  Result<QueryResponse> Query(const std::string& text) override {
+    return QueryWithDeadline(text, Deadline());
+  }
+
+  Result<QueryResponse> QueryWithDeadline(const std::string& text,
+                                          const Deadline& deadline) override;
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+  CircuitBreaker* mutable_breaker() { return &breaker_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  ResilienceStats stats() const;
+
+ private:
+  std::shared_ptr<Endpoint> inner_;
+  RetryPolicy policy_;
+  CircuitBreaker breaker_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> breaker_rejections_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<uint64_t> backoff_us_{0};
+};
+
+}  // namespace lusail::net
+
+#endif  // LUSAIL_NET_RESILIENCE_H_

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <thread>
 
@@ -36,9 +37,22 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kParseError, StatusCode::kTimeout,
-        StatusCode::kUnsupported, StatusCode::kInternal}) {
+        StatusCode::kUnsupported, StatusCode::kInternal,
+        StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, UnavailableFactoryAndRetryability) {
+  Status s = Status::Unavailable("endpoint down");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: endpoint down");
+  EXPECT_TRUE(s.IsRetryable());
+  EXPECT_TRUE(Status::Timeout("late").IsRetryable());
+  // Deterministic failures must never be retried.
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+  EXPECT_FALSE(Status::ParseError("bad").IsRetryable());
+  EXPECT_FALSE(Status().IsRetryable());
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -206,6 +220,18 @@ TEST(DeadlineTest, ExpiresAfterDuration) {
   EXPECT_FALSE(d.Expired());
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, RemainingMillis) {
+  Deadline infinite;
+  EXPECT_TRUE(std::isinf(infinite.RemainingMillis()));
+  Deadline d = Deadline::AfterMillis(200);
+  double remaining = d.RemainingMillis();
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_LE(remaining, 200.0);
+  Deadline expired = Deadline::AfterMillis(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(expired.RemainingMillis(), 0.0);  // Clamped, never negative.
 }
 
 }  // namespace

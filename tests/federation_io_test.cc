@@ -3,12 +3,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "baselines/fedx_engine.h"
 #include "core/lusail_engine.h"
 #include "net/endpoint.h"
+#include "net/fault_injection.h"
 #include "workload/federation_builder.h"
 #include "workload/lubm_generator.h"
 
@@ -125,6 +127,50 @@ TEST(FailureInjectionTest, EnginesSurfaceEndpointErrors) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInternal);
   EXPECT_NE(result.status().message().find("injected"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Deadline propagation through the engine
+// ---------------------------------------------------------------------
+
+TEST(DeadlinePropagationTest, ExpiredDeadlineSurfacesTimeoutFromAnalysis) {
+  auto federation = workload::BuildFederation(workload::Figure1Federation(),
+                                              net::LatencyModel::None());
+  core::LusailEngine engine(federation.get());
+  Deadline expired = Deadline::AfterMillis(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  auto result = engine.Execute(workload::Figure2QueryQa(), expired);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST(DeadlinePropagationTest, SlowEndpointsTimeOutMidQuery) {
+  // Every request sleeps longer than the whole deadline (clamped to the
+  // remaining budget): a later engine phase must observe the expiry and
+  // surface kTimeout instead of hanging through all phases.
+  workload::LubmGenerator gen(workload::LubmConfig::Small());
+  auto base =
+      workload::BuildFederation(gen.GenerateAll(), net::LatencyModel::None());
+  net::FaultProfile profile;
+  profile.slow_rate = 1.0;
+  profile.slow_latency_ms = 100.0;
+  fed::Federation slow;
+  std::vector<std::shared_ptr<net::FaultInjectingEndpoint>> injectors;
+  for (size_t i = 0; i < base->size(); ++i) {
+    auto inner = std::shared_ptr<net::Endpoint>(base->endpoint(i),
+                                                [](net::Endpoint*) {});
+    injectors.push_back(
+        std::make_shared<net::FaultInjectingEndpoint>(inner, profile));
+    slow.Add(injectors.back());
+  }
+  core::LusailEngine engine(&slow);
+  Stopwatch timer;
+  auto result =
+      engine.Execute(workload::LubmGenerator::Q2(), Deadline::AfterMillis(40));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  // Far less than the ~100 ms-per-request schedule would take unclamped.
+  EXPECT_LT(timer.ElapsedMillis(), 5000.0);
 }
 
 TEST(FailureInjectionTest, HealthyEndpointsUnaffectedByOtherFederations) {

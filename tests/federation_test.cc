@@ -246,5 +246,42 @@ TEST_F(SourceSelectionTest, FederationExecuteValidatesIndex) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+// ---------------------------------------------------------------------
+// ASK-query detection (request accounting)
+// ---------------------------------------------------------------------
+
+TEST(LooksLikeAskQueryTest, TolerantOfWhitespaceCommentsAndPrefixes) {
+  EXPECT_TRUE(LooksLikeAskQuery("ASK { ?s ?p ?o . }"));
+  EXPECT_TRUE(LooksLikeAskQuery("  \n\t ASK { ?s ?p ?o . }"));
+  EXPECT_TRUE(LooksLikeAskQuery("ask { ?s ?p ?o . }"));
+  EXPECT_TRUE(LooksLikeAskQuery("# probe\nASK { ?s ?p ?o . }"));
+  EXPECT_TRUE(LooksLikeAskQuery(
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "ASK { ?s ub:name ?o . }"));
+  EXPECT_TRUE(LooksLikeAskQuery(
+      "BASE <http://ex/>\nPREFIX p: <http://ex/p#>\nASK { ?s p:q ?o . }"));
+
+  EXPECT_FALSE(LooksLikeAskQuery("SELECT ?s WHERE { ?s ?p ?o . }"));
+  EXPECT_FALSE(LooksLikeAskQuery(
+      "PREFIX p: <http://ex/>\nSELECT ?s WHERE { ?s p:q ?o . }"));
+  // A query merely *containing* the word ASK is not an ASK query.
+  EXPECT_FALSE(LooksLikeAskQuery(
+      "SELECT ?s WHERE { ?s <http://ex/ASK> ?o . }"));
+  EXPECT_FALSE(LooksLikeAskQuery(""));
+  EXPECT_FALSE(LooksLikeAskQuery("   "));
+  EXPECT_FALSE(LooksLikeAskQuery("{ ?s ?p ?o }"));
+}
+
+TEST_F(SourceSelectionTest, PrefixedAskCountsAsAskRequest) {
+  MetricsCollector metrics;
+  auto result = federation_->Execute(
+      0, "# source probe\nASK { ?s <http://p> ?o . }", &metrics, Deadline());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExecutionProfile profile;
+  metrics.FillCounters(&profile);
+  EXPECT_EQ(profile.requests, 1u);
+  EXPECT_EQ(profile.ask_requests, 1u);
+}
+
 }  // namespace
 }  // namespace lusail::fed

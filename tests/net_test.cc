@@ -1,9 +1,12 @@
 #include <memory>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "common/stopwatch.h"
+#include "net/fault_injection.h"
 #include "net/latency_model.h"
+#include "net/resilience.h"
 #include "net/sparql_endpoint.h"
 #include "store/triple_store.h"
 
@@ -96,6 +99,65 @@ TEST(SparqlEndpointTest, SleepScaleImposesRealDelay) {
   Stopwatch timer;
   ASSERT_TRUE(endpoint.Query("ASK { ?s ?p ?o . }").ok());
   EXPECT_GE(timer.ElapsedMillis(), 15.0);
+}
+
+// ---------------------------------------------------------------------
+// Retry loop deadline handling
+// ---------------------------------------------------------------------
+
+TEST(RetryDeadlineTest, ExpiredDeadlineFailsBeforeAnyAttempt) {
+  SparqlEndpoint endpoint("ep0", MakeStore(), LatencyModel::None());
+  Deadline deadline = Deadline::AfterMillis(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  RetryOutcome outcome;
+  auto r = QueryWithRetry(&endpoint, "ASK { ?s ?p ?o . }", deadline,
+                          RetryPolicy::Standard(4), nullptr, &outcome);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(outcome.attempts, 0);
+}
+
+TEST(RetryDeadlineTest, BackoffNeverSleepsPastDeadline) {
+  // A permanently-down endpoint with a retry budget whose nominal backoff
+  // (50 attempts x up to 1 s) dwarfs the 40 ms deadline: the loop must
+  // give up at the deadline, not after the backoff schedule.
+  auto injector = std::make_shared<FaultInjectingEndpoint>(
+      std::make_shared<SparqlEndpoint>("ep0", MakeStore(),
+                                       LatencyModel::None()),
+      FaultProfile::None());
+  injector->set_down(true);
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_ms = 30.0;
+  policy.max_backoff_ms = 1000.0;
+  Deadline deadline = Deadline::AfterMillis(40);
+  Stopwatch timer;
+  RetryOutcome outcome;
+  auto r = QueryWithRetry(injector.get(), "ASK { ?s ?p ?o . }", deadline,
+                          policy, nullptr, &outcome);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_LT(timer.ElapsedMillis(), 500.0);
+  EXPECT_LE(outcome.backoff_ms, 80.0);
+  EXPECT_LT(outcome.attempts, 50);
+}
+
+TEST(RetryDeadlineTest, RetrySucceedsWithinGenerousDeadline) {
+  auto injector = std::make_shared<FaultInjectingEndpoint>(
+      std::make_shared<SparqlEndpoint>("ep0", MakeStore(),
+                                       LatencyModel::None()),
+      FaultProfile::Transient(0.5, 3));
+  RetryPolicy policy = RetryPolicy::Standard(10);
+  policy.initial_backoff_ms = 0.1;
+  policy.max_backoff_ms = 0.5;
+  for (int i = 0; i < 10; ++i) {
+    RetryOutcome outcome;
+    auto r = QueryWithRetry(injector.get(), "ASK { ?s <http://ex/p> ?o . }",
+                            Deadline::AfterMillis(5000), policy, nullptr,
+                            &outcome);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GE(outcome.attempts, 1);
+  }
 }
 
 TEST(SparqlEndpointTest, FreezesUnfrozenStore) {
