@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -12,6 +13,7 @@
 #include "baselines/splendid_engine.h"
 #include "core/lusail_engine.h"
 #include "federation/federation.h"
+#include "obs/json.h"
 #include "workload/federation_builder.h"
 
 namespace lusail::bench {
@@ -61,21 +63,33 @@ struct EngineSet {
 
   static EngineSet Create(std::vector<workload::EndpointSpec> specs,
                           const net::LatencyModel& latency) {
+    // LUSAIL_BENCH_TRACE=1 records a span trace per query; each bench then
+    // dumps a Chrome-loadable <name>.trace.json next to its BENCH_*.json.
+    const char* trace_env = std::getenv("LUSAIL_BENCH_TRACE");
+    bool trace = trace_env != nullptr && std::string(trace_env) == "1";
     EngineSet set;
     set.federation = workload::BuildFederation(std::move(specs), latency);
-    set.lusail = std::make_unique<core::LusailEngine>(set.federation.get());
-    core::LusailOptions lade;
+    core::LusailOptions lusail_opts;
+    lusail_opts.trace = trace;
+    set.lusail = std::make_unique<core::LusailEngine>(set.federation.get(),
+                                                      lusail_opts);
+    core::LusailOptions lade = lusail_opts;
     lade.enable_sape = false;
     set.lusail_lade_only =
         std::make_unique<core::LusailEngine>(set.federation.get(), lade);
-    set.fedx = std::make_unique<baselines::FedXEngine>(set.federation.get());
+    baselines::FedXOptions fedx_opts;
+    fedx_opts.trace = trace;
+    set.fedx = std::make_unique<baselines::FedXEngine>(set.federation.get(),
+                                                       fedx_opts);
     set.hibiscus_index = std::make_unique<baselines::HibiscusIndex>(
         baselines::HibiscusIndex::Build(*set.federation));
-    set.fedx_hibiscus =
-        std::make_unique<baselines::FedXEngine>(set.federation.get());
+    set.fedx_hibiscus = std::make_unique<baselines::FedXEngine>(
+        set.federation.get(), fedx_opts);
     set.fedx_hibiscus->set_source_provider(set.hibiscus_index.get());
-    set.splendid =
-        std::make_unique<baselines::SplendidEngine>(set.federation.get());
+    baselines::SplendidOptions splendid_opts;
+    splendid_opts.trace = trace;
+    set.splendid = std::make_unique<baselines::SplendidEngine>(
+        set.federation.get(), splendid_opts);
     set.splendid->BuildIndex();
     return set;
   }
@@ -87,15 +101,49 @@ struct EngineSet {
   }
 };
 
+/// Directory for the per-query BENCH_*.json metric dumps. Defaults to the
+/// working directory; set LUSAIL_BENCH_METRICS_DIR="" to disable dumps.
+inline const char* BenchMetricsDir() {
+  if (const char* env = std::getenv("LUSAIL_BENCH_METRICS_DIR")) return env;
+  return ".";
+}
+
+/// Writes the last iteration's ExecutionProfile as BENCH_<label>.json (and,
+/// when the engine recorded a trace, <label>.trace.json for
+/// chrome://tracing / Perfetto). '/' in the benchmark name becomes '_'.
+inline void DumpBenchMetrics(const std::string& label,
+                             const fed::ExecutionProfile& profile, double rows,
+                             double timeouts, double errors) {
+  std::string dir = BenchMetricsDir();
+  if (label.empty() || dir.empty()) return;
+  std::string safe = label;
+  for (char& c : safe) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  obs::JsonValue json = fed::ProfileToJson(profile);
+  json.Set("label", obs::JsonValue(label));
+  json.Set("rows", obs::JsonValue(rows));
+  json.Set("timeouts", obs::JsonValue(timeouts));
+  json.Set("errors", obs::JsonValue(errors));
+  std::ofstream out(dir + "/BENCH_" + safe + ".json");
+  if (out) out << json.Pretty() << "\n";
+  if (profile.trace != nullptr) {
+    std::ofstream trace_out(dir + "/" + safe + ".trace.json");
+    if (trace_out) trace_out << profile.trace->ToChromeJsonString() << "\n";
+  }
+}
+
 /// Runs one (engine, query) pair per benchmark iteration, reporting the
 /// paper's measured quantities as counters:
 ///   requests, askRequests, bytesSent, bytesRecv, rows, netMs and the
 ///   phase timings. Timeouts and unsupported shapes surface as the
 ///   "timeout" / "error" counters (the paper's TO / RE markers), not as
-///   benchmark failures.
+///   benchmark failures. When `label` is non-empty the last iteration's
+///   profile is dumped to BENCH_<label>.json (see DumpBenchMetrics).
 inline void RunFederatedQuery(benchmark::State& state,
                               fed::FederatedEngine* engine,
-                              const std::string& query) {
+                              const std::string& query,
+                              const std::string& label = "") {
   fed::ExecutionProfile last;
   double timeouts = 0, errors = 0, rows = 0;
   // Paper methodology (Section 5.1): each query runs three times and the
@@ -129,6 +177,7 @@ inline void RunFederatedQuery(benchmark::State& state,
   state.counters["execMs"] = last.execution_ms;
   state.counters["timeout"] = timeouts;
   state.counters["error"] = errors;
+  DumpBenchMetrics(label, last, rows, timeouts, errors);
 }
 
 /// Registers one benchmark per engine for the query under
@@ -144,8 +193,8 @@ inline void RegisterQueryBenchmarks(const std::string& figure,
     std::string name = figure + "/" + query_label + "/" + engine->name();
     benchmark::RegisterBenchmark(
         name.c_str(),
-        [engine, query](benchmark::State& state) {
-          RunFederatedQuery(state, engine, query);
+        [engine, query, name](benchmark::State& state) {
+          RunFederatedQuery(state, engine, query, name);
         })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(2);

@@ -11,8 +11,12 @@
 //                         files to <path> and exit
 //   --engine lusail|lade|fedx|splendid   engine to run (default lusail)
 //   --latency none|local|geo            network model (default local)
-//   --explain             print source selection, GJVs, and the
-//                         decomposition instead of executing (Lusail only)
+//   --explain             print the plan (sources, GJVs, decomposition,
+//                         SAPE schedule) instead of executing (Lusail only)
+//   --explain-json        like --explain, as JSON
+//   --trace <file>        record a span trace of the execution and write
+//                         it as Chrome trace-event JSON to <file>
+//                         (load in chrome://tracing or Perfetto)
 //   --timeout <ms>        per-query deadline (default 60000)
 //
 // The query is read from the given file, or from stdin when no file is
@@ -27,6 +31,7 @@
 #include "baselines/fedx_engine.h"
 #include "baselines/splendid_engine.h"
 #include "core/lusail_engine.h"
+#include "obs/explain.h"
 #include "workload/federation_builder.h"
 #include "workload/lrb_generator.h"
 #include "workload/lubm_generator.h"
@@ -43,8 +48,10 @@ struct CliOptions {
   std::string engine = "lusail";
   std::string latency = "local";
   std::string query_file;
+  std::string trace_file;
   double timeout_ms = 60000;
   bool explain = false;
+  bool explain_json = false;
 };
 
 int Usage() {
@@ -53,6 +60,7 @@ int Usage() {
                "                  [--dir <nt-directory>] [--export <dir>]\n"
                "                  [--engine lusail|lade|fedx|splendid]\n"
                "                  [--latency none|local|geo] [--explain]\n"
+               "                  [--explain-json] [--trace <file>]\n"
                "                  [--timeout <ms>] [query-file]\n");
   return 2;
 }
@@ -118,6 +126,11 @@ int main(int argc, char** argv) {
       options.timeout_ms = std::strtod(v.c_str(), nullptr);
     } else if (arg == "--explain") {
       options.explain = true;
+    } else if (arg == "--explain-json") {
+      options.explain = true;
+      options.explain_json = true;
+    } else if (arg == "--trace") {
+      if (!next(&options.trace_file)) return Usage();
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -178,11 +191,17 @@ int main(int argc, char** argv) {
   }
 
   // Build the engine.
+  bool trace = !options.trace_file.empty();
   core::LusailOptions lusail_options;
+  lusail_options.trace = trace;
   if (options.engine == "lade") lusail_options.enable_sape = false;
   core::LusailEngine lusail(federation.get(), lusail_options);
-  baselines::FedXEngine fedx(federation.get());
-  baselines::SplendidEngine splendid(federation.get());
+  baselines::FedXOptions fedx_options;
+  fedx_options.trace = trace;
+  baselines::FedXEngine fedx(federation.get(), fedx_options);
+  baselines::SplendidOptions splendid_options;
+  splendid_options.trace = trace;
+  baselines::SplendidEngine splendid(federation.get(), splendid_options);
   fed::FederatedEngine* engine = &lusail;
   if (options.engine == "fedx") {
     engine = &fedx;
@@ -195,32 +214,15 @@ int main(int argc, char** argv) {
   }
 
   if (options.explain) {
-    auto analyzed = lusail.Analyze(query_text);
-    if (!analyzed.ok()) {
-      std::fprintf(stderr, "%s\n", analyzed.status().ToString().c_str());
+    auto report = obs::Explain(lusail, query_text);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
       return 1;
     }
-    std::printf("Relevant sources per triple pattern:\n");
-    for (size_t i = 0; i < analyzed->sources.size(); ++i) {
-      std::printf("  TP%zu  %s  ->", i + 1,
-                  analyzed->query.where.triples[i].ToString().c_str());
-      for (int ep : analyzed->sources[i]) {
-        std::printf(" %s", federation->id(ep).c_str());
-      }
-      std::printf("\n");
-    }
-    std::printf("Global join variables:");
-    for (const std::string& v : analyzed->gjvs.GjvNames()) {
-      std::printf(" ?%s", v.c_str());
-    }
-    std::printf("\nDecomposition (%zu subqueries, estimated cost %.0f):\n",
-                analyzed->decomposition.subqueries.size(),
-                analyzed->decomposition.cost);
-    for (size_t i = 0; i < analyzed->decomposition.subqueries.size(); ++i) {
-      const core::Subquery& sq = analyzed->decomposition.subqueries[i];
-      std::printf("  SQ%zu (est. %.0f rows) %s\n", i + 1,
-                  sq.estimated_cardinality,
-                  sq.ToSparql(analyzed->query.where.triples).c_str());
+    if (options.explain_json) {
+      std::printf("%s\n", report->ToJson().Pretty().c_str());
+    } else {
+      std::fputs(report->ToText().c_str(), stdout);
     }
     return 0;
   }
@@ -236,5 +238,22 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "# %zu rows (engine: %s)\n", result->table.NumRows(),
                engine->name().c_str());
   PrintProfile(result->profile);
+  if (trace) {
+    if (result->profile.trace == nullptr) {
+      std::fprintf(stderr, "# no trace recorded (engine %s does not trace)\n",
+                   engine->name().c_str());
+    } else {
+      std::ofstream out(options.trace_file);
+      out << result->profile.trace->ToChromeJsonString() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     options.trace_file.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "# trace written to %s (%zu spans)\n",
+                   options.trace_file.c_str(),
+                   result->profile.trace->spans.size());
+    }
+  }
   return 0;
 }

@@ -95,14 +95,17 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
   }
 
   Stopwatch timer;
+  fed::PhaseSpan source_span(metrics, "source selection");
   fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
   LUSAIL_ASSIGN_OR_RETURN(
       std::vector<std::vector<int>> sources,
       selector.SelectSources(pattern.triples, metrics, deadline,
                              options_.use_cache, Retry()));
+  source_span.End();
   profile->source_selection_ms += timer.ElapsedMillis();
 
   timer.Restart();
+  fed::PhaseSpan exec_span(metrics, "adaptive execution");
   for (size_t i = 0; i < pattern.triples.size(); ++i) {
     if (sources[i].empty()) {
       BindingTable empty;
@@ -146,6 +149,16 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
     outstanding[g] = groups[g].sources.size();
   }
   std::vector<BindingTable> ready;
+  // Memory-footprint proxy: all rows held across the partial group
+  // tables and the ready-to-join tables (matches what SAPE and FedX
+  // report, so the engines' peaks are comparable).
+  auto track_peak = [&]() {
+    uint64_t total = 0;
+    for (const BindingTable& t : group_tables) total += t.rows.size();
+    for (const BindingTable& t : ready) total += t.rows.size();
+    profile->peak_intermediate_rows =
+        std::max(profile->peak_intermediate_rows, total);
+  };
   std::vector<bool> done(fetches.size(), false);
   size_t remaining = fetches.size();
   Status first_error;
@@ -168,6 +181,7 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
       }
       size_t g = fetches[i].group;
       fed::AppendUnion(&group_tables[g], fed::InternTable(*part, dict));
+      track_peak();
       if (--outstanding[g] == 0) {
         ready.push_back(std::move(group_tables[g]));
         // Opportunistically join with any connected ready table.
@@ -184,6 +198,7 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
             }
           }
         }
+        track_peak();
       }
     }
     if (!progressed && remaining > 0) {
@@ -202,6 +217,7 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
   while (ready.size() > 1) {
     ready[0] = fed::HashJoin(ready[0], ready[1]);
     ready.erase(ready.begin() + 1);
+    track_peak();
   }
   BindingTable table = ready.empty() ? BindingTable() : std::move(ready[0]);
 
@@ -228,6 +244,9 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
   for (const sparql::Expr& f : residual_filters) {
     fed::FilterRows(&table, f, *dict);
   }
+  profile->peak_intermediate_rows = std::max(
+      profile->peak_intermediate_rows,
+      static_cast<uint64_t>(table.rows.size()));
   profile->execution_ms += timer.ElapsedMillis();
   return table;
 }
@@ -239,12 +258,14 @@ Result<fed::FederatedResult> AnapsidEngine::Execute(
 
   fed::FederatedResult result;
   fed::MetricsCollector metrics;
+  fed::QueryTrace trace(options_.trace, name(), &metrics);
   fed::SharedDictionary dict;
 
   Result<BindingTable> table_or =
       ExecutePattern(query.where, &dict, &metrics, deadline, &result.profile);
   if (!table_or.ok()) {
     metrics.FillCounters(&result.profile);
+    trace.Attach(&result.profile);
     return table_or.status();
   }
   BindingTable table = std::move(table_or).value();
@@ -302,6 +323,7 @@ Result<fed::FederatedResult> AnapsidEngine::Execute(
 
   metrics.FillCounters(&result.profile);
   result.profile.total_ms = total_timer.ElapsedMillis();
+  trace.Attach(&result.profile);
   return result;
 }
 

@@ -20,6 +20,10 @@ struct AnapsidOptions {
   /// Client-side retry policy for endpoint requests (same decorator the
   /// Lusail engine uses). Disabled (fail-stop) by default.
   net::RetryPolicy retry_policy;
+
+  /// Record a span trace into ExecutionProfile::trace (same format as
+  /// Lusail's, so engine traces are comparable side by side).
+  bool trace = false;
 };
 
 /// ANAPSID-style adaptive federated engine (Acosta et al., ISWC 2011) —

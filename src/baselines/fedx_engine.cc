@@ -298,12 +298,15 @@ Result<BindingTable> FedXEngine::ExecutePattern(
   }
 
   Stopwatch timer;
+  fed::PhaseSpan source_span(metrics, "source selection");
   LUSAIL_ASSIGN_OR_RETURN(
       std::vector<std::vector<int>> sources,
       SelectSources(pattern.triples, metrics, deadline));
+  source_span.End();
   profile->source_selection_ms += timer.ElapsedMillis();
 
   timer.Restart();
+  fed::PhaseSpan exec_span(metrics, "bound-join execution");
   for (size_t i = 0; i < pattern.triples.size(); ++i) {
     if (sources[i].empty()) {
       BindingTable empty;
@@ -391,6 +394,7 @@ Result<fed::FederatedResult> FedXEngine::Execute(
 
   fed::FederatedResult result;
   fed::MetricsCollector metrics;
+  fed::QueryTrace trace(options_.trace, name(), &metrics);
   fed::SharedDictionary dict;
 
   std::optional<uint64_t> cap;
@@ -404,6 +408,7 @@ Result<fed::FederatedResult> FedXEngine::Execute(
                      &result.profile);
   if (!table_or.ok()) {
     metrics.FillCounters(&result.profile);
+    trace.Attach(&result.profile);
     return table_or.status();
   }
   BindingTable table = std::move(table_or).value();
@@ -462,6 +467,7 @@ Result<fed::FederatedResult> FedXEngine::Execute(
 
   metrics.FillCounters(&result.profile);
   result.profile.total_ms = total_timer.ElapsedMillis();
+  trace.Attach(&result.profile);
   return result;
 }
 

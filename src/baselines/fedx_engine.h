@@ -48,6 +48,10 @@ struct FedXOptions {
   /// Lusail engine uses, so resilience comparisons are apples-to-apples).
   /// Disabled (fail-stop) by default.
   net::RetryPolicy retry_policy;
+
+  /// Record a span trace into ExecutionProfile::trace (same format as
+  /// Lusail's, so engine traces are comparable side by side).
+  bool trace = false;
 };
 
 /// Reimplementation of the FedX federated engine (Schwarte et al., ISWC

@@ -133,6 +133,7 @@ Result<BindingTable> SplendidEngine::ExecutePattern(
   }
 
   Stopwatch timer;
+  fed::PhaseSpan source_span(metrics, "source selection");
   std::vector<std::vector<int>> sources(pattern.triples.size());
   for (size_t i = 0; i < pattern.triples.size(); ++i) {
     LUSAIL_ASSIGN_OR_RETURN(sources[i],
@@ -145,9 +146,11 @@ Result<BindingTable> SplendidEngine::ExecutePattern(
       return empty;
     }
   }
+  source_span.End();
   profile->source_selection_ms += timer.ElapsedMillis();
 
   timer.Restart();
+  fed::PhaseSpan exec_span(metrics, "sequential execution");
   // Order patterns by estimated cardinality (connected patterns first
   // once execution starts).
   std::vector<size_t> order;
@@ -238,7 +241,16 @@ Result<BindingTable> SplendidEngine::ExecutePattern(
         fed::AppendUnion(&fetched, fed::InternTable(part, dict));
       }
     }
+    // Memory-footprint proxy: the running result plus the freshly
+    // fetched extension coexist at join time (matches what SAPE and
+    // FedX report, so the engines' peaks are comparable).
+    profile->peak_intermediate_rows = std::max(
+        profile->peak_intermediate_rows,
+        static_cast<uint64_t>(table.rows.size() + fetched.rows.size()));
     table = first ? std::move(fetched) : fed::HashJoin(table, fetched);
+    profile->peak_intermediate_rows = std::max(
+        profile->peak_intermediate_rows,
+        static_cast<uint64_t>(table.rows.size()));
     first = false;
   }
 
@@ -262,12 +274,14 @@ Result<fed::FederatedResult> SplendidEngine::Execute(
 
   fed::FederatedResult result;
   fed::MetricsCollector metrics;
+  fed::QueryTrace trace(options_.trace, name(), &metrics);
   fed::SharedDictionary dict;
 
   Result<BindingTable> table_or =
       ExecutePattern(query.where, &dict, &metrics, deadline, &result.profile);
   if (!table_or.ok()) {
     metrics.FillCounters(&result.profile);
+    trace.Attach(&result.profile);
     return table_or.status();
   }
   BindingTable table = std::move(table_or).value();
@@ -310,6 +324,7 @@ Result<fed::FederatedResult> SplendidEngine::Execute(
 
   metrics.FillCounters(&result.profile);
   result.profile.total_ms = total_timer.ElapsedMillis();
+  trace.Attach(&result.profile);
   return result;
 }
 

@@ -20,6 +20,10 @@ struct SplendidOptions {
   size_t bind_join_threshold = 200;
   size_t bind_join_block_size = 100;
   size_t num_threads = 0;
+
+  /// Record a span trace into ExecutionProfile::trace (same format as
+  /// Lusail's, so engine traces are comparable side by side).
+  bool trace = false;
 };
 
 /// SPLENDID-style index-based federated engine (Görlitz & Staab, COLD

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "core/hash_join.h"
+#include "core/join_optimizer.h"
 
 namespace lusail::core {
 
@@ -23,58 +24,6 @@ std::set<std::string> NeededVars(const sparql::Query& query) {
   return needed;
 }
 
-}  // namespace
-
-LusailEngine::LusailEngine(const fed::Federation* federation,
-                           LusailOptions options)
-    : federation_(federation),
-      options_(options),
-      pool_(options.num_threads) {}
-
-std::string LusailEngine::name() const {
-  return options_.enable_sape ? "Lusail" : "Lusail-LADE";
-}
-
-void LusailEngine::ClearCaches() {
-  ask_cache_.Clear();
-  check_cache_.Clear();
-}
-
-Result<AnalyzedQuery> LusailEngine::Analyze(const std::string& sparql_text) {
-  LUSAIL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql_text));
-  AnalyzedQuery out;
-  out.query = query;
-  fed::MetricsCollector metrics;
-  Deadline deadline;
-  const net::RetryPolicy* retry =
-      options_.retry_policy.enabled() ? &options_.retry_policy : nullptr;
-  const bool tolerate = options_.partial_results;
-
-  fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
-  LUSAIL_ASSIGN_OR_RETURN(
-      out.sources, selector.SelectSources(query.where.triples, &metrics,
-                                          deadline, options_.use_cache,
-                                          retry, tolerate));
-
-  GjvDetector detector(federation_, &check_cache_, &pool_);
-  LUSAIL_ASSIGN_OR_RETURN(
-      out.gjvs, detector.Detect(query.where.triples, out.sources, &metrics,
-                                deadline, options_.use_cache, retry,
-                                tolerate));
-
-  CostModel cost_model(federation_, &pool_);
-  LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(
-      query.where.triples, out.sources, query.where.filters, &metrics,
-      deadline, retry, tolerate));
-  Decomposer decomposer(&cost_model);
-  out.decomposition =
-      decomposer.Decompose(query.where.triples, out.sources, out.gjvs,
-                           query.where.filters, NeededVars(query));
-  return out;
-}
-
-namespace {
-
 /// True when an OPTIONAL block is a plain conjunctive pattern (the only
 /// shape eligible for endpoint push-down).
 bool IsPlainOptional(const sparql::GraphPattern& gp) {
@@ -91,90 +40,31 @@ std::set<std::string> PatternVars(
   return vars;
 }
 
-}  // namespace
-
-Result<BindingTable> LusailEngine::ExecuteBgp(
+/// OPTIONAL push-down (Section 3: "Lusail determines where to add the
+/// FILTER and OPTIONAL clauses during query decomposition"). A plain
+/// optional block is pushed into a host subquery when the endpoints can
+/// evaluate the left-outer join themselves:
+///   1. every optional pattern has the host's exact source list,
+///   2. no causing pair crosses the optional boundary or lies inside it
+///      (instance-level locality holds),
+///   3. the optional's overlap with the mandatory BGP and with the rest
+///      of the query stays inside the host subquery, so the local left
+///      join commutes with the global joins.
+///
+/// `optional_ranges[k]` is the index range of plain_optionals[k]'s
+/// patterns in the combined pattern list `sources`/`gjvs` were computed
+/// over. Returns the number of blocks pushed; the rest are appended to
+/// `unpushed` (when non-null). Shared by execution and EXPLAIN so both
+/// report the same plan.
+size_t PushPlainOptionals(
+    const std::vector<const sparql::GraphPattern*>& plain_optionals,
+    const std::vector<std::pair<size_t, size_t>>& optional_ranges,
     const std::vector<sparql::TriplePattern>& triples,
-    const std::vector<sparql::Expr>& filters,
-    const std::vector<const sparql::GraphPattern*>& candidate_optionals,
+    const std::vector<std::vector<int>>& sources, const GjvResult& gjvs,
     const std::set<std::string>& outside_vars,
-    const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
-    fed::MetricsCollector* metrics, const Deadline& deadline,
-    fed::ExecutionProfile* profile,
-    std::vector<const sparql::GraphPattern*>* unpushed_optionals) {
-  // Phase A: source selection — for the mandatory patterns and for the
-  // push-down candidates' patterns (needed by the locality analysis).
-  Stopwatch timer;
-  std::vector<sparql::TriplePattern> combined = triples;
-  std::vector<std::pair<size_t, size_t>> optional_ranges;
-  for (const sparql::GraphPattern* opt : candidate_optionals) {
-    if (!options_.enable_optional_pushdown || !IsPlainOptional(*opt)) {
-      unpushed_optionals->push_back(opt);
-      continue;
-    }
-    optional_ranges.emplace_back(combined.size(),
-                                 combined.size() + opt->triples.size());
-    combined.insert(combined.end(), opt->triples.begin(),
-                    opt->triples.end());
-  }
-  std::vector<const sparql::GraphPattern*> plain_optionals;
-  if (options_.enable_optional_pushdown) {
-    for (const sparql::GraphPattern* opt : candidate_optionals) {
-      if (IsPlainOptional(*opt)) plain_optionals.push_back(opt);
-    }
-  }
-
-  const net::RetryPolicy* retry =
-      options_.retry_policy.enabled() ? &options_.retry_policy : nullptr;
-  const bool tolerate = options_.partial_results;
-  fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
-  LUSAIL_ASSIGN_OR_RETURN(
-      std::vector<std::vector<int>> sources,
-      selector.SelectSources(combined, metrics, deadline, options_.use_cache,
-                             retry, tolerate));
-  profile->source_selection_ms += timer.ElapsedMillis();
-
-  // Mandatory patterns with no relevant source: the query has no answers.
-  for (size_t i = 0; i < triples.size(); ++i) {
-    if (sources[i].empty()) {
-      BindingTable empty;
-      std::set<std::string> vars = PatternVars(triples);
-      empty.vars.assign(vars.begin(), vars.end());
-      // Optionals cannot resurrect rows; nothing more to push.
-      for (const sparql::GraphPattern* opt : plain_optionals) {
-        unpushed_optionals->push_back(opt);
-      }
-      return empty;
-    }
-  }
-
-  // Phase B: LADE — GJV detection (over mandatory + candidate-optional
-  // patterns so causing pairs across the OPTIONAL boundary are known),
-  // statistics, and decomposition of the mandatory BGP.
-  timer.Restart();
-  GjvDetector detector(federation_, &check_cache_, &pool_);
-  LUSAIL_ASSIGN_OR_RETURN(GjvResult gjvs,
-                          detector.Detect(combined, sources, metrics,
-                                          deadline, options_.use_cache,
-                                          retry, tolerate));
-  CostModel cost_model(federation_, &pool_);
-  LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(triples, sources, filters,
-                                                    metrics, deadline, retry,
-                                                    tolerate));
-  Decomposer decomposer(&cost_model);
-  Decomposition decomposition =
-      decomposer.Decompose(triples, sources, gjvs, filters, needed_vars);
-
-  // OPTIONAL push-down (Section 3: "Lusail determines where to add the
-  // FILTER and OPTIONAL clauses during query decomposition"). A plain
-  // optional block is pushed into a host subquery when the endpoints can
-  // evaluate the left-outer join themselves:
-  //   1. every optional pattern has the host's exact source list,
-  //   2. no causing pair crosses the optional boundary or lies inside it
-  //      (instance-level locality holds),
-  //   3. the optional's overlap with the mandatory BGP and with the rest
-  //      of the query stays inside the host subquery, so the local left
-  //      join commutes with the global joins.
+    const std::set<std::string>& needed_vars, Decomposition* decomposition,
+    std::vector<const sparql::GraphPattern*>* unpushed) {
+  size_t pushed_count = 0;
   for (size_t k = 0; k < plain_optionals.size(); ++k) {
     const sparql::GraphPattern* opt = plain_optionals[k];
     auto [begin, end] = optional_ranges[k];
@@ -188,7 +78,7 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
     }
 
     Subquery* host = nullptr;
-    for (Subquery& sq : decomposition.subqueries) {
+    for (Subquery& sq : decomposition->subqueries) {
       bool sources_match = true;
       for (size_t oi = begin; oi < end && sources_match; ++oi) {
         if (sources[oi] != sq.sources) sources_match = false;
@@ -229,14 +119,14 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
       break;
     }
     if (host == nullptr) {
-      unpushed_optionals->push_back(opt);
+      if (unpushed != nullptr) unpushed->push_back(opt);
       continue;
     }
     PushedOptional pushed;
     pushed.triples = opt->triples;
     pushed.filters = opt->filters;
     host->optionals.push_back(std::move(pushed));
-    ++profile->pushed_optionals;
+    ++pushed_count;
     // Project the optional's externally visible variables.
     for (const std::string& v : opt_vars) {
       if ((needed_vars.count(v) || extern_vars.count(v)) &&
@@ -246,10 +136,225 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
       }
     }
   }
+  return pushed_count;
+}
+
+}  // namespace
+
+LusailEngine::LusailEngine(const fed::Federation* federation,
+                           LusailOptions options)
+    : federation_(federation),
+      options_(options),
+      pool_(options.num_threads) {}
+
+std::string LusailEngine::name() const {
+  return options_.enable_sape ? "Lusail" : "Lusail-LADE";
+}
+
+void LusailEngine::ClearCaches() {
+  ask_cache_.Clear();
+  check_cache_.Clear();
+}
+
+Result<AnalyzedQuery> LusailEngine::Analyze(const std::string& sparql_text) {
+  LUSAIL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql_text));
+  AnalyzedQuery out;
+  out.query = query;
+  fed::MetricsCollector metrics;
+  Deadline deadline;
+  const net::RetryPolicy* retry =
+      options_.retry_policy.enabled() ? &options_.retry_policy : nullptr;
+  const bool tolerate = options_.partial_results;
+
+  // Combined pattern list: the mandatory triples plus the top-level plain
+  // OPTIONAL candidates, exactly as ExecuteBgp probes them — EXPLAIN must
+  // show the plan execution would use.
+  std::vector<sparql::TriplePattern> combined = query.where.triples;
+  std::vector<std::pair<size_t, size_t>> optional_ranges;
+  std::vector<const sparql::GraphPattern*> plain_optionals;
+  if (options_.enable_optional_pushdown) {
+    for (const sparql::GraphPattern& opt : query.where.optionals) {
+      if (!IsPlainOptional(opt)) continue;
+      optional_ranges.emplace_back(combined.size(),
+                                   combined.size() + opt.triples.size());
+      combined.insert(combined.end(), opt.triples.begin(),
+                      opt.triples.end());
+      plain_optionals.push_back(&opt);
+    }
+  }
+
+  fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
+  LUSAIL_ASSIGN_OR_RETURN(
+      std::vector<std::vector<int>> sources,
+      selector.SelectSources(combined, &metrics, deadline,
+                             options_.use_cache, retry, tolerate));
+  out.sources.assign(sources.begin(),
+                     sources.begin() + query.where.triples.size());
+
+  GjvDetector detector(federation_, &check_cache_, &pool_);
+  LUSAIL_ASSIGN_OR_RETURN(
+      out.gjvs, detector.Detect(combined, sources, &metrics, deadline,
+                                options_.use_cache, retry, tolerate));
+
+  CostModel cost_model(federation_, &pool_);
+  LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(
+      query.where.triples, out.sources, query.where.filters, &metrics,
+      deadline, retry, tolerate));
+  Decomposer decomposer(&cost_model);
+  std::set<std::string> needed = NeededVars(query);
+  out.decomposition =
+      decomposer.Decompose(query.where.triples, out.sources, out.gjvs,
+                           query.where.filters, needed);
+
+  // OPTIONAL push-down over the top-level group, mirroring
+  // ExecutePattern's variable-visibility setup.
+  std::set<std::string> outside_vars;
+  for (const auto& chain : query.where.unions) {
+    for (const auto& alt : chain) alt.CollectVariables(&outside_vars);
+  }
+  std::set<std::string> analysis_needed = needed;
+  analysis_needed.insert(outside_vars.begin(), outside_vars.end());
+  for (const auto& opt : query.where.optionals) {
+    opt.CollectVariables(&analysis_needed);
+  }
+  for (const sparql::Expr& f : query.where.filters) {
+    f.CollectVariables(&analysis_needed);
+  }
+  out.pushed_optionals = PushPlainOptionals(
+      plain_optionals, optional_ranges, query.where.triples, sources,
+      out.gjvs, outside_vars, analysis_needed, &out.decomposition, nullptr);
+  out.unpushed_optionals =
+      query.where.optionals.size() - out.pushed_optionals;
+
+  // SAPE planning artifacts: outlier rejection, delay decision, and the
+  // estimated join order (the DP optimizer seeded with the COUNT-probe
+  // estimates instead of the true cardinalities it sees at run time).
+  std::vector<Subquery>& subqueries = out.decomposition.subqueries;
+  std::vector<double> cards, eps;
+  for (const Subquery& sq : subqueries) {
+    cards.push_back(sq.estimated_cardinality);
+    eps.push_back(static_cast<double>(sq.sources.size()));
+  }
+  out.outliers = ChauvenetOutliers(cards);
+  if (options_.enable_sape && subqueries.size() > 1) {
+    std::vector<bool> delayed =
+        DecideDelayed(cards, eps, options_.delay_threshold);
+    for (size_t i = 0; i < subqueries.size(); ++i) {
+      subqueries[i].delayed = delayed[i];
+    }
+  } else {
+    for (Subquery& sq : subqueries) sq.delayed = false;
+  }
+  std::vector<std::set<std::string>> sq_vars;
+  for (const Subquery& sq : subqueries) {
+    std::vector<std::string> v = sq.Variables(query.where.triples);
+    sq_vars.emplace_back(v.begin(), v.end());
+  }
+  out.join_order = JoinOptimizer::OptimalOrder(
+      cards, sq_vars, std::max<size_t>(1, options_.join_partitions));
+  return out;
+}
+
+Result<BindingTable> LusailEngine::ExecuteBgp(
+    const std::vector<sparql::TriplePattern>& triples,
+    const std::vector<sparql::Expr>& filters,
+    const std::vector<const sparql::GraphPattern*>& candidate_optionals,
+    const std::set<std::string>& outside_vars,
+    const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::ExecutionProfile* profile,
+    std::vector<const sparql::GraphPattern*>* unpushed_optionals) {
+  // Phase A: source selection — for the mandatory patterns and for the
+  // push-down candidates' patterns (needed by the locality analysis).
+  Stopwatch timer;
+  fed::PhaseSpan source_span(metrics, "source selection");
+  std::vector<sparql::TriplePattern> combined = triples;
+  std::vector<std::pair<size_t, size_t>> optional_ranges;
+  for (const sparql::GraphPattern* opt : candidate_optionals) {
+    if (!options_.enable_optional_pushdown || !IsPlainOptional(*opt)) {
+      unpushed_optionals->push_back(opt);
+      continue;
+    }
+    optional_ranges.emplace_back(combined.size(),
+                                 combined.size() + opt->triples.size());
+    combined.insert(combined.end(), opt->triples.begin(),
+                    opt->triples.end());
+  }
+  std::vector<const sparql::GraphPattern*> plain_optionals;
+  if (options_.enable_optional_pushdown) {
+    for (const sparql::GraphPattern* opt : candidate_optionals) {
+      if (IsPlainOptional(*opt)) plain_optionals.push_back(opt);
+    }
+  }
+
+  const net::RetryPolicy* retry =
+      options_.retry_policy.enabled() ? &options_.retry_policy : nullptr;
+  const bool tolerate = options_.partial_results;
+  fed::SourceSelector selector(federation_, &ask_cache_, &pool_);
+  LUSAIL_ASSIGN_OR_RETURN(
+      std::vector<std::vector<int>> sources,
+      selector.SelectSources(combined, metrics, deadline, options_.use_cache,
+                             retry, tolerate));
+  source_span.Annotate("patterns", static_cast<uint64_t>(combined.size()));
+  source_span.End();
+  profile->source_selection_ms += timer.ElapsedMillis();
+
+  // Mandatory patterns with no relevant source: the query has no answers.
+  for (size_t i = 0; i < triples.size(); ++i) {
+    if (sources[i].empty()) {
+      BindingTable empty;
+      std::set<std::string> vars = PatternVars(triples);
+      empty.vars.assign(vars.begin(), vars.end());
+      // Optionals cannot resurrect rows; nothing more to push.
+      for (const sparql::GraphPattern* opt : plain_optionals) {
+        unpushed_optionals->push_back(opt);
+      }
+      return empty;
+    }
+  }
+
+  // Phase B: LADE — GJV detection (over mandatory + candidate-optional
+  // patterns so causing pairs across the OPTIONAL boundary are known),
+  // statistics, and decomposition of the mandatory BGP.
+  timer.Restart();
+  fed::PhaseSpan lade_span(metrics, "LADE analysis");
+  GjvDetector detector(federation_, &check_cache_, &pool_);
+  Decomposition decomposition;
+  GjvResult gjvs;
+  {
+    fed::PhaseSpan gjv_span(metrics, "gjv detection");
+    LUSAIL_ASSIGN_OR_RETURN(gjvs,
+                            detector.Detect(combined, sources, metrics,
+                                            deadline, options_.use_cache,
+                                            retry, tolerate));
+  }
+  CostModel cost_model(federation_, &pool_);
+  {
+    fed::PhaseSpan stats_span(metrics, "statistics");
+    LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(
+        triples, sources, filters, metrics, deadline, retry, tolerate));
+  }
+  {
+    fed::PhaseSpan decomp_span(metrics, "decomposition");
+    Decomposer decomposer(&cost_model);
+    decomposition =
+        decomposer.Decompose(triples, sources, gjvs, filters, needed_vars);
+    profile->pushed_optionals += PushPlainOptionals(
+        plain_optionals, optional_ranges, triples, sources, gjvs,
+        outside_vars, needed_vars, &decomposition, unpushed_optionals);
+    decomp_span.Annotate(
+        "subqueries",
+        static_cast<uint64_t>(decomposition.subqueries.size()));
+  }
+  lade_span.Annotate(
+      "subqueries", static_cast<uint64_t>(decomposition.subqueries.size()));
+  lade_span.Annotate("pushed_optionals", profile->pushed_optionals);
+  lade_span.End();
   profile->analysis_ms += timer.ElapsedMillis();
 
   // Phase C: SAPE execution.
   timer.Restart();
+  fed::PhaseSpan sape_span(metrics, "SAPE execution");
   SapeExecutor sape(federation_, &pool_, &options_);
   Result<BindingTable> table =
       sape.Execute(std::move(decomposition.subqueries), triples, dict,
@@ -414,6 +519,7 @@ Result<fed::FederatedResult> LusailEngine::Execute(
 
   fed::FederatedResult result;
   fed::MetricsCollector metrics;
+  fed::QueryTrace trace(options_.trace, name(), &metrics);
   fed::SharedDictionary dict;
 
   std::set<std::string> needed = NeededVars(query);
@@ -422,6 +528,7 @@ Result<fed::FederatedResult> LusailEngine::Execute(
                      &result.profile);
   if (!table_or.ok()) {
     metrics.FillCounters(&result.profile);
+    trace.Attach(&result.profile);
     return table_or.status();
   }
   BindingTable table = std::move(table_or).value();
@@ -485,6 +592,7 @@ Result<fed::FederatedResult> LusailEngine::Execute(
 
   metrics.FillCounters(&result.profile);
   result.profile.total_ms = total_timer.ElapsedMillis();
+  trace.Attach(&result.profile);
   return result;
 }
 

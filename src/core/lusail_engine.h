@@ -18,14 +18,34 @@
 
 namespace lusail::core {
 
-/// Analysis output exposed for tests, examples, and the profiling bench:
-/// the per-pattern relevant sources, the GJV analysis, and the chosen
-/// decomposition of the query's main basic graph pattern.
+/// Analysis output exposed for tests, examples, the profiling bench, and
+/// EXPLAIN: the per-pattern relevant sources, the GJV analysis, the
+/// chosen decomposition of the query's main basic graph pattern (with
+/// pushable OPTIONAL blocks already pushed into their host subqueries and
+/// `delayed` set per SAPE's decision), plus the planning artifacts SAPE
+/// would act on.
 struct AnalyzedQuery {
   sparql::Query query;
+  /// Relevant endpoints per *mandatory* triple pattern (candidate
+  /// OPTIONAL patterns are probed too but not reported here, keeping the
+  /// indices aligned with query.where.triples).
   std::vector<std::vector<int>> sources;
   GjvResult gjvs;
   Decomposition decomposition;
+
+  /// Chauvenet-rejected cardinality outliers, per subquery. These are
+  /// excluded from the delay-threshold statistics (and delayed).
+  std::vector<bool> outliers;
+
+  /// Estimated left-deep join order over the subquery results (indices
+  /// into decomposition.subqueries), from the DP optimizer seeded with
+  /// the COUNT-probe estimates.
+  std::vector<int> join_order;
+
+  /// OPTIONAL blocks of the top-level group pushed into subqueries vs.
+  /// left for the federator-level left join.
+  uint64_t pushed_optionals = 0;
+  uint64_t unpushed_optionals = 0;
 };
 
 /// Lusail: the paper's federated SPARQL engine. Pipeline per query:
@@ -58,6 +78,10 @@ class LusailEngine : public fed::FederatedEngine {
 
   const LusailOptions& options() const { return options_; }
   LusailOptions* mutable_options() { return &options_; }
+
+  /// The federation this engine runs against (EXPLAIN uses it to render
+  /// endpoint ids).
+  const fed::Federation* federation() const { return federation_; }
 
  private:
   /// Full pipeline for one conjunctive pattern (triples + filters).

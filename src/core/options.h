@@ -63,6 +63,12 @@ struct LusailOptions {
   /// deadline.
   net::RetryPolicy retry_policy;
 
+  /// Record a span trace of every execution (phases, subqueries, endpoint
+  /// requests, retry attempts) into ExecutionProfile::trace. Off by
+  /// default: when disabled no tracer exists and no spans are allocated,
+  /// so the overhead is a handful of null-pointer checks per request.
+  bool trace = false;
+
   /// When true, an endpoint that stays down past the retry budget is
   /// *dropped* instead of failing the query: its contribution to each
   /// subquery's per-endpoint union is skipped and the degradation is

@@ -117,16 +117,17 @@ std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
 Result<BindingTable> SapeExecutor::RunEverywhere(
     const Subquery& sq, const std::vector<TriplePattern>& triples,
     const sparql::ValuesClause* values, fed::SharedDictionary* dict,
-    fed::MetricsCollector* metrics, const Deadline& deadline) {
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    obs::SpanId trace_parent) {
   std::string text = sq.ToSparql(triples, values);
   const net::RetryPolicy* retry = RetryOf(options_);
   std::vector<std::future<Result<sparql::ResultTable>>> futures;
   futures.reserve(sq.sources.size());
   for (int ep : sq.sources) {
-    futures.push_back(
-        pool_->Submit([this, ep, text, metrics, deadline, retry]() {
+    futures.push_back(pool_->Submit(
+        [this, ep, text, metrics, deadline, retry, trace_parent]() {
           return federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                                      deadline, retry);
+                                      deadline, retry, trace_parent);
         }));
   }
   BindingTable merged;
@@ -177,11 +178,31 @@ Result<BindingTable> SapeExecutor::Execute(
     return Status::InvalidArgument("no subqueries to execute");
   }
 
+  obs::Tracer* tracer = metrics != nullptr ? metrics->tracer() : nullptr;
+  // Opens a "subquery" span under the current phase span. Spans are
+  // created on this thread and handed to pool tasks as explicit request
+  // parents, so concurrent subqueries nest their requests correctly.
+  auto start_sq_span = [&](size_t i, const char* mode) -> obs::SpanId {
+    if (tracer == nullptr) return 0;
+    obs::SpanId span = tracer->StartSpan("subquery " + std::to_string(i),
+                                         "subquery", metrics->trace_parent());
+    tracer->Annotate(span, "mode", mode);
+    tracer->Annotate(span, "endpoints",
+                     static_cast<uint64_t>(subqueries[i].sources.size()));
+    tracer->Annotate(span, "estimated_cardinality",
+                     subqueries[i].estimated_cardinality);
+    return span;
+  };
+
   // Single subquery: evaluate the whole query at every relevant endpoint
   // independently and union (Algorithm 3, lines 2-4).
   if (subqueries.size() == 1) {
-    return RunEverywhere(subqueries[0], triples, nullptr, dict, metrics,
-                         deadline);
+    obs::SpanId span = start_sq_span(0, "whole query");
+    Result<BindingTable> table =
+        RunEverywhere(subqueries[0], triples, nullptr, dict, metrics,
+                      deadline, span);
+    if (tracer != nullptr) tracer->EndSpan(span);
+    return table;
   }
 
   // Delay decision (skipped entirely when SAPE is disabled).
@@ -215,6 +236,8 @@ Result<BindingTable> SapeExecutor::Execute(
   std::vector<size_t> phase1_order;
   std::map<size_t, BindingTable> phase1_tables;
   std::map<size_t, size_t> phase1_successes;
+  std::map<size_t, obs::SpanId> phase1_spans;
+  std::map<size_t, size_t> phase1_pending;
   for (size_t i = 0; i < subqueries.size(); ++i) {
     if (subqueries[i].delayed) continue;
     phase1_order.push_back(i);
@@ -222,15 +245,18 @@ Result<BindingTable> SapeExecutor::Execute(
     empty.vars = subqueries[i].projection;
     phase1_tables.emplace(i, std::move(empty));
     phase1_successes.emplace(i, 0);
+    obs::SpanId span = start_sq_span(i, "concurrent");
+    phase1_spans.emplace(i, span);
+    phase1_pending.emplace(i, subqueries[i].sources.size());
     std::string text = subqueries[i].ToSparql(triples, nullptr);
     for (int ep : subqueries[i].sources) {
       Fetch fetch;
       fetch.sq_index = i;
       fetch.endpoint = ep;
       fetch.result = pool_->Submit(
-          [this, ep, text, metrics, deadline, retry]() {
+          [this, ep, text, metrics, deadline, retry, span]() {
             return federation_->Execute(static_cast<size_t>(ep), text,
-                                        metrics, deadline, retry);
+                                        metrics, deadline, retry, span);
           });
       fetches.push_back(std::move(fetch));
     }
@@ -242,11 +268,19 @@ Result<BindingTable> SapeExecutor::Execute(
     if (!part.ok()) {
       phase1_failures.push_back({fetch.endpoint, part.status()});
       phase1_failed_sqs.insert(fetch.sq_index);
-      continue;
+    } else {
+      ++phase1_successes[fetch.sq_index];
+      fed::AppendUnion(&phase1_tables[fetch.sq_index],
+                       fed::InternTable(*part, dict));
     }
-    ++phase1_successes[fetch.sq_index];
-    fed::AppendUnion(&phase1_tables[fetch.sq_index],
-                     fed::InternTable(*part, dict));
+    // The subquery span closes when its last endpoint result lands.
+    if (tracer != nullptr && --phase1_pending[fetch.sq_index] == 0) {
+      obs::SpanId span = phase1_spans[fetch.sq_index];
+      tracer->Annotate(
+          span, "rows",
+          static_cast<uint64_t>(phase1_tables[fetch.sq_index].rows.size()));
+      tracer->EndSpan(span);
+    }
   }
   if (!phase1_failures.empty()) {
     if (!options_->partial_results) {
@@ -324,16 +358,33 @@ Result<BindingTable> SapeExecutor::Execute(
     delayed_left.erase(delayed_left.begin() + pick);
     Subquery& sq = subqueries[sq_index];
 
+    obs::SpanId sq_span = start_sq_span(sq_index, "delayed");
+    auto end_sq_span = [&](size_t result_rows) {
+      if (tracer == nullptr) return;
+      tracer->Annotate(sq_span, "rows",
+                       static_cast<uint64_t>(result_rows));
+      tracer->EndSpan(sq_span);
+    };
+
     auto [bind_var, bindings] = found_bindings_for(sq);
     if (bind_var.empty()) {
       // Nothing to bind with: evaluate unbound like phase 1.
-      LUSAIL_ASSIGN_OR_RETURN(
-          BindingTable t,
-          RunEverywhere(sq, triples, nullptr, dict, metrics, deadline));
-      tables.push_back(std::move(t));
+      Result<BindingTable> t = RunEverywhere(sq, triples, nullptr, dict,
+                                             metrics, deadline, sq_span);
+      if (!t.ok()) {
+        end_sq_span(0);
+        return t.status();
+      }
+      end_sq_span(t->rows.size());
+      tables.push_back(std::move(t).value());
       tables = JoinConnected(std::move(tables), pool_,
                              options_->join_partitions);
       continue;
+    }
+    if (tracer != nullptr) {
+      tracer->Annotate(sq_span, "bind_var", bind_var);
+      tracer->Annotate(sq_span, "bindings",
+                       static_cast<uint64_t>(bindings.size()));
     }
 
     // Source refinement (Algorithm 3, line 13): for generic subqueries
@@ -357,9 +408,9 @@ Result<BindingTable> SapeExecutor::Execute(
       std::vector<std::future<Result<bool>>> probes;
       for (int ep : sources) {
         probes.push_back(pool_->Submit([this, ep, ask_text, metrics,
-                                        deadline, retry]() {
+                                        deadline, retry, sq_span]() {
           return federation_->Ask(static_cast<size_t>(ep), ask_text, metrics,
-                                  deadline, retry);
+                                  deadline, retry, sq_span);
         }));
       }
       std::vector<int> kept;
@@ -381,6 +432,7 @@ Result<BindingTable> SapeExecutor::Execute(
     BindingTable merged;
     merged.vars = bound_sq.projection;
     const size_t block = std::max<size_t>(1, options_->bound_join_block_size);
+    size_t values_blocks = 0;
     for (size_t start = 0; start < bindings.size(); start += block) {
       sparql::ValuesClause values;
       values.vars.push_back(sparql::Variable{bind_var});
@@ -388,11 +440,21 @@ Result<BindingTable> SapeExecutor::Execute(
       for (size_t i = start; i < end; ++i) {
         values.rows.push_back({dict->term(bindings[i])});
       }
-      LUSAIL_ASSIGN_OR_RETURN(
-          BindingTable part,
-          RunEverywhere(bound_sq, triples, &values, dict, metrics, deadline));
-      fed::AppendUnion(&merged, part);
+      ++values_blocks;
+      Result<BindingTable> part = RunEverywhere(bound_sq, triples, &values,
+                                                dict, metrics, deadline,
+                                                sq_span);
+      if (!part.ok()) {
+        end_sq_span(merged.rows.size());
+        return part.status();
+      }
+      fed::AppendUnion(&merged, *part);
     }
+    if (tracer != nullptr) {
+      tracer->Annotate(sq_span, "values_blocks",
+                       static_cast<uint64_t>(values_blocks));
+    }
+    end_sq_span(merged.rows.size());
     tables.push_back(std::move(merged));
     track_peak(tables);
     tables = JoinConnected(std::move(tables), pool_,

@@ -44,13 +44,17 @@ class SapeExecutor {
 
  private:
   /// Runs one subquery (optionally with a VALUES block) at all of its
-  /// relevant endpoints concurrently and unions the results.
+  /// relevant endpoints concurrently and unions the results. Requests are
+  /// traced as children of `trace_parent` (the subquery's span) — an
+  /// explicit parent, because requests run on pool threads while the
+  /// collector's default parent tracks the caller's current phase.
   Result<fed::BindingTable> RunEverywhere(const Subquery& sq,
                                           const std::vector<sparql::TriplePattern>& triples,
                                           const sparql::ValuesClause* values,
                                           fed::SharedDictionary* dict,
                                           fed::MetricsCollector* metrics,
-                                          const Deadline& deadline);
+                                          const Deadline& deadline,
+                                          obs::SpanId trace_parent = 0);
 
   const fed::Federation* federation_;
   ThreadPool* pool_;

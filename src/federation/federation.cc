@@ -38,6 +38,34 @@ bool LooksLikeAskQuery(const std::string& text) {
   return false;
 }
 
+obs::JsonValue ProfileToJson(const ExecutionProfile& profile) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("requests", profile.requests);
+  out.Set("ask_requests", profile.ask_requests);
+  out.Set("bytes_sent", profile.bytes_sent);
+  out.Set("bytes_received", profile.bytes_received);
+  out.Set("rows_received", profile.rows_received);
+  out.Set("network_ms", profile.network_ms);
+  out.Set("source_selection_ms", profile.source_selection_ms);
+  out.Set("analysis_ms", profile.analysis_ms);
+  out.Set("execution_ms", profile.execution_ms);
+  out.Set("total_ms", profile.total_ms);
+  out.Set("pushed_optionals", profile.pushed_optionals);
+  out.Set("peak_intermediate_rows", profile.peak_intermediate_rows);
+  out.Set("retries", profile.retries);
+  out.Set("breaker_rejections", profile.breaker_rejections);
+  out.Set("breaker_trips", profile.breaker_trips);
+  out.Set("endpoints_failed", profile.endpoints_failed);
+  out.Set("subqueries_dropped", profile.subqueries_dropped);
+  obs::JsonValue failed = obs::JsonValue::Array();
+  for (const std::string& id : profile.failed_endpoint_ids) {
+    failed.Append(id);
+  }
+  out.Set("failed_endpoint_ids", std::move(failed));
+  out.Set("partial", profile.partial);
+  return out;
+}
+
 size_t Federation::Add(std::shared_ptr<net::Endpoint> endpoint) {
   endpoints_.push_back(std::move(endpoint));
   breakers_.push_back(std::make_unique<net::CircuitBreaker>(breaker_config_));
@@ -53,36 +81,84 @@ void Federation::ConfigureBreakers(const net::CircuitBreakerConfig& config) {
 
 Result<sparql::ResultTable> Federation::Execute(
     size_t i, const std::string& text, MetricsCollector* metrics,
-    const Deadline& deadline, const net::RetryPolicy* retry) const {
+    const Deadline& deadline, const net::RetryPolicy* retry,
+    obs::SpanId trace_parent) const {
   if (i >= endpoints_.size()) {
     return Status::NotFound("no endpoint with index " + std::to_string(i));
   }
+  const std::string& endpoint_id = endpoints_[i]->id();
   if (deadline.Expired()) {
     return Status::Timeout("query deadline expired before request to " +
-                           endpoints_[i]->id());
+                           endpoint_id);
   }
+  bool is_ask = LooksLikeAskQuery(text);
+  obs::Tracer* tracer = metrics != nullptr ? metrics->tracer() : nullptr;
+  obs::SpanId span = 0;
+  if (tracer != nullptr) {
+    obs::SpanId parent =
+        trace_parent != 0 ? trace_parent : metrics->trace_parent();
+    span = tracer->StartSpan("request " + endpoint_id, "request", parent);
+    tracer->Annotate(span, "endpoint", endpoint_id);
+    tracer->Annotate(span, "is_ask", is_ask);
+  }
+
   Result<net::QueryResponse> response = Status::Internal("unreachable");
+  net::RetryOutcome outcome;
   if (retry != nullptr && retry->enabled()) {
-    net::RetryOutcome outcome;
     response = net::QueryWithRetry(endpoints_[i].get(), text, deadline,
-                                   *retry, breakers_[i].get(), &outcome);
+                                   *retry, breakers_[i].get(), &outcome,
+                                   tracer, span);
     if (metrics != nullptr) metrics->RecordRetryOutcome(outcome);
   } else {
     response = endpoints_[i]->QueryWithDeadline(text, deadline);
   }
-  if (!response.ok()) return response.status();
-  if (metrics != nullptr) {
-    metrics->RecordRequest(*response, LooksLikeAskQuery(text));
+
+  if (stats_ != nullptr) {
+    if (response.ok()) {
+      stats_->RecordSuccess(endpoint_id,
+                            response->network_ms + response->server_ms,
+                            response->request_bytes, response->response_bytes,
+                            response->table.NumRows());
+    } else {
+      stats_->RecordFailure(endpoint_id, response.status().code() ==
+                                             StatusCode::kTimeout);
+    }
+    stats_->RecordResilience(endpoint_id,
+                             static_cast<uint64_t>(outcome.retries),
+                             static_cast<uint64_t>(outcome.breaker_rejections),
+                             static_cast<uint64_t>(outcome.breaker_trips));
   }
+
+  if (span != 0) {
+    tracer->Annotate(span, "ok", response.ok());
+    if (response.ok()) {
+      tracer->Annotate(span, "rows",
+                       static_cast<uint64_t>(response->table.NumRows()));
+      tracer->Annotate(span, "bytes_received", response->response_bytes);
+      tracer->Annotate(span, "network_ms", response->network_ms);
+    } else {
+      tracer->Annotate(span, "status", response.status().ToString());
+    }
+    if (outcome.retries > 0) {
+      tracer->Annotate(span, "retries",
+                       static_cast<int64_t>(outcome.retries));
+    }
+    tracer->EndSpan(span);
+  }
+
+  if (!response.ok()) return response.status();
+  if (metrics != nullptr) metrics->RecordRequest(*response, is_ask);
   return std::move(response->table);
 }
 
 Result<bool> Federation::Ask(size_t i, const std::string& text,
                              MetricsCollector* metrics,
                              const Deadline& deadline,
-                             const net::RetryPolicy* retry) const {
-  LUSAIL_ASSIGN_OR_RETURN(sparql::ResultTable table,
-                          Execute(i, text, metrics, deadline, retry));
+                             const net::RetryPolicy* retry,
+                             obs::SpanId trace_parent) const {
+  LUSAIL_ASSIGN_OR_RETURN(
+      sparql::ResultTable table,
+      Execute(i, text, metrics, deadline, retry, trace_parent));
   return !table.rows.empty();
 }
 

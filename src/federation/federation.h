@@ -2,6 +2,7 @@
 #define LUSAIL_FEDERATION_FEDERATION_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,9 @@
 #include "common/stopwatch.h"
 #include "net/endpoint.h"
 #include "net/resilience.h"
+#include "obs/endpoint_stats.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "sparql/result_table.h"
 
 namespace lusail::fed {
@@ -55,7 +59,16 @@ struct ExecutionProfile {
   /// True when any endpoint contribution was dropped: the result is a
   /// lower bound of the exact answer, not the exact answer.
   bool partial = false;
+
+  /// The query's span trace, present only when the engine ran with
+  /// tracing enabled (LusailOptions::trace or a baseline's trace flag).
+  /// Export with trace->ToChromeJsonString() for chrome://tracing.
+  std::shared_ptr<const obs::Trace> trace;
 };
+
+/// The profile's counters and phase timings as a JSON object (keys match
+/// the field names). This is the record the benches dump per query.
+obs::JsonValue ProfileToJson(const ExecutionProfile& profile);
 
 /// Thread-safe accumulator for one federated query execution.
 class MetricsCollector {
@@ -72,8 +85,12 @@ class MetricsCollector {
                               std::memory_order_relaxed);
     rows_received_.fetch_add(response.table.NumRows(),
                              std::memory_order_relaxed);
-    network_us_.fetch_add(static_cast<uint64_t>(response.network_ms * 1000.0),
-                          std::memory_order_relaxed);
+    // Round to the nearest microsecond instead of truncating: a
+    // truncating cast floors every request's network time, so workloads
+    // of many sub-microsecond requests would report ~0 network time.
+    network_us_.fetch_add(
+        static_cast<uint64_t>(std::llround(response.network_ms * 1000.0)),
+        std::memory_order_relaxed);
   }
 
   /// Folds one retry loop's accounting into the query totals.
@@ -95,6 +112,28 @@ class MetricsCollector {
   /// Records a subquery that lost *all* of its endpoints.
   void RecordSubqueryDropped() {
     subqueries_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Tracing (optional; engines attach a tracer per traced query) ---
+
+  /// Attaches a tracer; every Federation request accounted through this
+  /// collector then emits a "request" span. Non-owning; the tracer must
+  /// outlive the query.
+  void SetTracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  obs::Tracer* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
+  /// The span new request spans are parented to when the call site does
+  /// not pass an explicit parent. Engines point this at the currently
+  /// running phase span (PhaseSpan maintains it automatically).
+  void SetTraceParent(obs::SpanId span) {
+    trace_parent_.store(span, std::memory_order_release);
+  }
+  obs::SpanId trace_parent() const {
+    return trace_parent_.load(std::memory_order_acquire);
   }
 
   /// Copies the counters into a profile (phase timings are the caller's).
@@ -136,6 +175,93 @@ class MetricsCollector {
   std::atomic<uint64_t> subqueries_dropped_{0};
   mutable std::mutex dropped_mu_;
   std::set<std::string> dropped_endpoints_;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::SpanId> trace_parent_{0};
+};
+
+/// RAII phase span tied to a MetricsCollector: opens a "phase" span under
+/// the collector's current trace parent, makes itself the parent for
+/// requests issued while alive, and restores the previous parent on
+/// destruction. A no-op when the collector has no tracer, so engines can
+/// scope their phases unconditionally.
+class PhaseSpan {
+ public:
+  PhaseSpan(MetricsCollector* metrics, const std::string& name)
+      : metrics_(metrics) {
+    obs::Tracer* tracer =
+        metrics_ != nullptr ? metrics_->tracer() : nullptr;
+    if (tracer == nullptr) return;
+    prev_ = metrics_->trace_parent();
+    span_ = tracer->StartSpan(name, "phase", prev_);
+    metrics_->SetTraceParent(span_);
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+  ~PhaseSpan() { End(); }
+
+  void End() {
+    if (span_ == 0) return;
+    metrics_->SetTraceParent(prev_);
+    metrics_->tracer()->EndSpan(span_);
+    span_ = 0;
+  }
+
+  template <typename V>
+  void Annotate(std::string key, V value) {
+    if (span_ != 0) {
+      metrics_->tracer()->Annotate(span_, std::move(key), value);
+    }
+  }
+
+  obs::SpanId id() const { return span_; }
+
+ private:
+  MetricsCollector* metrics_ = nullptr;
+  obs::SpanId span_ = 0;
+  obs::SpanId prev_ = 0;
+};
+
+/// Per-query tracing harness shared by all engines: when `enabled`, owns
+/// the tracer, opens the root "query" span, and registers the tracer with
+/// the metrics collector. Attach() closes the root span and hands the
+/// finished trace to the profile.
+class QueryTrace {
+ public:
+  QueryTrace(bool enabled, const std::string& engine_name,
+             MetricsCollector* metrics)
+      : metrics_(metrics) {
+    if (!enabled) return;
+    tracer_ = std::make_unique<obs::Tracer>();
+    root_ = tracer_->StartSpan("query", "query");
+    tracer_->Annotate(root_, "engine", engine_name);
+    metrics_->SetTracer(tracer_.get());
+    metrics_->SetTraceParent(root_);
+  }
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+  ~QueryTrace() {
+    // Detach before the tracer dies (the collector outlives this guard
+    // only within the engine's Execute frame, but stay defensive).
+    if (tracer_ != nullptr && metrics_ != nullptr) {
+      metrics_->SetTracer(nullptr);
+    }
+  }
+
+  bool enabled() const { return tracer_ != nullptr; }
+  obs::Tracer* tracer() const { return tracer_.get(); }
+  obs::SpanId root() const { return root_; }
+
+  /// Ends the root span and attaches the finished trace to `profile`.
+  void Attach(ExecutionProfile* profile) {
+    if (tracer_ == nullptr) return;
+    tracer_->EndSpan(root_);
+    profile->trace = std::make_shared<const obs::Trace>(tracer_->Snapshot());
+  }
+
+ private:
+  MetricsCollector* metrics_ = nullptr;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::SpanId root_ = 0;
 };
 
 /// True when `text` is an ASK query, tolerating leading whitespace,
@@ -168,27 +294,43 @@ class Federation {
   /// not of any one client.
   net::CircuitBreaker* breaker(size_t i) const { return breakers_[i].get(); }
 
+  /// Attaches a cross-query telemetry registry: every request issued
+  /// through this federation (by any engine) is then accounted per
+  /// endpoint — latency histogram, error/retry/breaker counters, byte
+  /// volumes. Non-owning; pass nullptr to detach.
+  void set_stats_registry(obs::EndpointStatsRegistry* registry) {
+    stats_ = registry;
+  }
+  obs::EndpointStatsRegistry* stats_registry() const { return stats_; }
+
   /// Issues `text` at endpoint `i`. Accounts the exchange into `metrics`
   /// (when non-null) and fails with Timeout when `deadline` has expired
   /// before the request is issued. With a non-null `retry` whose policy
   /// is enabled, retryable failures are retried with backoff under the
   /// endpoint's circuit breaker, never sleeping past `deadline`; retry
   /// and breaker activity is accounted into `metrics`.
+  ///
+  /// When `metrics` carries a tracer, the exchange is recorded as a
+  /// "request" span — parented to `trace_parent` when non-zero, else to
+  /// the collector's current default parent — with retry attempts and
+  /// breaker rejections as child spans.
   Result<sparql::ResultTable> Execute(size_t i, const std::string& text,
                                       MetricsCollector* metrics,
                                       const Deadline& deadline,
-                                      const net::RetryPolicy* retry =
-                                          nullptr) const;
+                                      const net::RetryPolicy* retry = nullptr,
+                                      obs::SpanId trace_parent = 0) const;
 
   /// Convenience ASK wrapper: true iff the endpoint returned a row.
   Result<bool> Ask(size_t i, const std::string& text,
                    MetricsCollector* metrics, const Deadline& deadline,
-                   const net::RetryPolicy* retry = nullptr) const;
+                   const net::RetryPolicy* retry = nullptr,
+                   obs::SpanId trace_parent = 0) const;
 
  private:
   std::vector<std::shared_ptr<net::Endpoint>> endpoints_;
   std::vector<std::unique_ptr<net::CircuitBreaker>> breakers_;
   net::CircuitBreakerConfig breaker_config_;
+  obs::EndpointStatsRegistry* stats_ = nullptr;
 };
 
 /// Result of a federated query: the final table plus the cost profile.

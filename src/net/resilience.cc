@@ -1,6 +1,7 @@
 #include "net/resilience.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <thread>
 
@@ -132,7 +133,9 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
                                      const Deadline& deadline,
                                      const RetryPolicy& policy,
                                      CircuitBreaker* breaker,
-                                     RetryOutcome* outcome) {
+                                     RetryOutcome* outcome,
+                                     obs::Tracer* tracer,
+                                     obs::SpanId trace_parent) {
   RetryOutcome local;
   RetryOutcome* out = outcome != nullptr ? outcome : &local;
   if (!policy.use_circuit_breaker) breaker = nullptr;
@@ -151,10 +154,24 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
     }
     if (breaker != nullptr && !breaker->AllowRequest()) {
       ++out->breaker_rejections;
+      if (tracer != nullptr) {
+        obs::SpanId rejection = tracer->StartSpan(
+            "breaker rejection", "breaker", trace_parent);
+        tracer->Annotate(rejection, "endpoint", endpoint->id());
+        tracer->EndSpan(rejection);
+      }
       return Status::Unavailable("circuit breaker open for " + endpoint->id());
     }
     ++out->attempts;
+    obs::ScopedSpan attempt_span(
+        tracer, "attempt " + std::to_string(attempt + 1),
+        attempt == 0 ? "attempt" : "retry", trace_parent);
     Result<QueryResponse> response = endpoint->QueryWithDeadline(text, deadline);
+    attempt_span.Annotate("ok", response.ok());
+    if (!response.ok()) {
+      attempt_span.Annotate("status", response.status().ToString());
+    }
+    attempt_span.End();
     if (response.ok()) {
       if (breaker != nullptr) breaker->RecordSuccess();
       return response;
@@ -211,8 +228,11 @@ Result<QueryResponse> ResilientEndpoint::QueryWithDeadline(
   breaker_rejections_.fetch_add(outcome.breaker_rejections,
                                 std::memory_order_relaxed);
   breaker_trips_.fetch_add(outcome.breaker_trips, std::memory_order_relaxed);
-  backoff_us_.fetch_add(static_cast<uint64_t>(outcome.backoff_ms * 1000.0),
-                        std::memory_order_relaxed);
+  // llround, not a truncating cast: sub-microsecond sleeps must not
+  // vanish from the totals (same fix as MetricsCollector::RecordRequest).
+  backoff_us_.fetch_add(
+      static_cast<uint64_t>(std::llround(outcome.backoff_ms * 1000.0)),
+      std::memory_order_relaxed);
   if (!response.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
   return response;
 }

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "net/endpoint.h"
+#include "obs/trace.h"
 
 namespace lusail::net {
 
@@ -148,12 +149,17 @@ struct RetryOutcome {
 /// consulting `breaker` (may be null) before each attempt and recording
 /// outcomes into it. Honors `deadline`: no attempt starts and no backoff
 /// sleeps past it. `outcome` (may be null) receives per-call accounting.
+/// With a non-null `tracer`, every issued attempt and every breaker
+/// rejection becomes a child span of `trace_parent` (retries are thus
+/// visible in query traces as "attempt N" spans under the request span).
 Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
                                      const std::string& text,
                                      const Deadline& deadline,
                                      const RetryPolicy& policy,
                                      CircuitBreaker* breaker,
-                                     RetryOutcome* outcome);
+                                     RetryOutcome* outcome,
+                                     obs::Tracer* tracer = nullptr,
+                                     obs::SpanId trace_parent = 0);
 
 /// Cumulative client-side statistics of one ResilientEndpoint.
 struct ResilienceStats {

@@ -1,0 +1,248 @@
+#include "obs/endpoint_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace lusail::obs {
+
+namespace {
+
+uint64_t MicrosFromMillis(double ms) {
+  if (ms <= 0.0) return 0;
+  return static_cast<uint64_t>(std::llround(ms * 1000.0));
+}
+
+size_t BucketFor(uint64_t us) {
+  if (us == 0) return 0;
+  // Bucket b covers [2^(b-1), 2^b): 1us -> bucket 1, 2-3us -> 2, ...
+  return static_cast<size_t>(std::bit_width(us));
+}
+
+/// Geometric mean of a bucket's bounds, in microseconds.
+double BucketRepresentative(size_t bucket) {
+  if (bucket == 0) return 0.5;
+  double lo = std::ldexp(1.0, static_cast<int>(bucket) - 1);
+  return lo * std::sqrt(2.0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------
+
+void LatencyHistogram::Record(double latency_ms) {
+  uint64_t us = MicrosFromMillis(latency_ms);
+  size_t bucket = std::min(BucketFor(us), kBuckets - 1);
+  ++buckets_[bucket];
+  if (count_ == 0 || us < min_us_) min_us_ = us;
+  if (us > max_us_) max_us_ = us;
+  ++count_;
+  total_us_ += us;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested quantile (1-based, nearest-rank method).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Clamping to the exact extremes pins the outermost buckets to the
+      // true min/max instead of the bucket midpoint.
+      double us = std::clamp(BucketRepresentative(b),
+                             static_cast<double>(min_us_),
+                             static_cast<double>(max_us_));
+      return us / 1000.0;
+    }
+  }
+  return static_cast<double>(max_us_) / 1000.0;
+}
+
+double LatencyHistogram::MeanMs() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(total_us_) / static_cast<double>(count_) /
+         1000.0;
+}
+
+double LatencyHistogram::MinMs() const {
+  return static_cast<double>(min_us_) / 1000.0;
+}
+
+double LatencyHistogram::MaxMs() const {
+  return static_cast<double>(max_us_) / 1000.0;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0 || other.min_us_ < min_us_) min_us_ = other.min_us_;
+  max_us_ = std::max(max_us_, other.max_us_);
+  count_ += other.count_;
+  total_us_ += other.total_us_;
+}
+
+JsonValue LatencyHistogram::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", count_);
+  out.Set("mean_ms", MeanMs());
+  out.Set("min_ms", MinMs());
+  out.Set("p50_ms", P50());
+  out.Set("p95_ms", P95());
+  out.Set("p99_ms", P99());
+  out.Set("max_ms", MaxMs());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// EndpointStats
+// ---------------------------------------------------------------------
+
+void EndpointStats::Merge(const EndpointStats& other) {
+  requests += other.requests;
+  successes += other.successes;
+  errors += other.errors;
+  timeouts += other.timeouts;
+  retries += other.retries;
+  breaker_rejections += other.breaker_rejections;
+  breaker_trips += other.breaker_trips;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  rows_received += other.rows_received;
+  latency.Merge(other.latency);
+}
+
+JsonValue EndpointStats::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("requests", requests);
+  out.Set("successes", successes);
+  out.Set("errors", errors);
+  out.Set("timeouts", timeouts);
+  out.Set("retries", retries);
+  out.Set("breaker_rejections", breaker_rejections);
+  out.Set("breaker_trips", breaker_trips);
+  out.Set("bytes_sent", bytes_sent);
+  out.Set("bytes_received", bytes_received);
+  out.Set("rows_received", rows_received);
+  out.Set("latency", latency.ToJson());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// EndpointStatsRegistry
+// ---------------------------------------------------------------------
+
+void EndpointStatsRegistry::RecordSuccess(const std::string& endpoint_id,
+                                          double latency_ms,
+                                          uint64_t bytes_sent,
+                                          uint64_t bytes_received,
+                                          uint64_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointStats& s = stats_[endpoint_id];
+  ++s.requests;
+  ++s.successes;
+  s.bytes_sent += bytes_sent;
+  s.bytes_received += bytes_received;
+  s.rows_received += rows;
+  s.latency.Record(latency_ms);
+}
+
+void EndpointStatsRegistry::RecordFailure(const std::string& endpoint_id,
+                                          bool timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointStats& s = stats_[endpoint_id];
+  ++s.requests;
+  if (timeout) {
+    ++s.timeouts;
+  } else {
+    ++s.errors;
+  }
+}
+
+void EndpointStatsRegistry::RecordResilience(const std::string& endpoint_id,
+                                             uint64_t retries,
+                                             uint64_t breaker_rejections,
+                                             uint64_t breaker_trips) {
+  if (retries == 0 && breaker_rejections == 0 && breaker_trips == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointStats& s = stats_[endpoint_id];
+  s.retries += retries;
+  s.breaker_rejections += breaker_rejections;
+  s.breaker_trips += breaker_trips;
+}
+
+EndpointStats EndpointStatsRegistry::Get(
+    const std::string& endpoint_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(endpoint_id);
+  return it == stats_.end() ? EndpointStats() : it->second;
+}
+
+std::vector<std::pair<std::string, EndpointStats>> EndpointStatsRegistry::All()
+    const {
+  std::vector<std::pair<std::string, EndpointStats>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(stats_.begin(), stats_.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+size_t EndpointStatsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.size();
+}
+
+void EndpointStatsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+void EndpointStatsRegistry::Merge(const EndpointStatsRegistry& other) {
+  std::vector<std::pair<std::string, EndpointStats>> theirs = other.All();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, stats] : theirs) {
+    stats_[id].Merge(stats);
+  }
+}
+
+JsonValue EndpointStatsRegistry::ToJson() const {
+  JsonValue endpoints = JsonValue::Object();
+  for (const auto& [id, stats] : All()) {
+    endpoints.Set(id, stats.ToJson());
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("endpoints", std::move(endpoints));
+  return out;
+}
+
+std::string EndpointStatsRegistry::ToText() const {
+  std::string out =
+      "endpoint                 reqs    ok   err    to  retry  brk  "
+      "p50ms    p95ms    p99ms\n";
+  for (const auto& [id, s] : All()) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-22s %6llu %5llu %5llu %5llu %6llu %4llu %8.3f %8.3f "
+                  "%8.3f\n",
+                  id.c_str(),
+                  static_cast<unsigned long long>(s.requests),
+                  static_cast<unsigned long long>(s.successes),
+                  static_cast<unsigned long long>(s.errors),
+                  static_cast<unsigned long long>(s.timeouts),
+                  static_cast<unsigned long long>(s.retries),
+                  static_cast<unsigned long long>(s.breaker_trips),
+                  s.latency.P50(), s.latency.P95(), s.latency.P99());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace lusail::obs

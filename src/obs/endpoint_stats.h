@@ -1,0 +1,118 @@
+#ifndef LUSAIL_OBS_ENDPOINT_STATS_H_
+#define LUSAIL_OBS_ENDPOINT_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lusail::obs {
+
+/// Mergeable log-bucketed latency histogram. Bucket b holds samples whose
+/// latency in microseconds lies in [2^(b-1), 2^b) (bucket 0 holds < 1 us),
+/// so the whole dynamic range from sub-microsecond to hours fits in 64
+/// buckets with bounded relative error (each bucket spans a factor of 2,
+/// so a percentile estimate is off by at most ~41% — the geometric mean
+/// of the bucket bounds is reported).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(double latency_ms);
+
+  /// The `p`-quantile estimate (p in [0, 1]) in milliseconds, 0 when
+  /// empty. Exact min/max are used for the extreme quantiles.
+  double Percentile(double p) const;
+
+  double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
+
+  uint64_t count() const { return count_; }
+  double MeanMs() const;
+  double MinMs() const;
+  double MaxMs() const;
+
+  void Merge(const LatencyHistogram& other);
+
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  JsonValue ToJson() const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t total_us_ = 0;
+  uint64_t min_us_ = 0;
+  uint64_t max_us_ = 0;
+};
+
+/// Cross-query counters for one endpoint, accumulated by the federation's
+/// request path. `latency` covers successful requests only; failures are
+/// classified into errors vs. timeouts.
+struct EndpointStats {
+  uint64_t requests = 0;  ///< Completed requests (success + failure).
+  uint64_t successes = 0;
+  uint64_t errors = 0;    ///< Non-timeout failures.
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  uint64_t breaker_rejections = 0;
+  uint64_t breaker_trips = 0;  ///< Breaker transitions to open.
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t rows_received = 0;
+  LatencyHistogram latency;
+
+  void Merge(const EndpointStats& other);
+  JsonValue ToJson() const;
+};
+
+/// Thread-safe registry of per-endpoint statistics spanning queries and
+/// engines. Attach one to a Federation (set_stats_registry) and every
+/// request any engine issues through that federation is accounted here;
+/// registries from different federations (or processes) merge.
+class EndpointStatsRegistry {
+ public:
+  EndpointStatsRegistry() = default;
+  EndpointStatsRegistry(const EndpointStatsRegistry&) = delete;
+  EndpointStatsRegistry& operator=(const EndpointStatsRegistry&) = delete;
+
+  void RecordSuccess(const std::string& endpoint_id, double latency_ms,
+                     uint64_t bytes_sent, uint64_t bytes_received,
+                     uint64_t rows);
+  void RecordFailure(const std::string& endpoint_id, bool timeout);
+  void RecordResilience(const std::string& endpoint_id, uint64_t retries,
+                        uint64_t breaker_rejections, uint64_t breaker_trips);
+
+  /// Copy of one endpoint's stats (default-constructed when unknown).
+  EndpointStats Get(const std::string& endpoint_id) const;
+
+  /// All endpoints, sorted by id for deterministic reports.
+  std::vector<std::pair<std::string, EndpointStats>> All() const;
+
+  size_t size() const;
+  void Clear();
+
+  /// Folds another registry into this one (per-endpoint counter sums and
+  /// histogram merges).
+  void Merge(const EndpointStatsRegistry& other);
+
+  /// {"endpoints": {"<id>": {...counters, latency percentiles...}}}
+  JsonValue ToJson() const;
+
+  /// Fixed-width table for terminal output.
+  std::string ToText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, EndpointStats> stats_;
+};
+
+}  // namespace lusail::obs
+
+#endif  // LUSAIL_OBS_ENDPOINT_STATS_H_

@@ -1,0 +1,246 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/lusail_engine.h"
+
+namespace lusail::obs {
+
+namespace {
+
+const char* DelayThresholdName(core::DelayThreshold threshold) {
+  switch (threshold) {
+    case core::DelayThreshold::kMu:
+      return "mu";
+    case core::DelayThreshold::kMuSigma:
+      return "mu+sigma";
+    case core::DelayThreshold::kMu2Sigma:
+      return "mu+2sigma";
+    case core::DelayThreshold::kOutliersOnly:
+      return "outliers-only";
+  }
+  return "unknown";
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const char* sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+JsonValue StringsToJson(const std::vector<std::string>& strings) {
+  JsonValue out = JsonValue::Array();
+  for (const std::string& s : strings) out.Append(s);
+  return out;
+}
+
+JsonValue IntsToJson(const std::vector<int>& ints) {
+  JsonValue out = JsonValue::Array();
+  for (int i : ints) out.Append(static_cast<int64_t>(i));
+  return out;
+}
+
+Status ExpectType(const JsonValue& v, JsonValue::Type type,
+                  const char* what) {
+  if (v.type() != type) {
+    return Status::InvalidArgument(std::string("explain JSON: field '") +
+                                   what + "' missing or of wrong type");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ParseStrings(const JsonValue& v,
+                                              const char* what) {
+  LUSAIL_RETURN_NOT_OK(ExpectType(v, JsonValue::Type::kArray, what));
+  std::vector<std::string> out;
+  for (const JsonValue& item : v.items()) {
+    LUSAIL_RETURN_NOT_OK(ExpectType(item, JsonValue::Type::kString, what));
+    out.push_back(item.AsString());
+  }
+  return out;
+}
+
+Result<std::vector<int>> ParseInts(const JsonValue& v, const char* what) {
+  LUSAIL_RETURN_NOT_OK(ExpectType(v, JsonValue::Type::kArray, what));
+  std::vector<int> out;
+  for (const JsonValue& item : v.items()) {
+    LUSAIL_RETURN_NOT_OK(ExpectType(item, JsonValue::Type::kNumber, what));
+    out.push_back(static_cast<int>(item.AsInt()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExplainReport::ToText() const {
+  std::string out = "EXPLAIN (" + engine + ")\n";
+  out += "  global join variables: " +
+         (gjvs.empty() ? std::string("(none)") : JoinStrings(gjvs, ", ")) +
+         "\n";
+  out += "  delay threshold: " + delay_threshold + "\n";
+  out += "  optionals: " + std::to_string(pushed_optionals) +
+         " pushed into subqueries, " + std::to_string(unpushed_optionals) +
+         " left-joined at the federator\n";
+  out += "  subqueries: " + std::to_string(subqueries.size()) + "\n";
+  for (size_t i = 0; i < subqueries.size(); ++i) {
+    const ExplainSubquery& sq = subqueries[i];
+    char card[32];
+    std::snprintf(card, sizeof(card), "%.0f", sq.estimated_cardinality);
+    out += "  subquery " + std::to_string(i);
+    if (sq.delayed) out += " [delayed]";
+    if (sq.outlier) out += " [outlier]";
+    out += " (est. " + std::string(card) + " rows @ " +
+           (sq.endpoints.empty() ? std::string("no endpoint")
+                                 : JoinStrings(sq.endpoints, ", ")) +
+           ")\n";
+    for (const std::string& p : sq.patterns) {
+      out += "    " + p + " .\n";
+    }
+    if (sq.pushed_optionals > 0) {
+      out += "    + " + std::to_string(sq.pushed_optionals) +
+             " pushed OPTIONAL block" +
+             (sq.pushed_optionals == 1 ? "" : "s") + "\n";
+    }
+    out += "    project: " + JoinStrings(sq.projection, " ") + "\n";
+  }
+  out += "  estimated join order: ";
+  for (size_t i = 0; i < join_order.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += std::to_string(join_order[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+JsonValue ExplainReport::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("engine", engine);
+  out.Set("query", query);
+  out.Set("gjvs", StringsToJson(gjvs));
+  out.Set("delay_threshold", delay_threshold);
+  JsonValue sqs = JsonValue::Array();
+  for (const ExplainSubquery& sq : subqueries) {
+    JsonValue j = JsonValue::Object();
+    j.Set("triple_indices", IntsToJson(sq.triple_indices));
+    j.Set("patterns", StringsToJson(sq.patterns));
+    j.Set("endpoints", StringsToJson(sq.endpoints));
+    j.Set("projection", StringsToJson(sq.projection));
+    j.Set("estimated_cardinality", sq.estimated_cardinality);
+    j.Set("delayed", sq.delayed);
+    j.Set("outlier", sq.outlier);
+    j.Set("pushed_optionals", sq.pushed_optionals);
+    sqs.Append(std::move(j));
+  }
+  out.Set("subqueries", std::move(sqs));
+  out.Set("join_order", IntsToJson(join_order));
+  out.Set("pushed_optionals", pushed_optionals);
+  out.Set("unpushed_optionals", unpushed_optionals);
+  return out;
+}
+
+Result<ExplainReport> ExplainReport::FromJson(const JsonValue& json) {
+  LUSAIL_RETURN_NOT_OK(
+      ExpectType(json, JsonValue::Type::kObject, "(root)"));
+  ExplainReport report;
+  LUSAIL_RETURN_NOT_OK(
+      ExpectType(json.Get("engine"), JsonValue::Type::kString, "engine"));
+  report.engine = json.Get("engine").AsString();
+  LUSAIL_RETURN_NOT_OK(
+      ExpectType(json.Get("query"), JsonValue::Type::kString, "query"));
+  report.query = json.Get("query").AsString();
+  LUSAIL_ASSIGN_OR_RETURN(report.gjvs,
+                          ParseStrings(json.Get("gjvs"), "gjvs"));
+  LUSAIL_RETURN_NOT_OK(ExpectType(json.Get("delay_threshold"),
+                                  JsonValue::Type::kString,
+                                  "delay_threshold"));
+  report.delay_threshold = json.Get("delay_threshold").AsString();
+  LUSAIL_RETURN_NOT_OK(ExpectType(json.Get("subqueries"),
+                                  JsonValue::Type::kArray, "subqueries"));
+  for (const JsonValue& j : json.Get("subqueries").items()) {
+    LUSAIL_RETURN_NOT_OK(
+        ExpectType(j, JsonValue::Type::kObject, "subqueries[]"));
+    ExplainSubquery sq;
+    LUSAIL_ASSIGN_OR_RETURN(
+        sq.triple_indices,
+        ParseInts(j.Get("triple_indices"), "triple_indices"));
+    LUSAIL_ASSIGN_OR_RETURN(sq.patterns,
+                            ParseStrings(j.Get("patterns"), "patterns"));
+    LUSAIL_ASSIGN_OR_RETURN(sq.endpoints,
+                            ParseStrings(j.Get("endpoints"), "endpoints"));
+    LUSAIL_ASSIGN_OR_RETURN(
+        sq.projection, ParseStrings(j.Get("projection"), "projection"));
+    LUSAIL_RETURN_NOT_OK(ExpectType(j.Get("estimated_cardinality"),
+                                    JsonValue::Type::kNumber,
+                                    "estimated_cardinality"));
+    sq.estimated_cardinality = j.Get("estimated_cardinality").AsDouble();
+    LUSAIL_RETURN_NOT_OK(
+        ExpectType(j.Get("delayed"), JsonValue::Type::kBool, "delayed"));
+    sq.delayed = j.Get("delayed").AsBool();
+    LUSAIL_RETURN_NOT_OK(
+        ExpectType(j.Get("outlier"), JsonValue::Type::kBool, "outlier"));
+    sq.outlier = j.Get("outlier").AsBool();
+    LUSAIL_RETURN_NOT_OK(ExpectType(j.Get("pushed_optionals"),
+                                    JsonValue::Type::kNumber,
+                                    "pushed_optionals"));
+    sq.pushed_optionals = j.Get("pushed_optionals").AsUint();
+    report.subqueries.push_back(std::move(sq));
+  }
+  LUSAIL_ASSIGN_OR_RETURN(report.join_order,
+                          ParseInts(json.Get("join_order"), "join_order"));
+  LUSAIL_RETURN_NOT_OK(ExpectType(json.Get("pushed_optionals"),
+                                  JsonValue::Type::kNumber,
+                                  "pushed_optionals"));
+  report.pushed_optionals = json.Get("pushed_optionals").AsUint();
+  LUSAIL_RETURN_NOT_OK(ExpectType(json.Get("unpushed_optionals"),
+                                  JsonValue::Type::kNumber,
+                                  "unpushed_optionals"));
+  report.unpushed_optionals = json.Get("unpushed_optionals").AsUint();
+  return report;
+}
+
+Result<ExplainReport> Explain(core::LusailEngine& engine,
+                              const std::string& query_text) {
+  LUSAIL_ASSIGN_OR_RETURN(core::AnalyzedQuery analyzed,
+                          engine.Analyze(query_text));
+  const fed::Federation* federation = engine.federation();
+  const std::vector<sparql::TriplePattern>& triples =
+      analyzed.query.where.triples;
+
+  ExplainReport report;
+  report.engine = engine.name();
+  report.query = query_text;
+  for (const std::string& v : analyzed.gjvs.GjvNames()) {
+    report.gjvs.push_back("?" + v);
+  }
+  report.delay_threshold =
+      DelayThresholdName(engine.options().delay_threshold);
+  for (size_t i = 0; i < analyzed.decomposition.subqueries.size(); ++i) {
+    const core::Subquery& sq = analyzed.decomposition.subqueries[i];
+    ExplainSubquery out;
+    out.triple_indices = sq.triple_indices;
+    for (int ti : sq.triple_indices) {
+      out.patterns.push_back(triples[ti].ToString());
+    }
+    for (int ep : sq.sources) {
+      out.endpoints.push_back(federation->id(static_cast<size_t>(ep)));
+    }
+    out.projection = sq.projection;
+    out.estimated_cardinality = sq.estimated_cardinality;
+    out.delayed = sq.delayed;
+    out.outlier =
+        i < analyzed.outliers.size() ? analyzed.outliers[i] : false;
+    out.pushed_optionals = sq.optionals.size();
+    report.subqueries.push_back(std::move(out));
+  }
+  report.join_order = analyzed.join_order;
+  report.pushed_optionals = analyzed.pushed_optionals;
+  report.unpushed_optionals = analyzed.unpushed_optionals;
+  return report;
+}
+
+}  // namespace lusail::obs

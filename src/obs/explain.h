@@ -1,0 +1,63 @@
+#ifndef LUSAIL_OBS_EXPLAIN_H_
+#define LUSAIL_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace lusail::core {
+class LusailEngine;
+}  // namespace lusail::core
+
+namespace lusail::obs {
+
+/// One subquery of an EXPLAIN report: what LADE decided to ship to the
+/// endpoints as a unit, and how SAPE plans to schedule it.
+struct ExplainSubquery {
+  std::vector<int> triple_indices;      ///< Into the query's BGP.
+  std::vector<std::string> patterns;    ///< Rendered "s p o" texts.
+  std::vector<std::string> endpoints;   ///< Relevant endpoint ids.
+  std::vector<std::string> projection;
+  double estimated_cardinality = 0.0;   ///< COUNT-probe estimate.
+  bool delayed = false;                 ///< Bound-join phase (SAPE).
+  bool outlier = false;                 ///< Chauvenet-rejected estimate.
+  uint64_t pushed_optionals = 0;        ///< OPTIONAL blocks pushed in.
+
+  bool operator==(const ExplainSubquery& other) const = default;
+};
+
+/// The full plan Lusail would execute for a query, rendered without
+/// running it: LADE's decomposition (subqueries, GJVs, OPTIONAL
+/// placement) and SAPE's schedule (delay decisions, outliers, estimated
+/// join order). Round-trips through JSON: FromJson(ToJson()) == *this.
+struct ExplainReport {
+  std::string engine;
+  std::string query;                    ///< Original query text.
+  std::vector<std::string> gjvs;        ///< Global join variables.
+  std::string delay_threshold;          ///< "mu", "mu+sigma", ...
+  std::vector<ExplainSubquery> subqueries;
+  std::vector<int> join_order;          ///< Left-deep, subquery indices.
+  uint64_t pushed_optionals = 0;        ///< Pushed into subqueries.
+  uint64_t unpushed_optionals = 0;      ///< Left-joined at the federator.
+
+  bool operator==(const ExplainReport& other) const = default;
+
+  /// Human-readable multi-line rendering.
+  std::string ToText() const;
+
+  /// Machine-readable form; FromJson inverts it exactly.
+  JsonValue ToJson() const;
+  static Result<ExplainReport> FromJson(const JsonValue& json);
+};
+
+/// Runs source selection + LADE + SAPE planning for `query_text` on
+/// `engine` (no execution) and renders the resulting plan.
+Result<ExplainReport> Explain(core::LusailEngine& engine,
+                              const std::string& query_text);
+
+}  // namespace lusail::obs
+
+#endif  // LUSAIL_OBS_EXPLAIN_H_

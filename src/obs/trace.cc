@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace lusail::obs {
+
+namespace {
+
+uint64_t CurrentThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::string FormatDouble(double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", d);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------
+
+std::vector<const Span*> Trace::ByCategory(const std::string& category) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans) {
+    if (s.category == category) out.push_back(&s);
+  }
+  return out;
+}
+
+const Span* Trace::Find(SpanId id) const {
+  // Span ids are 1-based indices into the creation-ordered vector.
+  if (id == 0 || id > spans.size()) return nullptr;
+  return &spans[id - 1];
+}
+
+std::vector<const Span*> Trace::ChildrenOf(SpanId parent) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans) {
+    if (s.parent == parent) out.push_back(&s);
+  }
+  return out;
+}
+
+JsonValue Trace::ToChromeJson() const {
+  JsonValue events = JsonValue::Array();
+  for (const Span& s : spans) {
+    JsonValue event = JsonValue::Object();
+    event.Set("name", s.name);
+    event.Set("cat", s.category);
+    event.Set("ph", "X");
+    event.Set("ts", s.start_us);
+    event.Set("dur", s.duration_us < 0.0 ? 0.0 : s.duration_us);
+    event.Set("pid", uint64_t{1});
+    // Compress the hashed thread id into something Perfetto renders as a
+    // small track number while keeping distinct threads distinct.
+    event.Set("tid", s.thread_id % 1000000);
+    JsonValue args = JsonValue::Object();
+    args.Set("span_id", s.id);
+    args.Set("parent", s.parent);
+    for (const SpanAnnotation& a : s.annotations) {
+      args.Set(a.key, a.value);
+    }
+    event.Set("args", std::move(args));
+    events.Append(std::move(event));
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc;
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+SpanId Tracer::StartSpan(std::string name, std::string category,
+                         SpanId parent) {
+  double now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_us = now;
+  span.thread_id = CurrentThreadId();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(SpanId id) {
+  double now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.duration_us < 0.0) {
+    span.duration_us = now - span.start_us;
+  }
+}
+
+void Tracer::Annotate(SpanId id, std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].annotations.push_back({std::move(key), std::move(value)});
+}
+
+void Tracer::Annotate(SpanId id, std::string key, uint64_t value) {
+  Annotate(id, std::move(key), std::to_string(value));
+}
+
+void Tracer::Annotate(SpanId id, std::string key, int64_t value) {
+  Annotate(id, std::move(key), std::to_string(value));
+}
+
+void Tracer::Annotate(SpanId id, std::string key, double value) {
+  Annotate(id, std::move(key), FormatDouble(value));
+}
+
+void Tracer::Annotate(SpanId id, std::string key, bool value) {
+  Annotate(id, std::move(key), std::string(value ? "true" : "false"));
+}
+
+size_t Tracer::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+Trace Tracer::Snapshot() const {
+  double now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace trace;
+  trace.spans = spans_;
+  for (Span& s : trace.spans) {
+    if (s.duration_us < 0.0) s.duration_us = now - s.start_us;
+  }
+  return trace;
+}
+
+}  // namespace lusail::obs

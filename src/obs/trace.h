@@ -1,0 +1,157 @@
+#ifndef LUSAIL_OBS_TRACE_H_
+#define LUSAIL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lusail::obs {
+
+/// Identifier of a span within one Tracer. 0 means "no span" everywhere a
+/// span id is optional (parent links, disabled tracing).
+using SpanId = uint64_t;
+
+/// One key/value annotation attached to a span. Values are strings; the
+/// Annotate overloads format numbers on the way in.
+struct SpanAnnotation {
+  std::string key;
+  std::string value;
+};
+
+/// One timed operation in a query's execution. Spans form a tree via
+/// `parent`: query -> phase -> subquery -> endpoint request -> retry
+/// attempt. Timestamps are steady-clock microseconds relative to the
+/// tracer's construction, so a trace is self-consistent regardless of
+/// wall-clock adjustments.
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  ///< 0 = root.
+  std::string name;
+  std::string category;  ///< "query", "phase", "subquery", "request", ...
+  double start_us = 0.0;
+  double duration_us = -1.0;  ///< -1 while the span is open.
+  uint64_t thread_id = 0;     ///< Hashed std::thread::id of the opener.
+  std::vector<SpanAnnotation> annotations;
+};
+
+/// A finished (or snapshotted) collection of spans.
+struct Trace {
+  std::vector<Span> spans;
+
+  /// Spans matching `category`, in creation order.
+  std::vector<const Span*> ByCategory(const std::string& category) const;
+
+  /// The span with `id`, or nullptr.
+  const Span* Find(SpanId id) const;
+
+  /// Direct children of `parent`, in creation order.
+  std::vector<const Span*> ChildrenOf(SpanId parent) const;
+
+  /// Chrome trace-event JSON (the `{"traceEvents": [...]}` form) loadable
+  /// in chrome://tracing and Perfetto. Every span becomes one complete
+  /// ("ph":"X") event carrying its category, ids, and annotations in
+  /// `args`.
+  JsonValue ToChromeJson() const;
+  std::string ToChromeJsonString() const { return ToChromeJson().Serialize(); }
+};
+
+/// Thread-safe hierarchical span collector for one query execution.
+/// Cheap enough to leave compiled in: engines allocate a Tracer only when
+/// LusailOptions::trace (or the baseline equivalent) is set, and every
+/// emission site checks for a null tracer first, so disabled tracing
+/// costs one pointer test and allocates nothing.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span; `parent` 0 makes it a root.
+  SpanId StartSpan(std::string name, std::string category, SpanId parent = 0);
+
+  /// Closes the span. Closing an unknown or already-closed id is a no-op.
+  void EndSpan(SpanId id);
+
+  void Annotate(SpanId id, std::string key, std::string value);
+  void Annotate(SpanId id, std::string key, const char* value) {
+    Annotate(id, std::move(key), std::string(value));
+  }
+  void Annotate(SpanId id, std::string key, uint64_t value);
+  void Annotate(SpanId id, std::string key, int64_t value);
+  void Annotate(SpanId id, std::string key, double value);
+  void Annotate(SpanId id, std::string key, bool value);
+
+  size_t NumSpans() const;
+
+  /// Copies all spans out; spans still open are reported with their
+  /// duration so far (a well-formed execution closes everything first).
+  Trace Snapshot() const;
+
+ private:
+  double NowMicros() const;
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII guard for a span on a possibly-null tracer: no-op when the tracer
+/// is null, so call sites stay branch-free. Movable, not copyable.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::string name, std::string category,
+             SpanId parent = 0)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->StartSpan(std::move(name), std::move(category), parent);
+    }
+  }
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { End(); }
+
+  void End() {
+    if (tracer_ != nullptr && id_ != 0) tracer_->EndSpan(id_);
+    tracer_ = nullptr;
+    id_ = 0;
+  }
+
+  template <typename V>
+  void Annotate(std::string key, V value) {
+    if (tracer_ != nullptr && id_ != 0) {
+      tracer_->Annotate(id_, std::move(key), value);
+    }
+  }
+
+  SpanId id() const { return id_; }
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = 0;
+};
+
+}  // namespace lusail::obs
+
+#endif  // LUSAIL_OBS_TRACE_H_
