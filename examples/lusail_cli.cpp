@@ -17,6 +17,9 @@
 //   --trace <file>        record a span trace of the execution and write
 //                         it as Chrome trace-event JSON to <file>
 //                         (load in chrome://tracing or Perfetto)
+//   --cache-stats         attach a shared cross-query cache (with
+//                         subquery-result memoization) and print its
+//                         hit/miss/eviction counters after the query
 //   --timeout <ms>        per-query deadline (default 60000)
 //
 // The query is read from the given file, or from stdin when no file is
@@ -30,6 +33,7 @@
 
 #include "baselines/fedx_engine.h"
 #include "baselines/splendid_engine.h"
+#include "cache/federation_cache.h"
 #include "core/lusail_engine.h"
 #include "obs/explain.h"
 #include "workload/federation_builder.h"
@@ -52,6 +56,7 @@ struct CliOptions {
   double timeout_ms = 60000;
   bool explain = false;
   bool explain_json = false;
+  bool cache_stats = false;
 };
 
 int Usage() {
@@ -61,7 +66,8 @@ int Usage() {
                "                  [--engine lusail|lade|fedx|splendid]\n"
                "                  [--latency none|local|geo] [--explain]\n"
                "                  [--explain-json] [--trace <file>]\n"
-               "                  [--timeout <ms>] [query-file]\n");
+               "                  [--cache-stats] [--timeout <ms>]\n"
+               "                  [query-file]\n");
   return 2;
 }
 
@@ -131,6 +137,8 @@ int main(int argc, char** argv) {
       options.explain_json = true;
     } else if (arg == "--trace") {
       if (!next(&options.trace_file)) return Usage();
+    } else if (arg == "--cache-stats") {
+      options.cache_stats = true;
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -169,6 +177,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "# federation: %zu endpoints\n", federation->size());
 
+  // Shared cross-query cache: one process-wide instance every engine on
+  // this federation consults for ASK verdicts, COUNT probes, and (for
+  // Lusail with result_cache) subquery result tables.
+  cache::FederationCache shared_cache;
+  if (options.cache_stats) federation->set_query_cache(&shared_cache);
+
   // Read the query.
   std::string query_text;
   if (options.query_file.empty()) {
@@ -194,6 +208,7 @@ int main(int argc, char** argv) {
   bool trace = !options.trace_file.empty();
   core::LusailOptions lusail_options;
   lusail_options.trace = trace;
+  lusail_options.result_cache = options.cache_stats;
   if (options.engine == "lade") lusail_options.enable_sape = false;
   core::LusailEngine lusail(federation.get(), lusail_options);
   baselines::FedXOptions fedx_options;
@@ -254,6 +269,10 @@ int main(int argc, char** argv) {
                    options.trace_file.c_str(),
                    result->profile.trace->spans.size());
     }
+  }
+  if (options.cache_stats) {
+    std::fprintf(stderr, "# cache stats:\n%s\n",
+                 shared_cache.ToJson().Pretty().c_str());
   }
   return 0;
 }

@@ -1,0 +1,99 @@
+#include "cache/federation_cache.h"
+
+namespace lusail::cache {
+
+obs::JsonValue TierStats::ToJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("hits", hits);
+  out.Set("misses", misses);
+  out.Set("hit_rate", HitRate());
+  out.Set("insertions", insertions);
+  out.Set("evictions", evictions);
+  out.Set("invalidations", invalidations);
+  out.Set("entries", entries);
+  out.Set("bytes", bytes);
+  return out;
+}
+
+FederationCache::FederationCache(FederationCacheOptions options)
+    : verdicts_(options.verdict_capacity, 0),
+      counts_(options.count_capacity, 0),
+      results_(options.result_capacity, options.result_byte_budget) {}
+
+std::string FederationCache::Key(const std::string& endpoint_id,
+                                 const std::string& query_text) {
+  return endpoint_id + "|" + query_text;
+}
+
+uint64_t FederationCache::ApproxTableBytes(const sparql::ResultTable& table) {
+  // Heap footprint estimate: per-cell Term strings plus vector/optional
+  // overhead. The exact constant matters less than being monotone in the
+  // real footprint, so the byte budget bounds memory proportionally.
+  uint64_t bytes = sizeof(sparql::ResultTable);
+  for (const std::string& v : table.vars) bytes += v.size() + 32;
+  for (const auto& row : table.rows) {
+    bytes += 24;  // Row vector header.
+    for (const auto& cell : row) {
+      bytes += sizeof(std::optional<rdf::Term>);
+      if (cell.has_value()) {
+        bytes += cell->lexical().size() + cell->datatype().size() +
+                 cell->lang().size();
+      }
+    }
+  }
+  return bytes;
+}
+
+std::optional<bool> FederationCache::GetVerdict(const std::string& key) {
+  return verdicts_.Get(key);
+}
+
+void FederationCache::PutVerdict(const std::string& key,
+                                 const std::string& endpoint_id,
+                                 bool verdict) {
+  verdicts_.Put(key, endpoint_id, verdict, sizeof(bool));
+}
+
+std::optional<uint64_t> FederationCache::GetCount(const std::string& key) {
+  return counts_.Get(key);
+}
+
+void FederationCache::PutCount(const std::string& key,
+                               const std::string& endpoint_id,
+                               uint64_t count) {
+  counts_.Put(key, endpoint_id, count, sizeof(uint64_t));
+}
+
+std::optional<sparql::ResultTable> FederationCache::GetResult(
+    const std::string& endpoint_id, const std::string& query_text) {
+  return results_.Get(Key(endpoint_id, query_text));
+}
+
+void FederationCache::PutResult(const std::string& endpoint_id,
+                                const std::string& query_text,
+                                const sparql::ResultTable& table) {
+  results_.Put(Key(endpoint_id, query_text), endpoint_id, table,
+               ApproxTableBytes(table));
+}
+
+void FederationCache::Invalidate(const std::string& endpoint_id) {
+  verdicts_.InvalidateEndpoint(endpoint_id);
+  counts_.InvalidateEndpoint(endpoint_id);
+  results_.InvalidateEndpoint(endpoint_id);
+}
+
+void FederationCache::Clear() {
+  verdicts_.Clear();
+  counts_.Clear();
+  results_.Clear();
+}
+
+obs::JsonValue FederationCache::ToJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("verdicts", VerdictStats().ToJson());
+  out.Set("counts", CountStats().ToJson());
+  out.Set("results", ResultStats().ToJson());
+  return out;
+}
+
+}  // namespace lusail::cache

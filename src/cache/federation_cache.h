@@ -1,0 +1,236 @@
+#ifndef LUSAIL_CACHE_FEDERATION_CACHE_H_
+#define LUSAIL_CACHE_FEDERATION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "obs/json.h"
+#include "sparql/result_table.h"
+
+namespace lusail::cache {
+
+/// Counters of one cache tier. `entries`/`bytes` are the current
+/// occupancy; the rest are cumulative since construction (or Clear).
+struct TierStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      ///< Dropped to stay within capacity.
+  uint64_t invalidations = 0;  ///< Dropped by Invalidate(endpoint).
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+
+  obs::JsonValue ToJson() const;
+};
+
+/// Bounded, thread-safe LRU map with per-endpoint invalidation — the
+/// building block of every FederationCache tier. Capacity is enforced
+/// both as an entry count and (when `max_bytes` > 0) as a byte budget;
+/// the least recently used entries are evicted first. Each entry records
+/// the endpoint whose data produced it so a mutating store can evict
+/// exactly its entries with InvalidateEndpoint.
+template <typename V>
+class LruTier {
+ public:
+  LruTier(size_t max_entries, uint64_t max_bytes)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+  LruTier(const LruTier&) = delete;
+  LruTier& operator=(const LruTier&) = delete;
+
+  std::optional<V> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // Most recently used.
+    return it->second->value;
+  }
+
+  void Put(const std::string& key, const std::string& endpoint_id, V value,
+           uint64_t value_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t entry_bytes = value_bytes + key.size() + endpoint_id.size();
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      bytes_ -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->endpoint_id = endpoint_id;
+      it->second->bytes = entry_bytes;
+      bytes_ += entry_bytes;
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.push_front(Entry{key, endpoint_id, std::move(value), entry_bytes});
+      index_.emplace(key, lru_.begin());
+      bytes_ += entry_bytes;
+      ++insertions_;
+    }
+    EvictToCapacityLocked();
+  }
+
+  /// Drops every entry produced by `endpoint_id`.
+  void InvalidateEndpoint(const std::string& endpoint_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->endpoint_id == endpoint_id) {
+        bytes_ -= it->bytes;
+        index_.erase(it->key);
+        it = lru_.erase(it);
+        ++invalidations_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    bytes_ = 0;
+    hits_ = misses_ = insertions_ = evictions_ = invalidations_ = 0;
+  }
+
+  TierStats Stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    TierStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.invalidations = invalidations_;
+    s.entries = index_.size();
+    s.bytes = bytes_;
+    return s;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string endpoint_id;
+    V value;
+    uint64_t bytes;
+  };
+
+  void EvictToCapacityLocked() {
+    while (!lru_.empty() &&
+           (index_.size() > max_entries_ ||
+            (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+      const Entry& victim = lru_.back();
+      bytes_ -= victim.bytes;
+      index_.erase(victim.key);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  mutable std::mutex mu_;
+  const size_t max_entries_;
+  const uint64_t max_bytes_;  ///< 0 = no byte budget.
+  std::list<Entry> lru_;      ///< Front = most recently used.
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+  uint64_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+/// Capacity knobs of the three tiers. Defaults are sized for a serving
+/// process that handles many concurrent federated queries.
+struct FederationCacheOptions {
+  size_t verdict_capacity = 1 << 16;  ///< ASK + locality-check verdicts.
+  size_t count_capacity = 1 << 16;    ///< COUNT-probe cardinalities.
+  size_t result_capacity = 1 << 12;   ///< Subquery result tables.
+  uint64_t result_byte_budget = 64ull << 20;  ///< Byte cap on tier 3.
+};
+
+/// Federation-level cross-query cache. Attach one to a fed::Federation
+/// (set_query_cache) and every engine running against that federation
+/// shares three tiers:
+///
+///   1. *Verdicts* — boolean answers of ASK source-selection probes and
+///      GJV locality check queries, keyed by (endpoint id, query text).
+///   2. *Counts* — COUNT-probe cardinalities, same key shape.
+///   3. *Results* — whole subquery result tables (opt-in per engine via
+///      LusailOptions::result_cache), byte-budgeted.
+///
+/// All tiers are bounded LRU with hit/miss/eviction counters (ToJson).
+/// Stores that mutate call Invalidate(endpoint_id) to evict exactly that
+/// endpoint's entries from every tier. Unlike the per-engine AskCache,
+/// this registry is shared by all engines and queries on the federation —
+/// it is what makes a warm serving process issue a fraction of a cold
+/// one's endpoint requests.
+class FederationCache {
+ public:
+  explicit FederationCache(FederationCacheOptions options = {});
+  FederationCache(const FederationCache&) = delete;
+  FederationCache& operator=(const FederationCache&) = delete;
+
+  /// Canonical "<endpoint id>|<query text>" key.
+  static std::string Key(const std::string& endpoint_id,
+                         const std::string& query_text);
+
+  /// Approximate in-memory footprint of a result table (terms + row
+  /// vectors), used against the tier-3 byte budget.
+  static uint64_t ApproxTableBytes(const sparql::ResultTable& table);
+
+  // --- Tier 1: boolean verdicts (ASK probes, locality checks) ---
+  std::optional<bool> GetVerdict(const std::string& key);
+  void PutVerdict(const std::string& key, const std::string& endpoint_id,
+                  bool verdict);
+
+  // --- Tier 2: COUNT-probe cardinalities ---
+  std::optional<uint64_t> GetCount(const std::string& key);
+  void PutCount(const std::string& key, const std::string& endpoint_id,
+                uint64_t count);
+
+  // --- Tier 3: subquery result tables ---
+  std::optional<sparql::ResultTable> GetResult(const std::string& endpoint_id,
+                                               const std::string& query_text);
+  void PutResult(const std::string& endpoint_id,
+                 const std::string& query_text,
+                 const sparql::ResultTable& table);
+
+  /// Evicts every tier's entries derived from `endpoint_id` (call when
+  /// the endpoint's store mutates).
+  void Invalidate(const std::string& endpoint_id);
+
+  /// Drops everything and resets all counters.
+  void Clear();
+
+  TierStats VerdictStats() const { return verdicts_.Stats(); }
+  TierStats CountStats() const { return counts_.Stats(); }
+  TierStats ResultStats() const { return results_.Stats(); }
+
+  /// {"verdicts": {...}, "counts": {...}, "results": {...}} with the
+  /// hit/miss/eviction/occupancy counters of each tier.
+  obs::JsonValue ToJson() const;
+
+ private:
+  LruTier<bool> verdicts_;
+  LruTier<uint64_t> counts_;
+  LruTier<sparql::ResultTable> results_;
+};
+
+}  // namespace lusail::cache
+
+#endif  // LUSAIL_CACHE_FEDERATION_CACHE_H_

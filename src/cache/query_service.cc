@@ -1,0 +1,69 @@
+#include "cache/query_service.h"
+
+#include <utility>
+
+namespace lusail::cache {
+
+obs::JsonValue QueryServiceStats::ToJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("accepted", accepted);
+  out.Set("rejected", rejected);
+  out.Set("completed", completed);
+  out.Set("failed", failed);
+  out.Set("in_flight", in_flight);
+  return out;
+}
+
+QueryService::QueryService(const fed::Federation* federation,
+                           QueryServiceOptions options)
+    : options_(std::move(options)),
+      engine_(federation, options_.engine),
+      workers_(options_.max_concurrent == 0 ? 4 : options_.max_concurrent) {}
+
+Result<std::future<Result<fed::FederatedResult>>> QueryService::Submit(
+    std::string sparql_text, Deadline deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.max_pending > 0 && in_flight_ >= options_.max_pending) {
+      ++rejected_;
+      return Status::Unavailable("query service at admission cap (" +
+                                 std::to_string(options_.max_pending) +
+                                 " in flight)");
+    }
+    ++accepted_;
+    ++in_flight_;
+  }
+  return workers_.Submit(
+      [this, text = std::move(sparql_text), deadline]() {
+        Result<fed::FederatedResult> result = engine_.Execute(text, deadline);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          --in_flight_;
+          if (result.ok()) {
+            ++completed_;
+          } else {
+            ++failed_;
+          }
+        }
+        drained_.notify_all();
+        return result;
+      });
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+QueryServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryServiceStats s;
+  s.accepted = accepted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.in_flight = in_flight_;
+  return s;
+}
+
+}  // namespace lusail::cache

@@ -1,0 +1,89 @@
+#ifndef LUSAIL_CACHE_QUERY_SERVICE_H_
+#define LUSAIL_CACHE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/lusail_engine.h"
+#include "core/options.h"
+#include "federation/federation.h"
+#include "obs/json.h"
+
+namespace lusail::cache {
+
+struct QueryServiceOptions {
+  /// Queries executed concurrently; 0 falls back to 4.
+  size_t max_concurrent = 4;
+  /// Admission cap: Submit rejects with kUnavailable once this many
+  /// queries are in flight (running + queued). 0 means unbounded.
+  size_t max_pending = 0;
+  /// Engine configuration shared by every query this service runs.
+  core::LusailOptions engine;
+};
+
+/// Cumulative Submit/completion counters; `in_flight` is the current
+/// admission-cap occupancy.
+struct QueryServiceStats {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;   ///< Turned away by the admission cap.
+  uint64_t completed = 0;  ///< Finished with an OK status.
+  uint64_t failed = 0;     ///< Finished with a non-OK status.
+  uint64_t in_flight = 0;
+
+  obs::JsonValue ToJson() const;
+};
+
+/// Multi-query serving layer: runs up to `max_concurrent` federated
+/// queries at once against one shared Federation, engine thread pool,
+/// cross-query FederationCache, and endpoint stats registry. Submit is
+/// non-blocking — it either enqueues the query onto the service's worker
+/// pool and returns a future, or rejects immediately when the admission
+/// cap is reached. All engine state touched by concurrent queries (ASK /
+/// check caches, the shared FederationCache, endpoint stats) is
+/// internally synchronized, so N in-flight queries return exactly the
+/// rows sequential execution would.
+class QueryService {
+ public:
+  QueryService(const fed::Federation* federation,
+               QueryServiceOptions options = {});
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Schedules `sparql_text`; the future resolves to the query result or
+  /// to the engine's error. Returns kUnavailable without scheduling when
+  /// `max_pending` queries are already in flight.
+  Result<std::future<Result<fed::FederatedResult>>> Submit(
+      std::string sparql_text, Deadline deadline = Deadline());
+
+  /// Blocks until every accepted query has finished.
+  void Drain();
+
+  QueryServiceStats Stats() const;
+  obs::JsonValue StatsJson() const { return Stats().ToJson(); }
+
+  core::LusailEngine* engine() { return &engine_; }
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  QueryServiceOptions options_;
+  core::LusailEngine engine_;
+  ThreadPool workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t in_flight_ = 0;
+};
+
+}  // namespace lusail::cache
+
+#endif  // LUSAIL_CACHE_QUERY_SERVICE_H_

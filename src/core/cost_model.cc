@@ -1,9 +1,13 @@
 #include "core/cost_model.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <future>
 #include <set>
+
+#include "cache/federation_cache.h"
 
 namespace lusail::core {
 
@@ -37,6 +41,34 @@ MeanStd ComputeMeanStd(const std::vector<double>& xs,
 
 }  // namespace
 
+uint64_t ParseCountLiteral(const rdf::Term& term) {
+  const std::string& lex = term.lexical();
+  // Fast path: a plain decimal integer (optionally '+'-signed), which is
+  // what COUNT(*) yields everywhere. strtoull keeps all 64 bits where a
+  // double round-trip would round above 2^53.
+  size_t start = (!lex.empty() && lex[0] == '+') ? 1 : 0;
+  bool all_digits = lex.size() > start;
+  for (size_t i = start; i < lex.size(); ++i) {
+    if (lex[i] < '0' || lex[i] > '9') {
+      all_digits = false;
+      break;
+    }
+  }
+  if (all_digits) {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(lex.c_str() + start, &end, 10);
+    if (errno == ERANGE) return std::numeric_limits<uint64_t>::max();
+    if (end == lex.c_str() + lex.size()) return static_cast<uint64_t>(value);
+  }
+  // Fallback: scientific/decimal forms ("1.2e3") via double, saturating
+  // instead of invoking the undefined negative/overflow casts.
+  double d = term.AsDouble();
+  if (!(d > 0.0)) return 0;  // NaN and negatives count as zero rows.
+  if (d >= 18446744073709551615.0) return std::numeric_limits<uint64_t>::max();
+  return static_cast<uint64_t>(d);
+}
+
 std::string CostModel::CountQueryText(
     const sparql::TriplePattern& tp,
     const std::vector<const sparql::Expr*>& pushed_filters) {
@@ -53,12 +85,16 @@ Status CostModel::CollectStatistics(
     const std::vector<std::vector<int>>& sources,
     const std::vector<sparql::Expr>& filters,
     fed::MetricsCollector* metrics, const Deadline& deadline,
-    const net::RetryPolicy* retry, bool tolerate_failures) {
+    const net::RetryPolicy* retry, bool tolerate_failures, bool use_cache) {
   struct Probe {
     int tp;
     int ep;
+    std::string cache_key;
+    std::string endpoint_id;
     std::future<Result<sparql::ResultTable>> result;
   };
+  cache::FederationCache* shared =
+      use_cache ? federation_->query_cache() : nullptr;
   std::vector<Probe> probes;
   for (size_t ti = 0; ti < triples.size(); ++ti) {
     // Push filters whose variables all appear in this single pattern.
@@ -78,9 +114,20 @@ Status CostModel::CollectStatistics(
     }
     std::string text = CountQueryText(triples[ti], pushed);
     for (int ep : sources[ti]) {
+      std::string endpoint_id = federation_->id(static_cast<size_t>(ep));
+      std::string key = cache::FederationCache::Key(endpoint_id, text);
+      if (shared != nullptr) {
+        std::optional<uint64_t> cached = shared->GetCount(key);
+        if (cached.has_value()) {
+          counts_[{static_cast<int>(ti), ep}] = *cached;
+          continue;
+        }
+      }
       Probe probe;
       probe.tp = static_cast<int>(ti);
       probe.ep = ep;
+      probe.cache_key = std::move(key);
+      probe.endpoint_id = std::move(endpoint_id);
       probe.result = pool_->Submit([this, ep, text, metrics, deadline,
                                     retry]() {
         return federation_->Execute(static_cast<size_t>(ep), text, metrics,
@@ -102,9 +149,12 @@ Status CostModel::CollectStatistics(
     uint64_t count = 0;
     if (!table->rows.empty() && !table->rows[0].empty() &&
         table->rows[0][0].has_value()) {
-      count = static_cast<uint64_t>(table->rows[0][0]->AsDouble());
+      count = ParseCountLiteral(*table->rows[0][0]);
     }
     counts_[{probe.tp, probe.ep}] = count;
+    if (shared != nullptr) {
+      shared->PutCount(probe.cache_key, probe.endpoint_id, count);
+    }
   }
   if (failed > 0 && !tolerate_failures) {
     return Status(first_error.code(),

@@ -35,13 +35,17 @@ class CostModel {
   /// collection; with `tolerate_failures` it is skipped instead — its
   /// (pattern, endpoint) count stays 0, biasing that subquery toward the
   /// concurrent phase, which only affects performance, not correctness.
+  /// With `use_cache`, probes consult the federation's shared
+  /// cache::FederationCache (when attached) before going to the network,
+  /// and store fresh results there.
   Status CollectStatistics(const std::vector<sparql::TriplePattern>& triples,
                            const std::vector<std::vector<int>>& sources,
                            const std::vector<sparql::Expr>& filters,
                            fed::MetricsCollector* metrics,
                            const Deadline& deadline,
                            const net::RetryPolicy* retry = nullptr,
-                           bool tolerate_failures = false);
+                           bool tolerate_failures = false,
+                           bool use_cache = true);
 
   /// Cardinality of pattern `tp_index` at endpoint `ep` (0 if unprobed).
   uint64_t PatternCount(int tp_index, int ep) const;
@@ -70,6 +74,14 @@ class CostModel {
   ThreadPool* pool_;
   std::map<std::pair<int, int>, uint64_t> counts_;  ///< (tp, ep) -> count.
 };
+
+/// Parses a COUNT-probe literal as an exact unsigned integer. Plain
+/// decimal digit strings (the form every real endpoint returns) are
+/// parsed directly so counts above 2^53 keep full 64-bit precision —
+/// going through double would silently round them. Non-integral numeric
+/// literals fall back to AsDouble with saturation at uint64 max;
+/// non-numeric literals parse as 0.
+uint64_t ParseCountLiteral(const rdf::Term& term);
 
 /// Chauvenet's criterion: flags values whose expected number of
 /// occurrences in a normal sample of this size is below 0.5. Applied

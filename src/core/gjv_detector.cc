@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 
+#include "cache/federation_cache.h"
 #include "core/query_graph.h"
 
 namespace lusail::core {
@@ -124,8 +125,11 @@ Result<GjvResult> GjvDetector::Detect(
   struct Pending {
     size_t check_index;
     std::string cache_key;
+    std::string endpoint_id;
     std::future<Result<bool>> nonempty;
   };
+  cache::FederationCache* shared =
+      use_cache ? federation_->query_cache() : nullptr;
   std::vector<Pending> pending;
   for (size_t ci = 0; ci < checks.size(); ++ci) {
     const Check& check = checks[ci];
@@ -135,6 +139,10 @@ Result<GjvResult> GjvDetector::Detect(
       std::string key = federation_->id(ep) + "|" + check.query_text;
       if (use_cache) {
         std::optional<bool> cached = cache_->Get(key);
+        if (!cached.has_value() && shared != nullptr) {
+          cached = shared->GetVerdict(key);
+          if (cached.has_value()) cache_->Put(key, *cached);
+        }
         if (cached.has_value()) {
           if (*cached) result.causes[check.var].insert(check.pair);
           continue;
@@ -143,6 +151,7 @@ Result<GjvResult> GjvDetector::Detect(
       Pending p;
       p.check_index = ci;
       p.cache_key = key;
+      p.endpoint_id = federation_->id(ep);
       std::string text = check.query_text;
       p.nonempty =
           pool_->Submit([this, ep, text = std::move(text), metrics,
@@ -174,6 +183,9 @@ Result<GjvResult> GjvDetector::Detect(
       continue;
     }
     cache_->Put(p.cache_key, *nonempty);
+    if (shared != nullptr) {
+      shared->PutVerdict(p.cache_key, p.endpoint_id, *nonempty);
+    }
     if (*nonempty) {
       result.causes[checks[p.check_index].var].insert(
           checks[p.check_index].pair);

@@ -1,5 +1,6 @@
 #include "core/hash_join.h"
 
+#include <algorithm>
 #include <future>
 
 namespace lusail::core {
@@ -15,13 +16,61 @@ size_t KeyHash(const std::vector<rdf::TermId>& row,
   return h;
 }
 
+/// Cartesian product with left rows range-partitioned across the pool;
+/// each worker crosses its left chunk with the whole right side. Used
+/// when the sides share no variable (no key to hash-partition on).
+fed::BindingTable ParallelCartesian(const fed::BindingTable& left,
+                                    const fed::BindingTable& right,
+                                    ThreadPool* pool, size_t partitions) {
+  fed::BindingTable out;
+  out.vars = left.vars;
+  out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
+  if (left.rows.empty() || right.rows.empty()) return out;
+
+  const size_t chunk = (left.rows.size() + partitions - 1) / partitions;
+  auto cross_chunk = [&left, &right](size_t begin, size_t end) {
+    std::vector<std::vector<rdf::TermId>> rows;
+    rows.reserve((end - begin) * right.rows.size());
+    for (size_t i = begin; i < end; ++i) {
+      for (const auto& rrow : right.rows) {
+        std::vector<rdf::TermId> combined = left.rows[i];
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        rows.push_back(std::move(combined));
+      }
+    }
+    return rows;
+  };
+
+  std::vector<std::future<std::vector<std::vector<rdf::TermId>>>> futures;
+  for (size_t begin = 0; begin < left.rows.size(); begin += chunk) {
+    size_t end = std::min(left.rows.size(), begin + chunk);
+    futures.push_back(pool->Submit(cross_chunk, begin, end));
+  }
+  for (auto& f : futures) {
+    std::vector<std::vector<rdf::TermId>> rows = f.get();
+    out.rows.insert(out.rows.end(), std::make_move_iterator(rows.begin()),
+                    std::make_move_iterator(rows.end()));
+  }
+  return out;
+}
+
 }  // namespace
 
 fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
                                    const fed::BindingTable& right,
                                    ThreadPool* pool, size_t partitions) {
   std::vector<std::string> shared = fed::BindingTable::SharedVars(left, right);
-  if (shared.empty() || partitions <= 1 || pool == nullptr ||
+  if (shared.empty()) {
+    // Cartesian product: parallelize when the output is big enough to
+    // amortize the task overhead; HashJoin handles the small cases.
+    if (partitions > 1 && pool != nullptr && !right.rows.empty() &&
+        left.rows.size() >= 2 &&
+        left.rows.size() * right.rows.size() >= 2048) {
+      return ParallelCartesian(left, right, pool, partitions);
+    }
+    return fed::HashJoin(left, right);
+  }
+  if (partitions <= 1 || pool == nullptr ||
       left.rows.size() + right.rows.size() < 2048) {
     return fed::HashJoin(left, right);
   }

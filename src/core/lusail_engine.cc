@@ -199,7 +199,7 @@ Result<AnalyzedQuery> LusailEngine::Analyze(const std::string& sparql_text) {
   CostModel cost_model(federation_, &pool_);
   LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(
       query.where.triples, out.sources, query.where.filters, &metrics,
-      deadline, retry, tolerate));
+      deadline, retry, tolerate, options_.use_cache));
   Decomposer decomposer(&cost_model);
   std::set<std::string> needed = NeededVars(query);
   out.decomposition =
@@ -332,7 +332,8 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
   {
     fed::PhaseSpan stats_span(metrics, "statistics");
     LUSAIL_RETURN_NOT_OK(cost_model.CollectStatistics(
-        triples, sources, filters, metrics, deadline, retry, tolerate));
+        triples, sources, filters, metrics, deadline, retry, tolerate,
+        options_.use_cache));
   }
   {
     fed::PhaseSpan decomp_span(metrics, "decomposition");

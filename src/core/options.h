@@ -31,8 +31,15 @@ struct LusailOptions {
   bool enable_sape = true;
 
   /// Use the ASK + check-query cache (Figure 12's with/without-cache
-  /// profiles toggle this).
+  /// profiles toggle this). Also gates the federation-attached shared
+  /// cache::FederationCache (verdict + COUNT tiers) when one is set.
   bool use_cache = true;
+
+  /// Memoize non-delayed subquery result tables in the federation's
+  /// shared cache (tier 3). Off by default: result reuse is only sound
+  /// while the underlying stores do not mutate (or are invalidated via
+  /// FederationCache::Invalidate). No effect without an attached cache.
+  bool result_cache = false;
 
   /// Push endpoint-local OPTIONAL blocks into subqueries when the
   /// locality analysis allows it (Section 3's FILTER/OPTIONAL placement).

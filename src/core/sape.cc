@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "cache/federation_cache.h"
 #include "core/hash_join.h"
 #include "core/join_optimizer.h"
 
@@ -77,42 +78,101 @@ Status AggregateFailures(const fed::Federation* federation, const char* phase,
   return Status(failures.front().status.code(), std::move(msg));
 }
 
-/// Joins every group of tables that (transitively) share variables,
-/// using the DP join order within each group; disjoint groups remain.
+/// Joins every group of tables that (transitively) share variables into
+/// one table per group, ordering each group's joins with the DP join
+/// optimizer; disjoint groups remain separate (the delayed phase refines
+/// against them, and only the final cartesian step may merge them).
 std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
                                         ThreadPool* pool, size_t partitions) {
-  bool changed = true;
-  while (changed && tables.size() > 1) {
-    changed = false;
-    // Find the connected group containing table 0 ... simpler: find any
-    // pair sharing a variable and join per optimizer preference: join the
-    // smallest connected pair first.
-    size_t best_i = 0, best_j = 0;
-    double best_size = -1.0;
-    for (size_t i = 0; i < tables.size(); ++i) {
-      for (size_t j = i + 1; j < tables.size(); ++j) {
+  if (tables.size() <= 1) return tables;
+
+  // Connected components of the shares-a-variable graph (BFS).
+  std::vector<int> component(tables.size(), -1);
+  int num_components = 0;
+  for (size_t seed = 0; seed < tables.size(); ++seed) {
+    if (component[seed] >= 0) continue;
+    std::vector<size_t> frontier{seed};
+    component[seed] = num_components;
+    while (!frontier.empty()) {
+      size_t i = frontier.back();
+      frontier.pop_back();
+      for (size_t j = 0; j < tables.size(); ++j) {
+        if (component[j] >= 0) continue;
         if (BindingTable::SharedVars(tables[i], tables[j]).empty()) continue;
-        double s = static_cast<double>(tables[i].rows.size()) +
-                   static_cast<double>(tables[j].rows.size());
-        if (best_size < 0 || s < best_size) {
-          best_i = i;
-          best_j = j;
-          best_size = s;
-        }
+        component[j] = num_components;
+        frontier.push_back(j);
       }
     }
-    if (best_size >= 0) {
-      BindingTable joined =
-          ParallelHashJoin(tables[best_i], tables[best_j], pool, partitions);
-      tables[best_i] = std::move(joined);
-      tables.erase(tables.begin() + best_j);
-      changed = true;
-    }
+    ++num_components;
   }
-  return tables;
+
+  std::vector<BindingTable> out;
+  out.reserve(static_cast<size_t>(num_components));
+  for (int c = 0; c < num_components; ++c) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (component[i] == c) members.push_back(i);
+    }
+    if (members.size() == 1) {
+      out.push_back(std::move(tables[members[0]]));
+      continue;
+    }
+    // DP join order over the group's true cardinalities, then a
+    // left-deep chain of parallel partitioned hash joins.
+    std::vector<double> sizes;
+    std::vector<std::set<std::string>> vars;
+    for (size_t i : members) {
+      sizes.push_back(static_cast<double>(tables[i].rows.size()));
+      vars.emplace_back(tables[i].vars.begin(), tables[i].vars.end());
+    }
+    std::vector<int> order =
+        JoinOptimizer::OptimalOrder(sizes, vars, std::max<size_t>(1,
+                                                                  partitions));
+    BindingTable joined = std::move(tables[members[order[0]]]);
+    for (size_t k = 1; k < order.size(); ++k) {
+      joined = ParallelHashJoin(joined, tables[members[order[k]]], pool,
+                                partitions);
+    }
+    out.push_back(std::move(joined));
+  }
+  return out;
 }
 
 }  // namespace
+
+Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
+    int ep, const std::string& text, bool cacheable,
+    fed::MetricsCollector* metrics, const Deadline& deadline,
+    const net::RetryPolicy* retry, obs::SpanId trace_parent) {
+  cache::FederationCache* shared =
+      (cacheable && options_->use_cache && options_->result_cache)
+          ? federation_->query_cache()
+          : nullptr;
+  std::string endpoint_id;
+  if (shared != nullptr) {
+    endpoint_id = federation_->id(static_cast<size_t>(ep));
+    std::optional<sparql::ResultTable> hit =
+        shared->GetResult(endpoint_id, text);
+    if (hit.has_value()) {
+      obs::Tracer* tracer = metrics != nullptr ? metrics->tracer() : nullptr;
+      if (tracer != nullptr) {
+        obs::SpanId span =
+            tracer->StartSpan("cache hit " + endpoint_id, "cache",
+                              trace_parent);
+        tracer->Annotate(span, "rows",
+                         static_cast<uint64_t>(hit->rows.size()));
+        tracer->EndSpan(span);
+      }
+      return std::move(*hit);
+    }
+  }
+  Result<sparql::ResultTable> table = federation_->Execute(
+      static_cast<size_t>(ep), text, metrics, deadline, retry, trace_parent);
+  if (shared != nullptr && table.ok()) {
+    shared->PutResult(endpoint_id, text, *table);
+  }
+  return table;
+}
 
 Result<BindingTable> SapeExecutor::RunEverywhere(
     const Subquery& sq, const std::vector<TriplePattern>& triples,
@@ -121,13 +181,17 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
     obs::SpanId trace_parent) {
   std::string text = sq.ToSparql(triples, values);
   const net::RetryPolicy* retry = RetryOf(options_);
+  // Bound (VALUES) fetches carry per-query intermediate bindings and are
+  // not reusable across queries; unbound texts are.
+  const bool cacheable = values == nullptr;
   std::vector<std::future<Result<sparql::ResultTable>>> futures;
   futures.reserve(sq.sources.size());
   for (int ep : sq.sources) {
     futures.push_back(pool_->Submit(
-        [this, ep, text, metrics, deadline, retry, trace_parent]() {
-          return federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                                      deadline, retry, trace_parent);
+        [this, ep, text, cacheable, metrics, deadline, retry,
+         trace_parent]() {
+          return FetchEndpoint(ep, text, cacheable, metrics, deadline, retry,
+                               trace_parent);
         }));
   }
   BindingTable merged;
@@ -255,8 +319,8 @@ Result<BindingTable> SapeExecutor::Execute(
       fetch.endpoint = ep;
       fetch.result = pool_->Submit(
           [this, ep, text, metrics, deadline, retry, span]() {
-            return federation_->Execute(static_cast<size_t>(ep), text,
-                                        metrics, deadline, retry, span);
+            return FetchEndpoint(ep, text, /*cacheable=*/true, metrics,
+                                 deadline, retry, span);
           });
       fetches.push_back(std::move(fetch));
     }
@@ -366,6 +430,37 @@ Result<BindingTable> SapeExecutor::Execute(
       tracer->EndSpan(sq_span);
     };
 
+    // Empty-partner short-circuit: a join partner (a table sharing one of
+    // this subquery's variables) with zero rows makes the inner join
+    // empty no matter what the subquery returns. Without this check such
+    // a subquery falls through found_bindings_for (no distinct bindings)
+    // and is fetched unbound from every endpoint for nothing. Zero *rows*
+    // is the test — a non-empty partner whose shared column is all
+    // unbound still joins compatibly and must not short-circuit.
+    bool empty_partner = false;
+    for (const BindingTable& t : tables) {
+      if (!t.rows.empty()) continue;
+      for (const std::string& v : sq.projection) {
+        if (t.VarIndex(v) >= 0) {
+          empty_partner = true;
+          break;
+        }
+      }
+      if (empty_partner) break;
+    }
+    if (empty_partner) {
+      if (tracer != nullptr) {
+        tracer->Annotate(sq_span, "empty_partner", true);
+      }
+      BindingTable empty;
+      empty.vars = sq.projection;
+      end_sq_span(0);
+      tables.push_back(std::move(empty));
+      tables = JoinConnected(std::move(tables), pool_,
+                             options_->join_partitions);
+      continue;
+    }
+
     auto [bind_var, bindings] = found_bindings_for(sq);
     if (bind_var.empty()) {
       // Nothing to bind with: evaluate unbound like phase 1.
@@ -465,12 +560,15 @@ Result<BindingTable> SapeExecutor::Execute(
   // ---- Global join of whatever is left (disjoint groups: cartesian). ----
   tables = JoinConnected(std::move(tables), pool_, options_->join_partitions);
   while (tables.size() > 1) {
-    // Cartesian products, smallest first to bound growth.
+    // Cartesian products, smallest first to bound growth; the parallel
+    // join partitions the product across the pool when it is large.
     std::sort(tables.begin(), tables.end(),
               [](const BindingTable& a, const BindingTable& b) {
                 return a.rows.size() < b.rows.size();
               });
-    BindingTable joined = fed::HashJoin(tables[0], tables[1]);
+    BindingTable joined =
+        ParallelHashJoin(tables[0], tables[1], pool_,
+                         options_->join_partitions);
     tables.erase(tables.begin(), tables.begin() + 2);
     tables.insert(tables.begin(), std::move(joined));
   }

@@ -56,6 +56,19 @@ class SapeExecutor {
                                           const Deadline& deadline,
                                           obs::SpanId trace_parent = 0);
 
+  /// One endpoint request, routed through the federation's shared result
+  /// cache when this engine opted in (options.result_cache) and
+  /// `cacheable` holds. Only deterministic, binding-free subquery texts
+  /// are cacheable — bound (VALUES) fetches depend on the current query's
+  /// intermediate state and always go to the network. A hit is recorded
+  /// as a "cache" span instead of a request span and issues no request.
+  Result<sparql::ResultTable> FetchEndpoint(int ep, const std::string& text,
+                                            bool cacheable,
+                                            fed::MetricsCollector* metrics,
+                                            const Deadline& deadline,
+                                            const net::RetryPolicy* retry,
+                                            obs::SpanId trace_parent);
+
   const fed::Federation* federation_;
   ThreadPool* pool_;
   const LusailOptions* options_;

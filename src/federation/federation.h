@@ -19,6 +19,10 @@
 #include "obs/trace.h"
 #include "sparql/result_table.h"
 
+namespace lusail::cache {
+class FederationCache;
+}  // namespace lusail::cache
+
 namespace lusail::fed {
 
 /// Per-query cost summary a federated engine reports with its result.
@@ -303,6 +307,15 @@ class Federation {
   }
   obs::EndpointStatsRegistry* stats_registry() const { return stats_; }
 
+  /// Attaches a cross-query cache shared by every engine on this
+  /// federation: ASK/check-query verdicts, COUNT-probe cardinalities,
+  /// and (opt-in per engine) subquery result tables. Non-owning; pass
+  /// nullptr to detach.
+  void set_query_cache(cache::FederationCache* cache) {
+    query_cache_ = cache;
+  }
+  cache::FederationCache* query_cache() const { return query_cache_; }
+
   /// Issues `text` at endpoint `i`. Accounts the exchange into `metrics`
   /// (when non-null) and fails with Timeout when `deadline` has expired
   /// before the request is issued. With a non-null `retry` whose policy
@@ -331,6 +344,7 @@ class Federation {
   std::vector<std::unique_ptr<net::CircuitBreaker>> breakers_;
   net::CircuitBreakerConfig breaker_config_;
   obs::EndpointStatsRegistry* stats_ = nullptr;
+  cache::FederationCache* query_cache_ = nullptr;
 };
 
 /// Result of a federated query: the final table plus the cost profile.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <future>
 
+#include "cache/federation_cache.h"
+
 namespace lusail::fed {
 
 std::string PatternCacheKey(const sparql::TriplePattern& tp,
@@ -32,11 +34,18 @@ Result<std::vector<std::vector<int>>> SourceSelector::SelectSources(
   };
   std::vector<Probe> probes;
 
+  cache::FederationCache* shared =
+      use_cache ? federation_->query_cache() : nullptr;
   for (size_t pi = 0; pi < patterns.size(); ++pi) {
     for (size_t ei = 0; ei < num_eps; ++ei) {
       std::string key = PatternCacheKey(patterns[pi], federation_->id(ei));
       if (use_cache) {
         std::optional<bool> cached = cache_->Get(key);
+        if (!cached.has_value() && shared != nullptr) {
+          cached = shared->GetVerdict(key);
+          // Warm the per-engine cache so repeats stay off the shared lock.
+          if (cached.has_value()) cache_->Put(key, *cached);
+        }
         if (cached.has_value()) {
           if (*cached) sources[pi].push_back(static_cast<int>(ei));
           continue;
@@ -69,6 +78,10 @@ Result<std::vector<std::vector<int>>> SourceSelector::SelectSources(
       continue;
     }
     cache_->Put(probe.cache_key, *answer);
+    if (shared != nullptr) {
+      shared->PutVerdict(probe.cache_key, federation_->id(probe.endpoint),
+                         *answer);
+    }
     if (*answer) sources[probe.pattern].push_back(static_cast<int>(probe.endpoint));
   }
   if (!failures.empty()) {

@@ -1,0 +1,545 @@
+// Tests for the federation-level cross-query cache, the concurrent
+// QueryService, and the PR's regression fixes: the SAPE empty-partner
+// short-circuit, exact COUNT-literal parsing, and the parallel cartesian
+// join path.
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/federation_cache.h"
+#include "cache/query_service.h"
+#include "core/cost_model.h"
+#include "core/hash_join.h"
+#include "core/lusail_engine.h"
+#include "core/sape.h"
+#include "net/sparql_endpoint.h"
+#include "sparql/parser.h"
+#include "workload/federation_builder.h"
+#include "workload/lubm_generator.h"
+
+namespace lusail {
+namespace {
+
+// ---------------------------------------------------------------------
+// LruTier / FederationCache
+// ---------------------------------------------------------------------
+
+TEST(LruTierTest, GetAfterPutAndMissCounters) {
+  cache::LruTier<int> tier(/*max_entries=*/4, /*max_bytes=*/0);
+  EXPECT_FALSE(tier.Get("a").has_value());
+  tier.Put("a", "ep0", 1, sizeof(int));
+  auto hit = tier.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1);
+  cache::TierStats stats = tier.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(LruTierTest, EvictsLeastRecentlyUsedAtEntryCapacity) {
+  cache::LruTier<int> tier(/*max_entries=*/2, /*max_bytes=*/0);
+  tier.Put("a", "ep", 1, 0);
+  tier.Put("b", "ep", 2, 0);
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_TRUE(tier.Get("a").has_value());
+  tier.Put("c", "ep", 3, 0);
+  EXPECT_TRUE(tier.Get("a").has_value());
+  EXPECT_FALSE(tier.Get("b").has_value());
+  EXPECT_TRUE(tier.Get("c").has_value());
+  EXPECT_EQ(tier.Stats().evictions, 1u);
+}
+
+TEST(LruTierTest, EvictsAtByteBudget) {
+  // Each entry charges value_bytes + key + endpoint id = 100 + 1 + 2.
+  cache::LruTier<int> tier(/*max_entries=*/100, /*max_bytes=*/250);
+  tier.Put("a", "ep", 1, 100);
+  tier.Put("b", "ep", 2, 100);
+  EXPECT_EQ(tier.Stats().entries, 2u);
+  tier.Put("c", "ep", 3, 100);  // Pushes bytes past 250: "a" evicted.
+  EXPECT_FALSE(tier.Get("a").has_value());
+  EXPECT_TRUE(tier.Get("b").has_value());
+  EXPECT_TRUE(tier.Get("c").has_value());
+  EXPECT_LE(tier.Stats().bytes, 250u);
+}
+
+TEST(LruTierTest, UpdatingAKeyReplacesItsBytes) {
+  cache::LruTier<int> tier(/*max_entries=*/10, /*max_bytes=*/0);
+  tier.Put("a", "ep", 1, 100);
+  uint64_t before = tier.Stats().bytes;
+  tier.Put("a", "ep", 2, 50);
+  EXPECT_EQ(tier.Stats().bytes, before - 50);
+  EXPECT_EQ(tier.Stats().entries, 1u);
+  EXPECT_EQ(*tier.Get("a"), 2);
+}
+
+TEST(LruTierTest, InvalidateEndpointDropsOnlyItsEntries) {
+  cache::LruTier<int> tier(/*max_entries=*/10, /*max_bytes=*/0);
+  tier.Put("a", "ep0", 1, 0);
+  tier.Put("b", "ep1", 2, 0);
+  tier.Put("c", "ep0", 3, 0);
+  tier.InvalidateEndpoint("ep0");
+  EXPECT_FALSE(tier.Get("a").has_value());
+  EXPECT_TRUE(tier.Get("b").has_value());
+  EXPECT_FALSE(tier.Get("c").has_value());
+  EXPECT_EQ(tier.Stats().invalidations, 2u);
+}
+
+TEST(FederationCacheTest, ThreeTiersAreIndependent) {
+  cache::FederationCache cache;
+  std::string key = cache::FederationCache::Key("ep0", "ASK { ?s ?p ?o }");
+  cache.PutVerdict(key, "ep0", true);
+  cache.PutCount(key, "ep0", 42);
+  sparql::ResultTable table;
+  table.vars = {"x"};
+  table.rows.push_back({rdf::Term::Iri("urn:a")});
+  cache.PutResult("ep0", "SELECT ...", table);
+
+  EXPECT_EQ(cache.GetVerdict(key), std::optional<bool>(true));
+  EXPECT_EQ(cache.GetCount(key), std::optional<uint64_t>(42));
+  auto result = cache.GetResult("ep0", "SELECT ...");
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0]->lexical(), "urn:a");
+}
+
+TEST(FederationCacheTest, InvalidateEvictsEveryTier) {
+  cache::FederationCache cache;
+  std::string k0 = cache::FederationCache::Key("ep0", "q");
+  std::string k1 = cache::FederationCache::Key("ep1", "q");
+  cache.PutVerdict(k0, "ep0", true);
+  cache.PutVerdict(k1, "ep1", false);
+  cache.PutCount(k0, "ep0", 7);
+  sparql::ResultTable table;
+  table.vars = {"x"};
+  cache.PutResult("ep0", "q", table);
+
+  cache.Invalidate("ep0");
+  EXPECT_FALSE(cache.GetVerdict(k0).has_value());
+  EXPECT_TRUE(cache.GetVerdict(k1).has_value());
+  EXPECT_FALSE(cache.GetCount(k0).has_value());
+  EXPECT_FALSE(cache.GetResult("ep0", "q").has_value());
+}
+
+TEST(FederationCacheTest, ResultTierHonorsByteBudget) {
+  cache::FederationCacheOptions options;
+  options.result_byte_budget = 4096;
+  cache::FederationCache cache(options);
+  sparql::ResultTable table;
+  table.vars = {"x"};
+  for (int i = 0; i < 20; ++i) {
+    table.rows.push_back(
+        {rdf::Term::Iri("urn:value-" + std::to_string(i))});
+  }
+  ASSERT_GT(cache::FederationCache::ApproxTableBytes(table), 1000u);
+  for (int i = 0; i < 16; ++i) {
+    cache.PutResult("ep0", "query " + std::to_string(i), table);
+  }
+  cache::TierStats stats = cache.ResultStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 4096u);
+}
+
+TEST(FederationCacheTest, JsonExportCarriesAllTiers) {
+  cache::FederationCache cache;
+  cache.PutVerdict("k", "ep", true);
+  obs::JsonValue json = cache.ToJson();
+  EXPECT_TRUE(json.Has("verdicts"));
+  EXPECT_TRUE(json.Has("counts"));
+  EXPECT_TRUE(json.Has("results"));
+  EXPECT_EQ(json.Get("verdicts").Get("insertions").AsDouble(), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Engine-level caching: identical results, fewer requests
+// ---------------------------------------------------------------------
+
+uint64_t TotalRequests(const fed::Federation& federation) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < federation.size(); ++i) {
+    auto* ep = dynamic_cast<net::SparqlEndpoint*>(federation.endpoint(i));
+    if (ep != nullptr) total += ep->stats().requests;
+  }
+  return total;
+}
+
+void ResetRequests(const fed::Federation& federation) {
+  for (size_t i = 0; i < federation.size(); ++i) {
+    auto* ep = dynamic_cast<net::SparqlEndpoint*>(federation.endpoint(i));
+    if (ep != nullptr) ep->ResetStats();
+  }
+}
+
+std::multiset<std::string> RowSet(const sparql::ResultTable& table) {
+  std::vector<size_t> cols(table.vars.size());
+  for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+  std::sort(cols.begin(), cols.end(), [&table](size_t a, size_t b) {
+    return table.vars[a] < table.vars[b];
+  });
+  std::multiset<std::string> out;
+  for (const auto& row : table.rows) {
+    std::string key;
+    for (size_t c : cols) {
+      key += table.vars[c] + "=";
+      key += row[c].has_value() ? row[c]->ToString() : "UNBOUND";
+      key += ";";
+    }
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+class SharedCacheLubmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::LubmGenerator generator(workload::LubmConfig::Small());
+    federation_ = workload::BuildFederation(generator.GenerateAll(),
+                                            net::LatencyModel::None());
+    queries_ = workload::LubmGenerator::BenchmarkQueries();
+  }
+
+  std::unique_ptr<fed::Federation> federation_;
+  std::vector<std::pair<std::string, std::string>> queries_;
+};
+
+TEST_F(SharedCacheLubmTest, CachedResultsAreBitIdenticalAndCheaper) {
+  // Reference: no shared cache at all.
+  std::map<std::string, std::multiset<std::string>> reference;
+  {
+    core::LusailEngine engine(federation_.get());
+    for (const auto& [label, query] : queries_) {
+      auto result = engine.Execute(query, Deadline());
+      ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+      reference[label] = RowSet(result->table);
+    }
+  }
+
+  cache::FederationCache cache;
+  federation_->set_query_cache(&cache);
+  core::LusailOptions options;
+  options.result_cache = true;
+
+  ResetRequests(*federation_);
+  {
+    core::LusailEngine cold(federation_.get(), options);
+    for (const auto& [label, query] : queries_) {
+      auto result = cold.Execute(query, Deadline());
+      ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+      EXPECT_EQ(RowSet(result->table), reference[label]) << label;
+    }
+  }
+  uint64_t cold_requests = TotalRequests(*federation_);
+
+  ResetRequests(*federation_);
+  {
+    // A fresh engine has empty per-engine caches; only the shared cache
+    // carries over.
+    core::LusailEngine warm(federation_.get(), options);
+    for (const auto& [label, query] : queries_) {
+      auto result = warm.Execute(query, Deadline());
+      ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+      EXPECT_EQ(RowSet(result->table), reference[label]) << label;
+    }
+  }
+  uint64_t warm_requests = TotalRequests(*federation_);
+
+  // Acceptance: the warm pass issues >= 5x fewer endpoint requests.
+  EXPECT_LT(warm_requests * 5, cold_requests)
+      << "cold=" << cold_requests << " warm=" << warm_requests;
+  EXPECT_GT(cache.VerdictStats().hits, 0u);
+  EXPECT_GT(cache.CountStats().hits, 0u);
+  EXPECT_GT(cache.ResultStats().hits, 0u);
+  federation_->set_query_cache(nullptr);
+}
+
+TEST_F(SharedCacheLubmTest, InvalidateForcesRefetch) {
+  cache::FederationCache cache;
+  federation_->set_query_cache(&cache);
+  core::LusailOptions options;
+  options.result_cache = true;
+  const std::string& query = queries_[0].second;
+  {
+    core::LusailEngine engine(federation_.get(), options);
+    ASSERT_TRUE(engine.Execute(query, Deadline()).ok());
+  }
+  ASSERT_GT(cache.VerdictStats().entries, 0u);
+
+  for (size_t i = 0; i < federation_->size(); ++i) {
+    cache.Invalidate(federation_->id(i));
+  }
+  EXPECT_EQ(cache.VerdictStats().entries, 0u);
+  EXPECT_EQ(cache.CountStats().entries, 0u);
+  EXPECT_EQ(cache.ResultStats().entries, 0u);
+
+  // The next cold engine must go back to the network.
+  ResetRequests(*federation_);
+  {
+    core::LusailEngine engine(federation_.get(), options);
+    ASSERT_TRUE(engine.Execute(query, Deadline()).ok());
+  }
+  EXPECT_GT(TotalRequests(*federation_), 0u);
+  federation_->set_query_cache(nullptr);
+}
+
+// ---------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------
+
+TEST_F(SharedCacheLubmTest, ConcurrentQueriesMatchSequential) {
+  std::map<std::string, std::multiset<std::string>> reference;
+  {
+    core::LusailEngine engine(federation_.get());
+    for (const auto& [label, query] : queries_) {
+      auto result = engine.Execute(query, Deadline());
+      ASSERT_TRUE(result.ok()) << label;
+      reference[label] = RowSet(result->table);
+    }
+  }
+
+  cache::FederationCache cache;
+  federation_->set_query_cache(&cache);
+  cache::QueryServiceOptions options;
+  options.max_concurrent = 8;
+  options.engine.result_cache = true;
+  cache::QueryService service(federation_.get(), options);
+
+  // 8 concurrent queries: Q1-Q4, two rounds.
+  std::vector<std::pair<std::string,
+                        std::future<Result<fed::FederatedResult>>>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [label, query] : queries_) {
+      auto submitted = service.Submit(query);
+      ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+      futures.emplace_back(label, std::move(submitted).value());
+    }
+  }
+  for (auto& [label, future] : futures) {
+    Result<fed::FederatedResult> result = future.get();
+    ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+    EXPECT_EQ(RowSet(result->table), reference[label]) << label;
+  }
+  service.Drain();
+  cache::QueryServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  federation_->set_query_cache(nullptr);
+}
+
+TEST(QueryServiceTest, AdmissionCapRejectsExcessQueries) {
+  // 50 ms of simulated latency per request keeps the first query in
+  // flight long enough for the second Submit to hit the cap.
+  workload::LubmGenerator generator(workload::LubmConfig::Small());
+  net::LatencyModel slow{/*request_latency_ms=*/50.0,
+                         /*bandwidth_bytes_per_ms=*/0.0,
+                         /*sleep_scale=*/1.0};
+  auto federation =
+      workload::BuildFederation(generator.GenerateAll(), slow);
+  cache::QueryServiceOptions options;
+  options.max_concurrent = 1;
+  options.max_pending = 1;
+  cache::QueryService service(federation.get(), options);
+
+  auto queries = workload::LubmGenerator::BenchmarkQueries();
+  auto first = service.Submit(queries[0].second);
+  ASSERT_TRUE(first.ok());
+  auto second = service.Submit(queries[1].second);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(first->get().ok());
+  service.Drain();
+  cache::QueryServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Regression: COUNT-literal parsing above 2^53
+// ---------------------------------------------------------------------
+
+TEST(ParseCountLiteralTest, KeepsFullPrecisionAboveDoubleRange) {
+  // 2^53 + 1 is the first integer a double cannot represent.
+  EXPECT_EQ(core::ParseCountLiteral(rdf::Term::Literal("9007199254740993")),
+            9007199254740993ull);
+  EXPECT_EQ(core::ParseCountLiteral(
+                rdf::Term::Literal("18446744073709551615")),
+            18446744073709551615ull);
+  EXPECT_EQ(core::ParseCountLiteral(
+                rdf::Term::TypedLiteral(
+                    "9007199254740993",
+                    "http://www.w3.org/2001/XMLSchema#integer")),
+            9007199254740993ull);
+}
+
+TEST(ParseCountLiteralTest, FallbacksAreExplicit) {
+  EXPECT_EQ(core::ParseCountLiteral(rdf::Term::Literal("+42")), 42ull);
+  // Scientific notation goes through the double path.
+  EXPECT_EQ(core::ParseCountLiteral(rdf::Term::Literal("1e3")), 1000ull);
+  EXPECT_EQ(core::ParseCountLiteral(rdf::Term::Literal("12.0")), 12ull);
+  // Overflow saturates instead of wrapping.
+  EXPECT_EQ(core::ParseCountLiteral(
+                rdf::Term::Literal("99999999999999999999999999")),
+            std::numeric_limits<uint64_t>::max());
+  // Non-numeric and negative map to zero.
+  EXPECT_EQ(core::ParseCountLiteral(rdf::Term::Literal("not-a-number")),
+            0ull);
+  EXPECT_EQ(core::ParseCountLiteral(rdf::Term::Literal("-5")), 0ull);
+  EXPECT_EQ(core::ParseCountLiteral(rdf::Term::Literal("")), 0ull);
+}
+
+/// An endpoint whose every SELECT answers with one huge COUNT literal.
+class HugeCountEndpoint : public net::Endpoint {
+ public:
+  explicit HugeCountEndpoint(std::string count)
+      : id_("huge"), count_(std::move(count)) {}
+
+  const std::string& id() const override { return id_; }
+
+  Result<net::QueryResponse> Query(const std::string& text) override {
+    net::QueryResponse response;
+    if (fed::LooksLikeAskQuery(text)) {
+      response.table.rows.push_back({});
+      return response;
+    }
+    response.table.vars = {"c"};
+    response.table.rows.push_back({rdf::Term::TypedLiteral(
+        count_, "http://www.w3.org/2001/XMLSchema#integer")});
+    return response;
+  }
+
+ private:
+  std::string id_;
+  std::string count_;
+};
+
+TEST(CostModelCountTest, HugeCountSurvivesCollection) {
+  fed::Federation federation;
+  federation.Add(std::make_shared<HugeCountEndpoint>("9007199254740993"));
+  ThreadPool pool(2);
+  core::CostModel model(&federation, &pool);
+  auto query = sparql::ParseQuery("SELECT ?s WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(query.ok());
+  fed::MetricsCollector metrics;
+  Status status = model.CollectStatistics(query->where.triples, {{0}}, {},
+                                          &metrics, Deadline());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(model.PatternCount(0, 0), 9007199254740993ull);
+}
+
+// ---------------------------------------------------------------------
+// Regression: SAPE empty-partner short-circuit
+// ---------------------------------------------------------------------
+
+TEST(SapeEmptyPartnerTest, DelayedSubqueryWithEmptyPartnerIsNotFetched) {
+  // EP0 holds nothing matching the first subquery's pattern (zero rows);
+  // EP1 holds a large relation for the delayed second subquery. The fix
+  // must short-circuit the delayed subquery without contacting EP1.
+  std::vector<workload::EndpointSpec> specs(2);
+  specs[0].id = "ep0";
+  specs[0].triples.push_back({rdf::Term::Iri("urn:a"),
+                              rdf::Term::Iri("urn:unrelated"),
+                              rdf::Term::Iri("urn:b")});
+  specs[1].id = "ep1";
+  for (int i = 0; i < 100; ++i) {
+    specs[1].triples.push_back(
+        {rdf::Term::Iri("urn:x" + std::to_string(i)), rdf::Term::Iri("urn:q"),
+         rdf::Term::Iri("urn:y" + std::to_string(i))});
+  }
+  auto federation =
+      workload::BuildFederation(std::move(specs), net::LatencyModel::None());
+
+  auto query = sparql::ParseQuery(
+      "SELECT ?s ?x ?y WHERE { ?s <urn:p> ?x . ?x <urn:q> ?y . }");
+  ASSERT_TRUE(query.ok());
+
+  core::Subquery empty_sq;
+  empty_sq.triple_indices = {0};
+  empty_sq.sources = {0};
+  empty_sq.projection = {"s", "x"};
+  empty_sq.estimated_cardinality = 0.0;
+
+  core::Subquery delayed_sq;
+  delayed_sq.triple_indices = {1};
+  delayed_sq.sources = {1};
+  delayed_sq.projection = {"x", "y"};
+  delayed_sq.estimated_cardinality = 1e6;  // Forces the delay decision.
+
+  core::LusailOptions options;
+  ThreadPool pool(4);
+  core::SapeExecutor sape(federation.get(), &pool, &options);
+  fed::SharedDictionary dict;
+  auto result = sape.Execute({empty_sq, delayed_sq}, query->where.triples,
+                             &dict, nullptr, Deadline());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->rows.empty());
+
+  // EP1 (the delayed subquery's only source) was never contacted.
+  auto* ep1 = dynamic_cast<net::SparqlEndpoint*>(federation->endpoint(1));
+  ASSERT_NE(ep1, nullptr);
+  EXPECT_EQ(ep1->stats().requests, 0u);
+  // EP0 was queried for the concurrent-phase subquery.
+  auto* ep0 = dynamic_cast<net::SparqlEndpoint*>(federation->endpoint(0));
+  ASSERT_NE(ep0, nullptr);
+  EXPECT_EQ(ep0->stats().requests, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Regression: parallel cartesian join path
+// ---------------------------------------------------------------------
+
+TEST(ParallelCartesianTest, MatchesSingleThreadedProduct) {
+  fed::SharedDictionary dict;
+  fed::BindingTable left, right;
+  left.vars = {"a"};
+  right.vars = {"b"};
+  for (int i = 0; i < 80; ++i) {
+    left.rows.push_back(
+        {dict.Intern(rdf::Term::Iri("urn:l" + std::to_string(i)))});
+  }
+  for (int i = 0; i < 60; ++i) {
+    right.rows.push_back(
+        {dict.Intern(rdf::Term::Iri("urn:r" + std::to_string(i)))});
+  }
+  ThreadPool pool(4);
+  fed::BindingTable parallel = core::ParallelHashJoin(left, right, &pool, 4);
+  fed::BindingTable serial = fed::HashJoin(left, right);
+  ASSERT_EQ(parallel.rows.size(), 80u * 60u);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+
+  auto fingerprint = [](const fed::BindingTable& t) {
+    std::multiset<std::string> out;
+    int a = t.VarIndex("a"), b = t.VarIndex("b");
+    for (const auto& row : t.rows) {
+      out.insert(std::to_string(row[a]) + "|" + std::to_string(row[b]));
+    }
+    return out;
+  };
+  EXPECT_EQ(fingerprint(parallel), fingerprint(serial));
+}
+
+TEST(ParallelCartesianTest, EmptySideYieldsEmptyProduct) {
+  fed::BindingTable left, right;
+  left.vars = {"a"};
+  right.vars = {"b"};
+  for (int i = 0; i < 5000; ++i) {
+    left.rows.push_back({static_cast<rdf::TermId>(i + 1)});
+  }
+  ThreadPool pool(4);
+  fed::BindingTable product = core::ParallelHashJoin(left, right, &pool, 4);
+  EXPECT_TRUE(product.rows.empty());
+  EXPECT_EQ(product.vars.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lusail
