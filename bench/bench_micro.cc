@@ -128,6 +128,52 @@ void BM_ParallelHashJoin(benchmark::State& state) {
 BENCHMARK(BM_ParallelHashJoin)->Arg(1000)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
+/// Serial vs. parallel cartesian product around the dispatch threshold.
+/// The arg is the output size in cells (left rows × right rows, square
+/// sides); comparing BM_CartesianSerial/N with BM_CartesianParallel/N
+/// locates the crossover that ParallelHashJoin's 2048-cell threshold
+/// encodes (see the comment at the constant in core/hash_join.cc).
+fed::BindingTable CartesianSide(fed::SharedDictionary* dict, const char* var,
+                                int rows, int salt) {
+  fed::BindingTable side;
+  side.vars = {var};
+  for (int i = 0; i < rows; ++i) {
+    side.rows.push_back({dict->Intern(rdf::Term::Integer(i + salt))});
+  }
+  return side;
+}
+
+void BM_CartesianSerial(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  fed::SharedDictionary dict;
+  fed::BindingTable left = CartesianSide(&dict, "a", side, 0);
+  fed::BindingTable right = CartesianSide(&dict, "b", side, 1000000);
+  for (auto _ : state) {
+    fed::BindingTable out = fed::HashJoin(left, right);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.counters["cells"] = static_cast<double>(side) * side;
+}
+BENCHMARK(BM_CartesianSerial)
+    ->Arg(16)->Arg(32)->Arg(45)->Arg(64)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CartesianParallel(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  fed::SharedDictionary dict;
+  ThreadPool pool(8);
+  fed::BindingTable left = CartesianSide(&dict, "a", side, 0);
+  fed::BindingTable right = CartesianSide(&dict, "b", side, 1000000);
+  for (auto _ : state) {
+    fed::BindingTable out = core::ParallelCartesian(left, right, &pool, 8);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.counters["cells"] = static_cast<double>(side) * side;
+}
+BENCHMARK(BM_CartesianParallel)
+    ->Arg(16)->Arg(32)->Arg(45)->Arg(64)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace lusail
 

@@ -21,9 +21,19 @@
 //                         subquery-result memoization) and print its
 //                         hit/miss/eviction counters after the query
 //   --timeout <ms>        per-query deadline (default 60000)
+//   --remote <specs>      federate over live HTTP SPARQL endpoints
+//                         instead of in-process stores. <specs> is a
+//                         comma-separated list of host:port=id entries
+//                         (e.g. 127.0.0.1:9001=univ0,127.0.0.1:9002=univ1),
+//                         each typically a lusail_endpointd process
+//   --retry <n>           enable the standard retry policy with n
+//                         attempts per request (0 = off, the default)
+//   --format tsv|srj      result output format (default tsv; srj is
+//                         SPARQL 1.1 JSON Results, the wire format)
 //
 // The query is read from the given file, or from stdin when no file is
-// given. Results are printed as TSV, followed by the execution profile.
+// given. Results are printed as TSV (or SRJ), followed by the execution
+// profile.
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +46,8 @@
 #include "cache/federation_cache.h"
 #include "core/lusail_engine.h"
 #include "obs/explain.h"
+#include "rpc/http_sparql_endpoint.h"
+#include "rpc/results_json.h"
 #include "workload/federation_builder.h"
 #include "workload/lrb_generator.h"
 #include "workload/lubm_generator.h"
@@ -53,7 +65,10 @@ struct CliOptions {
   std::string latency = "local";
   std::string query_file;
   std::string trace_file;
+  std::string remote;
+  std::string format = "tsv";
   double timeout_ms = 60000;
+  int retry_attempts = 0;
   bool explain = false;
   bool explain_json = false;
   bool cache_stats = false;
@@ -67,8 +82,41 @@ int Usage() {
                "                  [--latency none|local|geo] [--explain]\n"
                "                  [--explain-json] [--trace <file>]\n"
                "                  [--cache-stats] [--timeout <ms>]\n"
+               "                  [--remote host:port=id,...] [--retry <n>]\n"
+               "                  [--format tsv|srj]\n"
                "                  [query-file]\n");
   return 2;
+}
+
+/// Parses "host:port=id,host:port=id,..." into a federation of live HTTP
+/// endpoints.
+Result<std::unique_ptr<fed::Federation>> BuildRemoteFederation(
+    const std::string& specs) {
+  auto federation = std::make_unique<fed::Federation>();
+  std::istringstream stream(specs);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    size_t colon = entry.find(':');
+    if (eq == std::string::npos || colon == std::string::npos || colon > eq) {
+      return Status::InvalidArgument("bad --remote entry (want host:port=id): " +
+                                     entry);
+    }
+    std::string host = entry.substr(0, colon);
+    std::string port_text = entry.substr(colon + 1, eq - colon - 1);
+    std::string id = entry.substr(eq + 1);
+    unsigned long port = std::strtoul(port_text.c_str(), nullptr, 10);
+    if (host.empty() || id.empty() || port == 0 || port > 65535) {
+      return Status::InvalidArgument("bad --remote entry: " + entry);
+    }
+    federation->Add(std::make_shared<rpc::HttpSparqlEndpoint>(
+        id, host, static_cast<uint16_t>(port)));
+  }
+  if (federation->size() == 0) {
+    return Status::InvalidArgument("--remote lists no endpoints");
+  }
+  return federation;
 }
 
 std::vector<workload::EndpointSpec> MakeWorkload(const std::string& name) {
@@ -137,6 +185,19 @@ int main(int argc, char** argv) {
       options.explain_json = true;
     } else if (arg == "--trace") {
       if (!next(&options.trace_file)) return Usage();
+    } else if (arg == "--remote") {
+      if (!next(&options.remote)) return Usage();
+    } else if (arg == "--format") {
+      if (!next(&options.format)) return Usage();
+      if (options.format != "tsv" && options.format != "srj") {
+        std::fprintf(stderr, "unknown format: %s\n", options.format.c_str());
+        return Usage();
+      }
+    } else if (arg == "--retry") {
+      std::string v;
+      if (!next(&v)) return Usage();
+      options.retry_attempts = static_cast<int>(std::strtol(v.c_str(),
+                                                            nullptr, 10));
     } else if (arg == "--cache-stats") {
       options.cache_stats = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -163,7 +224,14 @@ int main(int argc, char** argv) {
 
   // Build the federation.
   std::unique_ptr<fed::Federation> federation;
-  if (!options.directory.empty()) {
+  if (!options.remote.empty()) {
+    auto built = BuildRemoteFederation(options.remote);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    federation = std::move(built).value();
+  } else if (!options.directory.empty()) {
     auto loaded = workload::LoadFederationFromDirectory(
         options.directory, MakeLatency(options.latency));
     if (!loaded.ok()) {
@@ -209,6 +277,10 @@ int main(int argc, char** argv) {
   core::LusailOptions lusail_options;
   lusail_options.trace = trace;
   lusail_options.result_cache = options.cache_stats;
+  if (options.retry_attempts > 0) {
+    lusail_options.retry_policy =
+        net::RetryPolicy::Standard(options.retry_attempts);
+  }
   if (options.engine == "lade") lusail_options.enable_sape = false;
   core::LusailEngine lusail(federation.get(), lusail_options);
   baselines::FedXOptions fedx_options;
@@ -249,7 +321,11 @@ int main(int argc, char** argv) {
                  result.status().ToString().c_str());
     return 1;
   }
-  std::fputs(result->table.ToTsv().c_str(), stdout);
+  if (options.format == "srj") {
+    std::printf("%s\n", rpc::ResultTableToSrj(result->table).c_str());
+  } else {
+    std::fputs(result->table.ToTsv().c_str(), stdout);
+  }
   std::fprintf(stderr, "# %zu rows (engine: %s)\n", result->table.NumRows(),
                engine->name().c_str());
   PrintProfile(result->profile);

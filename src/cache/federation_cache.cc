@@ -10,15 +10,17 @@ obs::JsonValue TierStats::ToJson() const {
   out.Set("insertions", insertions);
   out.Set("evictions", evictions);
   out.Set("invalidations", invalidations);
+  out.Set("expired", expired);
   out.Set("entries", entries);
   out.Set("bytes", bytes);
   return out;
 }
 
 FederationCache::FederationCache(FederationCacheOptions options)
-    : verdicts_(options.verdict_capacity, 0),
-      counts_(options.count_capacity, 0),
-      results_(options.result_capacity, options.result_byte_budget) {}
+    : verdicts_(options.verdict_capacity, 0, options.verdict_max_age_ms),
+      counts_(options.count_capacity, 0, options.count_max_age_ms),
+      results_(options.result_capacity, options.result_byte_budget,
+               options.result_max_age_ms) {}
 
 std::string FederationCache::Key(const std::string& endpoint_id,
                                  const std::string& query_text) {
@@ -80,6 +82,12 @@ void FederationCache::Invalidate(const std::string& endpoint_id) {
   verdicts_.InvalidateEndpoint(endpoint_id);
   counts_.InvalidateEndpoint(endpoint_id);
   results_.InvalidateEndpoint(endpoint_id);
+}
+
+void FederationCache::AdvanceTimeForTesting(double ms) {
+  verdicts_.AdvanceTimeForTesting(ms);
+  counts_.AdvanceTimeForTesting(ms);
+  results_.AdvanceTimeForTesting(ms);
 }
 
 void FederationCache::Clear() {

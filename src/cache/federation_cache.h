@@ -1,6 +1,7 @@
 #ifndef LUSAIL_CACHE_FEDERATION_CACHE_H_
 #define LUSAIL_CACHE_FEDERATION_CACHE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -20,7 +21,9 @@ struct TierStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;      ///< Dropped to stay within capacity.
-  uint64_t invalidations = 0;  ///< Dropped by Invalidate(endpoint).
+  uint64_t invalidations = 0;  ///< Dropped because Invalidate(endpoint)
+                               ///< outdated them (counted lazily, on Get).
+  uint64_t expired = 0;        ///< Dropped because they outlived max_age.
   uint64_t entries = 0;
   uint64_t bytes = 0;
 
@@ -33,17 +36,27 @@ struct TierStats {
   obs::JsonValue ToJson() const;
 };
 
-/// Bounded, thread-safe LRU map with per-endpoint invalidation — the
-/// building block of every FederationCache tier. Capacity is enforced
-/// both as an entry count and (when `max_bytes` > 0) as a byte budget;
-/// the least recently used entries are evicted first. Each entry records
-/// the endpoint whose data produced it so a mutating store can evict
-/// exactly its entries with InvalidateEndpoint.
+/// Bounded, thread-safe LRU map with per-endpoint invalidation and
+/// optional TTL expiry — the building block of every FederationCache
+/// tier. Capacity is enforced both as an entry count and (when
+/// `max_bytes` > 0) as a byte budget; the least recently used entries
+/// are evicted first.
+///
+/// Staleness is handled lazily, so both mechanisms stay O(1):
+///  - Each entry is stamped with its producing endpoint's *generation*.
+///    InvalidateEndpoint bumps the generation (no sweep); a Get that
+///    lands on an entry from an older generation drops it and misses.
+///    Consequently Stats().entries may briefly count invalidated
+///    entries until Gets (or capacity eviction) wash them out.
+///  - With `max_age_ms` > 0, a Get that lands on an entry older than
+///    the TTL drops it and misses (counted in `expired`).
 template <typename V>
 class LruTier {
  public:
-  LruTier(size_t max_entries, uint64_t max_bytes)
-      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+  LruTier(size_t max_entries, uint64_t max_bytes, double max_age_ms = 0.0)
+      : max_entries_(max_entries),
+        max_bytes_(max_bytes),
+        max_age_ms_(max_age_ms) {}
   LruTier(const LruTier&) = delete;
   LruTier& operator=(const LruTier&) = delete;
 
@@ -51,6 +64,19 @@ class LruTier {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    if (it->second->generation != GenerationLocked(it->second->endpoint_id)) {
+      RemoveLocked(it);
+      ++invalidations_;
+      ++misses_;
+      return std::nullopt;
+    }
+    if (max_age_ms_ > 0.0 &&
+        NowMsLocked() - it->second->inserted_ms > max_age_ms_) {
+      RemoveLocked(it);
+      ++expired_;
       ++misses_;
       return std::nullopt;
     }
@@ -63,16 +89,21 @@ class LruTier {
            uint64_t value_bytes) {
     std::lock_guard<std::mutex> lock(mu_);
     uint64_t entry_bytes = value_bytes + key.size() + endpoint_id.size();
+    uint64_t generation = GenerationLocked(endpoint_id);
+    double now_ms = NowMsLocked();
     auto it = index_.find(key);
     if (it != index_.end()) {
       bytes_ -= it->second->bytes;
       it->second->value = std::move(value);
       it->second->endpoint_id = endpoint_id;
       it->second->bytes = entry_bytes;
+      it->second->generation = generation;
+      it->second->inserted_ms = now_ms;
       bytes_ += entry_bytes;
       lru_.splice(lru_.begin(), lru_, it->second);
     } else {
-      lru_.push_front(Entry{key, endpoint_id, std::move(value), entry_bytes});
+      lru_.push_front(Entry{key, endpoint_id, std::move(value), entry_bytes,
+                            generation, now_ms});
       index_.emplace(key, lru_.begin());
       bytes_ += entry_bytes;
       ++insertions_;
@@ -80,27 +111,21 @@ class LruTier {
     EvictToCapacityLocked();
   }
 
-  /// Drops every entry produced by `endpoint_id`.
+  /// Outdates every entry produced by `endpoint_id` in O(1) by bumping
+  /// its generation; the entries themselves are dropped lazily by Get.
   void InvalidateEndpoint(const std::string& endpoint_id) {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = lru_.begin(); it != lru_.end();) {
-      if (it->endpoint_id == endpoint_id) {
-        bytes_ -= it->bytes;
-        index_.erase(it->key);
-        it = lru_.erase(it);
-        ++invalidations_;
-      } else {
-        ++it;
-      }
-    }
+    ++generations_[endpoint_id];
   }
 
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     lru_.clear();
     index_.clear();
+    generations_.clear();
     bytes_ = 0;
     hits_ = misses_ = insertions_ = evictions_ = invalidations_ = 0;
+    expired_ = 0;
   }
 
   TierStats Stats() const {
@@ -111,6 +136,7 @@ class LruTier {
     s.insertions = insertions_;
     s.evictions = evictions_;
     s.invalidations = invalidations_;
+    s.expired = expired_;
     s.entries = index_.size();
     s.bytes = bytes_;
     return s;
@@ -121,13 +147,42 @@ class LruTier {
     return index_.size();
   }
 
+  /// Shifts this tier's notion of "now" forward, so TTL expiry is
+  /// testable without sleeping.
+  void AdvanceTimeForTesting(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    time_offset_ms_ += ms;
+  }
+
  private:
   struct Entry {
     std::string key;
     std::string endpoint_id;
     V value;
     uint64_t bytes;
+    uint64_t generation;
+    double inserted_ms;
   };
+  using EntryIt = typename std::list<Entry>::iterator;
+
+  double NowMsLocked() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count() +
+           time_offset_ms_;
+  }
+
+  uint64_t GenerationLocked(const std::string& endpoint_id) const {
+    auto it = generations_.find(endpoint_id);
+    return it == generations_.end() ? 0 : it->second;
+  }
+
+  void RemoveLocked(
+      typename std::unordered_map<std::string, EntryIt>::iterator it) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
 
   void EvictToCapacityLocked() {
     while (!lru_.empty() &&
@@ -143,15 +198,19 @@ class LruTier {
 
   mutable std::mutex mu_;
   const size_t max_entries_;
-  const uint64_t max_bytes_;  ///< 0 = no byte budget.
-  std::list<Entry> lru_;      ///< Front = most recently used.
-  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+  const uint64_t max_bytes_;   ///< 0 = no byte budget.
+  const double max_age_ms_;    ///< 0 = entries never expire.
+  std::list<Entry> lru_;       ///< Front = most recently used.
+  std::unordered_map<std::string, EntryIt> index_;
+  std::unordered_map<std::string, uint64_t> generations_;
+  double time_offset_ms_ = 0.0;
   uint64_t bytes_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t insertions_ = 0;
   uint64_t evictions_ = 0;
   uint64_t invalidations_ = 0;
+  uint64_t expired_ = 0;
 };
 
 /// Capacity knobs of the three tiers. Defaults are sized for a serving
@@ -161,6 +220,14 @@ struct FederationCacheOptions {
   size_t count_capacity = 1 << 16;    ///< COUNT-probe cardinalities.
   size_t result_capacity = 1 << 12;   ///< Subquery result tables.
   uint64_t result_byte_budget = 64ull << 20;  ///< Byte cap on tier 3.
+
+  // Per-tier TTLs bounding how stale a hit can be when endpoints mutate
+  // without telling us (0 = entries never expire, matching the original
+  // behavior). Verdicts/counts age slower than whole result tables since
+  // schema-level facts change less often than data.
+  double verdict_max_age_ms = 0.0;
+  double count_max_age_ms = 0.0;
+  double result_max_age_ms = 0.0;
 };
 
 /// Federation-level cross-query cache. Attach one to a fed::Federation
@@ -210,9 +277,13 @@ class FederationCache {
                  const std::string& query_text,
                  const sparql::ResultTable& table);
 
-  /// Evicts every tier's entries derived from `endpoint_id` (call when
-  /// the endpoint's store mutates).
+  /// Outdates every tier's entries derived from `endpoint_id` (call when
+  /// the endpoint's store mutates). O(1): bumps the endpoint's
+  /// generation; outdated entries are dropped lazily as Gets touch them.
   void Invalidate(const std::string& endpoint_id);
+
+  /// Shifts all tiers' clocks forward (deterministic TTL tests).
+  void AdvanceTimeForTesting(double ms);
 
   /// Drops everything and resets all counters.
   void Clear();

@@ -11,6 +11,9 @@ obs::JsonValue QueryServiceStats::ToJson() const {
   out.Set("completed", completed);
   out.Set("failed", failed);
   out.Set("in_flight", in_flight);
+  out.Set("queued", queued);
+  out.Set("running", running);
+  out.Set("wait", wait.ToJson());
   return out;
 }
 
@@ -34,11 +37,18 @@ Result<std::future<Result<fed::FederatedResult>>> QueryService::Submit(
     ++in_flight_;
   }
   return workers_.Submit(
-      [this, text = std::move(sparql_text), deadline]() {
+      [this, text = std::move(sparql_text), deadline,
+       queued_at = Stopwatch()]() {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++running_;
+          wait_.Record(queued_at.ElapsedMillis());
+        }
         Result<fed::FederatedResult> result = engine_.Execute(text, deadline);
         {
           std::lock_guard<std::mutex> lock(mu_);
           --in_flight_;
+          --running_;
           if (result.ok()) {
             ++completed_;
           } else {
@@ -63,6 +73,9 @@ QueryServiceStats QueryService::Stats() const {
   s.completed = completed_;
   s.failed = failed_;
   s.in_flight = in_flight_;
+  s.running = running_;
+  s.queued = in_flight_ - running_;
+  s.wait.Merge(wait_);
   return s;
 }
 

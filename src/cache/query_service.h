@@ -13,6 +13,7 @@
 #include "core/lusail_engine.h"
 #include "core/options.h"
 #include "federation/federation.h"
+#include "obs/endpoint_stats.h"
 #include "obs/json.h"
 
 namespace lusail::cache {
@@ -27,14 +28,20 @@ struct QueryServiceOptions {
   core::LusailOptions engine;
 };
 
-/// Cumulative Submit/completion counters; `in_flight` is the current
-/// admission-cap occupancy.
+/// Cumulative Submit/completion counters. `in_flight` is the current
+/// admission-cap occupancy, split into `queued` (accepted, waiting for a
+/// worker) and `running` (executing on a worker). `wait` is the queue
+/// wait-time distribution — admission to execution start — the signal
+/// that tells an operator the service is saturated before rejections do.
 struct QueryServiceStats {
   uint64_t accepted = 0;
   uint64_t rejected = 0;   ///< Turned away by the admission cap.
   uint64_t completed = 0;  ///< Finished with an OK status.
   uint64_t failed = 0;     ///< Finished with a non-OK status.
-  uint64_t in_flight = 0;
+  uint64_t in_flight = 0;  ///< queued + running.
+  uint64_t queued = 0;
+  uint64_t running = 0;
+  obs::LatencyHistogram wait;  ///< Queue wait, p50/p95/p99 via ToJson.
 
   obs::JsonValue ToJson() const;
 };
@@ -82,6 +89,8 @@ class QueryService {
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
   uint64_t in_flight_ = 0;
+  uint64_t running_ = 0;  ///< in_flight_ - running_ queries are queued.
+  obs::LatencyHistogram wait_;
 };
 
 }  // namespace lusail::cache

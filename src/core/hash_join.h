@@ -18,6 +18,15 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
                                    const fed::BindingTable& right,
                                    ThreadPool* pool, size_t partitions);
 
+/// Cartesian product with left rows range-partitioned across the pool;
+/// each worker crosses its left chunk with the whole right side.
+/// ParallelHashJoin dispatches here above its output-size threshold;
+/// exposed so bench_micro can measure the serial/parallel crossover at
+/// any size (that measurement is how the threshold was chosen).
+fed::BindingTable ParallelCartesian(const fed::BindingTable& left,
+                                    const fed::BindingTable& right,
+                                    ThreadPool* pool, size_t partitions);
+
 }  // namespace lusail::core
 
 #endif  // LUSAIL_CORE_HASH_JOIN_H_

@@ -1,6 +1,7 @@
 #include "core/sape.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 #include <map>
 #include <set>
@@ -138,11 +139,28 @@ std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
   return out;
 }
 
+// 128 bits of FNV-1a (two independent offset bases) rendered as hex.
+// Used to key bound-join fetches by their VALUES block: collisions would
+// silently return wrong rows, so a single 64-bit hash is not enough.
+std::string BindingBlockFingerprint(const std::string& bound_text) {
+  uint64_t h1 = 14695981039346656037ull;
+  uint64_t h2 = 10650232656628343401ull;
+  for (unsigned char c : bound_text) {
+    h1 = (h1 ^ c) * 1099511628211ull;
+    h2 = (h2 ^ c) * 1099511628211ull;
+  }
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2));
+  return std::string(buf);
+}
+
 }  // namespace
 
 Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
-    int ep, const std::string& text, bool cacheable,
-    fed::MetricsCollector* metrics, const Deadline& deadline,
+    int ep, const std::string& text, const std::string& cache_key,
+    bool cacheable, fed::MetricsCollector* metrics, const Deadline& deadline,
     const net::RetryPolicy* retry, obs::SpanId trace_parent) {
   cache::FederationCache* shared =
       (cacheable && options_->use_cache && options_->result_cache)
@@ -152,7 +170,7 @@ Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
   if (shared != nullptr) {
     endpoint_id = federation_->id(static_cast<size_t>(ep));
     std::optional<sparql::ResultTable> hit =
-        shared->GetResult(endpoint_id, text);
+        shared->GetResult(endpoint_id, cache_key);
     if (hit.has_value()) {
       obs::Tracer* tracer = metrics != nullptr ? metrics->tracer() : nullptr;
       if (tracer != nullptr) {
@@ -169,7 +187,7 @@ Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
   Result<sparql::ResultTable> table = federation_->Execute(
       static_cast<size_t>(ep), text, metrics, deadline, retry, trace_parent);
   if (shared != nullptr && table.ok()) {
-    shared->PutResult(endpoint_id, text, *table);
+    shared->PutResult(endpoint_id, cache_key, *table);
   }
   return table;
 }
@@ -181,17 +199,25 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
     obs::SpanId trace_parent) {
   std::string text = sq.ToSparql(triples, values);
   const net::RetryPolicy* retry = RetryOf(options_);
-  // Bound (VALUES) fetches carry per-query intermediate bindings and are
-  // not reusable across queries; unbound texts are.
-  const bool cacheable = values == nullptr;
+  // Unbound texts key the shared result cache directly. Bound (VALUES)
+  // fetches are keyed as base text + a fingerprint of the binding block,
+  // so re-running a query in a warm serving process skips its bound
+  // joins too (identical inputs produce identical binding blocks) while
+  // giant VALUES serializations stay out of the cache index.
+  std::string cache_key = text;
+  if (values != nullptr) {
+    cache_key = sq.ToSparql(triples, nullptr) + "\n#values-block:" +
+                BindingBlockFingerprint(text);
+  }
+  const bool cacheable = true;
   std::vector<std::future<Result<sparql::ResultTable>>> futures;
   futures.reserve(sq.sources.size());
   for (int ep : sq.sources) {
     futures.push_back(pool_->Submit(
-        [this, ep, text, cacheable, metrics, deadline, retry,
+        [this, ep, text, cache_key, cacheable, metrics, deadline, retry,
          trace_parent]() {
-          return FetchEndpoint(ep, text, cacheable, metrics, deadline, retry,
-                               trace_parent);
+          return FetchEndpoint(ep, text, cache_key, cacheable, metrics,
+                               deadline, retry, trace_parent);
         }));
   }
   BindingTable merged;
@@ -319,8 +345,9 @@ Result<BindingTable> SapeExecutor::Execute(
       fetch.endpoint = ep;
       fetch.result = pool_->Submit(
           [this, ep, text, metrics, deadline, retry, span]() {
-            return FetchEndpoint(ep, text, /*cacheable=*/true, metrics,
-                                 deadline, retry, span);
+            return FetchEndpoint(ep, text, /*cache_key=*/text,
+                                 /*cacheable=*/true, metrics, deadline, retry,
+                                 span);
           });
       fetches.push_back(std::move(fetch));
     }
@@ -500,12 +527,27 @@ Result<BindingTable> SapeExecutor::Execute(
       ask.where.triples.push_back(triples[sq.triple_indices[0]]);
       ask.where.values.push_back(sample);
       std::string ask_text = sparql::QueryToString(ask);
+      cache::FederationCache* shared =
+          options_->use_cache ? federation_->query_cache() : nullptr;
       std::vector<std::future<Result<bool>>> probes;
       for (int ep : sources) {
         probes.push_back(pool_->Submit([this, ep, ask_text, metrics,
-                                        deadline, retry, sq_span]() {
-          return federation_->Ask(static_cast<size_t>(ep), ask_text, metrics,
-                                  deadline, retry, sq_span);
+                                        deadline, retry, sq_span, shared]() {
+          std::string endpoint_id;
+          std::string key;
+          if (shared != nullptr) {
+            endpoint_id = federation_->id(static_cast<size_t>(ep));
+            key = cache::FederationCache::Key(endpoint_id, ask_text);
+            std::optional<bool> cached = shared->GetVerdict(key);
+            if (cached.has_value()) return Result<bool>(*cached);
+          }
+          Result<bool> answer = federation_->Ask(
+              static_cast<size_t>(ep), ask_text, metrics, deadline, retry,
+              sq_span);
+          if (shared != nullptr && answer.ok()) {
+            shared->PutVerdict(key, endpoint_id, *answer);
+          }
+          return answer;
         }));
       }
       std::vector<int> kept;

@@ -58,11 +58,14 @@ class SapeExecutor {
 
   /// One endpoint request, routed through the federation's shared result
   /// cache when this engine opted in (options.result_cache) and
-  /// `cacheable` holds. Only deterministic, binding-free subquery texts
-  /// are cacheable — bound (VALUES) fetches depend on the current query's
-  /// intermediate state and always go to the network. A hit is recorded
-  /// as a "cache" span instead of a request span and issues no request.
+  /// `cacheable` holds. `cache_key` identifies the fetch in the shared
+  /// cache: the query text itself for unbound subqueries, or the base
+  /// subquery text plus a fingerprint of the VALUES binding block for
+  /// bound (delayed-phase) fetches — so a warm serving process skips
+  /// repeated bound joins too. A hit is recorded as a "cache" span
+  /// instead of a request span and issues no request.
   Result<sparql::ResultTable> FetchEndpoint(int ep, const std::string& text,
+                                            const std::string& cache_key,
                                             bool cacheable,
                                             fed::MetricsCollector* metrics,
                                             const Deadline& deadline,

@@ -127,6 +127,12 @@ Result<sparql::ResultTable> Federation::Execute(
                              static_cast<uint64_t>(outcome.retries),
                              static_cast<uint64_t>(outcome.breaker_rejections),
                              static_cast<uint64_t>(outcome.breaker_trips));
+    if (response.ok() && response->transport.over_network) {
+      stats_->RecordTransport(endpoint_id,
+                              response->transport.reused_connection,
+                              response->transport.wire_bytes_sent,
+                              response->transport.wire_bytes_received);
+    }
   }
 
   if (span != 0) {
@@ -136,6 +142,15 @@ Result<sparql::ResultTable> Federation::Execute(
                        static_cast<uint64_t>(response->table.NumRows()));
       tracer->Annotate(span, "bytes_received", response->response_bytes);
       tracer->Annotate(span, "network_ms", response->network_ms);
+      if (response->transport.over_network) {
+        const net::TransportInfo& t = response->transport;
+        tracer->Annotate(span, "net.reused_connection", t.reused_connection);
+        tracer->Annotate(span, "net.connect_ms", t.connect_ms);
+        tracer->Annotate(span, "net.wire_bytes_sent",
+                         static_cast<uint64_t>(t.wire_bytes_sent));
+        tracer->Annotate(span, "net.wire_bytes_received",
+                         static_cast<uint64_t>(t.wire_bytes_received));
+      }
     } else {
       tracer->Annotate(span, "status", response.status().ToString());
     }

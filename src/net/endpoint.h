@@ -9,14 +9,27 @@
 
 namespace lusail::net {
 
+/// How a response physically travelled. In-process endpoints leave the
+/// default (no network); transports like rpc::HttpSparqlEndpoint fill it
+/// so federation spans and endpoint telemetry can report real wire
+/// behavior (connection reuse, connect latency, bytes on the wire).
+struct TransportInfo {
+  bool over_network = false;     ///< True when a real socket was involved.
+  bool reused_connection = false;  ///< Pooled keep-alive connection reused.
+  double connect_ms = 0.0;       ///< TCP connect time (0 when reused).
+  size_t wire_bytes_sent = 0;    ///< Bytes written incl. HTTP framing.
+  size_t wire_bytes_received = 0;  ///< Bytes read incl. HTTP framing.
+};
+
 /// One request/response exchange with an endpoint, with the cost
 /// accounting a federated engine needs.
 struct QueryResponse {
   sparql::ResultTable table;
   size_t request_bytes = 0;   ///< Serialized query size.
   size_t response_bytes = 0;  ///< Serialized result size.
-  double network_ms = 0.0;    ///< Simulated network time charged.
+  double network_ms = 0.0;    ///< Network time (simulated or measured).
   double server_ms = 0.0;     ///< Endpoint-side evaluation time.
+  TransportInfo transport;    ///< Physical transport details, if any.
 };
 
 /// Abstract SPARQL endpoint. Federated engines interact with endpoints

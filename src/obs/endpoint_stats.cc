@@ -114,6 +114,11 @@ void EndpointStats::Merge(const EndpointStats& other) {
   bytes_sent += other.bytes_sent;
   bytes_received += other.bytes_received;
   rows_received += other.rows_received;
+  network_requests += other.network_requests;
+  connections_opened += other.connections_opened;
+  connections_reused += other.connections_reused;
+  wire_bytes_sent += other.wire_bytes_sent;
+  wire_bytes_received += other.wire_bytes_received;
   latency.Merge(other.latency);
 }
 
@@ -129,6 +134,15 @@ JsonValue EndpointStats::ToJson() const {
   out.Set("bytes_sent", bytes_sent);
   out.Set("bytes_received", bytes_received);
   out.Set("rows_received", rows_received);
+  if (network_requests > 0) {
+    JsonValue transport = JsonValue::Object();
+    transport.Set("network_requests", network_requests);
+    transport.Set("connections_opened", connections_opened);
+    transport.Set("connections_reused", connections_reused);
+    transport.Set("wire_bytes_sent", wire_bytes_sent);
+    transport.Set("wire_bytes_received", wire_bytes_received);
+    out.Set("transport", std::move(transport));
+  }
   out.Set("latency", latency.ToJson());
   return out;
 }
@@ -174,6 +188,22 @@ void EndpointStatsRegistry::RecordResilience(const std::string& endpoint_id,
   s.retries += retries;
   s.breaker_rejections += breaker_rejections;
   s.breaker_trips += breaker_trips;
+}
+
+void EndpointStatsRegistry::RecordTransport(const std::string& endpoint_id,
+                                            bool reused_connection,
+                                            uint64_t wire_bytes_sent,
+                                            uint64_t wire_bytes_received) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointStats& s = stats_[endpoint_id];
+  ++s.network_requests;
+  if (reused_connection) {
+    ++s.connections_reused;
+  } else {
+    ++s.connections_opened;
+  }
+  s.wire_bytes_sent += wire_bytes_sent;
+  s.wire_bytes_received += wire_bytes_received;
 }
 
 EndpointStats EndpointStatsRegistry::Get(

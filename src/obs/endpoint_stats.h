@@ -66,6 +66,13 @@ struct EndpointStats {
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
   uint64_t rows_received = 0;
+  // Transport counters, filled only for endpoints reached over a real
+  // socket (rpc::HttpSparqlEndpoint); in-process endpoints leave them 0.
+  uint64_t network_requests = 0;     ///< Requests that crossed a socket.
+  uint64_t connections_opened = 0;   ///< Fresh TCP connects.
+  uint64_t connections_reused = 0;   ///< Pooled keep-alive reuses.
+  uint64_t wire_bytes_sent = 0;      ///< Bytes written incl. HTTP framing.
+  uint64_t wire_bytes_received = 0;  ///< Bytes read incl. HTTP framing.
   LatencyHistogram latency;
 
   void Merge(const EndpointStats& other);
@@ -88,6 +95,9 @@ class EndpointStatsRegistry {
   void RecordFailure(const std::string& endpoint_id, bool timeout);
   void RecordResilience(const std::string& endpoint_id, uint64_t retries,
                         uint64_t breaker_rejections, uint64_t breaker_trips);
+  /// Transport accounting for a request that crossed a real socket.
+  void RecordTransport(const std::string& endpoint_id, bool reused_connection,
+                       uint64_t wire_bytes_sent, uint64_t wire_bytes_received);
 
   /// Copy of one endpoint's stats (default-constructed when unknown).
   EndpointStats Get(const std::string& endpoint_id) const;

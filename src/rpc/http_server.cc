@@ -1,0 +1,409 @@
+#include "rpc/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "rpc/results_json.h"
+
+namespace lusail::rpc {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+HttpResponse JsonResponse(int status, obs::JsonValue body) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = HttpReason(status);
+  response.SetHeader("Content-Type", "application/json");
+  response.body = body.Serialize();
+  return response;
+}
+
+HttpResponse ErrorResponse(int status, StatusCode code,
+                           const std::string& message) {
+  obs::JsonValue body = obs::JsonValue::Object();
+  body.Set("code", StatusCodeToString(code));
+  body.Set("error", message);
+  return JsonResponse(status, std::move(body));
+}
+
+/// How long a worker waits for the next request on an idle keep-alive
+/// connection before handing it back to the pool. Bounds the scheduling
+/// latency a pending connection sees when every worker is probing an
+/// idle one (a few slices at worst), while keeping the re-queue churn
+/// of a fully idle server to ~40 task hops per connection per second.
+constexpr int kIdlePollSliceMs = 25;
+
+}  // namespace
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kTimeout: return 504;
+    case StatusCode::kUnsupported: return 501;
+    case StatusCode::kUnavailable: return 503;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+StatusCode CodeForHttpStatus(int http_status, const std::string& code_name) {
+  // Prefer the exact code the server put in the error body so statuses
+  // survive the wire unchanged (retryability in particular).
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kInvalidArgument, StatusCode::kNotFound,
+      StatusCode::kParseError,      StatusCode::kTimeout,
+      StatusCode::kUnsupported,     StatusCode::kInternal,
+      StatusCode::kUnavailable,
+  };
+  for (StatusCode code : kAll) {
+    if (code_name == StatusCodeToString(code)) return code;
+  }
+  switch (http_status) {
+    case 400: return StatusCode::kInvalidArgument;
+    case 404: return StatusCode::kNotFound;
+    case 408:
+    case 504: return StatusCode::kTimeout;
+    case 501: return StatusCode::kUnsupported;
+    case 413: return StatusCode::kInvalidArgument;
+    case 429:
+    case 502:
+    case 503: return StatusCode::kUnavailable;
+    default: return StatusCode::kInternal;
+  }
+}
+
+obs::JsonValue HttpServerStats::ToJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("connections_accepted", connections_accepted);
+  out.Set("requests", requests);
+  out.Set("bad_requests", bad_requests);
+  out.Set("failed_queries", failed_queries);
+  out.Set("truncated_results", truncated_results);
+  out.Set("bytes_in", bytes_in);
+  out.Set("bytes_out", bytes_out);
+  return out;
+}
+
+HttpServer::HttpServer(std::shared_ptr<net::Endpoint> endpoint,
+                       HttpServerOptions options)
+    : endpoint_(std::move(endpoint)), options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket() failed: ") +
+                               std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address \"" +
+                                   options_.bind_address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Status::Unavailable(
+        "bind(" + options_.bind_address + ":" +
+        std::to_string(options_.port) + ") failed: " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status status = Status::Unavailable(std::string("listen() failed: ") +
+                                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  workers_ = std::make_unique<ThreadPool>(options_.num_threads);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Unblock accept() and stop new connections.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Graceful connection drain: shutting down the *read* side makes every
+  // idle keep-alive read return EOF immediately while in-flight responses
+  // still write out. Handlers then close their fds and unregister.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_drained_.wait(lock, [this] { return active_fds_.empty(); });
+  }
+  workers_.reset();  // Drains remaining (already-finished) tasks.
+}
+
+std::string HttpServer::url() const {
+  return "http://" + options_.bind_address + ":" + std::to_string(port_) +
+         "/sparql";
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.failed_queries = failed_queries_.load(std::memory_order_relaxed);
+  s.truncated_results = truncated_results_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Closed or shut down: exit. (Transient EMFILE etc. also lands
+      // here; a demo server need not distinguish.)
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    SetNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      active_fds_.insert(fd);
+    }
+    auto conn = std::make_shared<ConnState>(fd);
+    workers_->Submit([this, conn] { ServeConnection(conn); });
+  }
+}
+
+struct HttpServer::ConnState {
+  explicit ConnState(int fd) : http(fd) {}
+  HttpConnection http;
+  /// Time since the connection was accepted or last finished a request;
+  /// compared against idle_timeout_ms across re-queues.
+  Stopwatch idle;
+};
+
+void HttpServer::ServeConnection(std::shared_ptr<ConnState> conn) {
+  const int fd = conn->http.fd();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Wait for the next request in short poll slices. If none arrives
+    // within a slice, yield: re-queue this connection and free the
+    // worker, so open keep-alive connections never pin more than one
+    // worker each while they actually have traffic. (Pipelined bytes
+    // already buffered skip the poll — poll() can't see them.)
+    if (!conn->http.HasBufferedData()) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      int ready = ::poll(&pfd, 1, kIdlePollSliceMs);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready == 0) {
+        if (conn->idle.ElapsedMillis() >= options_.idle_timeout_ms) break;
+        if (stopping_.load(std::memory_order_acquire)) break;
+        workers_->Submit([this, conn] { ServeConnection(conn); });
+        return;  // Worker freed; the connection stays in active_fds_.
+      }
+      // ready > 0 (data, EOF, or error) and poll errors both fall
+      // through to ReadRequest, which classifies them properly.
+    }
+    bool clean_close = false;
+    Result<HttpRequest> request = conn->http.ReadRequest(
+        options_.limits, Deadline::AfterMillis(options_.request_timeout_ms),
+        &clean_close);
+    if (!request.ok()) {
+      if (!clean_close && (request.status().code() == StatusCode::kParseError ||
+                           request.status().code() ==
+                               StatusCode::kInvalidArgument)) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        int http_status =
+            request.status().code() == StatusCode::kInvalidArgument ? 413
+                                                                    : 400;
+        HttpResponse response = ErrorResponse(
+            http_status, request.status().code(), request.status().message());
+        response.SetHeader("Connection", "close");
+        std::string wire = response.Serialize();
+        if (SendAll(fd, wire,
+                    Deadline::AfterMillis(options_.request_timeout_ms))
+                .ok()) {
+          bytes_out_.fetch_add(wire.size(), std::memory_order_relaxed);
+        }
+      }
+      break;  // Timeout, close, or connection error: drop the connection.
+    }
+
+    HttpResponse response = Handle(*request);
+    bool keep_alive = request->KeepAlive() &&
+                      !stopping_.load(std::memory_order_acquire);
+    if (!keep_alive) response.SetHeader("Connection", "close");
+    std::string wire = response.Serialize();
+    Status sent = SendAll(
+        fd, wire, Deadline::AfterMillis(options_.request_timeout_ms));
+    if (!sent.ok()) break;
+    bytes_out_.fetch_add(wire.size(), std::memory_order_relaxed);
+    if (!keep_alive) break;
+    conn->idle = Stopwatch();  // Request served: restart the idle clock.
+  }
+  bytes_in_.fetch_add(conn->http.bytes_read(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    active_fds_.erase(fd);
+    ::close(fd);
+  }
+  conn_drained_.notify_all();
+}
+
+HttpResponse HttpServer::Handle(const HttpRequest& request) {
+  if (request.target == "/sparql") {
+    if (request.method != "POST") {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse response = ErrorResponse(
+          405, StatusCode::kInvalidArgument,
+          "SPARQL protocol endpoint only accepts POST");
+      response.SetHeader("Allow", "POST");
+      return response;
+    }
+    return HandleSparql(request);
+  }
+  if (request.target == "/health" && request.method == "GET") {
+    obs::JsonValue body = obs::JsonValue::Object();
+    body.Set("ok", true);
+    body.Set("endpoint", endpoint_->id());
+    return JsonResponse(200, std::move(body));
+  }
+  if (request.target == "/stats" && request.method == "GET") {
+    obs::JsonValue body = obs::JsonValue::Object();
+    body.Set("endpoint", endpoint_->id());
+    body.Set("server", stats().ToJson());
+    return JsonResponse(200, std::move(body));
+  }
+  bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  return ErrorResponse(404, StatusCode::kNotFound,
+                       "no route for " + request.method + " " +
+                           request.target);
+}
+
+HttpResponse HttpServer::HandleSparql(const HttpRequest& request) {
+  // Extract the query text per the SPARQL 1.1 Protocol subset we speak:
+  // a direct application/sparql-query body, or form-encoded query=.
+  std::string query_text;
+  const std::string* content_type = request.FindHeader("Content-Type");
+  std::string_view media = content_type == nullptr
+                               ? std::string_view("application/sparql-query")
+                               : std::string_view(*content_type);
+  // Drop any ";charset=..." parameter.
+  size_t semi = media.find(';');
+  if (semi != std::string_view::npos) {
+    media = StripWhitespace(media.substr(0, semi));
+  }
+  if (EqualsIgnoreCase(media, "application/sparql-query")) {
+    query_text = request.body;
+  } else if (EqualsIgnoreCase(media, "application/x-www-form-urlencoded")) {
+    Result<std::string> field = FormField(request.body, "query");
+    if (!field.ok()) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(400, StatusCode::kInvalidArgument,
+                           "form body carries no query= field");
+    }
+    query_text = std::move(field).value();
+  } else {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(415, StatusCode::kInvalidArgument,
+                         "unsupported media type \"" + std::string(media) +
+                             "\"");
+  }
+  if (query_text.empty()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, StatusCode::kInvalidArgument, "empty query");
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Stopwatch server_timer;
+  Result<net::QueryResponse> evaluated = endpoint_->Query(query_text);
+  if (!evaluated.ok()) {
+    failed_queries_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(HttpStatusForCode(evaluated.status().code()),
+                         evaluated.status().code(),
+                         evaluated.status().message());
+  }
+
+  sparql::ResultTable* table = &evaluated->table;
+  bool truncated = false;
+  if (options_.max_result_rows > 0 &&
+      table->rows.size() > options_.max_result_rows) {
+    table->rows.resize(options_.max_result_rows);
+    truncated = true;
+    truncated_results_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HttpResponse response;
+  response.status = 200;
+  response.reason = "OK";
+  response.SetHeader("Content-Type", "application/sparql-results+json");
+  // Endpoint-side time (evaluation plus any simulated latency charge),
+  // so clients can split wall time into server vs. network shares.
+  response.SetHeader("X-Lusail-Server-Ms",
+                     std::to_string(server_timer.ElapsedMillis()));
+  if (truncated) response.SetHeader("X-Lusail-Truncated", "true");
+  response.body = ResultTableToSrj(*table);
+  return response;
+}
+
+}  // namespace lusail::rpc

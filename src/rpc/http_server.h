@@ -1,0 +1,167 @@
+#ifndef LUSAIL_RPC_HTTP_SERVER_H_
+#define LUSAIL_RPC_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/endpoint.h"
+#include "obs/json.h"
+#include "rpc/http.h"
+
+namespace lusail::rpc {
+
+struct HttpServerOptions {
+  /// Address to bind; loopback by default (the demo federation runs on
+  /// one machine, and nothing here authenticates).
+  std::string bind_address = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// Worker threads handling connections; 0 = hardware concurrency.
+  size_t num_threads = 4;
+
+  /// Listen backlog.
+  int backlog = 64;
+
+  /// Reading one request (header + body) must finish within this long of
+  /// its first byte; writing a response within this long of its start.
+  double request_timeout_ms = 30000.0;
+
+  /// How long a keep-alive connection may sit idle between requests.
+  double idle_timeout_ms = 30000.0;
+
+  /// Header/body size limits.
+  HttpLimits limits;
+
+  /// Cap on rows serialized into one response; 0 = unlimited. Mirrors the
+  /// result-size caps of public Fuseki/Virtuoso deployments (the FedX
+  /// experience report's truncation hazard): when a result is cut, the
+  /// response carries "X-Lusail-Truncated: true".
+  size_t max_result_rows = 0;
+};
+
+/// Cumulative server-side counters (atomic reads, no lock).
+struct HttpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests = 0;        ///< Well-formed SPARQL requests handled.
+  uint64_t bad_requests = 0;    ///< 4xx answers (malformed, wrong route).
+  uint64_t failed_queries = 0;  ///< Endpoint evaluation failures (5xx/4xx).
+  uint64_t truncated_results = 0;
+  uint64_t bytes_in = 0;        ///< Wire bytes read (headers included).
+  uint64_t bytes_out = 0;       ///< Wire bytes written.
+
+  obs::JsonValue ToJson() const;
+};
+
+/// A dependency-free, multi-threaded HTTP/1.1 server (POSIX sockets) that
+/// fronts one net::Endpoint as a SPARQL 1.1 Protocol endpoint:
+///
+///   POST /sparql   application/sparql-query body, or
+///                  application/x-www-form-urlencoded with query=...
+///                  -> 200 application/sparql-results+json (SRJ; ASK
+///                     queries use the spec's boolean form)
+///   GET  /health   -> {"ok":true,"endpoint":<id>}
+///   GET  /stats    -> server + endpoint counters as JSON
+///
+/// Endpoint failures map onto HTTP statuses (parse error 400, unsupported
+/// 501, timeout 504, unavailable 503, internal 500) with an
+/// application/json body {"code":<StatusCode name>,"error":<message>}
+/// that HttpSparqlEndpoint turns back into the original Status, so a
+/// remote federation degrades exactly like an in-process one.
+///
+/// Connections are keep-alive (HTTP/1.1 semantics). A worker thread
+/// drives a connection only while a request is pending; between requests
+/// the connection is re-queued onto the pool, so any number of open
+/// keep-alive connections share num_threads workers without starving the
+/// accept queue (a thread-per-connection loop deadlocks the moment
+/// concurrent connections exceed workers: parked workers wait out the
+/// idle timeout while queued connections wait for a worker). Reads and
+/// writes are bounded by the request/idle deadlines in the options.
+/// Stop() is graceful: it stops accepting, shuts down the read side of
+/// every open connection, and waits for in-flight requests to finish
+/// writing their responses.
+class HttpServer {
+ public:
+  /// Serves `endpoint` (shared; several servers may front one endpoint).
+  HttpServer(std::shared_ptr<net::Endpoint> endpoint,
+             HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Fails with
+  /// kUnavailable when the port cannot be bound.
+  Status Start();
+
+  /// Graceful shutdown; idempotent. Returns once every connection has
+  /// drained and the accept thread has joined.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (the ephemeral pick when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// "http://<bind_address>:<port>/sparql".
+  std::string url() const;
+
+  const std::string& endpoint_id() const { return endpoint_->id(); }
+
+  HttpServerStats stats() const;
+
+ private:
+  /// Per-connection state that outlives any single worker task: the
+  /// buffered reader (possibly holding pipelined bytes) and the idle
+  /// clock. Shared between re-queued servicing tasks.
+  struct ConnState;
+
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<ConnState> conn);
+
+  /// Routes one request to a response (never throws, never closes fd).
+  HttpResponse Handle(const HttpRequest& request);
+  HttpResponse HandleSparql(const HttpRequest& request);
+
+  std::shared_ptr<net::Endpoint> endpoint_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_drained_;
+  std::set<int> active_fds_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> failed_queries_{0};
+  std::atomic<uint64_t> truncated_results_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+/// Maps a Status onto the HTTP status code the server answers with.
+int HttpStatusForCode(StatusCode code);
+
+/// Reverses HttpStatusForCode on the client side using the error body's
+/// "code" member when present, else a default per HTTP status.
+StatusCode CodeForHttpStatus(int http_status, const std::string& code_name);
+
+}  // namespace lusail::rpc
+
+#endif  // LUSAIL_RPC_HTTP_SERVER_H_

@@ -1,0 +1,331 @@
+#include "rpc/http_sparql_endpoint.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "obs/json.h"
+#include "rpc/http_server.h"
+#include "rpc/results_json.h"
+
+namespace lusail::rpc {
+
+namespace {
+
+// Dials host:port with a non-blocking connect bounded by `deadline`.
+Result<int> DialTcp(const std::string& host, uint16_t port,
+                    const Deadline& deadline) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable,
+                  std::string("socket(): ") + std::strerror(errno));
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable,
+                  std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(StatusCode::kInvalidArgument,
+                  "not an IPv4 address: " + host);
+  }
+
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status s(StatusCode::kUnavailable,
+             "connect " + host + ":" + std::to_string(port) + ": " +
+                 std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (rc != 0) {
+    // Wait for the connect to resolve, in slices so a huge deadline still
+    // reacts to expiry promptly.
+    for (;;) {
+      if (deadline.Expired()) {
+        ::close(fd);
+        return Status(StatusCode::kTimeout, "connect timed out to " + host +
+                                                ":" + std::to_string(port));
+      }
+      double remaining = deadline.RemainingMillis();
+      int wait_ms =
+          static_cast<int>(std::min(remaining, 1000.0));
+      if (wait_ms < 1) wait_ms = 1;
+      pollfd pfd{fd, POLLOUT, 0};
+      int n = ::poll(&pfd, 1, wait_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Status(StatusCode::kUnavailable,
+                      std::string("poll(): ") + std::strerror(errno));
+      }
+      if (n == 0) continue;  // Slice elapsed; re-check the deadline.
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      Status s(StatusCode::kUnavailable,
+               "connect " + host + ":" + std::to_string(port) + ": " +
+                   std::strerror(err != 0 ? err : errno));
+      ::close(fd);
+      return s;
+    }
+  }
+  return fd;
+}
+
+// True when the pooled fd is still usable: not closed by the peer and with
+// no stray buffered bytes. A non-blocking recv(MSG_PEEK) distinguishes
+// "open and quiet" (EAGAIN) from "peer closed" (0) / "junk waiting" (>0).
+bool ConnectionLooksAlive(int fd) {
+  char byte;
+  ssize_t n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return false;                            // Orderly close.
+  if (n > 0) return false;                             // Unexpected data.
+  return errno == EAGAIN || errno == EWOULDBLOCK;      // Open and idle.
+}
+
+}  // namespace
+
+HttpSparqlEndpoint::HttpSparqlEndpoint(std::string id, std::string host,
+                                       uint16_t port,
+                                       HttpClientOptions options)
+    : id_(std::move(id)),
+      host_(std::move(host)),
+      port_(port),
+      options_(options) {}
+
+HttpSparqlEndpoint::~HttpSparqlEndpoint() { CloseIdleConnections(); }
+
+void HttpSparqlEndpoint::CloseIdleConnections() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    fds.swap(idle_fds_);
+  }
+  for (int fd : fds) ::close(fd);
+}
+
+HttpClientStats HttpSparqlEndpoint::stats() const {
+  HttpClientStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.connections_opened = connections_opened_.load(std::memory_order_relaxed);
+  s.connections_reused = connections_reused_.load(std::memory_order_relaxed);
+  s.stale_retries = stale_retries_.load(std::memory_order_relaxed);
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Result<int> HttpSparqlEndpoint::AcquireConnection(const Deadline& deadline,
+                                                  bool* reused,
+                                                  double* connect_ms) {
+  *reused = false;
+  *connect_ms = 0.0;
+  for (;;) {
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (!idle_fds_.empty()) {
+        fd = idle_fds_.back();
+        idle_fds_.pop_back();
+      }
+    }
+    if (fd < 0) break;
+    if (ConnectionLooksAlive(fd)) {
+      *reused = true;
+      connections_reused_.fetch_add(1, std::memory_order_relaxed);
+      return fd;
+    }
+    ::close(fd);  // Server closed it while pooled; try the next one.
+  }
+
+  // Fresh connection: bounded by the tighter of the caller's deadline and
+  // the configured connect budget.
+  Deadline connect_deadline = Deadline::AfterMillis(
+      std::min(options_.connect_timeout_ms, deadline.RemainingMillis()));
+  Stopwatch dial;
+  LUSAIL_ASSIGN_OR_RETURN(int fd, DialTcp(host_, port_, connect_deadline));
+  *connect_ms = dial.ElapsedMillis();
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  return fd;
+}
+
+void HttpSparqlEndpoint::ReleaseConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (idle_fds_.size() < options_.max_idle_connections) {
+      idle_fds_.push_back(fd);
+      return;
+    }
+  }
+  ::close(fd);
+}
+
+Result<net::QueryResponse> HttpSparqlEndpoint::RoundTrip(
+    int fd, const std::string& query, const Deadline& deadline,
+    bool* got_response_bytes, bool* conn_reusable, uint64_t* wire_in,
+    uint64_t* wire_out) {
+  *got_response_bytes = false;
+  *conn_reusable = false;
+  *wire_in = 0;
+  *wire_out = 0;
+
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/sparql";
+  request.SetHeader("Host", host_ + ":" + std::to_string(port_));
+  request.SetHeader("Content-Type", "application/sparql-query");
+  request.SetHeader("Accept", "application/sparql-results+json");
+  request.body = query;
+
+  std::string serialized = request.Serialize();
+  *wire_out = serialized.size();
+  LUSAIL_RETURN_NOT_OK(SendAll(fd, serialized, deadline));
+
+  HttpConnection conn(fd);
+  auto response = conn.ReadResponse(options_.limits, deadline);
+  *wire_in = conn.bytes_read();
+  *got_response_bytes = conn.bytes_read() > 0;
+  if (!response.ok()) {
+    // Normalize parse-level failures: garbage from the server is a
+    // transport problem from the federator's point of view (retryable),
+    // not a query problem.
+    const Status& s = response.status();
+    if (s.code() == StatusCode::kParseError) {
+      return Status(StatusCode::kUnavailable,
+                    "malformed HTTP response from " + id_ + ": " +
+                        s.message());
+    }
+    return s;
+  }
+  HttpResponse& http = response.value();
+
+  if (http.status != 200) {
+    // Recover the original StatusCode from the JSON error body when the
+    // server sent one, so retryability survives the wire.
+    std::string code_name;
+    std::string message = http.body;
+    auto parsed = obs::JsonValue::Parse(http.body);
+    if (parsed.ok() &&
+        parsed.value().type() == obs::JsonValue::Type::kObject) {
+      const obs::JsonValue& code = parsed.value().Get("code");
+      const obs::JsonValue& error = parsed.value().Get("error");
+      if (code.type() == obs::JsonValue::Type::kString) {
+        code_name = code.AsString();
+      }
+      if (error.type() == obs::JsonValue::Type::kString) {
+        message = error.AsString();
+      }
+    }
+    StatusCode code = CodeForHttpStatus(http.status, code_name);
+    return Status(code, id_ + ": HTTP " + std::to_string(http.status) + ": " +
+                            message);
+  }
+
+  LUSAIL_ASSIGN_OR_RETURN(sparql::ResultTable table, ParseSrj(http.body));
+
+  net::QueryResponse out;
+  out.request_bytes = query.size();
+  out.response_bytes = http.body.size();
+  if (const std::string* server_ms = http.FindHeader("X-Lusail-Server-Ms")) {
+    out.server_ms = std::strtod(server_ms->c_str(), nullptr);
+  }
+  out.table = std::move(table);
+
+  // Only a fully-read keep-alive response leaves the connection reusable.
+  *conn_reusable = http.KeepAlive() && !conn.HasBufferedData();
+  return out;
+}
+
+Result<net::QueryResponse> HttpSparqlEndpoint::Query(
+    const std::string& sparql_text) {
+  return QueryWithDeadline(sparql_text, Deadline());
+}
+
+Result<net::QueryResponse> HttpSparqlEndpoint::QueryWithDeadline(
+    const std::string& sparql_text, const Deadline& deadline) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // A plain Query() call carries no deadline; cap it so a hung remote
+  // server cannot hang the engine.
+  Deadline effective = deadline;
+  if (deadline.RemainingMillis() > options_.default_request_timeout_ms) {
+    effective = Deadline::AfterMillis(options_.default_request_timeout_ms);
+  }
+
+  Stopwatch wall;
+  // One transparent retry: a pooled connection can die between requests
+  // (keep-alive race). Retrying is safe only when no response byte
+  // arrived, so the request cannot have been executed-and-half-answered.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool reused = false;
+    double connect_ms = 0.0;
+    auto acquired = AcquireConnection(effective, &reused, &connect_ms);
+    if (!acquired.ok()) {
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      return acquired.status();
+    }
+    int fd = acquired.value();
+
+    bool got_response_bytes = false;
+    bool conn_reusable = false;
+    uint64_t wire_in = 0, wire_out = 0;
+    auto result = RoundTrip(fd, sparql_text, effective, &got_response_bytes,
+                            &conn_reusable, &wire_in, &wire_out);
+
+    if (result.ok()) {
+      if (conn_reusable) {
+        ReleaseConnection(fd);
+      } else {
+        ::close(fd);
+      }
+      net::QueryResponse response = std::move(result).value();
+      double elapsed = wall.ElapsedMillis();
+      response.network_ms =
+          std::max(0.0, elapsed - response.server_ms);
+      response.transport.over_network = true;
+      response.transport.reused_connection = reused;
+      response.transport.connect_ms = connect_ms;
+      response.transport.wire_bytes_sent = wire_out;
+      response.transport.wire_bytes_received = wire_in;
+      return response;
+    }
+
+    ::close(fd);
+    const Status& s = result.status();
+    bool retryable_stale = reused && !got_response_bytes &&
+                           s.code() == StatusCode::kUnavailable &&
+                           attempt == 0 && !effective.Expired();
+    if (retryable_stale) {
+      stale_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (s.code() == StatusCode::kUnavailable ||
+        s.code() == StatusCode::kTimeout) {
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+  return Status(StatusCode::kInternal, "unreachable retry exit");
+}
+
+}  // namespace lusail::rpc

@@ -1,0 +1,109 @@
+#ifndef LUSAIL_RPC_HTTP_SPARQL_ENDPOINT_H_
+#define LUSAIL_RPC_HTTP_SPARQL_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "rpc/http.h"
+
+namespace lusail::rpc {
+
+struct HttpClientOptions {
+  /// TCP connect budget per new connection.
+  double connect_timeout_ms = 2000.0;
+
+  /// Request budget applied when the caller passes no deadline (a plain
+  /// Query() call). A hung remote server must not hang the federator.
+  double default_request_timeout_ms = 30000.0;
+
+  /// Idle connections kept pooled for reuse; older ones are closed.
+  size_t max_idle_connections = 8;
+
+  /// Response parsing limits.
+  HttpLimits limits;
+};
+
+/// Cumulative client-side transport counters of one HttpSparqlEndpoint.
+struct HttpClientStats {
+  uint64_t requests = 0;
+  uint64_t connections_opened = 0;
+  uint64_t connections_reused = 0;
+  uint64_t stale_retries = 0;  ///< Reused connections found dead, replaced.
+  uint64_t transport_errors = 0;
+};
+
+/// A net::Endpoint whose queries travel over the SPARQL 1.1 HTTP
+/// protocol to a remote server (rpc::HttpServer / lusail_endpointd, or
+/// any endpoint speaking the same subset): POST /sparql with
+/// application/sparql-query, SPARQL JSON Results back.
+///
+/// Because this implements the same interface as the in-process
+/// endpoints — including QueryWithDeadline — the entire existing client
+/// stack (ResilientEndpoint, circuit breakers, FederationCache, tracer
+/// spans, endpoint telemetry) composes over the network unchanged:
+/// transport failures surface as kUnavailable and deadline expiry as
+/// kTimeout, both retryable, exactly like the simulated fault layer.
+///
+/// Thread-safe: concurrent queries each use their own pooled connection
+/// (per-host keep-alive pool, capped at max_idle_connections). A reused
+/// connection that turns out to be dead before any response byte is
+/// replaced by a fresh one transparently (the usual keep-alive race).
+class HttpSparqlEndpoint : public net::Endpoint {
+ public:
+  HttpSparqlEndpoint(std::string id, std::string host, uint16_t port,
+                     HttpClientOptions options = {});
+  ~HttpSparqlEndpoint() override;
+
+  HttpSparqlEndpoint(const HttpSparqlEndpoint&) = delete;
+  HttpSparqlEndpoint& operator=(const HttpSparqlEndpoint&) = delete;
+
+  const std::string& id() const override { return id_; }
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+  Result<net::QueryResponse> Query(const std::string& sparql_text) override;
+  Result<net::QueryResponse> QueryWithDeadline(
+      const std::string& sparql_text, const Deadline& deadline) override;
+
+  HttpClientStats stats() const;
+
+  /// Closes every pooled idle connection (tests, endpoint restarts).
+  void CloseIdleConnections();
+
+ private:
+  /// Pops a pooled connection (sets *reused) or dials a new one.
+  Result<int> AcquireConnection(const Deadline& deadline, bool* reused,
+                                double* connect_ms);
+  void ReleaseConnection(int fd);
+
+  /// One request/response exchange on `fd`. `*got_response_bytes` tells
+  /// the caller whether a stale-connection retry is still safe;
+  /// `*conn_reusable` whether the fd may go back into the pool.
+  Result<net::QueryResponse> RoundTrip(int fd, const std::string& query,
+                                       const Deadline& deadline,
+                                       bool* got_response_bytes,
+                                       bool* conn_reusable,
+                                       uint64_t* wire_in, uint64_t* wire_out);
+
+  std::string id_;
+  std::string host_;
+  uint16_t port_;
+  HttpClientOptions options_;
+
+  std::mutex pool_mu_;
+  std::vector<int> idle_fds_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_reused_{0};
+  std::atomic<uint64_t> stale_retries_{0};
+  std::atomic<uint64_t> transport_errors_{0};
+};
+
+}  // namespace lusail::rpc
+
+#endif  // LUSAIL_RPC_HTTP_SPARQL_ENDPOINT_H_

@@ -1,0 +1,157 @@
+#include "rpc/results_json.h"
+
+#include <utility>
+
+namespace lusail::rpc {
+
+namespace {
+
+obs::JsonValue TermToJson(const rdf::Term& term) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  switch (term.kind()) {
+    case rdf::TermKind::kIri:
+      out.Set("type", "uri");
+      out.Set("value", term.lexical());
+      break;
+    case rdf::TermKind::kBlankNode:
+      out.Set("type", "bnode");
+      out.Set("value", term.lexical());
+      break;
+    case rdf::TermKind::kLiteral:
+      out.Set("type", "literal");
+      out.Set("value", term.lexical());
+      if (!term.lang().empty()) {
+        out.Set("xml:lang", term.lang());
+      } else if (!term.datatype().empty()) {
+        out.Set("datatype", term.datatype());
+      }
+      break;
+  }
+  return out;
+}
+
+Result<rdf::Term> TermFromJson(const obs::JsonValue& value) {
+  if (value.type() != obs::JsonValue::Type::kObject) {
+    return Status::InvalidArgument("SRJ binding value is not an object");
+  }
+  const obs::JsonValue& type = value.Get("type");
+  const obs::JsonValue& lexical = value.Get("value");
+  if (type.type() != obs::JsonValue::Type::kString ||
+      lexical.type() != obs::JsonValue::Type::kString) {
+    return Status::InvalidArgument(
+        "SRJ binding value needs string \"type\" and \"value\" members");
+  }
+  if (type.AsString() == "uri") {
+    return rdf::Term::Iri(lexical.AsString());
+  }
+  if (type.AsString() == "bnode") {
+    return rdf::Term::BlankNode(lexical.AsString());
+  }
+  if (type.AsString() == "literal" || type.AsString() == "typed-literal") {
+    const obs::JsonValue& lang = value.Get("xml:lang");
+    if (lang.type() == obs::JsonValue::Type::kString) {
+      return rdf::Term::LangLiteral(lexical.AsString(), lang.AsString());
+    }
+    const obs::JsonValue& datatype = value.Get("datatype");
+    if (datatype.type() == obs::JsonValue::Type::kString) {
+      return rdf::Term::TypedLiteral(lexical.AsString(), datatype.AsString());
+    }
+    return rdf::Term::Literal(lexical.AsString());
+  }
+  return Status::InvalidArgument("unknown SRJ term type \"" +
+                                 type.AsString() + "\"");
+}
+
+}  // namespace
+
+obs::JsonValue ResultTableToSrjJson(const sparql::ResultTable& table) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  obs::JsonValue head = obs::JsonValue::Object();
+  if (table.vars.empty()) {
+    // ASK: zero-column table, 0 rows = false, >= 1 row = true.
+    out.Set("head", std::move(head));
+    out.Set("boolean", !table.rows.empty());
+    return out;
+  }
+  obs::JsonValue vars = obs::JsonValue::Array();
+  for (const std::string& v : table.vars) vars.Append(v);
+  head.Set("vars", std::move(vars));
+  out.Set("head", std::move(head));
+
+  obs::JsonValue bindings = obs::JsonValue::Array();
+  for (const auto& row : table.rows) {
+    obs::JsonValue binding = obs::JsonValue::Object();
+    for (size_t i = 0; i < table.vars.size() && i < row.size(); ++i) {
+      if (!row[i].has_value()) continue;  // Unbound: omit the variable.
+      binding.Set(table.vars[i], TermToJson(*row[i]));
+    }
+    bindings.Append(std::move(binding));
+  }
+  obs::JsonValue results = obs::JsonValue::Object();
+  results.Set("bindings", std::move(bindings));
+  out.Set("results", std::move(results));
+  return out;
+}
+
+std::string ResultTableToSrj(const sparql::ResultTable& table) {
+  return ResultTableToSrjJson(table).Serialize();
+}
+
+Result<sparql::ResultTable> ParseSrj(const std::string& text) {
+  LUSAIL_ASSIGN_OR_RETURN(obs::JsonValue doc, obs::JsonValue::Parse(text));
+  if (doc.type() != obs::JsonValue::Type::kObject) {
+    return Status::InvalidArgument("SRJ document is not a JSON object");
+  }
+  const obs::JsonValue& head = doc.Get("head");
+  if (head.type() != obs::JsonValue::Type::kObject) {
+    return Status::InvalidArgument("SRJ document has no \"head\" object");
+  }
+
+  sparql::ResultTable table;
+  const obs::JsonValue& boolean = doc.Get("boolean");
+  if (boolean.type() == obs::JsonValue::Type::kBool) {
+    // ASK form: zero-column table with 0 or 1 rows.
+    if (boolean.AsBool()) table.rows.emplace_back();
+    return table;
+  }
+
+  const obs::JsonValue& vars = head.Get("vars");
+  if (vars.type() != obs::JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        "SRJ head has neither \"vars\" nor a boolean result");
+  }
+  for (const obs::JsonValue& v : vars.items()) {
+    if (v.type() != obs::JsonValue::Type::kString) {
+      return Status::InvalidArgument("SRJ head var is not a string");
+    }
+    table.vars.push_back(v.AsString());
+  }
+
+  const obs::JsonValue& results = doc.Get("results");
+  if (results.type() != obs::JsonValue::Type::kObject) {
+    return Status::InvalidArgument("SRJ document has no \"results\" object");
+  }
+  const obs::JsonValue& bindings = results.Get("bindings");
+  if (bindings.type() != obs::JsonValue::Type::kArray) {
+    return Status::InvalidArgument("SRJ results have no \"bindings\" array");
+  }
+  for (const obs::JsonValue& binding : bindings.items()) {
+    if (binding.type() != obs::JsonValue::Type::kObject) {
+      return Status::InvalidArgument("SRJ binding is not an object");
+    }
+    std::vector<std::optional<rdf::Term>> row(table.vars.size(), std::nullopt);
+    for (const auto& [var, value] : binding.members()) {
+      size_t col = 0;
+      while (col < table.vars.size() && table.vars[col] != var) ++col;
+      if (col == table.vars.size()) {
+        return Status::InvalidArgument("SRJ binding references variable \"" +
+                                       var + "\" absent from head");
+      }
+      LUSAIL_ASSIGN_OR_RETURN(row[col], TermFromJson(value));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace lusail::rpc

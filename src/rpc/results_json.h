@@ -1,0 +1,42 @@
+#ifndef LUSAIL_RPC_RESULTS_JSON_H_
+#define LUSAIL_RPC_RESULTS_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "sparql/result_table.h"
+
+namespace lusail::rpc {
+
+/// SPARQL 1.1 Query Results JSON Format (SRJ, application/sparql-results+json)
+/// serializer/parser pair. This is the wire format the rpc layer ships
+/// between lusail_endpointd servers and HttpSparqlEndpoint clients, and
+/// what lusail_cli emits with --format srj.
+///
+/// The mapping round-trips sparql::ResultTable exactly:
+///   - IRIs            -> {"type":"uri","value":...}
+///   - plain literals  -> {"type":"literal","value":...}
+///   - typed literals  -> {"type":"literal","value":...,"datatype":...}
+///   - lang literals   -> {"type":"literal","value":...,"xml:lang":...}
+///   - blank nodes     -> {"type":"bnode","value":...}
+///   - unbound / UNDEF -> the variable is omitted from the binding object
+///
+/// ASK results follow the spec's boolean form: a zero-column table (the
+/// net::Endpoint contract for ASK, 0 or 1 rows) serializes as
+/// {"head":{},"boolean":...} and parses back to a zero-column table.
+
+/// The table as an SRJ document tree (compact-serialize for the wire).
+obs::JsonValue ResultTableToSrjJson(const sparql::ResultTable& table);
+
+/// The table as a compact SRJ string.
+std::string ResultTableToSrj(const sparql::ResultTable& table);
+
+/// Parses an SRJ document back into a table. Fails with kParseError on
+/// malformed JSON and with kInvalidArgument on well-formed JSON that is
+/// not a valid SRJ document (missing head, unknown term type, ...).
+Result<sparql::ResultTable> ParseSrj(const std::string& text);
+
+}  // namespace lusail::rpc
+
+#endif  // LUSAIL_RPC_RESULTS_JSON_H_

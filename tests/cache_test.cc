@@ -95,6 +95,60 @@ TEST(LruTierTest, InvalidateEndpointDropsOnlyItsEntries) {
   EXPECT_EQ(tier.Stats().invalidations, 2u);
 }
 
+TEST(LruTierTest, InvalidationIsLazyButComplete) {
+  cache::LruTier<int> tier(/*max_entries=*/10, /*max_bytes=*/0);
+  tier.Put("a", "ep0", 1, 0);
+  tier.Put("b", "ep0", 2, 0);
+  tier.InvalidateEndpoint("ep0");
+  // The bump is O(1): entries linger in the index until touched...
+  EXPECT_EQ(tier.Stats().entries, 2u);
+  EXPECT_EQ(tier.Stats().invalidations, 0u);
+  // ...but any Get observes the invalidation and drops the entry.
+  EXPECT_FALSE(tier.Get("a").has_value());
+  EXPECT_EQ(tier.Stats().entries, 1u);
+  EXPECT_EQ(tier.Stats().invalidations, 1u);
+  // A fresh Put after the bump belongs to the new generation.
+  tier.Put("a", "ep0", 3, 0);
+  EXPECT_TRUE(tier.Get("a").has_value());
+}
+
+TEST(LruTierTest, EntriesExpireAfterMaxAge) {
+  cache::LruTier<int> tier(/*max_entries=*/10, /*max_bytes=*/0,
+                           /*max_age_ms=*/1000.0);
+  tier.Put("a", "ep", 1, 0);
+  EXPECT_TRUE(tier.Get("a").has_value());
+  tier.AdvanceTimeForTesting(500.0);
+  EXPECT_TRUE(tier.Get("a").has_value());  // Still fresh.
+  tier.AdvanceTimeForTesting(600.0);       // 1100ms total: past the TTL.
+  EXPECT_FALSE(tier.Get("a").has_value());
+  EXPECT_EQ(tier.Stats().expired, 1u);
+  EXPECT_EQ(tier.Stats().entries, 0u);
+  // Re-inserting restarts the clock.
+  tier.Put("a", "ep", 2, 0);
+  EXPECT_TRUE(tier.Get("a").has_value());
+}
+
+TEST(FederationCacheTest, PerTierTtlExpiresIndependently) {
+  cache::FederationCacheOptions options;
+  options.verdict_max_age_ms = 10000.0;
+  options.result_max_age_ms = 1000.0;  // Results age 10x faster.
+  cache::FederationCache cache(options);
+  std::string key = cache::FederationCache::Key("ep0", "q");
+  cache.PutVerdict(key, "ep0", true);
+  sparql::ResultTable table;
+  table.vars = {"x"};
+  cache.PutResult("ep0", "q", table);
+
+  cache.AdvanceTimeForTesting(2000.0);
+  EXPECT_TRUE(cache.GetVerdict(key).has_value());
+  EXPECT_FALSE(cache.GetResult("ep0", "q").has_value());
+  EXPECT_EQ(cache.ResultStats().expired, 1u);
+  EXPECT_EQ(cache.VerdictStats().expired, 0u);
+
+  obs::JsonValue json = cache.ToJson();
+  EXPECT_EQ(json.Get("results").Get("expired").AsUint(), 1u);
+}
+
 TEST(FederationCacheTest, ThreeTiersAreIndependent) {
   cache::FederationCache cache;
   std::string key = cache::FederationCache::Key("ep0", "ASK { ?s ?p ?o }");
@@ -262,6 +316,37 @@ TEST_F(SharedCacheLubmTest, CachedResultsAreBitIdenticalAndCheaper) {
   federation_->set_query_cache(nullptr);
 }
 
+TEST_F(SharedCacheLubmTest, FullyWarmRunIssuesNoRequests) {
+  // Every fetch class is cacheable — ASK verdicts, COUNT probes, unbound
+  // subquery results, and (since the binding-block fingerprint keys)
+  // bound VALUES joins — so an identical re-run against a warm cache
+  // must answer entirely from memory.
+  cache::FederationCache cache;
+  federation_->set_query_cache(&cache);
+  core::LusailOptions options;
+  options.result_cache = true;
+  std::map<std::string, std::multiset<std::string>> reference;
+  {
+    core::LusailEngine cold(federation_.get(), options);
+    for (const auto& [label, query] : queries_) {
+      auto result = cold.Execute(query, Deadline());
+      ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+      reference[label] = RowSet(result->table);
+    }
+  }
+  ResetRequests(*federation_);
+  {
+    core::LusailEngine warm(federation_.get(), options);
+    for (const auto& [label, query] : queries_) {
+      auto result = warm.Execute(query, Deadline());
+      ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+      EXPECT_EQ(RowSet(result->table), reference[label]) << label;
+    }
+  }
+  EXPECT_EQ(TotalRequests(*federation_), 0u);
+  federation_->set_query_cache(nullptr);
+}
+
 TEST_F(SharedCacheLubmTest, InvalidateForcesRefetch) {
   cache::FederationCache cache;
   federation_->set_query_cache(&cache);
@@ -277,9 +362,11 @@ TEST_F(SharedCacheLubmTest, InvalidateForcesRefetch) {
   for (size_t i = 0; i < federation_->size(); ++i) {
     cache.Invalidate(federation_->id(i));
   }
-  EXPECT_EQ(cache.VerdictStats().entries, 0u);
-  EXPECT_EQ(cache.CountStats().entries, 0u);
-  EXPECT_EQ(cache.ResultStats().entries, 0u);
+  // Invalidation is lazy (generation bump): entries linger until a Get
+  // touches them, but every Get must now miss.
+  std::string probe = cache::FederationCache::Key(federation_->id(0),
+                                                  "ASK { ?s ?p ?o }");
+  EXPECT_FALSE(cache.GetVerdict(probe).has_value());
 
   // The next cold engine must go back to the network.
   ResetRequests(*federation_);
@@ -334,6 +421,16 @@ TEST_F(SharedCacheLubmTest, ConcurrentQueriesMatchSequential) {
   EXPECT_EQ(stats.completed, 8u);
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_EQ(stats.in_flight, 0u);
+  // Every accepted query passed through the queue exactly once, so the
+  // wait-time histogram saw all 8; nothing is queued or running now.
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.wait.count(), 8u);
+  EXPECT_GE(stats.wait.P99(), stats.wait.P50());
+  obs::JsonValue json = service.StatsJson();
+  EXPECT_EQ(json.Get("queued").AsUint(), 0u);
+  EXPECT_EQ(json.Get("wait").Get("count").AsUint(), 8u);
+  EXPECT_TRUE(json.Get("wait").Has("p95_ms"));
   federation_->set_query_cache(nullptr);
 }
 

@@ -1,0 +1,591 @@
+// Tests for the rpc wire layer: SRJ round-trips (including the term
+// zoo and ASK's boolean form), the HTTP server's protocol negatives
+// against raw sockets, the HttpSparqlEndpoint client (keep-alive reuse,
+// deadlines, status fidelity, dead-server handling), and full loopback
+// LUBM federations running the engine over real TCP sockets — with the
+// resilience / partial-results stack composed on top.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lusail_engine.h"
+#include "net/resilience.h"
+#include "net/sparql_endpoint.h"
+#include "rpc/http.h"
+#include "rpc/http_server.h"
+#include "rpc/http_sparql_endpoint.h"
+#include "rpc/results_json.h"
+#include "store/triple_store.h"
+#include "workload/federation_builder.h"
+#include "workload/lubm_generator.h"
+
+namespace lusail {
+namespace {
+
+using rpc::HttpServer;
+using rpc::HttpServerOptions;
+using rpc::HttpSparqlEndpoint;
+using rpc::ParseSrj;
+using rpc::ResultTableToSrj;
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// Order-independent row fingerprints for result comparison.
+std::vector<std::string> CanonicalRows(const sparql::ResultTable& table) {
+  std::vector<std::string> rows;
+  for (const auto& row : table.rows) {
+    std::string s;
+    for (const auto& cell : row) {
+      s += cell.has_value() ? cell->ToString() : "UNDEF";
+      s += "\x1f";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::unique_ptr<store::TripleStore> TinyStore() {
+  auto store = std::make_unique<store::TripleStore>();
+  for (int i = 0; i < 5; ++i) {
+    store->Add(rdf::TermTriple{
+        rdf::Term::Iri("http://ex/s" + std::to_string(i)),
+        rdf::Term::Iri("http://ex/p"), rdf::Term::Integer(i)});
+  }
+  store->Freeze();
+  return store;
+}
+
+std::shared_ptr<net::SparqlEndpoint> TinyEndpoint(const std::string& id) {
+  return std::make_shared<net::SparqlEndpoint>(id, TinyStore(),
+                                               net::LatencyModel::None());
+}
+
+/// Sends `request` as raw bytes to 127.0.0.1:`port` and returns whatever
+/// the server writes back until it closes the connection.
+std::string RawExchange(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// A TCP listener that accepts connections and never answers — the
+/// canonical hung server for deadline tests.
+class SilentServer {
+ public:
+  SilentServer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr));
+    ::listen(listen_fd_, 8);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+    acceptor_ = std::thread([this] {
+      for (;;) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;
+        accepted_.push_back(fd);  // Hold open, never respond.
+      }
+    });
+  }
+  ~SilentServer() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (acceptor_.joinable()) acceptor_.join();
+    for (int fd : accepted_) ::close(fd);
+  }
+  uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<int> accepted_;
+};
+
+// ---------------------------------------------------------------------
+// SRJ serializer/parser
+// ---------------------------------------------------------------------
+
+TEST(SrjTest, RoundTripsTermZoo) {
+  sparql::ResultTable table;
+  table.vars = {"a", "b", "c"};
+  table.rows.push_back({rdf::Term::Iri("http://ex/thing?q=1&x=\"y\""),
+                        rdf::Term::Literal("plain \"quoted\"\nline"),
+                        rdf::Term::BlankNode("b0")});
+  table.rows.push_back({rdf::Term::TypedLiteral("42",
+                                                std::string(rdf::kXsdInteger)),
+                        rdf::Term::LangLiteral("hallo", "de"),
+                        std::nullopt});
+  table.rows.push_back({std::nullopt, std::nullopt, std::nullopt});
+  table.rows.push_back({rdf::Term::Double(2.5),
+                        rdf::Term::Literal(""),
+                        rdf::Term::Iri("http://ex/unicode/\xC3\xA9")});
+
+  Result<sparql::ResultTable> back = ParseSrj(ResultTableToSrj(table));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->vars, table.vars);
+  ASSERT_EQ(back->rows.size(), table.rows.size());
+  // Exact (ordered) round trip, cell by cell.
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    for (size_t c = 0; c < table.vars.size(); ++c) {
+      const auto& want = table.rows[r][c];
+      const auto& got = back->rows[r][c];
+      ASSERT_EQ(want.has_value(), got.has_value()) << "row " << r;
+      if (want.has_value()) {
+        EXPECT_EQ(want->ToString(), got->ToString()) << "row " << r;
+      }
+    }
+  }
+}
+
+TEST(SrjTest, RoundTripsAskBooleanForm) {
+  // ASK true: zero columns, one row.
+  sparql::ResultTable yes;
+  yes.rows.push_back({});
+  std::string yes_srj = ResultTableToSrj(yes);
+  EXPECT_NE(yes_srj.find("\"boolean\":true"), std::string::npos) << yes_srj;
+  Result<sparql::ResultTable> yes_back = ParseSrj(yes_srj);
+  ASSERT_TRUE(yes_back.ok());
+  EXPECT_TRUE(yes_back->vars.empty());
+  EXPECT_EQ(yes_back->rows.size(), 1u);
+
+  // ASK false: zero columns, zero rows.
+  sparql::ResultTable no;
+  std::string no_srj = ResultTableToSrj(no);
+  EXPECT_NE(no_srj.find("\"boolean\":false"), std::string::npos) << no_srj;
+  Result<sparql::ResultTable> no_back = ParseSrj(no_srj);
+  ASSERT_TRUE(no_back.ok());
+  EXPECT_TRUE(no_back->vars.empty());
+  EXPECT_EQ(no_back->rows.size(), 0u);
+}
+
+TEST(SrjTest, RejectsMalformedDocuments) {
+  const char* cases[] = {
+      "",                                     // empty
+      "not json at all",                      // garbage
+      "[1,2,3]",                              // wrong root type
+      "{}",                                   // no head
+      "{\"head\":{\"vars\":[\"x\"]}}",        // no results/boolean
+      "{\"head\":{\"vars\":[\"x\"]},\"results\":{}}",          // no bindings
+      "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":42}}",
+      "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":"
+      "[{\"x\":{\"type\":\"warp\",\"value\":\"v\"}}]}}",  // unknown type
+      "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":"
+      "[{\"x\":{\"type\":\"uri\"}}]}}",       // term without value
+      "{\"head\":{},\"boolean\":\"yes\"}",    // non-boolean boolean
+      "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[",  // cut off
+  };
+  for (const char* text : cases) {
+    Result<sparql::ResultTable> parsed = ParseSrj(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+  }
+}
+
+// ---------------------------------------------------------------------
+// HTTP server protocol negatives (raw sockets)
+// ---------------------------------------------------------------------
+
+class HttpWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HttpServerOptions options;
+    options.limits.max_header_bytes = 1024;  // Small enough to trip below.
+    server_ = std::make_unique<HttpServer>(TinyEndpoint("EP"), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpWireTest, MalformedRequestLineIs400) {
+  std::string response =
+      RawExchange(server_->port(), "THIS IS NOT HTTP\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+}
+
+TEST_F(HttpWireTest, UnknownRouteIs404) {
+  std::string response = RawExchange(
+      server_->port(),
+      "GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos) << response;
+  EXPECT_NE(response.find("NotFound"), std::string::npos) << response;
+}
+
+TEST_F(HttpWireTest, GetOnSparqlRouteIs405) {
+  std::string response = RawExchange(
+      server_->port(),
+      "GET /sparql HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos) << response;
+  EXPECT_NE(response.find("Allow: POST"), std::string::npos) << response;
+}
+
+TEST_F(HttpWireTest, WrongContentTypeIs415) {
+  std::string body = "{\"not\":\"sparql\"}";
+  std::string response = RawExchange(
+      server_->port(),
+      "POST /sparql HTTP/1.1\r\nHost: x\r\nContent-Type: application/json"
+      "\r\nContent-Length: " + std::to_string(body.size()) +
+      "\r\nConnection: close\r\n\r\n" + body);
+  EXPECT_NE(response.find("HTTP/1.1 415"), std::string::npos) << response;
+}
+
+TEST_F(HttpWireTest, OversizedHeadersAre413) {
+  std::string big(4096, 'x');  // Exceeds the 1024-byte header limit.
+  std::string response = RawExchange(
+      server_->port(),
+      "POST /sparql HTTP/1.1\r\nHost: x\r\nX-Padding: " + big +
+      "\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos) << response;
+}
+
+TEST_F(HttpWireTest, HealthRouteReportsEndpointId) {
+  std::string response = RawExchange(
+      server_->port(),
+      "GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"endpoint\":\"EP\""), std::string::npos)
+      << response;
+  EXPECT_GT(server_->stats().connections_accepted, 0u);
+}
+
+// ---------------------------------------------------------------------
+// HttpSparqlEndpoint client
+// ---------------------------------------------------------------------
+
+class HttpEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    direct_ = TinyEndpoint("EP");
+    server_ = std::make_unique<HttpServer>(direct_);
+    ASSERT_TRUE(server_->Start().ok());
+    remote_ = std::make_unique<HttpSparqlEndpoint>("EP", "127.0.0.1",
+                                                   server_->port());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  std::shared_ptr<net::SparqlEndpoint> direct_;
+  std::unique_ptr<HttpServer> server_;
+  std::unique_ptr<HttpSparqlEndpoint> remote_;
+};
+
+TEST_F(HttpEndpointTest, SelectMatchesDirectEndpoint) {
+  const std::string query =
+      "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o } ORDER BY ?s";
+  Result<net::QueryResponse> direct = direct_->Query(query);
+  Result<net::QueryResponse> remote = remote_->Query(query);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(remote->table.vars, direct->table.vars);
+  EXPECT_EQ(CanonicalRows(remote->table), CanonicalRows(direct->table));
+  EXPECT_EQ(remote->table.rows.size(), 5u);
+  EXPECT_TRUE(remote->transport.over_network);
+  EXPECT_GT(remote->transport.wire_bytes_sent, 0u);
+  EXPECT_GT(remote->transport.wire_bytes_received, 0u);
+  EXPECT_FALSE(direct->transport.over_network);
+}
+
+TEST_F(HttpEndpointTest, AskTravelsAsBooleanForm) {
+  Result<net::QueryResponse> yes =
+      remote_->Query("ASK { <http://ex/s0> <http://ex/p> ?o }");
+  ASSERT_TRUE(yes.ok()) << yes.status().ToString();
+  EXPECT_TRUE(yes->table.vars.empty());
+  EXPECT_EQ(yes->table.rows.size(), 1u);
+
+  Result<net::QueryResponse> no =
+      remote_->Query("ASK { <http://ex/absent> <http://ex/p> ?o }");
+  ASSERT_TRUE(no.ok()) << no.status().ToString();
+  EXPECT_TRUE(no->table.vars.empty());
+  EXPECT_EQ(no->table.rows.size(), 0u);
+}
+
+TEST_F(HttpEndpointTest, KeepAliveReusesTheConnection) {
+  const std::string query = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(remote_->Query(query).ok());
+  }
+  rpc::HttpClientStats stats = remote_->stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.connections_opened, 1u);
+  EXPECT_EQ(stats.connections_reused, 2u);
+
+  // Reuse is visible in the per-response transport info too.
+  Result<net::QueryResponse> again = remote_->Query(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->transport.reused_connection);
+}
+
+TEST_F(HttpEndpointTest, ParseErrorsSurviveTheWire) {
+  Result<net::QueryResponse> direct = direct_->Query("SELEKT garbage !!");
+  Result<net::QueryResponse> remote = remote_->Query("SELEKT garbage !!");
+  ASSERT_FALSE(direct.ok());
+  ASSERT_FALSE(remote.ok());
+  // The exact status code crosses the wire via the error body, so the
+  // remote failure classifies (and retries) exactly like the local one.
+  EXPECT_EQ(remote.status().code(), direct.status().code());
+  EXPECT_EQ(server_->stats().failed_queries, 1u);
+}
+
+TEST_F(HttpEndpointTest, DeadlineExpiresAgainstASilentServer) {
+  SilentServer silent;
+  HttpSparqlEndpoint hung("HUNG", "127.0.0.1", silent.port());
+  Stopwatch timer;
+  Result<net::QueryResponse> response = hung.QueryWithDeadline(
+      "SELECT ?s WHERE { ?s ?p ?o }", Deadline::AfterMillis(200));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kTimeout)
+      << response.status().ToString();
+  // It honored the deadline rather than the 30s default.
+  EXPECT_LT(timer.ElapsedMillis(), 5000.0);
+}
+
+TEST_F(HttpEndpointTest, StoppedServerBecomesUnavailable) {
+  const std::string query = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+  ASSERT_TRUE(remote_->Query(query).ok());  // Pools a live connection.
+  server_->Stop();
+  Result<net::QueryResponse> after = remote_->Query(query);
+  ASSERT_FALSE(after.ok());
+  // A transport-level failure must classify as retryable unavailability,
+  // never hang and never poison later calls.
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable)
+      << after.status().ToString();
+}
+
+TEST_F(HttpEndpointTest, TruncationCapAppliesRemoteRowLimit) {
+  HttpServerOptions capped_options;
+  capped_options.max_result_rows = 2;
+  HttpServer capped(direct_, capped_options);
+  ASSERT_TRUE(capped.Start().ok());
+  HttpSparqlEndpoint client("EP", "127.0.0.1", capped.port());
+  Result<net::QueryResponse> response =
+      client.Query("SELECT ?s WHERE { ?s <http://ex/p> ?o }");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->table.rows.size(), 2u);
+  EXPECT_EQ(capped.stats().truncated_results, 1u);
+  capped.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Loopback federation: the engine over real TCP sockets
+// ---------------------------------------------------------------------
+
+/// Three LUBM universities, each served by its own HttpServer on a
+/// loopback port, plus the equivalent in-process federation for
+/// row-identity checks.
+class LoopbackFederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::LubmConfig config = workload::LubmConfig::Small();
+    config.num_universities = 3;
+    std::vector<workload::EndpointSpec> specs =
+        workload::LubmGenerator(config).GenerateAll();
+
+    in_process_ = workload::BuildFederation(specs, net::LatencyModel::None());
+
+    for (const auto& spec : specs) {
+      auto store = std::make_unique<store::TripleStore>();
+      for (const auto& triple : spec.triples) store->Add(triple);
+      store->Freeze();
+      auto endpoint = std::make_shared<net::SparqlEndpoint>(
+          spec.id, std::move(store), net::LatencyModel::None());
+      auto server = std::make_unique<HttpServer>(endpoint);
+      ASSERT_TRUE(server->Start().ok());
+      remote_.Add(std::make_shared<HttpSparqlEndpoint>(
+          spec.id, "127.0.0.1", server->port()));
+      servers_.push_back(std::move(server));
+    }
+  }
+  void TearDown() override {
+    for (auto& server : servers_) server->Stop();
+  }
+
+  std::unique_ptr<fed::Federation> in_process_;
+  fed::Federation remote_;
+  std::vector<std::unique_ptr<HttpServer>> servers_;
+};
+
+TEST_F(LoopbackFederationTest, LubmQueriesAreRowIdentical) {
+  core::LusailEngine local_engine(in_process_.get());
+  core::LusailEngine remote_engine(&remote_);
+  const std::string queries[] = {workload::LubmGenerator::QueryQa(),
+                                 workload::LubmGenerator::Q1()};
+  for (const std::string& query : queries) {
+    Result<fed::FederatedResult> local = local_engine.Execute(query);
+    Result<fed::FederatedResult> remote = remote_engine.Execute(query);
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    EXPECT_GT(remote->table.rows.size(), 0u);
+    EXPECT_EQ(CanonicalRows(remote->table), CanonicalRows(local->table));
+  }
+}
+
+TEST_F(LoopbackFederationTest, ResilienceAndTracingComposeOverTheWire) {
+  core::LusailOptions options;
+  options.retry_policy = net::RetryPolicy::Standard(3);
+  options.trace = true;
+  core::LusailEngine engine(&remote_, options);
+  Result<fed::FederatedResult> result =
+      engine.Execute(workload::LubmGenerator::QueryQa());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->profile.trace, nullptr);
+
+  // Request spans carry the physical transport annotations.
+  size_t annotated = 0;
+  for (const auto& span : result->profile.trace->spans) {
+    for (const auto& annotation : span.annotations) {
+      if (annotation.key == "net.wire_bytes_received") ++annotated;
+    }
+  }
+  EXPECT_GT(annotated, 0u);
+}
+
+TEST_F(LoopbackFederationTest, KilledServerDegradesToPartialResults) {
+  // Baseline: the exact answer while all three servers are up.
+  core::LusailEngine exact_engine(&remote_);
+  Result<fed::FederatedResult> exact =
+      exact_engine.Execute(workload::LubmGenerator::QueryQa());
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  std::vector<std::string> exact_rows = CanonicalRows(exact->table);
+
+  servers_[2]->Stop();  // Kill one university.
+
+  // Without degradation the query must fail loudly, not hang.
+  core::LusailOptions strict;
+  strict.retry_policy = net::RetryPolicy::Standard(2);
+  core::LusailEngine strict_engine(&remote_, strict);
+  Result<fed::FederatedResult> failed =
+      strict_engine.Execute(workload::LubmGenerator::QueryQa());
+  EXPECT_FALSE(failed.ok());
+
+  // With partial results the survivors' contribution comes back, flagged
+  // as partial, and is a subset of the exact answer.
+  core::LusailOptions degraded;
+  degraded.retry_policy = net::RetryPolicy::Standard(2);
+  degraded.partial_results = true;
+  core::LusailEngine degraded_engine(&remote_, degraded);
+  Result<fed::FederatedResult> partial =
+      degraded_engine.Execute(workload::LubmGenerator::QueryQa());
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->profile.partial);
+  EXPECT_FALSE(partial->profile.failed_endpoint_ids.empty());
+  for (const std::string& row : CanonicalRows(partial->table)) {
+    EXPECT_TRUE(std::binary_search(exact_rows.begin(), exact_rows.end(), row))
+        << "partial result invented row " << row;
+  }
+}
+
+TEST_F(LoopbackFederationTest, MidQueryServerKillTerminatesCleanly) {
+  core::LusailOptions options;
+  options.retry_policy = net::RetryPolicy::Standard(2);
+  options.partial_results = true;
+  core::LusailEngine engine(&remote_, options);
+
+  // Exercise the race from both sides a few times: the kill can land
+  // during source selection, COUNT probes, or subquery execution. Any
+  // outcome is acceptable except hanging or crashing; an ok result must
+  // not invent rows.
+  core::LusailEngine exact_engine(&remote_);
+  Result<fed::FederatedResult> exact =
+      exact_engine.Execute(workload::LubmGenerator::QueryQa());
+  ASSERT_TRUE(exact.ok());
+  std::vector<std::string> exact_rows = CanonicalRows(exact->table);
+
+  std::thread killer([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    servers_[1]->Stop();
+  });
+  Result<fed::FederatedResult> result = engine.Execute(
+      workload::LubmGenerator::QueryQa(), Deadline::AfterMillis(20000));
+  killer.join();
+  if (result.ok()) {
+    for (const std::string& row : CanonicalRows(result->table)) {
+      EXPECT_TRUE(
+          std::binary_search(exact_rows.begin(), exact_rows.end(), row))
+          << "invented row " << row;
+    }
+  } else {
+    // A loud, classified failure is fine too.
+    EXPECT_NE(result.status().code(), StatusCode::kOk);
+  }
+}
+
+/// More concurrent connections than server workers: the regression test
+/// for thread-per-connection starvation (workers parked on idle
+/// keep-alive connections while new connections waited out the client's
+/// read deadline).
+TEST(HttpServerConcurrencyTest, MoreConnectionsThanWorkersMakeProgress) {
+  HttpServerOptions options;
+  options.num_threads = 2;
+  HttpServer server(TinyEndpoint("EP"), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &failures] {
+      HttpSparqlEndpoint client("EP", "127.0.0.1", server.port());
+      for (int q = 0; q < 3; ++q) {
+        Result<net::QueryResponse> response = client.QueryWithDeadline(
+            "SELECT ?s WHERE { ?s <http://ex/p> ?o }",
+            Deadline::AfterMillis(10000));
+        if (!response.ok() || response->table.rows.size() != 5) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace lusail
