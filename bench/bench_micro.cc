@@ -1,9 +1,14 @@
 // Supporting micro-benchmarks for the substrates (not a paper figure):
 // triple-store lookups, dictionary interning, SPARQL parsing, endpoint
-// round-trips, and the parallel hash join.
+// round-trips, the parallel hash join, and cancellation latency.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/hash_join.h"
@@ -172,6 +177,42 @@ void BM_CartesianParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_CartesianParallel)
     ->Arg(16)->Arg(32)->Arg(45)->Arg(64)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Cancellation latency: wall time from firing a CancelToken to a large
+/// in-flight ParallelCartesian unwinding. This prices the cooperative
+/// check granularity (one token probe per ~1024 cells plus the drain of
+/// already-queued partition tasks), not join throughput — manual timing
+/// starts at Cancel(), so join launch is excluded.
+void BM_CancellationLatency(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  fed::SharedDictionary dict;
+  ThreadPool pool(8);
+  fed::BindingTable left = CartesianSide(&dict, "a", side, 0);
+  fed::BindingTable right = CartesianSide(&dict, "b", side, 1000000);
+  for (auto _ : state) {
+    CancelToken token = CancelToken::Cancellable();
+    std::atomic<bool> started{false};
+    std::thread join_thread([&] {
+      started.store(true, std::memory_order_release);
+      fed::BindingTable out =
+          core::ParallelCartesian(left, right, &pool, 8, &token);
+      benchmark::DoNotOptimize(out.NumRows());
+    });
+    while (!started.load(std::memory_order_acquire)) {
+    }
+    auto fired = std::chrono::steady_clock::now();
+    token.Cancel();
+    join_thread.join();
+    std::chrono::duration<double> latency =
+        std::chrono::steady_clock::now() - fired;
+    state.SetIterationTime(latency.count());
+  }
+  state.counters["cells"] = static_cast<double>(side) * side;
+}
+BENCHMARK(BM_CancellationLatency)
+    ->Arg(512)->Arg(2048)
+    ->UseManualTime()
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

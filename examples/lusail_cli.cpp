@@ -20,7 +20,12 @@
 //   --cache-stats         attach a shared cross-query cache (with
 //                         subquery-result memoization) and print its
 //                         hit/miss/eviction counters after the query
-//   --timeout <ms>        per-query deadline (default 60000)
+//   --deadline-ms <ms>    per-query deadline (default 60000). The budget
+//                         covers the whole federated run; with --remote the
+//                         remaining budget is forwarded to every endpoint
+//                         as an X-Lusail-Deadline-Ms header, so remote
+//                         servers stop evaluating when the client's budget
+//                         expires. --timeout is accepted as an alias.
 //   --remote <specs>      federate over live HTTP SPARQL endpoints
 //                         instead of in-process stores. <specs> is a
 //                         comma-separated list of host:port=id entries
@@ -81,7 +86,7 @@ int Usage() {
                "                  [--engine lusail|lade|fedx|splendid]\n"
                "                  [--latency none|local|geo] [--explain]\n"
                "                  [--explain-json] [--trace <file>]\n"
-               "                  [--cache-stats] [--timeout <ms>]\n"
+               "                  [--cache-stats] [--deadline-ms <ms>]\n"
                "                  [--remote host:port=id,...] [--retry <n>]\n"
                "                  [--format tsv|srj]\n"
                "                  [query-file]\n");
@@ -174,7 +179,7 @@ int main(int argc, char** argv) {
       if (!next(&options.engine)) return Usage();
     } else if (arg == "--latency") {
       if (!next(&options.latency)) return Usage();
-    } else if (arg == "--timeout") {
+    } else if (arg == "--deadline-ms" || arg == "--timeout") {
       std::string v;
       if (!next(&v)) return Usage();
       options.timeout_ms = std::strtod(v.c_str(), nullptr);

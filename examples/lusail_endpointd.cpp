@@ -136,8 +136,12 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "# draining...\n");
   server.Stop();
   rpc::HttpServerStats stats = server.stats();
-  std::fprintf(stderr, "# served %llu requests, %llu bytes out\n",
+  std::fprintf(stderr,
+               "# served %llu requests, %llu bytes out "
+               "(%llu timed out, %llu cancelled)\n",
                static_cast<unsigned long long>(stats.requests),
-               static_cast<unsigned long long>(stats.bytes_out));
+               static_cast<unsigned long long>(stats.bytes_out),
+               static_cast<unsigned long long>(stats.timed_out_queries),
+               static_cast<unsigned long long>(stats.cancelled_queries));
   return 0;
 }

@@ -13,6 +13,8 @@ obs::JsonValue QueryServiceStats::ToJson() const {
   out.Set("in_flight", in_flight);
   out.Set("queued", queued);
   out.Set("running", running);
+  out.Set("expired_in_queue", expired_in_queue);
+  out.Set("cancelled", cancelled);
   out.Set("wait", wait.ToJson());
   return out;
 }
@@ -25,6 +27,15 @@ QueryService::QueryService(const fed::Federation* federation,
 
 Result<std::future<Result<fed::FederatedResult>>> QueryService::Submit(
     std::string sparql_text, Deadline deadline) {
+  LUSAIL_ASSIGN_OR_RETURN(SubmittedQuery submitted,
+                          SubmitCancellable(std::move(sparql_text), deadline));
+  return std::move(submitted.future);
+}
+
+Result<SubmittedQuery> QueryService::SubmitCancellable(std::string sparql_text,
+                                                       Deadline deadline) {
+  CancelToken token = CancelToken::Cancellable(deadline);
+  uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (options_.max_pending > 0 && in_flight_ >= options_.max_pending) {
@@ -35,20 +46,36 @@ Result<std::future<Result<fed::FederatedResult>>> QueryService::Submit(
     }
     ++accepted_;
     ++in_flight_;
+    id = next_id_++;
+    active_.emplace(id, token);
   }
-  return workers_.Submit(
-      [this, text = std::move(sparql_text), deadline,
+  SubmittedQuery submitted;
+  submitted.id = id;
+  submitted.future = workers_.Submit(
+      [this, id, token, text = std::move(sparql_text),
        queued_at = Stopwatch()]() {
+        bool expired_queued = false;
         {
           std::lock_guard<std::mutex> lock(mu_);
           ++running_;
           wait_.Record(queued_at.ElapsedMillis());
+          // A query that waited past its deadline (or was cancelled while
+          // queued) must not execute at all: the client gave up before a
+          // worker ever picked it up.
+          if (token.Cancelled()) {
+            expired_queued = !token.CancelRequested();
+            if (expired_queued) ++expired_in_queue_;
+          }
         }
-        Result<fed::FederatedResult> result = engine_.Execute(text, deadline);
+        Result<fed::FederatedResult> result =
+            token.Cancelled() ? Result<fed::FederatedResult>(
+                                    token.StatusAt("queue wait"))
+                              : engine_.Execute(text, token);
         {
           std::lock_guard<std::mutex> lock(mu_);
           --in_flight_;
           --running_;
+          active_.erase(id);
           if (result.ok()) {
             ++completed_;
           } else {
@@ -58,6 +85,16 @@ Result<std::future<Result<fed::FederatedResult>>> QueryService::Submit(
         drained_.notify_all();
         return result;
       });
+  return submitted;
+}
+
+bool QueryService::Cancel(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return false;
+  it->second.Cancel();
+  ++cancelled_;
+  return true;
 }
 
 void QueryService::Drain() {
@@ -75,6 +112,8 @@ QueryServiceStats QueryService::Stats() const {
   s.in_flight = in_flight_;
   s.running = running_;
   s.queued = in_flight_ - running_;
+  s.expired_in_queue = expired_in_queue_;
+  s.cancelled = cancelled_;
   s.wait.Merge(wait_);
   return s;
 }

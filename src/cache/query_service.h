@@ -6,7 +6,9 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -41,9 +43,21 @@ struct QueryServiceStats {
   uint64_t in_flight = 0;  ///< queued + running.
   uint64_t queued = 0;
   uint64_t running = 0;
+  /// Queries whose deadline had already expired when they dequeued; they
+  /// fail fast with kTimeout instead of executing. A rising count means
+  /// clients give the service less budget than its queue wait.
+  uint64_t expired_in_queue = 0;
+  uint64_t cancelled = 0;  ///< Cancel(id) calls that matched a live query.
   obs::LatencyHistogram wait;  ///< Queue wait, p50/p95/p99 via ToJson.
 
   obs::JsonValue ToJson() const;
+};
+
+/// Handle returned by SubmitCancellable: the service-assigned query id
+/// (usable with Cancel) plus the result future.
+struct SubmittedQuery {
+  uint64_t id = 0;
+  std::future<Result<fed::FederatedResult>> future;
 };
 
 /// Multi-query serving layer: runs up to `max_concurrent` federated
@@ -64,9 +78,22 @@ class QueryService {
 
   /// Schedules `sparql_text`; the future resolves to the query result or
   /// to the engine's error. Returns kUnavailable without scheduling when
-  /// `max_pending` queries are already in flight.
+  /// `max_pending` queries are already in flight. A query that waited in
+  /// the queue past its deadline fails fast with kTimeout on dequeue
+  /// (counted as `expired_in_queue`), never executing.
   Result<std::future<Result<fed::FederatedResult>>> Submit(
       std::string sparql_text, Deadline deadline = Deadline());
+
+  /// Like Submit, but also returns the query id so the caller can
+  /// Cancel() it while it is queued or running.
+  Result<SubmittedQuery> SubmitCancellable(std::string sparql_text,
+                                           Deadline deadline = Deadline());
+
+  /// Requests cooperative cancellation of a queued or running query.
+  /// Returns true when `query_id` named a live query (its future will
+  /// resolve to kTimeout within one work chunk); false when the query
+  /// already finished or never existed.
+  bool Cancel(uint64_t query_id);
 
   /// Blocks until every accepted query has finished.
   void Drain();
@@ -90,6 +117,11 @@ class QueryService {
   uint64_t failed_ = 0;
   uint64_t in_flight_ = 0;
   uint64_t running_ = 0;  ///< in_flight_ - running_ queries are queued.
+  uint64_t expired_in_queue_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t next_id_ = 1;
+  /// Cancellation tokens of queued + running queries, by query id.
+  std::unordered_map<uint64_t, CancelToken> active_;
   obs::LatencyHistogram wait_;
 };
 

@@ -21,18 +21,27 @@ size_t KeyHash(const std::vector<rdf::TermId>& row,
 /// Used when the sides share no variable (no key to hash-partition on).
 fed::BindingTable ParallelCartesian(const fed::BindingTable& left,
                                     const fed::BindingTable& right,
-                                    ThreadPool* pool, size_t partitions) {
+                                    ThreadPool* pool, size_t partitions,
+                                    const CancelToken* cancel) {
   fed::BindingTable out;
   out.vars = left.vars;
   out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
   if (left.rows.empty() || right.rows.empty()) return out;
 
   const size_t chunk = (left.rows.size() + partitions - 1) / partitions;
-  auto cross_chunk = [&left, &right](size_t begin, size_t end) {
+  auto cross_chunk = [&left, &right, cancel](size_t begin, size_t end) {
     std::vector<std::vector<rdf::TermId>> rows;
     rows.reserve((end - begin) * right.rows.size());
+    // Poll the token every ~1k output cells: cheap enough to keep the
+    // ~50 ns/cell inner loop unaffected, frequent enough that a running
+    // product stops within microseconds of the token firing.
+    size_t ticks = 0;
     for (size_t i = begin; i < end; ++i) {
       for (const auto& rrow : right.rows) {
+        if (cancel != nullptr && (++ticks & 1023u) == 0 &&
+            cancel->Cancelled()) {
+          return rows;
+        }
         std::vector<rdf::TermId> combined = left.rows[i];
         combined.insert(combined.end(), rrow.begin(), rrow.end());
         rows.push_back(std::move(combined));
@@ -48,6 +57,7 @@ fed::BindingTable ParallelCartesian(const fed::BindingTable& left,
   }
   for (auto& f : futures) {
     std::vector<std::vector<rdf::TermId>> rows = f.get();
+    if (cancel != nullptr && cancel->Cancelled()) continue;  // Drain only.
     out.rows.insert(out.rows.end(), std::make_move_iterator(rows.begin()),
                     std::make_move_iterator(rows.end()));
   }
@@ -56,7 +66,8 @@ fed::BindingTable ParallelCartesian(const fed::BindingTable& left,
 
 fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
                                    const fed::BindingTable& right,
-                                   ThreadPool* pool, size_t partitions) {
+                                   ThreadPool* pool, size_t partitions,
+                                   const CancelToken* cancel) {
   std::vector<std::string> shared = fed::BindingTable::SharedVars(left, right);
   if (shared.empty()) {
     // Cartesian product: parallelize when the output is big enough to
@@ -74,7 +85,7 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
     if (partitions > 1 && pool != nullptr && !right.rows.empty() &&
         left.rows.size() >= 2 &&
         left.rows.size() * right.rows.size() >= 2048) {
-      return ParallelCartesian(left, right, pool, partitions);
+      return ParallelCartesian(left, right, pool, partitions, cancel);
     }
     return fed::HashJoin(left, right);
   }
@@ -118,7 +129,12 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
   futures.reserve(partitions);
   for (size_t p = 0; p < partitions; ++p) {
     futures.push_back(pool->Submit(
-        [&left_parts, &right_parts, p]() {
+        [&left_parts, &right_parts, p, cancel]() {
+          // Partition-boundary cancellation: a queued bucket join whose
+          // token already fired produces nothing instead of joining.
+          if (cancel != nullptr && cancel->Cancelled()) {
+            return fed::BindingTable{};
+          }
           return fed::HashJoin(left_parts[p], right_parts[p]);
         }));
   }
@@ -131,6 +147,7 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
   }
   for (auto& f : futures) {
     fed::BindingTable part = f.get();
+    if (cancel != nullptr && cancel->Cancelled()) continue;  // Drain only.
     std::vector<int> mapping(out.vars.size(), -1);
     for (size_t i = 0; i < out.vars.size(); ++i) {
       mapping[i] = part.VarIndex(out.vars[i]);

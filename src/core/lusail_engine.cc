@@ -261,9 +261,10 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
     const std::vector<const sparql::GraphPattern*>& candidate_optionals,
     const std::set<std::string>& outside_vars,
     const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
-    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::MetricsCollector* metrics, const CancelToken& cancel,
     fed::ExecutionProfile* profile,
     std::vector<const sparql::GraphPattern*>* unpushed_optionals) {
+  const Deadline& deadline = cancel.deadline();
   // Phase A: source selection — for the mandatory patterns and for the
   // push-down candidates' patterns (needed by the locality analysis).
   Stopwatch timer;
@@ -298,6 +299,7 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
   source_span.Annotate("patterns", static_cast<uint64_t>(combined.size()));
   source_span.End();
   profile->source_selection_ms += timer.ElapsedMillis();
+  if (cancel.Cancelled()) return cancel.StatusAt("source selection");
 
   // Mandatory patterns with no relevant source: the query has no answers.
   for (size_t i = 0; i < triples.size(); ++i) {
@@ -352,6 +354,7 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
   lade_span.Annotate("pushed_optionals", profile->pushed_optionals);
   lade_span.End();
   profile->analysis_ms += timer.ElapsedMillis();
+  if (cancel.Cancelled()) return cancel.StatusAt("LADE analysis");
 
   // Phase C: SAPE execution.
   timer.Restart();
@@ -359,7 +362,7 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
   SapeExecutor sape(federation_, &pool_, &options_);
   Result<BindingTable> table =
       sape.Execute(std::move(decomposition.subqueries), triples, dict,
-                   metrics, deadline, profile);
+                   metrics, cancel, profile);
   if (!table.ok()) return table.status();
 
   BindingTable result = std::move(table).value();
@@ -373,7 +376,7 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
 Result<BindingTable> LusailEngine::ExecutePattern(
     const sparql::GraphPattern& pattern,
     const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
-    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::MetricsCollector* metrics, const CancelToken& cancel,
     fed::ExecutionProfile* profile) {
   if (!pattern.exists_filters.empty()) {
     return Status::Unsupported(
@@ -436,7 +439,7 @@ Result<BindingTable> LusailEngine::ExecutePattern(
     std::vector<const sparql::GraphPattern*> unpushed;
     LUSAIL_ASSIGN_OR_RETURN(
         table, ExecuteBgp(pattern.triples, bgp_filters, candidates,
-                          outside_vars, bgp_needed, dict, metrics, deadline,
+                          outside_vars, bgp_needed, dict, metrics, cancel,
                           profile, &unpushed));
     have_table = true;
 
@@ -447,16 +450,17 @@ Result<BindingTable> LusailEngine::ExecutePattern(
       for (const sparql::GraphPattern& alt : chain) {
         LUSAIL_ASSIGN_OR_RETURN(
             BindingTable branch,
-            ExecutePattern(alt, bgp_needed, dict, metrics, deadline, profile));
+            ExecutePattern(alt, bgp_needed, dict, metrics, cancel, profile));
         fed::AppendUnion(&unioned, branch);
       }
       table = ParallelHashJoin(table, unioned, &pool_,
-                               options_.join_partitions);
+                               options_.join_partitions, &cancel);
+      if (cancel.Cancelled()) return cancel.StatusAt("union join");
     }
     for (const sparql::GraphPattern* opt : unpushed) {
       LUSAIL_ASSIGN_OR_RETURN(
           BindingTable right,
-          ExecutePattern(*opt, bgp_needed, dict, metrics, deadline, profile));
+          ExecutePattern(*opt, bgp_needed, dict, metrics, cancel, profile));
       table = fed::LeftOuterJoin(table, right);
     }
     Stopwatch filter_timer;
@@ -471,7 +475,7 @@ Result<BindingTable> LusailEngine::ExecutePattern(
       for (const sparql::GraphPattern& alt : chain) {
         LUSAIL_ASSIGN_OR_RETURN(
             BindingTable branch,
-            ExecutePattern(alt, bgp_needed, dict, metrics, deadline, profile));
+            ExecutePattern(alt, bgp_needed, dict, metrics, cancel, profile));
         fed::AppendUnion(&unioned, branch);
       }
       if (!have_table) {
@@ -479,7 +483,8 @@ Result<BindingTable> LusailEngine::ExecutePattern(
         have_table = true;
       } else {
         table = ParallelHashJoin(table, unioned, &pool_,
-                                 options_.join_partitions);
+                                 options_.join_partitions, &cancel);
+        if (cancel.Cancelled()) return cancel.StatusAt("union join");
       }
     }
     if (!have_table) {
@@ -488,7 +493,7 @@ Result<BindingTable> LusailEngine::ExecutePattern(
     for (const sparql::GraphPattern& opt : pattern.optionals) {
       LUSAIL_ASSIGN_OR_RETURN(
           BindingTable right,
-          ExecutePattern(opt, bgp_needed, dict, metrics, deadline, profile));
+          ExecutePattern(opt, bgp_needed, dict, metrics, cancel, profile));
       table = fed::LeftOuterJoin(table, right);
     }
     for (const sparql::Expr& f : pattern.filters) {
@@ -515,6 +520,11 @@ Result<BindingTable> LusailEngine::ExecutePattern(
 
 Result<fed::FederatedResult> LusailEngine::Execute(
     const std::string& sparql_text, const Deadline& deadline) {
+  return Execute(sparql_text, CancelToken(deadline));
+}
+
+Result<fed::FederatedResult> LusailEngine::Execute(
+    const std::string& sparql_text, const CancelToken& cancel) {
   Stopwatch total_timer;
   LUSAIL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql_text));
 
@@ -525,7 +535,7 @@ Result<fed::FederatedResult> LusailEngine::Execute(
 
   std::set<std::string> needed = NeededVars(query);
   Result<BindingTable> table_or =
-      ExecutePattern(query.where, needed, &dict, &metrics, deadline,
+      ExecutePattern(query.where, needed, &dict, &metrics, cancel,
                      &result.profile);
   if (!table_or.ok()) {
     metrics.FillCounters(&result.profile);

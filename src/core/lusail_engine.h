@@ -70,6 +70,14 @@ class LusailEngine : public fed::FederatedEngine {
                                        const Deadline& deadline) override;
   using fed::FederatedEngine::Execute;
 
+  /// Cancellable execution: the token (deadline and/or explicit cancel
+  /// flag) is threaded through source selection, SAPE's fetch/bound-join
+  /// loops, and every parallel join, so evaluation unwinds with kTimeout
+  /// within one work chunk of the token firing. The deadline-only
+  /// Execute above wraps its deadline in a token and calls this.
+  Result<fed::FederatedResult> Execute(const std::string& sparql_text,
+                                       const CancelToken& cancel);
+
   /// Runs source selection + LADE only (no execution); for inspection.
   Result<AnalyzedQuery> Analyze(const std::string& sparql_text);
 
@@ -98,7 +106,7 @@ class LusailEngine : public fed::FederatedEngine {
       const std::vector<const sparql::GraphPattern*>& candidate_optionals,
       const std::set<std::string>& outside_vars,
       const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
-      fed::MetricsCollector* metrics, const Deadline& deadline,
+      fed::MetricsCollector* metrics, const CancelToken& cancel,
       fed::ExecutionProfile* profile,
       std::vector<const sparql::GraphPattern*>* unpushed_optionals);
 
@@ -107,7 +115,7 @@ class LusailEngine : public fed::FederatedEngine {
   Result<fed::BindingTable> ExecutePattern(
       const sparql::GraphPattern& pattern,
       const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
-      fed::MetricsCollector* metrics, const Deadline& deadline,
+      fed::MetricsCollector* metrics, const CancelToken& cancel,
       fed::ExecutionProfile* profile);
 
   const fed::Federation* federation_;

@@ -84,7 +84,8 @@ Status AggregateFailures(const fed::Federation* federation, const char* phase,
 /// optimizer; disjoint groups remain separate (the delayed phase refines
 /// against them, and only the final cartesian step may merge them).
 std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
-                                        ThreadPool* pool, size_t partitions) {
+                                        ThreadPool* pool, size_t partitions,
+                                        const CancelToken* cancel = nullptr) {
   if (tables.size() <= 1) return tables;
 
   // Connected components of the shares-a-variable graph (BFS).
@@ -131,8 +132,9 @@ std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
                                                                   partitions));
     BindingTable joined = std::move(tables[members[order[0]]]);
     for (size_t k = 1; k < order.size(); ++k) {
+      if (cancel != nullptr && cancel->Cancelled()) break;
       joined = ParallelHashJoin(joined, tables[members[order[k]]], pool,
-                                partitions);
+                                partitions, cancel);
     }
     out.push_back(std::move(joined));
   }
@@ -160,8 +162,12 @@ std::string BindingBlockFingerprint(const std::string& bound_text) {
 
 Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
     int ep, const std::string& text, const std::string& cache_key,
-    bool cacheable, fed::MetricsCollector* metrics, const Deadline& deadline,
+    bool cacheable, fed::MetricsCollector* metrics, const CancelToken& cancel,
     const net::RetryPolicy* retry, obs::SpanId trace_parent) {
+  // Queued fetches whose token already fired bail before touching the
+  // wire — crucial when many (subquery, endpoint) tasks are backed up
+  // behind a cancelled query in the pool.
+  if (cancel.Cancelled()) return cancel.StatusAt("endpoint fetch");
   cache::FederationCache* shared =
       (cacheable && options_->use_cache && options_->result_cache)
           ? federation_->query_cache()
@@ -184,8 +190,9 @@ Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
       return std::move(*hit);
     }
   }
-  Result<sparql::ResultTable> table = federation_->Execute(
-      static_cast<size_t>(ep), text, metrics, deadline, retry, trace_parent);
+  Result<sparql::ResultTable> table =
+      federation_->Execute(static_cast<size_t>(ep), text, metrics,
+                           cancel.deadline(), retry, trace_parent);
   if (shared != nullptr && table.ok()) {
     shared->PutResult(endpoint_id, cache_key, *table);
   }
@@ -195,7 +202,7 @@ Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
 Result<BindingTable> SapeExecutor::RunEverywhere(
     const Subquery& sq, const std::vector<TriplePattern>& triples,
     const sparql::ValuesClause* values, fed::SharedDictionary* dict,
-    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::MetricsCollector* metrics, const CancelToken& cancel,
     obs::SpanId trace_parent) {
   std::string text = sq.ToSparql(triples, values);
   const net::RetryPolicy* retry = RetryOf(options_);
@@ -214,10 +221,10 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
   futures.reserve(sq.sources.size());
   for (int ep : sq.sources) {
     futures.push_back(pool_->Submit(
-        [this, ep, text, cache_key, cacheable, metrics, deadline, retry,
+        [this, ep, text, cache_key, cacheable, metrics, cancel, retry,
          trace_parent]() {
           return FetchEndpoint(ep, text, cache_key, cacheable, metrics,
-                               deadline, retry, trace_parent);
+                               cancel, retry, trace_parent);
         }));
   }
   BindingTable merged;
@@ -255,7 +262,7 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
 Result<BindingTable> SapeExecutor::Execute(
     std::vector<Subquery> subqueries,
     const std::vector<TriplePattern>& triples, fed::SharedDictionary* dict,
-    fed::MetricsCollector* metrics, const Deadline& deadline,
+    fed::MetricsCollector* metrics, const CancelToken& cancel,
     fed::ExecutionProfile* profile) {
   auto track_peak = [profile](const std::vector<BindingTable>& tables) {
     if (profile == nullptr) return;
@@ -288,10 +295,13 @@ Result<BindingTable> SapeExecutor::Execute(
   // independently and union (Algorithm 3, lines 2-4).
   if (subqueries.size() == 1) {
     obs::SpanId span = start_sq_span(0, "whole query");
-    Result<BindingTable> table =
-        RunEverywhere(subqueries[0], triples, nullptr, dict, metrics,
-                      deadline, span);
+    Result<BindingTable> table = RunEverywhere(subqueries[0], triples,
+                                               nullptr, dict, metrics, cancel,
+                                               span);
     if (tracer != nullptr) tracer->EndSpan(span);
+    if (table.ok() && cancel.Cancelled()) {
+      return cancel.StatusAt("subquery evaluation");
+    }
     return table;
   }
 
@@ -344,9 +354,9 @@ Result<BindingTable> SapeExecutor::Execute(
       fetch.sq_index = i;
       fetch.endpoint = ep;
       fetch.result = pool_->Submit(
-          [this, ep, text, metrics, deadline, retry, span]() {
+          [this, ep, text, metrics, cancel, retry, span]() {
             return FetchEndpoint(ep, text, /*cache_key=*/text,
-                                 /*cacheable=*/true, metrics, deadline, retry,
+                                 /*cacheable=*/true, metrics, cancel, retry,
                                  span);
           });
       fetches.push_back(std::move(fetch));
@@ -396,8 +406,11 @@ Result<BindingTable> SapeExecutor::Execute(
 
   // Eagerly join connected non-delayed results; this shrinks the found
   // bindings the delayed subqueries will be probed with.
+  if (cancel.Cancelled()) return cancel.StatusAt("SAPE phase 1");
   track_peak(tables);
-  tables = JoinConnected(std::move(tables), pool_, options_->join_partitions);
+  tables = JoinConnected(std::move(tables), pool_, options_->join_partitions,
+                         &cancel);
+  if (cancel.Cancelled()) return cancel.StatusAt("SAPE phase 1 join");
   track_peak(tables);
 
   // ---- Phase 2: delayed subqueries via bound joins. ----
@@ -426,9 +439,7 @@ Result<BindingTable> SapeExecutor::Execute(
   };
 
   while (!delayed_left.empty()) {
-    if (deadline.Expired()) {
-      return Status::Timeout("deadline expired during delayed phase");
-    }
+    if (cancel.Cancelled()) return cancel.StatusAt("delayed phase");
     // Most selective next: smallest refined cardinality, where the
     // refinement caps the estimate by the found bindings it can join on.
     size_t pick = 0;
@@ -484,7 +495,7 @@ Result<BindingTable> SapeExecutor::Execute(
       end_sq_span(0);
       tables.push_back(std::move(empty));
       tables = JoinConnected(std::move(tables), pool_,
-                             options_->join_partitions);
+                             options_->join_partitions, &cancel);
       continue;
     }
 
@@ -492,7 +503,7 @@ Result<BindingTable> SapeExecutor::Execute(
     if (bind_var.empty()) {
       // Nothing to bind with: evaluate unbound like phase 1.
       Result<BindingTable> t = RunEverywhere(sq, triples, nullptr, dict,
-                                             metrics, deadline, sq_span);
+                                             metrics, cancel, sq_span);
       if (!t.ok()) {
         end_sq_span(0);
         return t.status();
@@ -500,7 +511,7 @@ Result<BindingTable> SapeExecutor::Execute(
       end_sq_span(t->rows.size());
       tables.push_back(std::move(t).value());
       tables = JoinConnected(std::move(tables), pool_,
-                             options_->join_partitions);
+                             options_->join_partitions, &cancel);
       continue;
     }
     if (tracer != nullptr) {
@@ -532,7 +543,10 @@ Result<BindingTable> SapeExecutor::Execute(
       std::vector<std::future<Result<bool>>> probes;
       for (int ep : sources) {
         probes.push_back(pool_->Submit([this, ep, ask_text, metrics,
-                                        deadline, retry, sq_span, shared]() {
+                                        cancel, retry, sq_span, shared]() {
+          if (cancel.Cancelled()) {
+            return Result<bool>(cancel.StatusAt("source refinement"));
+          }
           std::string endpoint_id;
           std::string key;
           if (shared != nullptr) {
@@ -542,8 +556,8 @@ Result<BindingTable> SapeExecutor::Execute(
             if (cached.has_value()) return Result<bool>(*cached);
           }
           Result<bool> answer = federation_->Ask(
-              static_cast<size_t>(ep), ask_text, metrics, deadline, retry,
-              sq_span);
+              static_cast<size_t>(ep), ask_text, metrics, cancel.deadline(),
+              retry, sq_span);
           if (shared != nullptr && answer.ok()) {
             shared->PutVerdict(key, endpoint_id, *answer);
           }
@@ -571,6 +585,13 @@ Result<BindingTable> SapeExecutor::Execute(
     const size_t block = std::max<size_t>(1, options_->bound_join_block_size);
     size_t values_blocks = 0;
     for (size_t start = 0; start < bindings.size(); start += block) {
+      // Re-check per chunk: a bound join with many binding blocks must
+      // stop at the first block past the deadline/cancel, not overshoot
+      // by the full remaining chunk count.
+      if (cancel.Cancelled()) {
+        end_sq_span(merged.rows.size());
+        return cancel.StatusAt("bound join");
+      }
       sparql::ValuesClause values;
       values.vars.push_back(sparql::Variable{bind_var});
       size_t end = std::min(bindings.size(), start + block);
@@ -579,7 +600,7 @@ Result<BindingTable> SapeExecutor::Execute(
       }
       ++values_blocks;
       Result<BindingTable> part = RunEverywhere(bound_sq, triples, &values,
-                                                dict, metrics, deadline,
+                                                dict, metrics, cancel,
                                                 sq_span);
       if (!part.ok()) {
         end_sq_span(merged.rows.size());
@@ -595,13 +616,15 @@ Result<BindingTable> SapeExecutor::Execute(
     tables.push_back(std::move(merged));
     track_peak(tables);
     tables = JoinConnected(std::move(tables), pool_,
-                           options_->join_partitions);
+                           options_->join_partitions, &cancel);
     track_peak(tables);
   }
 
   // ---- Global join of whatever is left (disjoint groups: cartesian). ----
-  tables = JoinConnected(std::move(tables), pool_, options_->join_partitions);
+  tables = JoinConnected(std::move(tables), pool_, options_->join_partitions,
+                         &cancel);
   while (tables.size() > 1) {
+    if (cancel.Cancelled()) return cancel.StatusAt("global join");
     // Cartesian products, smallest first to bound growth; the parallel
     // join partitions the product across the pool when it is large.
     std::sort(tables.begin(), tables.end(),
@@ -610,10 +633,11 @@ Result<BindingTable> SapeExecutor::Execute(
               });
     BindingTable joined =
         ParallelHashJoin(tables[0], tables[1], pool_,
-                         options_->join_partitions);
+                         options_->join_partitions, &cancel);
     tables.erase(tables.begin(), tables.begin() + 2);
     tables.insert(tables.begin(), std::move(joined));
   }
+  if (cancel.Cancelled()) return cancel.StatusAt("global join");
   return std::move(tables[0]);
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -36,11 +37,14 @@ class SapeExecutor {
   /// table (all subquery projections merged). With options.enable_sape
   /// false, every subquery runs concurrently (no delaying) and results
   /// are joined at the federator — the paper's "LADE only" mode.
+  /// The token is checked before every endpoint fetch, between VALUES
+  /// chunks of a bound join, and around every global-join step, so
+  /// execution unwinds with kTimeout within one chunk of it firing.
   Result<fed::BindingTable> Execute(
       std::vector<Subquery> subqueries,
       const std::vector<sparql::TriplePattern>& triples,
       fed::SharedDictionary* dict, fed::MetricsCollector* metrics,
-      const Deadline& deadline, fed::ExecutionProfile* profile = nullptr);
+      const CancelToken& cancel, fed::ExecutionProfile* profile = nullptr);
 
  private:
   /// Runs one subquery (optionally with a VALUES block) at all of its
@@ -53,7 +57,7 @@ class SapeExecutor {
                                           const sparql::ValuesClause* values,
                                           fed::SharedDictionary* dict,
                                           fed::MetricsCollector* metrics,
-                                          const Deadline& deadline,
+                                          const CancelToken& cancel,
                                           obs::SpanId trace_parent = 0);
 
   /// One endpoint request, routed through the federation's shared result
@@ -68,7 +72,7 @@ class SapeExecutor {
                                             const std::string& cache_key,
                                             bool cacheable,
                                             fed::MetricsCollector* metrics,
-                                            const Deadline& deadline,
+                                            const CancelToken& cancel,
                                             const net::RetryPolicy* retry,
                                             obs::SpanId trace_parent);
 

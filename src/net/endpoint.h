@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "sparql/result_table.h"
@@ -54,6 +55,17 @@ class Endpoint {
       const std::string& sparql_text, const Deadline& deadline) {
     (void)deadline;
     return Query(sparql_text);
+  }
+
+  /// Cancellable variant: implementations that evaluate locally check the
+  /// token between work chunks and unwind with kTimeout once it fires;
+  /// decorators thread it through to retries/injected sleeps. The default
+  /// honors only the token's deadline (via QueryWithDeadline), which is
+  /// correct for endpoints whose Query cannot block for long.
+  virtual Result<QueryResponse> QueryCancellable(const std::string& sparql_text,
+                                                 const CancelToken& cancel) {
+    if (cancel.Cancelled()) return cancel.StatusAt("endpoint request");
+    return QueryWithDeadline(sparql_text, cancel.deadline());
   }
 };
 

@@ -17,6 +17,12 @@ FaultInjectingEndpoint::FaultInjectingEndpoint(std::shared_ptr<Endpoint> inner,
 
 Result<QueryResponse> FaultInjectingEndpoint::QueryWithDeadline(
     const std::string& text, const Deadline& deadline) {
+  return QueryCancellable(text, CancelToken(deadline));
+}
+
+Result<QueryResponse> FaultInjectingEndpoint::QueryCancellable(
+    const std::string& text, const CancelToken& cancel) {
+  const Deadline& deadline = cancel.deadline();
   requests_.fetch_add(1, std::memory_order_relaxed);
 
   uint64_t occurrence;
@@ -73,7 +79,7 @@ Result<QueryResponse> FaultInjectingEndpoint::QueryWithDeadline(
   }
 
   passed_through_.fetch_add(1, std::memory_order_relaxed);
-  Result<QueryResponse> response = inner_->QueryWithDeadline(text, deadline);
+  Result<QueryResponse> response = inner_->QueryCancellable(text, cancel);
   if (response.ok() && slow) {
     response->network_ms += profile_.slow_latency_ms;
   }

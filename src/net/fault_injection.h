@@ -85,6 +85,12 @@ class FaultInjectingEndpoint : public Endpoint {
   Result<QueryResponse> QueryWithDeadline(const std::string& text,
                                           const Deadline& deadline) override;
 
+  /// Faults are drawn exactly as for QueryWithDeadline; pass-through
+  /// requests forward the token so the inner endpoint stays cancellable
+  /// under injected faults.
+  Result<QueryResponse> QueryCancellable(const std::string& text,
+                                         const CancelToken& cancel) override;
+
   /// Hard-down switch for permanent-outage scenarios.
   void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
   bool down() const { return down_.load(std::memory_order_relaxed); }

@@ -135,7 +135,8 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
                                      CircuitBreaker* breaker,
                                      RetryOutcome* outcome,
                                      obs::Tracer* tracer,
-                                     obs::SpanId trace_parent) {
+                                     obs::SpanId trace_parent,
+                                     const CancelToken* cancel) {
   RetryOutcome local;
   RetryOutcome* out = outcome != nullptr ? outcome : &local;
   if (!policy.use_circuit_breaker) breaker = nullptr;
@@ -147,6 +148,9 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
   Status last = Status::Unavailable("no attempt issued to " + endpoint->id());
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (cancel != nullptr && cancel->CancelRequested()) {
+      return cancel->StatusAt("endpoint retry loop");
+    }
     if (deadline.Expired()) {
       return Status::Timeout("query deadline expired before attempt " +
                              std::to_string(attempt + 1) + " to " +
@@ -166,7 +170,9 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
     obs::ScopedSpan attempt_span(
         tracer, "attempt " + std::to_string(attempt + 1),
         attempt == 0 ? "attempt" : "retry", trace_parent);
-    Result<QueryResponse> response = endpoint->QueryWithDeadline(text, deadline);
+    Result<QueryResponse> response =
+        cancel != nullptr ? endpoint->QueryCancellable(text, *cancel)
+                          : endpoint->QueryWithDeadline(text, deadline);
     attempt_span.Annotate("ok", response.ok());
     if (!response.ok()) {
       attempt_span.Annotate("status", response.status().ToString());
@@ -178,8 +184,16 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
     }
     last = response.status();
     // Client-side errors (parse, unsupported, ...) say nothing about the
-    // endpoint's health; only server-side failures feed the breaker.
-    if (breaker != nullptr &&
+    // endpoint's health; only server-side failures feed the breaker. A
+    // kTimeout that coincides with our own expired deadline (or a fired
+    // cancel token) is *our* budget running out, not the endpoint being
+    // slow — feeding it to the breaker would trip healthy endpoints open
+    // whenever clients send tight deadlines.
+    bool self_inflicted_timeout =
+        last.code() == StatusCode::kTimeout &&
+        (deadline.Expired() ||
+         (cancel != nullptr && cancel->CancelRequested()));
+    if (breaker != nullptr && !self_inflicted_timeout &&
         (last.IsRetryable() || last.code() == StatusCode::kInternal)) {
       if (breaker->RecordFailure()) ++out->breaker_trips;
     }
@@ -199,7 +213,16 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
                        ? backoff
                        : std::min(prev_backoff * policy.backoff_multiplier,
                                   policy.max_backoff_ms);
-    if (deadline.has_deadline() && deadline.RemainingMillis() <= 0.0) break;
+    // A retry whose deadline is already gone is doomed: don't sleep, don't
+    // issue it — surface the timeout now so the caller gets its thread
+    // back. (Previously this `break` returned the prior attempt's status,
+    // hiding that the deadline, not the endpoint, ended the retry loop.)
+    if (deadline.has_deadline() && deadline.RemainingMillis() <= 0.0) {
+      return Status::Timeout("query deadline expired before retry " +
+                             std::to_string(attempt + 2) + " to " +
+                             endpoint->id() + " (last attempt: " +
+                             last.ToString() + ")");
+    }
     out->backoff_ms += SleepWithin(backoff, deadline);
     ++out->retries;
   }
@@ -218,11 +241,17 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
 
 Result<QueryResponse> ResilientEndpoint::QueryWithDeadline(
     const std::string& text, const Deadline& deadline) {
+  return QueryCancellable(text, CancelToken(deadline));
+}
+
+Result<QueryResponse> ResilientEndpoint::QueryCancellable(
+    const std::string& text, const CancelToken& cancel) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   RetryOutcome outcome;
   Result<QueryResponse> response =
-      QueryWithRetry(inner_.get(), text, deadline, policy_, &breaker_,
-                     &outcome);
+      QueryWithRetry(inner_.get(), text, cancel.deadline(), policy_, &breaker_,
+                     &outcome, /*tracer=*/nullptr, /*trace_parent=*/0,
+                     &cancel);
   attempts_.fetch_add(outcome.attempts, std::memory_order_relaxed);
   retries_.fetch_add(outcome.retries, std::memory_order_relaxed);
   breaker_rejections_.fetch_add(outcome.breaker_rejections,

@@ -148,10 +148,15 @@ struct RetryOutcome {
 /// The shared retry loop: issues `text` at `endpoint` under `policy`,
 /// consulting `breaker` (may be null) before each attempt and recording
 /// outcomes into it. Honors `deadline`: no attempt starts and no backoff
-/// sleeps past it. `outcome` (may be null) receives per-call accounting.
+/// sleeps past it — a doomed attempt (deadline already past) is never
+/// issued, the loop bails with kTimeout instead. Deadline-caused
+/// kTimeout says nothing about the endpoint's health and is *not* fed to
+/// the breaker. `outcome` (may be null) receives per-call accounting.
 /// With a non-null `tracer`, every issued attempt and every breaker
 /// rejection becomes a child span of `trace_parent` (retries are thus
 /// visible in query traces as "attempt N" spans under the request span).
+/// A non-null `cancel` makes attempts cooperatively cancellable: the loop
+/// checks it before every attempt and forwards it to QueryCancellable.
 Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
                                      const std::string& text,
                                      const Deadline& deadline,
@@ -159,7 +164,8 @@ Result<QueryResponse> QueryWithRetry(Endpoint* endpoint,
                                      CircuitBreaker* breaker,
                                      RetryOutcome* outcome,
                                      obs::Tracer* tracer = nullptr,
-                                     obs::SpanId trace_parent = 0);
+                                     obs::SpanId trace_parent = 0,
+                                     const CancelToken* cancel = nullptr);
 
 /// Cumulative client-side statistics of one ResilientEndpoint.
 struct ResilienceStats {
@@ -191,6 +197,9 @@ class ResilientEndpoint : public Endpoint {
 
   Result<QueryResponse> QueryWithDeadline(const std::string& text,
                                           const Deadline& deadline) override;
+
+  Result<QueryResponse> QueryCancellable(const std::string& text,
+                                         const CancelToken& cancel) override;
 
   const CircuitBreaker& breaker() const { return breaker_; }
   CircuitBreaker* mutable_breaker() { return &breaker_; }

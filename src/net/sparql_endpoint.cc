@@ -16,11 +16,16 @@ SparqlEndpoint::SparqlEndpoint(std::string id,
 }
 
 Result<QueryResponse> SparqlEndpoint::Query(const std::string& sparql_text) {
+  return QueryCancellable(sparql_text, CancelToken());
+}
+
+Result<QueryResponse> SparqlEndpoint::QueryCancellable(
+    const std::string& sparql_text, const CancelToken& cancel) {
   Stopwatch server_timer;
   LUSAIL_ASSIGN_OR_RETURN(sparql::Query query,
                           sparql::ParseQuery(sparql_text));
   QueryResponse response;
-  LUSAIL_ASSIGN_OR_RETURN(response.table, evaluator_.Execute(query));
+  LUSAIL_ASSIGN_OR_RETURN(response.table, evaluator_.Execute(query, cancel));
   response.server_ms = server_timer.ElapsedMillis();
 
   response.request_bytes = sparql_text.size();

@@ -36,6 +36,12 @@ class SparqlEndpoint : public Endpoint {
 
   Result<QueryResponse> Query(const std::string& sparql_text) override;
 
+  /// Threads the token into the local evaluator, so a long-running
+  /// evaluation aborts within ~1k join iterations of the token firing
+  /// (deadline expiry or explicit cancel) and materializes no rows.
+  Result<QueryResponse> QueryCancellable(const std::string& sparql_text,
+                                         const CancelToken& cancel) override;
+
   /// Direct (non-network) access for workload generators and tests.
   const store::TripleStore& store() const { return *store_; }
 

@@ -9,6 +9,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -48,6 +50,11 @@ HttpResponse ErrorResponse(int status, StatusCode code,
 /// idle one (a few slices at worst), while keeping the re-queue churn
 /// of a fully idle server to ~40 task hops per connection per second.
 constexpr int kIdlePollSliceMs = 25;
+
+/// How often the watchdog probes in-flight connections for disconnect.
+/// Bounds how long an abandoned evaluation can outlive its client; kept
+/// well under the 150 ms abandonment budget the e2e tests assert.
+constexpr int kDisconnectProbeMs = 20;
 
 }  // namespace
 
@@ -98,6 +105,8 @@ obs::JsonValue HttpServerStats::ToJson() const {
   out.Set("bad_requests", bad_requests);
   out.Set("failed_queries", failed_queries);
   out.Set("truncated_results", truncated_results);
+  out.Set("timed_out_queries", timed_out_queries);
+  out.Set("cancelled_queries", cancelled_queries);
   out.Set("bytes_in", bytes_in);
   out.Set("bytes_out", bytes_out);
   return out;
@@ -159,6 +168,7 @@ Status HttpServer::Start() {
   workers_ = std::make_unique<ThreadPool>(options_.num_threads);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  watchdog_thread_ = std::thread([this] { WatchLoop(); });
   return Status::OK();
 }
 
@@ -181,6 +191,14 @@ void HttpServer::Stop() {
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
   }
+  // Fire every in-flight evaluation's token so the drain is bounded by
+  // the cancellation granularity, not by full query evaluation time.
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    for (auto& [fd, token] : in_flight_) token.Cancel();
+  }
+  watch_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   {
     std::unique_lock<std::mutex> lock(conn_mu_);
     conn_drained_.wait(lock, [this] { return active_fds_.empty(); });
@@ -201,6 +219,8 @@ HttpServerStats HttpServer::stats() const {
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.failed_queries = failed_queries_.load(std::memory_order_relaxed);
   s.truncated_results = truncated_results_.load(std::memory_order_relaxed);
+  s.timed_out_queries = timed_out_queries_.load(std::memory_order_relaxed);
+  s.cancelled_queries = cancelled_queries_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   return s;
@@ -289,7 +309,7 @@ void HttpServer::ServeConnection(std::shared_ptr<ConnState> conn) {
       break;  // Timeout, close, or connection error: drop the connection.
     }
 
-    HttpResponse response = Handle(*request);
+    HttpResponse response = Handle(*request, fd);
     bool keep_alive = request->KeepAlive() &&
                       !stopping_.load(std::memory_order_acquire);
     if (!keep_alive) response.SetHeader("Connection", "close");
@@ -310,7 +330,28 @@ void HttpServer::ServeConnection(std::shared_ptr<ConnState> conn) {
   conn_drained_.notify_all();
 }
 
-HttpResponse HttpServer::Handle(const HttpRequest& request) {
+void HttpServer::WatchLoop() {
+  // Probe every connection with an in-flight evaluation for disconnect:
+  // MSG_PEEK|MSG_DONTWAIT returns 0 on EOF (client closed or Stop()'s
+  // SHUT_RD) and an error on reset — both mean nobody is waiting for the
+  // response, so fire the token. Readable pipelined bytes (n > 0) and
+  // EAGAIN (quiet but open) leave the evaluation alone.
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    for (auto& [fd, token] : in_flight_) {
+      char probe;
+      ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (n == 0 ||
+          (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+           errno != EINTR)) {
+        token.Cancel();
+      }
+    }
+    watch_cv_.wait_for(lock, std::chrono::milliseconds(kDisconnectProbeMs));
+  }
+}
+
+HttpResponse HttpServer::Handle(const HttpRequest& request, int fd) {
   if (request.target == "/sparql") {
     if (request.method != "POST") {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -320,7 +361,7 @@ HttpResponse HttpServer::Handle(const HttpRequest& request) {
       response.SetHeader("Allow", "POST");
       return response;
     }
-    return HandleSparql(request);
+    return HandleSparql(request, fd);
   }
   if (request.target == "/health" && request.method == "GET") {
     obs::JsonValue body = obs::JsonValue::Object();
@@ -340,7 +381,7 @@ HttpResponse HttpServer::Handle(const HttpRequest& request) {
                            request.target);
 }
 
-HttpResponse HttpServer::HandleSparql(const HttpRequest& request) {
+HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
   // Extract the query text per the SPARQL 1.1 Protocol subset we speak:
   // a direct application/sparql-query body, or form-encoded query=.
   std::string query_text;
@@ -375,10 +416,52 @@ HttpResponse HttpServer::HandleSparql(const HttpRequest& request) {
   }
 
   requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Derive a server-local deadline from the client's remaining budget.
+  // The header value is "milliseconds left at send time", so the skew is
+  // one network hop — the client always gives up first, as it should.
+  Deadline deadline;
+  const std::string* budget = request.FindHeader("X-Lusail-Deadline-Ms");
+  if (budget != nullptr) {
+    char* end = nullptr;
+    double ms = std::strtod(budget->c_str(), &end);
+    if (end != budget->c_str() && ms >= 0.0) {
+      deadline = Deadline::AfterMillis(ms);
+    }
+  }
+  if (deadline.Expired()) {
+    timed_out_queries_.fetch_add(1, std::memory_order_relaxed);
+    failed_queries_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(504, StatusCode::kTimeout,
+                         "deadline expired before evaluation started");
+  }
+
+  CancelToken cancel = CancelToken::Cancellable(deadline);
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    in_flight_[fd] = cancel;
+  }
+  watch_cv_.notify_all();
+
   Stopwatch server_timer;
-  Result<net::QueryResponse> evaluated = endpoint_->Query(query_text);
+  Result<net::QueryResponse> evaluated =
+      endpoint_->QueryCancellable(query_text, cancel);
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    in_flight_.erase(fd);
+  }
   if (!evaluated.ok()) {
     failed_queries_.fetch_add(1, std::memory_order_relaxed);
+    // An expired propagated deadline takes precedence over a fired cancel
+    // token: a client that times out also closes its connection, so the
+    // watchdog often requests cancellation while the evaluation is still
+    // unwinding from the deadline check — the root cause is the deadline.
+    if (evaluated.status().code() == StatusCode::kTimeout &&
+        cancel.deadline().Expired()) {
+      timed_out_queries_.fetch_add(1, std::memory_order_relaxed);
+    } else if (cancel.CancelRequested()) {
+      cancelled_queries_.fetch_add(1, std::memory_order_relaxed);
+    }
     return ErrorResponse(HttpStatusForCode(evaluated.status().code()),
                          evaluated.status().code(),
                          evaluated.status().message());

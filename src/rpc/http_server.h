@@ -9,7 +9,9 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "net/endpoint.h"
@@ -56,6 +58,8 @@ struct HttpServerStats {
   uint64_t bad_requests = 0;    ///< 4xx answers (malformed, wrong route).
   uint64_t failed_queries = 0;  ///< Endpoint evaluation failures (5xx/4xx).
   uint64_t truncated_results = 0;
+  uint64_t timed_out_queries = 0;  ///< 504s: client deadline expired mid-eval.
+  uint64_t cancelled_queries = 0;  ///< Evaluations cancelled (disconnect/stop).
   uint64_t bytes_in = 0;        ///< Wire bytes read (headers included).
   uint64_t bytes_out = 0;       ///< Wire bytes written.
 
@@ -77,6 +81,17 @@ struct HttpServerStats {
 /// application/json body {"code":<StatusCode name>,"error":<message>}
 /// that HttpSparqlEndpoint turns back into the original Status, so a
 /// remote federation degrades exactly like an in-process one.
+///
+/// Deadline propagation: a request may carry "X-Lusail-Deadline-Ms" (the
+/// client's remaining budget in milliseconds at send time); the server
+/// derives a local Deadline from it and threads a CancelToken through the
+/// fronted endpoint via QueryCancellable, so evaluation is abandoned
+/// cooperatively once the budget runs out and the client gets 504 with a
+/// kTimeout body (retry classification survives the wire). A watchdog
+/// thread probes connections with in-flight evaluations for client
+/// disconnect (EOF/error on a MSG_PEEK read) and fires the same token,
+/// so a client that hangs up never keeps a server core busy; Stop() also
+/// fires every in-flight token for a fast graceful drain.
 ///
 /// Connections are keep-alive (HTTP/1.1 semantics). A worker thread
 /// drives a connection only while a request is pending; between requests
@@ -127,10 +142,13 @@ class HttpServer {
 
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<ConnState> conn);
+  void WatchLoop();
 
   /// Routes one request to a response (never throws, never closes fd).
-  HttpResponse Handle(const HttpRequest& request);
-  HttpResponse HandleSparql(const HttpRequest& request);
+  /// `fd` identifies the connection the response will go out on, so the
+  /// disconnect watchdog can tie an in-flight evaluation to its socket.
+  HttpResponse Handle(const HttpRequest& request, int fd);
+  HttpResponse HandleSparql(const HttpRequest& request, int fd);
 
   std::shared_ptr<net::Endpoint> endpoint_;
   HttpServerOptions options_;
@@ -146,11 +164,21 @@ class HttpServer {
   std::condition_variable conn_drained_;
   std::set<int> active_fds_;
 
+  /// Connections with an evaluation in flight, keyed by fd; the watchdog
+  /// probes these for disconnect and Cancel()s the token. Entries live
+  /// only for the duration of one HandleSparql call.
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::unordered_map<int, CancelToken> in_flight_;
+  std::thread watchdog_thread_;
+
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> failed_queries_{0};
   std::atomic<uint64_t> truncated_results_{0};
+  std::atomic<uint64_t> timed_out_queries_{0};
+  std::atomic<uint64_t> cancelled_queries_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
 };

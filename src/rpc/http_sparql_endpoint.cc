@@ -196,6 +196,13 @@ Result<net::QueryResponse> HttpSparqlEndpoint::RoundTrip(
   request.SetHeader("Host", host_ + ":" + std::to_string(port_));
   request.SetHeader("Content-Type", "application/sparql-query");
   request.SetHeader("Accept", "application/sparql-results+json");
+  // Propagate the remaining budget so the server stops evaluating when
+  // this client has already given up. Every request carries one: even a
+  // plain Query() runs under the default request timeout cap.
+  if (deadline.has_deadline()) {
+    request.SetHeader("X-Lusail-Deadline-Ms",
+                      std::to_string(deadline.RemainingMillis()));
+  }
   request.body = query;
 
   std::string serialized = request.Serialize();

@@ -48,6 +48,10 @@ struct HttpClientStats {
 /// transport failures surface as kUnavailable and deadline expiry as
 /// kTimeout, both retryable, exactly like the simulated fault layer.
 ///
+/// Every request carries the remaining budget as "X-Lusail-Deadline-Ms"
+/// so a Lusail server abandons evaluation once this client has given up
+/// (foreign endpoints ignore the header).
+///
 /// Thread-safe: concurrent queries each use their own pooled connection
 /// (per-host keep-alive pool, capped at max_idle_connections). A reused
 /// connection that turns out to be dead before any response byte is

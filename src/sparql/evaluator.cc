@@ -1,6 +1,7 @@
 #include "sparql/evaluator.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <set>
 #include <unordered_map>
@@ -96,7 +97,8 @@ struct IdRowHash {
 
 class GroupEvaluator {
  public:
-  GroupEvaluator(EvalContext* ctx) : ctx_(*ctx) {}
+  GroupEvaluator(EvalContext* ctx, const CancelToken& cancel)
+      : ctx_(*ctx), cancel_(cancel) {}
 
   /// Evaluates `gp` seeded with `input`, producing at most `max_rows`
   /// solutions (the cap applies to the group's final output).
@@ -337,9 +339,20 @@ class GroupEvaluator {
 
     for (Binding& row : input) {
       Enumerate(gp, order, inline_at, 0, &row, bgp_max, out);
+      if (cancelled_) return cancel_.StatusAt("endpoint evaluation");
       if (out->size() >= bgp_max) break;
     }
     return Status::OK();
+  }
+
+  /// Amortized cancellation probe for the enumeration hot loop: the
+  /// token's clock read happens once per 1024 calls. Sticky once fired.
+  bool CheckCancelled() {
+    if (cancelled_) return true;
+    if ((++cancel_ticks_ & 1023u) == 0 && cancel_.Cancelled()) {
+      cancelled_ = true;
+    }
+    return cancelled_;
   }
 
   void Enumerate(const GraphPattern& gp, const std::vector<size_t>& order,
@@ -376,6 +389,7 @@ class GroupEvaluator {
 
     auto matches = ctx_.store().Match(pos[0], pos[1], pos[2]);
     for (const EncodedTriple& t : matches) {
+      if (CheckCancelled()) return;
       TermId values[3] = {t.s, t.p, t.o};
       // Assign unbound slots, honoring repeated variables in the pattern.
       int assigned[3];
@@ -412,6 +426,9 @@ class GroupEvaluator {
   }
 
   EvalContext& ctx_;
+  const CancelToken& cancel_;
+  uint64_t cancel_ticks_ = 0;
+  bool cancelled_ = false;
 };
 
 }  // namespace
@@ -443,10 +460,12 @@ std::optional<rdf::TermId> ResolveSlot(const store::TripleStore& store,
 
 }  // namespace
 
-Result<ResultTable> Evaluator::Execute(const Query& query) const {
+Result<ResultTable> Evaluator::Execute(const Query& query,
+                                       const CancelToken& cancel) const {
   if (!store_->frozen()) {
     return Status::Internal("evaluator requires a frozen store");
   }
+  if (cancel.Cancelled()) return cancel.StatusAt("endpoint evaluation");
 
   // Fast paths for the probe queries federated engines hammer endpoints
   // with: single-pattern COUNT(*) and single-pattern ASK resolve directly
@@ -492,7 +511,7 @@ Result<ResultTable> Evaluator::Execute(const Query& query) const {
   }
 
   std::vector<Binding> seed(1, Binding(ctx.NumSlots(), rdf::kInvalidTermId));
-  GroupEvaluator ge(&ctx);
+  GroupEvaluator ge(&ctx, cancel);
   LUSAIL_ASSIGN_OR_RETURN(std::vector<Binding> rows,
                           ge.Eval(query.where, std::move(seed), max_rows));
 

@@ -1,6 +1,7 @@
 #ifndef LUSAIL_SPARQL_EVALUATOR_H_
 #define LUSAIL_SPARQL_EVALUATOR_H_
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "sparql/ast.h"
 #include "sparql/result_table.h"
@@ -26,7 +27,11 @@ class Evaluator {
 
   /// Runs a SELECT query and materializes the result table. ASK queries
   /// are also accepted (the table has zero columns and 0 or 1 rows).
-  Result<ResultTable> Execute(const Query& query) const;
+  /// The token is polled every ~1k join iterations (amortized clock
+  /// cost); once it fires, evaluation unwinds with kTimeout and no
+  /// result rows are produced.
+  Result<ResultTable> Execute(const Query& query,
+                              const CancelToken& cancel = {}) const;
 
   /// Runs a query as ASK: true iff at least one solution exists. Stops at
   /// the first solution.

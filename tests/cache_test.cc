@@ -1,7 +1,8 @@
 // Tests for the federation-level cross-query cache, the concurrent
-// QueryService, and the PR's regression fixes: the SAPE empty-partner
-// short-circuit, exact COUNT-literal parsing, and the parallel cartesian
-// join path.
+// QueryService (including queue-expiry fail-fast and Cancel), and
+// regression fixes: the SAPE empty-partner short-circuit and per-chunk
+// bound-join cancellation, exact COUNT-literal parsing, and the parallel
+// cartesian join path.
 
 #include <algorithm>
 #include <atomic>
@@ -465,6 +466,74 @@ TEST(QueryServiceTest, AdmissionCapRejectsExcessQueries) {
 // Regression: COUNT-literal parsing above 2^53
 // ---------------------------------------------------------------------
 
+/// Regression (queue-expiry fail-fast): a query whose deadline passes
+/// while it waits behind other queries must fail with kTimeout at
+/// dequeue — counted as expired_in_queue — instead of executing with a
+/// budget it no longer has.
+TEST(QueryServiceTest, QueueExpiryFailsFastWithTimeout) {
+  workload::LubmGenerator generator(workload::LubmConfig::Small());
+  net::LatencyModel slow{/*request_latency_ms=*/50.0,
+                         /*bandwidth_bytes_per_ms=*/0.0,
+                         /*sleep_scale=*/1.0};
+  auto federation = workload::BuildFederation(generator.GenerateAll(), slow);
+  cache::QueryServiceOptions options;
+  options.max_concurrent = 1;  // The second query must wait in the queue.
+  cache::QueryService service(federation.get(), options);
+
+  auto queries = workload::LubmGenerator::BenchmarkQueries();
+  auto first = service.Submit(queries[0].second);
+  ASSERT_TRUE(first.ok());
+  // 1 ms of budget against >= 50 ms of queue wait: expired at dequeue.
+  auto second = service.Submit(queries[0].second, Deadline::AfterMillis(1.0));
+  ASSERT_TRUE(second.ok());
+
+  Result<fed::FederatedResult> expired = second->get();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kTimeout)
+      << expired.status().ToString();
+  // The fail-fast path, not a mid-execution timeout.
+  EXPECT_NE(expired.status().message().find("queue wait"), std::string::npos)
+      << expired.status().ToString();
+
+  EXPECT_TRUE(first->get().ok());
+  service.Drain();
+  cache::QueryServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.expired_in_queue, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(QueryServiceTest, CancelAbortsSubmittedQuery) {
+  workload::LubmGenerator generator(workload::LubmConfig::Small());
+  net::LatencyModel slow{/*request_latency_ms=*/50.0,
+                         /*bandwidth_bytes_per_ms=*/0.0,
+                         /*sleep_scale=*/1.0};
+  auto federation = workload::BuildFederation(generator.GenerateAll(), slow);
+  cache::QueryServiceOptions options;
+  options.max_concurrent = 1;
+  cache::QueryService service(federation.get(), options);
+
+  auto queries = workload::LubmGenerator::BenchmarkQueries();
+  auto submitted = service.SubmitCancellable(queries[0].second);
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_TRUE(service.Cancel(submitted->id));
+
+  // Whether the cancel lands while the query is still queued or already
+  // running, the future resolves to kTimeout within one work chunk.
+  Result<fed::FederatedResult> result = submitted->future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+      << result.status().ToString();
+
+  service.Drain();
+  cache::QueryServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  // Finished and unknown ids no longer cancel.
+  EXPECT_FALSE(service.Cancel(submitted->id));
+  EXPECT_FALSE(service.Cancel(424242));
+}
+
 TEST(ParseCountLiteralTest, KeepsFullPrecisionAboveDoubleRange) {
   // 2^53 + 1 is the first integer a double cannot represent.
   EXPECT_EQ(core::ParseCountLiteral(rdf::Term::Literal("9007199254740993")),
@@ -577,7 +646,7 @@ TEST(SapeEmptyPartnerTest, DelayedSubqueryWithEmptyPartnerIsNotFetched) {
   core::SapeExecutor sape(federation.get(), &pool, &options);
   fed::SharedDictionary dict;
   auto result = sape.Execute({empty_sq, delayed_sq}, query->where.triples,
-                             &dict, nullptr, Deadline());
+                             &dict, nullptr, CancelToken());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->rows.empty());
 
@@ -589,6 +658,98 @@ TEST(SapeEmptyPartnerTest, DelayedSubqueryWithEmptyPartnerIsNotFetched) {
   auto* ep0 = dynamic_cast<net::SparqlEndpoint*>(federation->endpoint(0));
   ASSERT_NE(ep0, nullptr);
   EXPECT_EQ(ep0->stats().requests, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Regression: bound join re-checks cancellation between VALUES chunks
+// ---------------------------------------------------------------------
+
+/// Decorator that fires `token` after serving each request — the
+/// deterministic "client gives up right after the first bound-join
+/// chunk" scenario.
+class CancelAfterRequestEndpoint : public net::Endpoint {
+ public:
+  CancelAfterRequestEndpoint(std::shared_ptr<net::Endpoint> inner,
+                             CancelToken token)
+      : inner_(std::move(inner)), token_(std::move(token)) {}
+
+  const std::string& id() const override { return inner_->id(); }
+
+  Result<net::QueryResponse> Query(const std::string& text) override {
+    Result<net::QueryResponse> response = inner_->Query(text);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    token_.Cancel();
+    return response;
+  }
+
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<net::Endpoint> inner_;
+  CancelToken token_;
+  std::atomic<uint64_t> requests_{0};
+};
+
+/// Regression (per-chunk cancellation): a delayed subquery shipping its
+/// bindings in N VALUES blocks must stop at the first block past the
+/// cancel/deadline, not fire the remaining N-1 requests.
+TEST(SapeBoundJoinCancelTest, CancelBetweenValuesChunksStopsFetching) {
+  auto store0 = std::make_unique<store::TripleStore>();
+  auto store1 = std::make_unique<store::TripleStore>();
+  for (int i = 0; i < 8; ++i) {
+    store0->Add({rdf::Term::Iri("urn:s" + std::to_string(i)),
+                 rdf::Term::Iri("urn:p"),
+                 rdf::Term::Iri("urn:x" + std::to_string(i))});
+    store1->Add({rdf::Term::Iri("urn:x" + std::to_string(i)),
+                 rdf::Term::Iri("urn:q"),
+                 rdf::Term::Iri("urn:y" + std::to_string(i))});
+  }
+  store0->Freeze();
+  store1->Freeze();
+
+  CancelToken token = CancelToken::Cancellable();
+  auto ep1 = std::make_shared<CancelAfterRequestEndpoint>(
+      std::make_shared<net::SparqlEndpoint>("ep1", std::move(store1),
+                                            net::LatencyModel::None()),
+      token);
+  fed::Federation federation;
+  federation.Add(std::make_shared<net::SparqlEndpoint>(
+      "ep0", std::move(store0), net::LatencyModel::None()));
+  federation.Add(ep1);
+
+  auto query = sparql::ParseQuery(
+      "SELECT ?s ?x ?y WHERE { ?s <urn:p> ?x . ?x <urn:q> ?y . }");
+  ASSERT_TRUE(query.ok());
+
+  core::Subquery found_sq;
+  found_sq.triple_indices = {0};
+  found_sq.sources = {0};
+  found_sq.projection = {"s", "x"};
+  found_sq.estimated_cardinality = 8.0;
+
+  core::Subquery delayed_sq;
+  delayed_sq.triple_indices = {1};
+  delayed_sq.sources = {1};
+  delayed_sq.projection = {"x", "y"};
+  delayed_sq.estimated_cardinality = 1e6;  // Forces the delay decision.
+
+  core::LusailOptions options;
+  options.bound_join_block_size = 1;  // 8 bindings -> 8 VALUES chunks.
+  ThreadPool pool(4);
+  core::SapeExecutor sape(&federation, &pool, &options);
+  fed::SharedDictionary dict;
+  auto result = sape.Execute({found_sq, delayed_sq}, query->where.triples,
+                             &dict, nullptr, token);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("bound join"), std::string::npos)
+      << result.status().ToString();
+  // One chunk was in flight when the token fired; the remaining 7 must
+  // not have been issued.
+  EXPECT_EQ(ep1->requests(), 1u);
 }
 
 // ---------------------------------------------------------------------

@@ -3,6 +3,7 @@
 // results) across Lusail and the baseline engines.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -277,6 +278,120 @@ TEST(ResilientEndpointTest, BreakerOpensOnPersistentOutageAndFailsFast) {
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("circuit breaker open"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Deadline-aware retries: no doomed attempts, no breaker pollution
+// ---------------------------------------------------------------------
+
+/// Endpoint that sleeps out the caller's remaining deadline budget (plus
+/// a margin) and then fails with `code` — the shape of a server slower
+/// than the client's patience.
+class SleepOutDeadlineEndpoint : public net::Endpoint {
+ public:
+  SleepOutDeadlineEndpoint(std::string id, StatusCode code)
+      : id_(std::move(id)), code_(code) {}
+
+  const std::string& id() const override { return id_; }
+
+  Result<net::QueryResponse> Query(const std::string& text) override {
+    return QueryWithDeadline(text, Deadline());
+  }
+
+  Result<net::QueryResponse> QueryWithDeadline(
+      const std::string&, const Deadline& deadline) override {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (deadline.has_deadline()) {
+      double remaining = deadline.RemainingMillis();
+      if (remaining > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(remaining + 5.0));
+      }
+    }
+    return Status(code_, "server outlived the caller's budget");
+  }
+
+  int attempts() const { return attempts_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string id_;
+  StatusCode code_;
+  std::atomic<int> attempts_{0};
+};
+
+/// A breaker that would trip on the very first recorded failure.
+net::CircuitBreakerConfig HairTriggerBreaker() {
+  net::CircuitBreakerConfig config;
+  config.window_size = 4;
+  config.min_samples = 1;
+  config.failure_rate_threshold = 0.5;
+  return config;
+}
+
+/// Regression: a kTimeout that coincides with the caller's own expired
+/// deadline is self-inflicted — it says nothing about endpoint health
+/// and must not open the breaker (tight client deadlines would otherwise
+/// trip breakers on perfectly healthy endpoints).
+TEST(DeadlineRetryTest, SelfInflictedTimeoutDoesNotFeedTheBreaker) {
+  SleepOutDeadlineEndpoint slow("slow", StatusCode::kTimeout);
+  net::CircuitBreaker breaker(HairTriggerBreaker());
+  net::RetryOutcome outcome;
+  Result<net::QueryResponse> r = net::QueryWithRetry(
+      &slow, "ASK { ?s ?p ?o . }", Deadline::AfterMillis(20),
+      net::RetryPolicy::Standard(3), &breaker, &outcome);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(breaker.state(), net::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+  EXPECT_EQ(outcome.breaker_trips, 0);
+}
+
+/// Contrast case: a server-side kTimeout while the caller still has
+/// budget is real endpoint sickness and must keep feeding the breaker.
+TEST(DeadlineRetryTest, ServerTimeoutWithBudgetLeftStillFeedsTheBreaker) {
+  // Infinite client deadline: the endpoint fails instantly with kTimeout.
+  SleepOutDeadlineEndpoint sick("sick", StatusCode::kTimeout);
+  net::CircuitBreaker breaker(HairTriggerBreaker());
+  net::RetryOutcome outcome;
+  Result<net::QueryResponse> r = net::QueryWithRetry(
+      &sick, "ASK { ?s ?p ?o . }", Deadline(),
+      net::RetryPolicy::Standard(2), &breaker, &outcome);
+  ASSERT_FALSE(r.ok());
+  EXPECT_GE(breaker.trips(), 1u);
+}
+
+/// Regression: when the deadline expires during an attempt, the retry
+/// loop must bail with kTimeout instead of sleeping a backoff and
+/// issuing a doomed attempt (or mislabeling the exit with the prior
+/// attempt's kUnavailable).
+TEST(DeadlineRetryTest, NoDoomedAttemptAfterDeadlineExpires) {
+  SleepOutDeadlineEndpoint slow("slow", StatusCode::kUnavailable);
+  net::RetryOutcome outcome;
+  Result<net::QueryResponse> r = net::QueryWithRetry(
+      &slow, "ASK { ?s ?p ?o . }", Deadline::AfterMillis(20),
+      net::RetryPolicy::Standard(3), /*breaker=*/nullptr, &outcome);
+  ASSERT_FALSE(r.ok());
+  // The deadline ended the loop, not the endpoint: kTimeout, one attempt.
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout)
+      << r.status().ToString();
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(slow.attempts(), 1);
+  EXPECT_EQ(outcome.retries, 0);
+}
+
+/// A fired cancel token stops the retry loop before any attempt, and
+/// ResilientEndpoint::QueryCancellable threads the token through.
+TEST(DeadlineRetryTest, CancelledTokenStopsRetriesBeforeAnyAttempt) {
+  auto slow = std::make_shared<SleepOutDeadlineEndpoint>(
+      "slow", StatusCode::kUnavailable);
+  net::ResilientEndpoint endpoint(slow, net::RetryPolicy::Standard(3));
+  CancelToken token = CancelToken::Cancellable();
+  token.Cancel();
+  Result<net::QueryResponse> r =
+      endpoint.QueryCancellable("ASK { ?s ?p ?o . }", token);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(slow->attempts(), 0);
 }
 
 // ---------------------------------------------------------------------

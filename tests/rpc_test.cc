@@ -555,6 +555,155 @@ TEST_F(LoopbackFederationTest, MidQueryServerKillTerminatesCleanly) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Deadline propagation and cooperative cancellation over the wire
+// ---------------------------------------------------------------------
+
+/// An endpoint whose evaluation is expensive but materializes nothing:
+/// a three-way cross product over `n` triples whose final FILTER
+/// references all three object variables (so it runs at the innermost
+/// enumeration step and rejects every candidate). n = 400 gives 6.4e7
+/// filter evaluations — multiple seconds of evaluation, zero rows.
+std::shared_ptr<net::SparqlEndpoint> CrossProductEndpoint(
+    const std::string& id, int n = 400) {
+  auto store = std::make_unique<store::TripleStore>();
+  for (int i = 0; i < n; ++i) {
+    store->Add(rdf::TermTriple{
+        rdf::Term::Iri("http://ex/s" + std::to_string(i)),
+        rdf::Term::Iri("http://ex/p"), rdf::Term::Integer(i)});
+  }
+  store->Freeze();
+  return std::make_shared<net::SparqlEndpoint>(id, std::move(store),
+                                               net::LatencyModel::None());
+}
+
+const char kSlowQuery[] =
+    "SELECT ?a ?b ?c WHERE { ?a <http://ex/p> ?x . ?b <http://ex/p> ?y . "
+    "?c <http://ex/p> ?z . FILTER(?x + ?y + ?z < 0) }";
+
+/// The tentpole e2e: a 100 ms client deadline against a multi-second
+/// evaluation. The client's budget crosses the wire as
+/// X-Lusail-Deadline-Ms, the server derives a local deadline from it,
+/// and the evaluator abandons the enumeration within one check chunk of
+/// expiry — visible as the server's timed_out_queries counter rising
+/// shortly after the deadline, with no rows ever materialized.
+TEST(HttpDeadlineTest, ClientDeadlineStopsServerEvaluation) {
+  std::shared_ptr<net::SparqlEndpoint> slow = CrossProductEndpoint("SLOW");
+  HttpServer server(slow);
+  ASSERT_TRUE(server.Start().ok());
+  HttpSparqlEndpoint client("SLOW", "127.0.0.1", server.port());
+
+  Stopwatch timer;
+  Result<net::QueryResponse> response =
+      client.QueryWithDeadline(kSlowQuery, Deadline::AfterMillis(100));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kTimeout)
+      << response.status().ToString();
+
+  // The server must abandon evaluation shortly after the 100 ms budget,
+  // not run the multi-second query to completion.
+  bool abandoned = false;
+  while (timer.ElapsedMillis() < 5000.0) {
+    if (server.stats().timed_out_queries >= 1) {
+      abandoned = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(abandoned);
+  EXPECT_LT(timer.ElapsedMillis(), 250.0)
+      << "server kept evaluating past the propagated deadline";
+
+  // Cancelled evaluation materialized nothing (SparqlEndpoint counts
+  // requests and rows only on success).
+  EXPECT_EQ(slow->stats().rows_out, 0u);
+  EXPECT_EQ(slow->stats().requests, 0u);
+  EXPECT_EQ(server.stats().failed_queries, 1u);
+  server.Stop();
+}
+
+/// A client that hangs up mid-evaluation must not keep a server core
+/// busy: the disconnect watchdog notices EOF on the connection and fires
+/// the in-flight token, counted as cancelled_queries.
+TEST(HttpDeadlineTest, ClientDisconnectCancelsInFlightEvaluation) {
+  std::shared_ptr<net::SparqlEndpoint> slow = CrossProductEndpoint("SLOW");
+  HttpServer server(slow);
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string body(kSlowQuery);
+  std::string request =
+      "POST /sparql HTTP/1.1\r\nHost: loopback\r\n"
+      "Content-Type: application/sparql-query\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  // Wait until the server has started evaluating, then hang up.
+  Stopwatch timer;
+  while (server.stats().requests < 1 && timer.ElapsedMillis() < 5000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.stats().requests, 1u);
+  ::close(fd);
+
+  bool cancelled = false;
+  while (timer.ElapsedMillis() < 5000.0) {
+    if (server.stats().cancelled_queries >= 1) {
+      cancelled = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(cancelled) << "disconnect did not cancel the evaluation";
+  EXPECT_EQ(slow->stats().rows_out, 0u);
+  server.Stop();
+}
+
+/// Without a deadline header the server evaluates under an infinite
+/// deadline — the header, not a server-side default, carries the budget.
+TEST(HttpDeadlineTest, NoHeaderMeansNoServerDeadline) {
+  HttpServer server(TinyEndpoint("EP"));
+  ASSERT_TRUE(server.Start().ok());
+  std::string body = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+  std::string response = RawExchange(
+      server.port(),
+      "POST /sparql HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "Content-Type: application/sparql-query\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_EQ(server.stats().timed_out_queries, 0u);
+  server.Stop();
+}
+
+/// An already-expired budget answers 504 before evaluation starts, with
+/// the kTimeout code in the body so the client reconstructs the status.
+TEST(HttpDeadlineTest, ExpiredBudgetIs504BeforeEvaluation) {
+  std::shared_ptr<net::SparqlEndpoint> slow = CrossProductEndpoint("SLOW");
+  HttpServer server(slow);
+  ASSERT_TRUE(server.Start().ok());
+  std::string body(kSlowQuery);
+  std::string response = RawExchange(
+      server.port(),
+      "POST /sparql HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "X-Lusail-Deadline-Ms: 0\r\n"
+      "Content-Type: application/sparql-query\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(response.find("504"), std::string::npos) << response;
+  EXPECT_NE(response.find("Timeout"), std::string::npos) << response;
+  EXPECT_EQ(slow->stats().requests, 0u);
+  server.Stop();
+}
+
 /// More concurrent connections than server workers: the regression test
 /// for thread-per-connection starvation (workers parked on idle
 /// keep-alive connections while new connections waited out the client's
