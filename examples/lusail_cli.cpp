@@ -30,9 +30,19 @@
 //                         instead of in-process stores. <specs> is a
 //                         comma-separated list of host:port=id entries
 //                         (e.g. 127.0.0.1:9001=univ0,127.0.0.1:9002=univ1),
-//                         each typically a lusail_endpointd process
+//                         each typically a lusail_endpointd process.
+//                         Replicas of one logical endpoint are separated
+//                         by '|': host:port|host:port=id builds a
+//                         ReplicaGroup with health-checked failover and
+//                         hedged requests (replicas get ids id#0, id#1,
+//                         ...)
 //   --retry <n>           enable the standard retry policy with n
 //                         attempts per request (0 = off, the default)
+//   --cache-file <path>   persist the shared cross-query cache across
+//                         runs: warm-load the snapshot before the query
+//                         and save it back afterwards (implies attaching
+//                         the shared cache), so a repeated query needs
+//                         zero cold ASK probes
 //   --format tsv|srj      result output format (default tsv; srj is
 //                         SPARQL 1.1 JSON Results, the wire format)
 //
@@ -49,7 +59,9 @@
 #include "baselines/fedx_engine.h"
 #include "baselines/splendid_engine.h"
 #include "cache/federation_cache.h"
+#include "common/string_util.h"
 #include "core/lusail_engine.h"
+#include "net/replica.h"
 #include "obs/explain.h"
 #include "rpc/http_sparql_endpoint.h"
 #include "rpc/results_json.h"
@@ -71,6 +83,7 @@ struct CliOptions {
   std::string query_file;
   std::string trace_file;
   std::string remote;
+  std::string cache_file;
   std::string format = "tsv";
   double timeout_ms = 60000;
   int retry_attempts = 0;
@@ -87,14 +100,33 @@ int Usage() {
                "                  [--latency none|local|geo] [--explain]\n"
                "                  [--explain-json] [--trace <file>]\n"
                "                  [--cache-stats] [--deadline-ms <ms>]\n"
-               "                  [--remote host:port=id,...] [--retry <n>]\n"
+               "                  [--remote host:port[|host:port...]=id,...]\n"
+               "                  [--retry <n>] [--cache-file <path>]\n"
                "                  [--format tsv|srj]\n"
                "                  [query-file]\n");
   return 2;
 }
 
-/// Parses "host:port=id,host:port=id,..." into a federation of live HTTP
-/// endpoints.
+/// Parses one "host:port" half of a --remote entry.
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& text, const std::string& entry) {
+  size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("bad --remote entry (want host:port=id): " +
+                                   entry);
+  }
+  std::string host = text.substr(0, colon);
+  unsigned long port = std::strtoul(text.c_str() + colon + 1, nullptr, 10);
+  if (host.empty() || port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad --remote entry: " + entry);
+  }
+  return std::make_pair(std::move(host), static_cast<uint16_t>(port));
+}
+
+/// Parses "host:port=id,host:port|host:port=id,..." into a federation of
+/// live HTTP endpoints; a '|'-separated address list becomes a
+/// ReplicaGroup (failover + hedging) whose replicas are named id#0,
+/// id#1, ...
 Result<std::unique_ptr<fed::Federation>> BuildRemoteFederation(
     const std::string& specs) {
   auto federation = std::make_unique<fed::Federation>();
@@ -102,21 +134,33 @@ Result<std::unique_ptr<fed::Federation>> BuildRemoteFederation(
   std::string entry;
   while (std::getline(stream, entry, ',')) {
     if (entry.empty()) continue;
-    size_t eq = entry.find('=');
-    size_t colon = entry.find(':');
-    if (eq == std::string::npos || colon == std::string::npos || colon > eq) {
+    size_t eq = entry.rfind('=');
+    if (eq == std::string::npos) {
       return Status::InvalidArgument("bad --remote entry (want host:port=id): " +
                                      entry);
     }
-    std::string host = entry.substr(0, colon);
-    std::string port_text = entry.substr(colon + 1, eq - colon - 1);
+    std::string addresses = entry.substr(0, eq);
     std::string id = entry.substr(eq + 1);
-    unsigned long port = std::strtoul(port_text.c_str(), nullptr, 10);
-    if (host.empty() || id.empty() || port == 0 || port > 65535) {
+    if (id.empty()) {
       return Status::InvalidArgument("bad --remote entry: " + entry);
     }
-    federation->Add(std::make_shared<rpc::HttpSparqlEndpoint>(
-        id, host, static_cast<uint16_t>(port)));
+    std::vector<std::string> hosts = Split(addresses, '|');
+    if (hosts.size() == 1) {
+      auto parsed = ParseHostPort(hosts[0], entry);
+      if (!parsed.ok()) return parsed.status();
+      federation->Add(std::make_shared<rpc::HttpSparqlEndpoint>(
+          id, parsed->first, parsed->second));
+      continue;
+    }
+    std::vector<std::shared_ptr<net::Endpoint>> replicas;
+    for (size_t r = 0; r < hosts.size(); ++r) {
+      auto parsed = ParseHostPort(hosts[r], entry);
+      if (!parsed.ok()) return parsed.status();
+      replicas.push_back(std::make_shared<rpc::HttpSparqlEndpoint>(
+          id + "#" + std::to_string(r), parsed->first, parsed->second));
+    }
+    federation->Add(std::make_shared<net::ReplicaGroup>(id,
+                                                        std::move(replicas)));
   }
   if (federation->size() == 0) {
     return Status::InvalidArgument("--remote lists no endpoints");
@@ -156,6 +200,10 @@ void PrintProfile(const fed::ExecutionProfile& profile) {
                profile.source_selection_ms, profile.analysis_ms,
                profile.execution_ms, profile.total_ms, profile.network_ms,
                static_cast<unsigned long long>(profile.pushed_optionals));
+  if (profile.hedged_requests > 0) {
+    std::fprintf(stderr, "# hedged requests: %llu\n",
+                 static_cast<unsigned long long>(profile.hedged_requests));
+  }
 }
 
 }  // namespace
@@ -205,6 +253,8 @@ int main(int argc, char** argv) {
                                                             nullptr, 10));
     } else if (arg == "--cache-stats") {
       options.cache_stats = true;
+    } else if (arg == "--cache-file") {
+      if (!next(&options.cache_file)) return Usage();
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -254,7 +304,23 @@ int main(int argc, char** argv) {
   // this federation consults for ASK verdicts, COUNT probes, and (for
   // Lusail with result_cache) subquery result tables.
   cache::FederationCache shared_cache;
-  if (options.cache_stats) federation->set_query_cache(&shared_cache);
+  if (options.cache_stats || !options.cache_file.empty()) {
+    federation->set_query_cache(&shared_cache);
+  }
+  if (!options.cache_file.empty()) {
+    auto loaded = shared_cache.LoadFromDisk(options.cache_file);
+    if (loaded.ok()) {
+      std::fprintf(stderr, "# cache: warm-loaded %llu entries from %s\n",
+                   static_cast<unsigned long long>(*loaded),
+                   options.cache_file.c_str());
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      // A missing snapshot is just a cold start; anything else (corrupt,
+      // wrong version) is worth a warning but never fatal.
+      std::fprintf(stderr, "# cache: ignoring snapshot %s: %s\n",
+                   options.cache_file.c_str(),
+                   loaded.status().ToString().c_str());
+    }
+  }
 
   // Read the query.
   std::string query_text;
@@ -354,6 +420,16 @@ int main(int argc, char** argv) {
   if (options.cache_stats) {
     std::fprintf(stderr, "# cache stats:\n%s\n",
                  shared_cache.ToJson().Pretty().c_str());
+  }
+  if (!options.cache_file.empty()) {
+    Status saved = shared_cache.SaveToDisk(options.cache_file);
+    if (saved.ok()) {
+      std::fprintf(stderr, "# cache: snapshot saved to %s\n",
+                   options.cache_file.c_str());
+    } else {
+      std::fprintf(stderr, "# cache: snapshot save failed: %s\n",
+                   saved.ToString().c_str());
+    }
   }
   return 0;
 }

@@ -14,6 +14,12 @@
 //                         truncated responses carry X-Lusail-Truncated)
 //   --latency none|local|geo   extra simulated latency (default none —
 //                         a real server already has real latency)
+//   --cache-file <path>   crash-safe ASK-verdict cache: warm-load the
+//                         snapshot at startup, memoize ASK verdicts
+//                         while serving, and save the snapshot back on
+//                         graceful shutdown. A restarted endpoint then
+//                         answers repeated source-selection probes from
+//                         the snapshot instead of re-evaluating them.
 //
 // On startup it prints one machine-readable line to stdout:
 //   READY <id> <port>
@@ -29,6 +35,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "cache/cached_endpoint.h"
+#include "cache/federation_cache.h"
 #include "net/sparql_endpoint.h"
 #include "rpc/http_server.h"
 #include "store/triple_store.h"
@@ -42,7 +50,8 @@ int Usage() {
                "usage: lusail_endpointd --data <file.nt> [--id <name>]\n"
                "                        [--port <n>] [--bind <address>]\n"
                "                        [--threads <n>] [--max-rows <n>]\n"
-               "                        [--latency none|local|geo]\n");
+               "                        [--latency none|local|geo]\n"
+               "                        [--cache-file <path>]\n");
   return 2;
 }
 
@@ -54,6 +63,7 @@ void HandleStop(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   std::string data_file;
   std::string id;
+  std::string cache_file;
   rpc::HttpServerOptions server_options;
   std::string latency = "none";
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +93,8 @@ int main(int argc, char** argv) {
           std::strtoul(value.c_str(), nullptr, 10);
     } else if (arg == "--latency") {
       if (!next(&latency)) return Usage();
+    } else if (arg == "--cache-file") {
+      if (!next(&cache_file)) return Usage();
     } else {
       if (arg != "--help" && arg != "-h") {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -106,8 +118,32 @@ int main(int argc, char** argv) {
   net::LatencyModel model = net::LatencyModel::None();
   if (latency == "local") model = net::LatencyModel::LocalCluster();
   if (latency == "geo") model = net::LatencyModel::GeoDistributed();
-  auto endpoint = std::make_shared<net::SparqlEndpoint>(
-      id, std::move(store), model);
+  std::shared_ptr<net::Endpoint> endpoint =
+      std::make_shared<net::SparqlEndpoint>(id, std::move(store), model);
+
+  // Crash-safe ASK-verdict cache: warm-load the snapshot, then serve
+  // through a memoizing wrapper so repeated source-selection probes skip
+  // store evaluation entirely.
+  cache::FederationCache verdict_cache;
+  std::shared_ptr<cache::CachedAskEndpoint> cached;
+  if (!cache_file.empty()) {
+    auto restored = verdict_cache.LoadFromDisk(cache_file);
+    if (restored.ok()) {
+      std::fprintf(stderr, "# %s: warm-loaded %llu cached verdicts from %s\n",
+                   id.c_str(),
+                   static_cast<unsigned long long>(*restored),
+                   cache_file.c_str());
+    } else if (restored.status().code() != StatusCode::kNotFound) {
+      // Corrupt or incompatible snapshots are discarded, never fatal: the
+      // endpoint just starts cold and overwrites the file on shutdown.
+      std::fprintf(stderr, "# %s: ignoring snapshot %s: %s\n", id.c_str(),
+                   cache_file.c_str(),
+                   restored.status().ToString().c_str());
+    }
+    cached = std::make_shared<cache::CachedAskEndpoint>(endpoint,
+                                                        &verdict_cache);
+    endpoint = cached;
+  }
 
   rpc::HttpServer server(endpoint, server_options);
   Status started = server.Start();
@@ -143,5 +179,18 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.bytes_out),
                static_cast<unsigned long long>(stats.timed_out_queries),
                static_cast<unsigned long long>(stats.cancelled_queries));
+  if (cached != nullptr) {
+    std::fprintf(stderr, "# ask cache: %llu hits, %llu misses\n",
+                 static_cast<unsigned long long>(cached->hits()),
+                 static_cast<unsigned long long>(cached->misses()));
+    Status saved = verdict_cache.SaveToDisk(cache_file);
+    if (saved.ok()) {
+      std::fprintf(stderr, "# ask cache: snapshot saved to %s\n",
+                   cache_file.c_str());
+    } else {
+      std::fprintf(stderr, "# ask cache: snapshot save failed: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
   return 0;
 }

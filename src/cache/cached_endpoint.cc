@@ -1,0 +1,37 @@
+#include "cache/cached_endpoint.h"
+
+#include "common/string_util.h"
+
+namespace lusail::cache {
+
+Result<net::QueryResponse> CachedAskEndpoint::QueryCancellable(
+    const std::string& text, const CancelToken& cancel) {
+  if (!LooksLikeAskQuery(text)) {
+    return inner_->QueryCancellable(text, cancel);
+  }
+  std::string key = FederationCache::Key(id(), text);
+  if (std::optional<bool> verdict = cache_->GetVerdict(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    net::QueryResponse response;
+    // ASK wire shape: zero columns, one row for true, none for false.
+    if (*verdict) response.table.rows.emplace_back();
+    response.request_bytes = text.size();
+    response.response_bytes = response.table.SerializedBytes();
+    return response;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Result<net::QueryResponse> response = inner_->QueryCancellable(text, cancel);
+  if (response.ok()) {
+    cache_->PutVerdict(key, id(), !response->table.rows.empty());
+  }
+  return response;
+}
+
+obs::JsonValue CachedAskEndpoint::StatsJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("ask_hits", hits());
+  out.Set("ask_misses", misses());
+  return out;
+}
+
+}  // namespace lusail::cache

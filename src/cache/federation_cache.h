@@ -1,6 +1,7 @@
 #ifndef LUSAIL_CACHE_FEDERATION_CACHE_H_
 #define LUSAIL_CACHE_FEDERATION_CACHE_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <list>
@@ -8,7 +9,10 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/status.h"
 #include "obs/json.h"
 #include "sparql/result_table.h"
 
@@ -34,6 +38,26 @@ struct TierStats {
   }
 
   obs::JsonValue ToJson() const;
+};
+
+/// One cache entry in its persistable form (no LRU links, no absolute
+/// timestamps — steady_clock instants cannot survive a restart, so
+/// restored entries get a fresh TTL clock).
+template <typename V>
+struct PersistedEntry {
+  std::string key;
+  std::string endpoint_id;
+  uint64_t generation;
+  V value;
+};
+
+/// A tier's persistable state: live entries (most recently used first)
+/// plus the per-endpoint generation counters, so invalidations issued
+/// before a save stay effective after a load.
+template <typename V>
+struct PersistedTier {
+  std::vector<PersistedEntry<V>> entries;
+  std::vector<std::pair<std::string, uint64_t>> generations;
 };
 
 /// Bounded, thread-safe LRU map with per-endpoint invalidation and
@@ -152,6 +176,61 @@ class LruTier {
   void AdvanceTimeForTesting(double ms) {
     std::lock_guard<std::mutex> lock(mu_);
     time_offset_ms_ += ms;
+  }
+
+  /// The tier's live state for persistence: entries in MRU-first order
+  /// with stale (outdated generation) and TTL-expired entries already
+  /// filtered out, plus the generation counters (sorted by endpoint id
+  /// for deterministic snapshots).
+  PersistedTier<V> SnapshotForPersist() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    PersistedTier<V> out;
+    out.generations.assign(generations_.begin(), generations_.end());
+    std::sort(out.generations.begin(), out.generations.end());
+    double now_ms = NowMsLocked();
+    for (const Entry& entry : lru_) {
+      if (entry.generation != GenerationLocked(entry.endpoint_id)) continue;
+      if (max_age_ms_ > 0.0 && now_ms - entry.inserted_ms > max_age_ms_) {
+        continue;
+      }
+      out.entries.push_back(PersistedEntry<V>{entry.key, entry.endpoint_id,
+                                              entry.generation, entry.value});
+    }
+    return out;
+  }
+
+  /// Merges a persisted tier back in. Entries already live win over
+  /// snapshot entries; generation counters take the max of live and
+  /// persisted, so an entry invalidated before the save stays dead.
+  /// `value_bytes` is the per-value byte charge (the caller knows V's
+  /// footprint; this template does not). Returns how many entries were
+  /// actually inserted (live entries and outdated generations are
+  /// skipped).
+  uint64_t RestorePersisted(const PersistedTier<V>& tier,
+                            uint64_t value_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [endpoint_id, generation] : tier.generations) {
+      uint64_t& current = generations_[endpoint_id];
+      current = std::max(current, generation);
+    }
+    double now_ms = NowMsLocked();
+    uint64_t restored = 0;
+    // Reverse order: the snapshot is MRU-first and push_front reverses,
+    // so iterating back-to-front lands the MRU entry at the front again.
+    for (auto it = tier.entries.rbegin(); it != tier.entries.rend(); ++it) {
+      if (index_.find(it->key) != index_.end()) continue;
+      if (it->generation != GenerationLocked(it->endpoint_id)) continue;
+      uint64_t entry_bytes =
+          value_bytes + it->key.size() + it->endpoint_id.size();
+      lru_.push_front(Entry{it->key, it->endpoint_id, it->value, entry_bytes,
+                            it->generation, now_ms});
+      index_.emplace(it->key, lru_.begin());
+      bytes_ += entry_bytes;
+      ++insertions_;
+      ++restored;
+    }
+    EvictToCapacityLocked();
+    return restored;
   }
 
  private:
@@ -287,6 +366,24 @@ class FederationCache {
 
   /// Drops everything and resets all counters.
   void Clear();
+
+  // --- Crash-safe persistence (verdict + count tiers only) ---
+
+  /// Writes a versioned, checksummed binary snapshot of the verdict and
+  /// COUNT tiers to `path` (atomically: tmp file + rename). Result
+  /// tables are deliberately not persisted — they are byte-heavy and
+  /// cheap to recompute relative to the ASK-probe stampede a cold
+  /// verdict tier causes. Stale/expired entries are skipped and
+  /// per-endpoint generation stamps are included, so invalidations that
+  /// happened before the save stay effective after a load.
+  Status SaveToDisk(const std::string& path) const;
+
+  /// Restores a SaveToDisk snapshot into the verdict and COUNT tiers.
+  /// Unknown magic, unsupported versions, truncation, and checksum
+  /// mismatches are rejected without touching the cache. Entries already
+  /// live win over snapshot entries. Returns the number of entries
+  /// restored.
+  Result<uint64_t> LoadFromDisk(const std::string& path);
 
   TierStats VerdictStats() const { return verdicts_.Stats(); }
   TierStats CountStats() const { return counts_.Stats(); }

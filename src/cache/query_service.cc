@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#include "cache/federation_cache.h"
+#include "net/replica.h"
+#include "net/resilience.h"
+
 namespace lusail::cache {
 
 obs::JsonValue QueryServiceStats::ToJson() const {
@@ -116,6 +120,56 @@ QueryServiceStats QueryService::Stats() const {
   s.cancelled = cancelled_;
   s.wait.Merge(wait_);
   return s;
+}
+
+obs::JsonValue QueryService::StatsJson() const {
+  obs::JsonValue out = Stats().ToJson();
+  const fed::Federation* federation = engine_.federation();
+  if (federation == nullptr) return out;
+  obs::JsonValue endpoints = obs::JsonValue::Array();
+  for (size_t i = 0; i < federation->size(); ++i) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("id", federation->id(i));
+    entry.Set("breaker_state",
+              std::string(net::CircuitBreaker::StateName(
+                  federation->breaker(i)->state())));
+    entry.Set("breaker_trips", federation->breaker(i)->trips());
+    net::Endpoint* endpoint = federation->endpoint(i);
+    if (auto* resilient = dynamic_cast<net::ResilientEndpoint*>(endpoint)) {
+      // Includes a nested "replica_group" when the wrapper sits over one.
+      entry.Set("resilience", resilient->StatsJson());
+    } else if (auto* group = dynamic_cast<net::ReplicaGroup*>(endpoint)) {
+      entry.Set("replica_group", group->StatsJson());
+    }
+    endpoints.Append(std::move(entry));
+  }
+  out.Set("endpoints", std::move(endpoints));
+  if (FederationCache* cache = federation->query_cache()) {
+    out.Set("cache", cache->ToJson());
+  }
+  return out;
+}
+
+Result<uint64_t> QueryService::WarmLoadCache(const std::string& path) {
+  const fed::Federation* federation = engine_.federation();
+  FederationCache* cache =
+      federation != nullptr ? federation->query_cache() : nullptr;
+  if (cache == nullptr) {
+    return Status::InvalidArgument(
+        "query service has no federation cache attached");
+  }
+  return cache->LoadFromDisk(path);
+}
+
+Status QueryService::SaveCacheSnapshot(const std::string& path) const {
+  const fed::Federation* federation = engine_.federation();
+  FederationCache* cache =
+      federation != nullptr ? federation->query_cache() : nullptr;
+  if (cache == nullptr) {
+    return Status::InvalidArgument(
+        "query service has no federation cache attached");
+  }
+  return cache->SaveToDisk(path);
 }
 
 }  // namespace lusail::cache

@@ -99,7 +99,23 @@ class QueryService {
   void Drain();
 
   QueryServiceStats Stats() const;
-  obs::JsonValue StatsJson() const { return Stats().ToJson(); }
+
+  /// The Stats() counters plus an "endpoints" section with each
+  /// endpoint's circuit-breaker state and — for replica groups and
+  /// resilient wrappers — failover/hedge counters and per-replica
+  /// health, and a "cache" section when a FederationCache is attached.
+  obs::JsonValue StatsJson() const;
+
+  /// Warm-loads the federation's shared FederationCache from a
+  /// SaveCacheSnapshot file (verdict + COUNT tiers), so a restarted
+  /// service answers source-selection probes without a cold ASK
+  /// stampede. Returns the number of entries restored; kNotFound when no
+  /// snapshot exists (a cold start, not an error worth dying for).
+  Result<uint64_t> WarmLoadCache(const std::string& path);
+
+  /// Persists the federation's shared FederationCache (see
+  /// FederationCache::SaveToDisk). Call at shutdown, after Drain().
+  Status SaveCacheSnapshot(const std::string& path) const;
 
   core::LusailEngine* engine() { return &engine_; }
   const QueryServiceOptions& options() const { return options_; }

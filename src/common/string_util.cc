@@ -122,6 +122,38 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   return true;
 }
 
+bool LooksLikeAskQuery(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size()) {
+    // Skip whitespace and '#' comments.
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    if (text[i] == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    // Read the next keyword.
+    size_t start = i;
+    while (i < text.size() &&
+           std::isalpha(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i == start) return false;  // Starts with '{', '<', digits, ...
+    std::string word = text.substr(start, i - start);
+    if (EqualsIgnoreCase(word, "ASK")) return true;
+    if (EqualsIgnoreCase(word, "PREFIX") || EqualsIgnoreCase(word, "BASE")) {
+      // Skip the declaration through its closing '>' of the IRI.
+      while (i < text.size() && text[i] != '>') ++i;
+      if (i < text.size()) ++i;
+      continue;
+    }
+    return false;  // SELECT, CONSTRUCT, ...
+  }
+  return false;
+}
+
 std::string HumanBytes(double bytes) {
   static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   int unit = 0;

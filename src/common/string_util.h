@@ -32,6 +32,13 @@ std::string UnescapeLiteral(std::string_view s);
 /// Case-insensitive ASCII equality, used for SPARQL keywords.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
+/// True when `text` is an ASK query, tolerating leading whitespace,
+/// comments, and PREFIX/BASE declarations (matching is case-insensitive,
+/// like SPARQL keywords). Lives here — not in the federation layer —
+/// because both the federator's request accounting and the server-side
+/// ASK-verdict cache need it.
+bool LooksLikeAskQuery(const std::string& text);
+
 /// Formats a byte count as a human-readable string, e.g. "3.2 MiB".
 std::string HumanBytes(double bytes);
 

@@ -6,38 +6,6 @@
 
 namespace lusail::fed {
 
-bool LooksLikeAskQuery(const std::string& text) {
-  size_t i = 0;
-  while (i < text.size()) {
-    // Skip whitespace and '#' comments.
-    if (std::isspace(static_cast<unsigned char>(text[i]))) {
-      ++i;
-      continue;
-    }
-    if (text[i] == '#') {
-      while (i < text.size() && text[i] != '\n') ++i;
-      continue;
-    }
-    // Read the next keyword.
-    size_t start = i;
-    while (i < text.size() &&
-           std::isalpha(static_cast<unsigned char>(text[i]))) {
-      ++i;
-    }
-    if (i == start) return false;  // Starts with '{', '<', digits, ...
-    std::string word = text.substr(start, i - start);
-    if (EqualsIgnoreCase(word, "ASK")) return true;
-    if (EqualsIgnoreCase(word, "PREFIX") || EqualsIgnoreCase(word, "BASE")) {
-      // Skip the declaration through its closing '>' of the IRI.
-      while (i < text.size() && text[i] != '>') ++i;
-      if (i < text.size()) ++i;
-      continue;
-    }
-    return false;  // SELECT, CONSTRUCT, ...
-  }
-  return false;
-}
-
 obs::JsonValue ProfileToJson(const ExecutionProfile& profile) {
   obs::JsonValue out = obs::JsonValue::Object();
   out.Set("requests", profile.requests);
@@ -57,6 +25,7 @@ obs::JsonValue ProfileToJson(const ExecutionProfile& profile) {
   out.Set("breaker_trips", profile.breaker_trips);
   out.Set("endpoints_failed", profile.endpoints_failed);
   out.Set("subqueries_dropped", profile.subqueries_dropped);
+  out.Set("hedged_requests", profile.hedged_requests);
   obs::JsonValue failed = obs::JsonValue::Array();
   for (const std::string& id : profile.failed_endpoint_ids) {
     failed.Append(id);
@@ -142,6 +111,12 @@ Result<sparql::ResultTable> Federation::Execute(
                        static_cast<uint64_t>(response->table.NumRows()));
       tracer->Annotate(span, "bytes_received", response->response_bytes);
       tracer->Annotate(span, "network_ms", response->network_ms);
+      if (!response->served_by.empty()) {
+        tracer->Annotate(span, "replica.served_by", response->served_by);
+      }
+      if (response->hedged) {
+        tracer->Annotate(span, "replica.hedged", true);
+      }
       if (response->transport.over_network) {
         const net::TransportInfo& t = response->transport;
         tracer->Annotate(span, "net.reused_connection", t.reused_connection);

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "net/endpoint.h"
 #include "net/resilience.h"
 #include "obs/endpoint_stats.h"
@@ -55,6 +56,7 @@ struct ExecutionProfile {
   uint64_t breaker_trips = 0;       ///< Circuit-breaker trips this query.
   uint64_t endpoints_failed = 0;    ///< Distinct endpoints dropped.
   uint64_t subqueries_dropped = 0;  ///< Subqueries that lost every endpoint.
+  uint64_t hedged_requests = 0;     ///< Requests that launched a hedge.
 
   /// Ids of the endpoints whose contributions were dropped (partial
   /// results mode); empty when the result is exact.
@@ -95,6 +97,9 @@ class MetricsCollector {
     network_us_.fetch_add(
         static_cast<uint64_t>(std::llround(response.network_ms * 1000.0)),
         std::memory_order_relaxed);
+    if (response.hedged) {
+      hedged_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Folds one retry loop's accounting into the query totals.
@@ -156,6 +161,8 @@ class MetricsCollector {
     profile->breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
     profile->subqueries_dropped =
         subqueries_dropped_.load(std::memory_order_relaxed);
+    profile->hedged_requests =
+        hedged_requests_.load(std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(dropped_mu_);
       profile->failed_endpoint_ids.assign(dropped_endpoints_.begin(),
@@ -177,6 +184,7 @@ class MetricsCollector {
   std::atomic<uint64_t> breaker_rejections_{0};
   std::atomic<uint64_t> breaker_trips_{0};
   std::atomic<uint64_t> subqueries_dropped_{0};
+  std::atomic<uint64_t> hedged_requests_{0};
   mutable std::mutex dropped_mu_;
   std::set<std::string> dropped_endpoints_;
   std::atomic<obs::Tracer*> tracer_{nullptr};
@@ -268,10 +276,10 @@ class QueryTrace {
   obs::SpanId root_ = 0;
 };
 
-/// True when `text` is an ASK query, tolerating leading whitespace,
-/// comments, and PREFIX/BASE declarations (matching is case-insensitive,
-/// like SPARQL keywords).
-bool LooksLikeAskQuery(const std::string& text);
+/// ASK-query detection lives in common/string_util.h (the server-side
+/// verdict cache needs it below this layer); re-exported here because
+/// fed:: is where federated engines historically found it.
+using ::lusail::LooksLikeAskQuery;
 
 /// The registry of endpoints a federated query runs against, plus the
 /// request path every engine uses (with per-query accounting and

@@ -4,6 +4,7 @@
 #include <future>
 
 #include "cache/federation_cache.h"
+#include "net/replica.h"
 
 namespace lusail::fed {
 
@@ -34,6 +35,17 @@ Result<std::vector<std::vector<int>>> SourceSelector::SelectSources(
   };
   std::vector<Probe> probes;
 
+  // Replica-group health consult: a group whose every replica has an
+  // open breaker cannot answer a probe, so don't spend deadline budget
+  // asking. Evaluated once per endpoint, not per pattern.
+  std::vector<bool> group_dead(num_eps, false);
+  for (size_t ei = 0; ei < num_eps; ++ei) {
+    if (const auto* group =
+            dynamic_cast<const net::ReplicaGroup*>(federation_->endpoint(ei))) {
+      group_dead[ei] = !group->HasAvailableReplica();
+    }
+  }
+
   cache::FederationCache* shared =
       use_cache ? federation_->query_cache() : nullptr;
   for (size_t pi = 0; pi < patterns.size(); ++pi) {
@@ -50,6 +62,17 @@ Result<std::vector<std::vector<int>>> SourceSelector::SelectSources(
           if (*cached) sources[pi].push_back(static_cast<int>(ei));
           continue;
         }
+      }
+      if (group_dead[ei]) {
+        if (tolerate_failures) {
+          // Same conservative keep as a failed probe, without issuing it:
+          // execution-time failover decides the endpoint's fate.
+          sources[pi].push_back(static_cast<int>(ei));
+          continue;
+        }
+        return Status::Unavailable(
+            "every replica of " + federation_->id(ei) +
+            " has an open circuit breaker; source selection cannot probe it");
       }
       Probe probe;
       probe.pattern = pi;

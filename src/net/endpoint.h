@@ -31,6 +31,12 @@ struct QueryResponse {
   double network_ms = 0.0;    ///< Network time (simulated or measured).
   double server_ms = 0.0;     ///< Endpoint-side evaluation time.
   TransportInfo transport;    ///< Physical transport details, if any.
+
+  /// Replica bookkeeping, filled by ReplicaGroup: the id of the replica
+  /// that produced this response (empty for plain endpoints) and whether
+  /// a hedged (duplicate) request was launched while this one ran.
+  std::string served_by;
+  bool hedged = false;
 };
 
 /// Abstract SPARQL endpoint. Federated engines interact with endpoints

@@ -38,6 +38,14 @@ Result<QueryResponse> FaultInjectingEndpoint::QueryCancellable(
     outage_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("endpoint " + id() + " is down");
   }
+  if (profile_.crash_after_n_queries > 0 &&
+      arrival >= profile_.crash_after_n_queries) {
+    outage_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("endpoint " + id() + " crashed after " +
+                               std::to_string(
+                                   profile_.crash_after_n_queries) +
+                               " queries");
+  }
   if (profile_.outage_length > 0 && arrival >= profile_.outage_start &&
       arrival < profile_.outage_start + profile_.outage_length) {
     outage_failures_.fetch_add(1, std::memory_order_relaxed);

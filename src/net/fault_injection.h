@@ -45,6 +45,19 @@ struct FaultProfile {
   /// runtime via FaultInjectingEndpoint::set_down.
   bool permanently_down = false;
 
+  /// Crash after serving: once `crash_after_n_queries` requests have
+  /// *arrived* (whatever their outcome), every later request fails with
+  /// kUnavailable — permanently, exactly like a process that died and was
+  /// never restarted. 0 disables. Deterministic by arrival index, so
+  /// replica-death tests don't need timing games.
+  uint64_t crash_after_n_queries = 0;
+
+  static FaultProfile CrashAfter(uint64_t n) {
+    FaultProfile p;
+    p.crash_after_n_queries = n;
+    return p;
+  }
+
   static FaultProfile None() { return FaultProfile{}; }
 
   static FaultProfile Transient(double rate, uint64_t seed = 1) {

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "net/replica.h"
 
 namespace lusail::net {
 
@@ -84,6 +85,25 @@ void CircuitBreaker::TripLocked() {
   window_.clear();
   window_failures_ = 0;
   trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CircuitBreaker::WouldAllowRequest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      double open_ms = std::chrono::duration<double, std::milli>(
+                           Clock::now() - opened_at_)
+                           .count();
+      // An expired cooldown means AllowRequest() would go half-open and
+      // admit a probe; report that without performing the transition.
+      return open_ms >= config_.open_cooldown_ms;
+    }
+    case State::kHalfOpen:
+      return half_open_in_flight_ < config_.half_open_probes;
+  }
+  return true;
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
@@ -279,6 +299,31 @@ ResilienceStats ResilientEndpoint::stats() const {
       static_cast<double>(backoff_us_.load(std::memory_order_relaxed)) /
       1000.0;
   return stats;
+}
+
+obs::JsonValue ResilienceStats::ToJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("requests", requests);
+  out.Set("attempts", attempts);
+  out.Set("retries", retries);
+  out.Set("failures", failures);
+  out.Set("breaker_rejections", breaker_rejections);
+  out.Set("breaker_trips", breaker_trips);
+  out.Set("backoff_ms", backoff_ms);
+  return out;
+}
+
+obs::JsonValue ResilientEndpoint::StatsJson() const {
+  obs::JsonValue out = stats().ToJson();
+  out.Set("breaker_state", std::string(CircuitBreaker::StateName(
+                               breaker_.state())));
+  out.Set("breaker_trips_total", breaker_.trips());
+  // A resilient wrapper around a replica group exposes the group's
+  // failover/hedge counters and per-replica breakers alongside its own.
+  if (const auto* group = dynamic_cast<const ReplicaGroup*>(inner_.get())) {
+    out.Set("replica_group", group->StatsJson());
+  }
+  return out;
 }
 
 }  // namespace lusail::net

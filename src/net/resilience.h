@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "net/endpoint.h"
+#include "obs/json.h"
 #include "obs/trace.h"
 
 namespace lusail::net {
@@ -98,6 +99,13 @@ class CircuitBreaker {
   /// `half_open_probes` trials.
   bool AllowRequest();
 
+  /// Side-effect-free peek: would AllowRequest() admit a request right
+  /// now? Unlike AllowRequest() it neither transitions open -> half-open
+  /// nor reserves a half-open probe slot, so callers can *rank* endpoints
+  /// by admissibility (replica selection, source selection) without
+  /// consuming probe budget they may never use.
+  bool WouldAllowRequest() const;
+
   /// Records a successful request. A half-open success closes the breaker
   /// and clears the outcome window.
   void RecordSuccess();
@@ -176,6 +184,8 @@ struct ResilienceStats {
   uint64_t breaker_rejections = 0;
   uint64_t breaker_trips = 0;
   double backoff_ms = 0.0;
+
+  obs::JsonValue ToJson() const;
 };
 
 /// Decorator giving any endpoint a retry policy and a circuit breaker.
@@ -206,6 +216,10 @@ class ResilientEndpoint : public Endpoint {
   const RetryPolicy& policy() const { return policy_; }
 
   ResilienceStats stats() const;
+
+  /// Operational snapshot: the cumulative stats plus the breaker's
+  /// current state ("closed" / "open" / "half-open") and trip count.
+  obs::JsonValue StatsJson() const;
 
  private:
   std::shared_ptr<Endpoint> inner_;

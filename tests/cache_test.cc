@@ -6,16 +6,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <limits>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "cache/cached_endpoint.h"
 #include "cache/federation_cache.h"
 #include "cache/query_service.h"
 #include "core/cost_model.h"
@@ -797,6 +801,237 @@ TEST(ParallelCartesianTest, EmptySideYieldsEmptyProduct) {
   fed::BindingTable product = core::ParallelHashJoin(left, right, &pool, 4);
   EXPECT_TRUE(product.rows.empty());
   EXPECT_EQ(product.vars.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe snapshots: SaveToDisk / LoadFromDisk
+// ---------------------------------------------------------------------
+
+std::string SnapshotPath(const std::string& name) {
+  return ::testing::TempDir() + "lusail_" + name + ".cache";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(CacheSnapshotTest, RoundTripRestoresVerdictsAndCounts) {
+  const std::string path = SnapshotPath("roundtrip");
+  cache::FederationCache original;
+  std::string k_yes = cache::FederationCache::Key("ep0", "ASK { a }");
+  std::string k_no = cache::FederationCache::Key("ep0", "ASK { b }");
+  std::string k_count = cache::FederationCache::Key("ep1", "COUNT q");
+  original.PutVerdict(k_yes, "ep0", true);
+  original.PutVerdict(k_no, "ep0", false);
+  original.PutCount(k_count, "ep1", 42);
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+
+  cache::FederationCache restored;
+  auto loaded = restored.LoadFromDisk(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 3u);
+  EXPECT_EQ(restored.GetVerdict(k_yes), std::optional<bool>(true));
+  EXPECT_EQ(restored.GetVerdict(k_no), std::optional<bool>(false));
+  EXPECT_EQ(restored.GetCount(k_count), std::optional<uint64_t>(42));
+  std::remove(path.c_str());
+}
+
+TEST(CacheSnapshotTest, ResultTablesAreDeliberatelyNotPersisted) {
+  const std::string path = SnapshotPath("no_results");
+  cache::FederationCache original;
+  sparql::ResultTable table;
+  table.vars = {"s"};
+  table.rows.push_back({rdf::Term::Iri("http://ex/s")});
+  original.PutResult("ep0", "SELECT q", table);
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+
+  cache::FederationCache restored;
+  auto loaded = restored.LoadFromDisk(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 0u);
+  EXPECT_FALSE(restored.GetResult("ep0", "SELECT q").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CacheSnapshotTest, MissingSnapshotIsNotFound) {
+  cache::FederationCache cache;
+  auto loaded = cache.LoadFromDisk(SnapshotPath("does_not_exist"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CacheSnapshotTest, CorruptSnapshotIsRejectedWithoutTouchingTheCache) {
+  const std::string path = SnapshotPath("corrupt");
+  cache::FederationCache original;
+  original.PutVerdict(cache::FederationCache::Key("ep0", "q"), "ep0", true);
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+
+  std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 20u);
+  bytes[bytes.size() / 2] ^= 0x5a;  // Flip bits mid-body.
+  WriteFile(path, bytes);
+
+  cache::FederationCache restored;
+  auto loaded = restored.LoadFromDisk(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(restored.VerdictStats().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheSnapshotTest, TruncatedSnapshotIsRejected) {
+  const std::string path = SnapshotPath("truncated");
+  cache::FederationCache original;
+  original.PutVerdict(cache::FederationCache::Key("ep0", "q"), "ep0", true);
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+  std::string bytes = ReadFile(path);
+  WriteFile(path, bytes.substr(0, bytes.size() / 2));
+
+  cache::FederationCache restored;
+  EXPECT_FALSE(restored.LoadFromDisk(path).ok());
+  EXPECT_EQ(restored.VerdictStats().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheSnapshotTest, PreSaveInvalidationsStayDeadAfterLoad) {
+  const std::string path = SnapshotPath("generations");
+  cache::FederationCache original;
+  std::string k0 = cache::FederationCache::Key("ep0", "q");
+  std::string k1 = cache::FederationCache::Key("ep1", "q");
+  original.PutVerdict(k0, "ep0", true);
+  original.PutVerdict(k1, "ep1", true);
+  // ep0's store mutated before the save: its entry must not resurrect
+  // on a restarted process, even though it was written to the tier.
+  original.Invalidate("ep0");
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+
+  cache::FederationCache restored;
+  auto loaded = restored.LoadFromDisk(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 1u);
+  EXPECT_FALSE(restored.GetVerdict(k0).has_value());
+  EXPECT_EQ(restored.GetVerdict(k1), std::optional<bool>(true));
+
+  // And an invalidation *after* the restore still works on restored
+  // entries (the generation map survived the round trip).
+  restored.Invalidate("ep1");
+  EXPECT_FALSE(restored.GetVerdict(k1).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CacheSnapshotTest, LiveEntriesWinOverSnapshotEntries) {
+  const std::string path = SnapshotPath("live_wins");
+  std::string key = cache::FederationCache::Key("ep0", "q");
+  cache::FederationCache original;
+  original.PutVerdict(key, "ep0", true);
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+
+  cache::FederationCache target;
+  target.PutVerdict(key, "ep0", false);  // Fresher than the snapshot.
+  auto loaded = target.LoadFromDisk(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 0u);
+  EXPECT_EQ(target.GetVerdict(key), std::optional<bool>(false));
+  std::remove(path.c_str());
+}
+
+TEST(CacheSnapshotTest, CachedAskEndpointWarmLoadsToZeroColdProbes) {
+  const std::string path = SnapshotPath("ask_endpoint");
+  auto store = [] {
+    auto s = std::make_unique<store::TripleStore>();
+    s->Add(rdf::TermTriple{rdf::Term::Iri("http://ex/s"),
+                           rdf::Term::Iri("http://ex/p"),
+                           rdf::Term::Integer(1)});
+    s->Freeze();
+    return s;
+  };
+  const std::string ask = "ASK { ?s <http://ex/p> ?o . }";
+
+  // First process lifetime: serve, memoize, snapshot on shutdown.
+  {
+    cache::FederationCache verdicts;
+    cache::CachedAskEndpoint endpoint(
+        std::make_shared<net::SparqlEndpoint>("ep", store(),
+                                              net::LatencyModel::None()),
+        &verdicts);
+    auto cold = endpoint.Query(ask);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    EXPECT_EQ(cold->table.rows.size(), 1u);
+    EXPECT_EQ(endpoint.misses(), 1u);
+    auto warm = endpoint.Query(ask);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm->table.rows.size(), 1u);
+    EXPECT_EQ(endpoint.hits(), 1u);
+    // Non-ASK traffic bypasses the verdict tier entirely.
+    ASSERT_TRUE(
+        endpoint.Query("SELECT ?s WHERE { ?s <http://ex/p> ?o . }").ok());
+    EXPECT_EQ(endpoint.hits() + endpoint.misses(), 2u);
+    ASSERT_TRUE(verdicts.SaveToDisk(path).ok());
+  }
+
+  // Restarted process: warm-load, then answer the repeated probe with
+  // verdict hits > 0 and zero cold evaluations.
+  {
+    cache::FederationCache verdicts;
+    ASSERT_TRUE(verdicts.LoadFromDisk(path).ok());
+    cache::CachedAskEndpoint endpoint(
+        std::make_shared<net::SparqlEndpoint>("ep", store(),
+                                              net::LatencyModel::None()),
+        &verdicts);
+    auto warm = endpoint.Query(ask);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    EXPECT_EQ(warm->table.rows.size(), 1u);
+    EXPECT_EQ(endpoint.hits(), 1u);
+    EXPECT_EQ(endpoint.misses(), 0u);
+    EXPECT_GT(verdicts.VerdictStats().hits, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SharedCacheLubmTest, SnapshotWarmStartSkipsEveryAskProbe) {
+  const std::string path = SnapshotPath("warm_start");
+
+  // First federator lifetime: cold run populates the shared cache, then
+  // snapshots it at shutdown.
+  std::multiset<std::string> reference;
+  const std::string query = queries_.front().second;
+  {
+    cache::FederationCache cache;
+    federation_->set_query_cache(&cache);
+    core::LusailEngine engine(federation_.get());
+    auto cold = engine.Execute(query, Deadline());
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    EXPECT_GT(cold->profile.ask_requests, 0u);
+    reference = RowSet(cold->table);
+    ASSERT_TRUE(cache.SaveToDisk(path).ok());
+    federation_->set_query_cache(nullptr);
+  }
+
+  // Restarted federator: a fresh cache warm-loaded from the snapshot
+  // answers every source-selection probe, so the repeated query issues
+  // zero ASK requests yet returns identical rows.
+  {
+    cache::FederationCache cache;
+    auto loaded = cache.LoadFromDisk(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_GT(*loaded, 0u);
+    federation_->set_query_cache(&cache);
+    core::LusailEngine engine(federation_.get());
+    auto warm = engine.Execute(query, Deadline());
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    EXPECT_EQ(warm->profile.ask_requests, 0u);
+    EXPECT_GT(cache.VerdictStats().hits, 0u);
+    EXPECT_EQ(RowSet(warm->table), reference);
+    federation_->set_query_cache(nullptr);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
