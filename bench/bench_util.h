@@ -14,6 +14,7 @@
 #include "core/lusail_engine.h"
 #include "federation/federation.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "workload/federation_builder.h"
 
 namespace lusail::bench {
@@ -54,6 +55,10 @@ inline net::LatencyModel GeoLatency() {
 /// federation.
 struct EngineSet {
   std::unique_ptr<fed::Federation> federation;
+  /// Per-endpoint request stats, exported into the default metrics
+  /// registry so BENCH_*.json dumps carry a full /metrics-style snapshot.
+  std::unique_ptr<obs::EndpointStatsRegistry> stats;
+  obs::ScopedCollector stats_collector;
   std::unique_ptr<core::LusailEngine> lusail;
   std::unique_ptr<core::LusailEngine> lusail_lade_only;
   std::unique_ptr<baselines::FedXEngine> fedx;
@@ -69,6 +74,13 @@ struct EngineSet {
     bool trace = trace_env != nullptr && std::string(trace_env) == "1";
     EngineSet set;
     set.federation = workload::BuildFederation(std::move(specs), latency);
+    set.stats = std::make_unique<obs::EndpointStatsRegistry>();
+    set.federation->set_stats_registry(set.stats.get());
+    set.stats_collector = obs::ScopedCollector(
+        obs::MetricsRegistry::Default(),
+        [registry = set.stats.get()](obs::MetricsSnapshot* snapshot) {
+          registry->ExportMetrics(snapshot);
+        });
     core::LusailOptions lusail_opts;
     lusail_opts.trace = trace;
     set.lusail = std::make_unique<core::LusailEngine>(set.federation.get(),
@@ -125,6 +137,10 @@ inline void DumpBenchMetrics(const std::string& label,
   json.Set("rows", obs::JsonValue(rows));
   json.Set("timeouts", obs::JsonValue(timeouts));
   json.Set("errors", obs::JsonValue(errors));
+  // Snapshot of every collector registered with the default registry
+  // (empty when the bench registered none), so a dump carries the same
+  // counters /metrics would expose at this instant.
+  json.Set("metrics", obs::MetricsRegistry::Default()->Collect().ToJson());
   std::ofstream out(dir + "/BENCH_" + safe + ".json");
   if (out) out << json.Pretty() << "\n";
   if (profile.trace != nullptr) {

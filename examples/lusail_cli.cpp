@@ -45,6 +45,19 @@
 //                         zero cold ASK probes
 //   --format tsv|srj      result output format (default tsv; srj is
 //                         SPARQL 1.1 JSON Results, the wire format)
+//   --metrics-port <n>    serve a federator-side stats listener on port n
+//                         (0 = ephemeral) for the lifetime of the run:
+//                         GET /metrics is the Prometheus exposition of the
+//                         HTTP client, replica, resilience, and cache
+//                         counters; GET /debug/queries is the flight
+//                         recorder. The listener has no /sparql backend.
+//   --slow-ms <n>         log queries slower than n ms as one-line JSON
+//   --log-json            log every completed query as one JSON line
+//
+// With --remote and --trace, the written Chrome trace merges the
+// federator's spans with every contacted endpointd's server-side span
+// subtree (shipped back in X-Lusail-Trace), so one file shows the whole
+// distributed execution with correct parenting.
 //
 // The query is read from the given file, or from stdin when no file is
 // given. Results are printed as TSV (or SRJ), followed by the execution
@@ -59,10 +72,15 @@
 #include "baselines/fedx_engine.h"
 #include "baselines/splendid_engine.h"
 #include "cache/federation_cache.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/lusail_engine.h"
 #include "net/replica.h"
+#include "net/resilience.h"
 #include "obs/explain.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "rpc/http_server.h"
 #include "rpc/http_sparql_endpoint.h"
 #include "rpc/results_json.h"
 #include "workload/federation_builder.h"
@@ -87,6 +105,9 @@ struct CliOptions {
   std::string format = "tsv";
   double timeout_ms = 60000;
   int retry_attempts = 0;
+  int metrics_port = -1;  ///< -1 = no stats listener; 0 = ephemeral.
+  double slow_ms = 0.0;
+  bool log_json = false;
   bool explain = false;
   bool explain_json = false;
   bool cache_stats = false;
@@ -102,7 +123,8 @@ int Usage() {
                "                  [--cache-stats] [--deadline-ms <ms>]\n"
                "                  [--remote host:port[|host:port...]=id,...]\n"
                "                  [--retry <n>] [--cache-file <path>]\n"
-               "                  [--format tsv|srj]\n"
+               "                  [--format tsv|srj] [--metrics-port <n>]\n"
+               "                  [--slow-ms <n>] [--log-json]\n"
                "                  [query-file]\n");
   return 2;
 }
@@ -255,6 +277,17 @@ int main(int argc, char** argv) {
       options.cache_stats = true;
     } else if (arg == "--cache-file") {
       if (!next(&options.cache_file)) return Usage();
+    } else if (arg == "--metrics-port") {
+      std::string v;
+      if (!next(&v)) return Usage();
+      options.metrics_port = static_cast<int>(std::strtol(v.c_str(),
+                                                          nullptr, 10));
+    } else if (arg == "--slow-ms") {
+      std::string v;
+      if (!next(&v)) return Usage();
+      options.slow_ms = std::strtod(v.c_str(), nullptr);
+    } else if (arg == "--log-json") {
+      options.log_json = true;
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -322,6 +355,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry plane: a flight recorder for structured query logging and
+  // (with --metrics-port) a federator-side stats listener exposing the
+  // Prometheus exposition of every client-side counter.
+  obs::FlightRecorderOptions recorder_options;
+  recorder_options.slow_threshold_ms = options.slow_ms;
+  recorder_options.log_json = options.log_json;
+  obs::FlightRecorder recorder(recorder_options);
+  obs::MetricsRegistry metrics;
+  obs::ScopedCollector federation_metrics(
+      &metrics, [&](obs::MetricsSnapshot* snapshot) {
+        for (size_t i = 0; i < federation->size(); ++i) {
+          net::Endpoint* endpoint = federation->endpoint(i);
+          if (auto* http = dynamic_cast<rpc::HttpSparqlEndpoint*>(endpoint)) {
+            http->ExportMetrics(snapshot);
+          } else if (auto* resilient =
+                         dynamic_cast<net::ResilientEndpoint*>(endpoint)) {
+            resilient->ExportMetrics(snapshot);
+          } else if (auto* group = dynamic_cast<net::ReplicaGroup*>(endpoint)) {
+            group->ExportMetrics(snapshot);
+          }
+        }
+        if (federation->query_cache() != nullptr) {
+          federation->query_cache()->ExportMetrics(snapshot);
+        }
+      });
+  std::unique_ptr<rpc::HttpServer> stats_server;
+  if (options.metrics_port >= 0) {
+    rpc::HttpServerOptions stats_options;
+    stats_options.port = static_cast<uint16_t>(options.metrics_port);
+    stats_options.num_threads = 1;
+    stats_options.server_name = "federator";
+    stats_options.metrics = &metrics;
+    stats_options.flight_recorder = &recorder;
+    stats_server = std::make_unique<rpc::HttpServer>(nullptr, stats_options);
+    Status started = stats_server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start stats listener: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# metrics: %s/metrics\n",
+                 stats_server->url().c_str());
+  }
+
   // Read the query.
   std::string query_text;
   if (options.query_file.empty()) {
@@ -385,8 +462,30 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  Stopwatch query_timer;
   auto result =
       engine->Execute(query_text, Deadline::AfterMillis(options.timeout_ms));
+  {
+    obs::FlightRecord record;
+    record.query_hash = obs::QueryHashHex(query_text);
+    record.total_ms = query_timer.ElapsedMillis();
+    if (result.ok()) {
+      const fed::ExecutionProfile& profile = result->profile;
+      record.rows = result->table.NumRows();
+      record.requests = profile.requests;
+      record.hedged = profile.hedged_requests > 0;
+      record.partial = profile.partial;
+      record.total_ms = profile.total_ms;
+      record.source_selection_ms = profile.source_selection_ms;
+      record.analysis_ms = profile.analysis_ms;
+      record.execution_ms = profile.execution_ms;
+      record.network_ms = profile.network_ms;
+      if (profile.trace != nullptr) record.trace_id = profile.trace->trace_id;
+    } else {
+      record.status = StatusCodeToString(result.status().code());
+    }
+    recorder.Record(std::move(record));
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());

@@ -20,6 +20,18 @@
 //                         graceful shutdown. A restarted endpoint then
 //                         answers repeated source-selection probes from
 //                         the snapshot instead of re-evaluating them.
+//   --slow-ms <n>         flight-recorder slow-query threshold: queries
+//                         slower than n ms are logged as one-line JSON
+//                         events to stderr (default 0 = off)
+//   --log-json            log every completed query as one JSON line to
+//                         stderr (the flight recorder's structured log)
+//
+// Telemetry (see DESIGN.md "Telemetry plane"):
+//   GET /metrics        Prometheus text exposition (server, verdict
+//                       cache, and ASK-cache counters)
+//   GET /debug/queries  the last completed queries, newest first (?n=K)
+//   GET /health         liveness + degraded state as JSON; 503 when the
+//                       verdict-cache snapshot failed to load
 //
 // On startup it prints one machine-readable line to stdout:
 //   READY <id> <port>
@@ -38,6 +50,8 @@
 #include "cache/cached_endpoint.h"
 #include "cache/federation_cache.h"
 #include "net/sparql_endpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "rpc/http_server.h"
 #include "store/triple_store.h"
 
@@ -51,7 +65,8 @@ int Usage() {
                "                        [--port <n>] [--bind <address>]\n"
                "                        [--threads <n>] [--max-rows <n>]\n"
                "                        [--latency none|local|geo]\n"
-               "                        [--cache-file <path>]\n");
+               "                        [--cache-file <path>]\n"
+               "                        [--slow-ms <n>] [--log-json]\n");
   return 2;
 }
 
@@ -66,6 +81,7 @@ int main(int argc, char** argv) {
   std::string cache_file;
   rpc::HttpServerOptions server_options;
   std::string latency = "none";
+  obs::FlightRecorderOptions recorder_options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](std::string* out) {
@@ -95,6 +111,11 @@ int main(int argc, char** argv) {
       if (!next(&latency)) return Usage();
     } else if (arg == "--cache-file") {
       if (!next(&cache_file)) return Usage();
+    } else if (arg == "--slow-ms") {
+      if (!next(&value)) return Usage();
+      recorder_options.slow_threshold_ms = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--log-json") {
+      recorder_options.log_json = true;
     } else {
       if (arg != "--help" && arg != "-h") {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -126,6 +147,7 @@ int main(int argc, char** argv) {
   // store evaluation entirely.
   cache::FederationCache verdict_cache;
   std::shared_ptr<cache::CachedAskEndpoint> cached;
+  std::string cache_load_error;
   if (!cache_file.empty()) {
     auto restored = verdict_cache.LoadFromDisk(cache_file);
     if (restored.ok()) {
@@ -135,15 +157,40 @@ int main(int argc, char** argv) {
                    cache_file.c_str());
     } else if (restored.status().code() != StatusCode::kNotFound) {
       // Corrupt or incompatible snapshots are discarded, never fatal: the
-      // endpoint just starts cold and overwrites the file on shutdown.
+      // endpoint just starts cold and overwrites the file on shutdown —
+      // but /health reports the degraded start until then.
+      cache_load_error = restored.status().ToString();
       std::fprintf(stderr, "# %s: ignoring snapshot %s: %s\n", id.c_str(),
-                   cache_file.c_str(),
-                   restored.status().ToString().c_str());
+                   cache_file.c_str(), cache_load_error.c_str());
     }
     cached = std::make_shared<cache::CachedAskEndpoint>(endpoint,
                                                         &verdict_cache);
     endpoint = cached;
   }
+
+  // Telemetry plane: registry-backed /metrics, a flight recorder behind
+  // /debug/queries (and the JSON query log), and a /health probe that
+  // reports a failed cache warm-load as degraded.
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(recorder_options);
+  obs::ScopedCollector cache_metrics(
+      &metrics, [&](obs::MetricsSnapshot* snapshot) {
+        if (cache_file.empty()) return;
+        verdict_cache.ExportMetrics(snapshot);
+        if (cached != nullptr) cached->ExportMetrics(snapshot);
+      });
+  server_options.server_name = id;
+  server_options.metrics = &metrics;
+  server_options.flight_recorder = &recorder;
+  server_options.health_probe = [&](obs::JsonValue* body) {
+    body->Set("triples", triples);
+    if (!cache_load_error.empty()) {
+      body->Set("degraded", std::string("cache snapshot load failed: ") +
+                                cache_load_error);
+      return false;
+    }
+    return true;
+  };
 
   rpc::HttpServer server(endpoint, server_options);
   Status started = server.Start();

@@ -55,6 +55,17 @@ class CachedAskEndpoint : public net::Endpoint {
   /// {"ask_hits": ..., "ask_misses": ...}
   obs::JsonValue StatsJson() const;
 
+  /// Emits lusail_ask_cache_{hits,misses}_total{endpoint=<id>}.
+  void ExportMetrics(obs::MetricsSnapshot* snapshot) const {
+    obs::MetricLabels labels = {{"endpoint", id()}};
+    snapshot->AddCounter("lusail_ask_cache_hits_total",
+                         "ASK queries answered from the verdict tier.",
+                         labels, static_cast<double>(hits()));
+    snapshot->AddCounter("lusail_ask_cache_misses_total",
+                         "ASK queries evaluated by the inner endpoint.",
+                         labels, static_cast<double>(misses()));
+  }
+
  private:
   std::shared_ptr<net::Endpoint> inner_;
   FederationCache* cache_;

@@ -322,4 +322,41 @@ obs::JsonValue FederationCache::ToJson() const {
   return out;
 }
 
+void FederationCache::ExportMetrics(obs::MetricsSnapshot* snapshot) const {
+  struct Tier {
+    const char* name;
+    TierStats stats;
+  };
+  const Tier tiers[] = {{"verdicts", VerdictStats()},
+                        {"counts", CountStats()},
+                        {"results", ResultStats()}};
+  for (const Tier& tier : tiers) {
+    obs::MetricLabels labels = {{"tier", tier.name}};
+    snapshot->AddCounter("lusail_cache_hits_total",
+                         "Cache lookups served from this tier.", labels,
+                         static_cast<double>(tier.stats.hits));
+    snapshot->AddCounter("lusail_cache_misses_total",
+                         "Cache lookups that missed this tier.", labels,
+                         static_cast<double>(tier.stats.misses));
+    snapshot->AddCounter("lusail_cache_insertions_total",
+                         "Entries inserted into this tier.", labels,
+                         static_cast<double>(tier.stats.insertions));
+    snapshot->AddCounter("lusail_cache_evictions_total",
+                         "Entries evicted to stay within capacity.", labels,
+                         static_cast<double>(tier.stats.evictions));
+    snapshot->AddCounter("lusail_cache_invalidations_total",
+                         "Entries dropped by endpoint invalidation.", labels,
+                         static_cast<double>(tier.stats.invalidations));
+    snapshot->AddCounter("lusail_cache_expired_total",
+                         "Entries dropped after outliving their TTL.", labels,
+                         static_cast<double>(tier.stats.expired));
+    snapshot->AddGauge("lusail_cache_entries",
+                       "Entries currently resident in this tier.", labels,
+                       static_cast<double>(tier.stats.entries));
+    snapshot->AddGauge("lusail_cache_bytes",
+                       "Approximate bytes currently resident in this tier.",
+                       labels, static_cast<double>(tier.stats.bytes));
+  }
+}
+
 }  // namespace lusail::cache

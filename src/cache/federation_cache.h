@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "sparql/result_table.h"
 
 namespace lusail::cache {
@@ -392,6 +393,10 @@ class FederationCache {
   /// {"verdicts": {...}, "counts": {...}, "results": {...}} with the
   /// hit/miss/eviction/occupancy counters of each tier.
   obs::JsonValue ToJson() const;
+
+  /// Emits lusail_cache_* counters and occupancy gauges, one sample per
+  /// tier labelled {tier="verdicts"|"counts"|"results"}.
+  void ExportMetrics(obs::MetricsSnapshot* snapshot) const;
 
  private:
   LruTier<bool> verdicts_;

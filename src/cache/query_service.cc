@@ -87,6 +87,30 @@ Result<SubmittedQuery> QueryService::SubmitCancellable(std::string sparql_text,
           }
         }
         drained_.notify_all();
+        if (options_.flight_recorder != nullptr) {
+          obs::FlightRecord record;
+          record.query_hash = obs::QueryHashHex(text);
+          record.total_ms = queued_at.ElapsedMillis();
+          if (result.ok()) {
+            const fed::ExecutionProfile& profile = result.value().profile;
+            record.rows = result.value().table.NumRows();
+            record.requests = profile.requests;
+            record.hedged = profile.hedged_requests > 0;
+            record.partial = profile.partial;
+            record.total_ms = profile.total_ms;
+            record.source_selection_ms = profile.source_selection_ms;
+            record.analysis_ms = profile.analysis_ms;
+            record.execution_ms = profile.execution_ms;
+            record.network_ms = profile.network_ms;
+            if (profile.trace != nullptr) {
+              record.trace_id = profile.trace->trace_id;
+            }
+          } else {
+            record.status = StatusCodeToString(result.status().code());
+            record.cancelled = token.CancelRequested();
+          }
+          options_.flight_recorder->Record(std::move(record));
+        }
         return result;
       });
   return submitted;
@@ -148,6 +172,51 @@ obs::JsonValue QueryService::StatsJson() const {
     out.Set("cache", cache->ToJson());
   }
   return out;
+}
+
+void QueryService::ExportMetrics(obs::MetricsSnapshot* snapshot) const {
+  QueryServiceStats s = Stats();
+  obs::MetricLabels none;
+  snapshot->AddCounter("lusail_service_accepted_total",
+                       "Queries admitted by the service.", none,
+                       static_cast<double>(s.accepted));
+  snapshot->AddCounter("lusail_service_rejected_total",
+                       "Queries turned away by the admission cap.", none,
+                       static_cast<double>(s.rejected));
+  snapshot->AddCounter("lusail_service_completed_total",
+                       "Queries that finished with an OK status.", none,
+                       static_cast<double>(s.completed));
+  snapshot->AddCounter("lusail_service_failed_total",
+                       "Queries that finished with a non-OK status.", none,
+                       static_cast<double>(s.failed));
+  snapshot->AddCounter("lusail_service_expired_in_queue_total",
+                       "Queries whose deadline expired before execution.",
+                       none, static_cast<double>(s.expired_in_queue));
+  snapshot->AddCounter("lusail_service_cancelled_total",
+                       "Cancel() calls that matched a live query.", none,
+                       static_cast<double>(s.cancelled));
+  snapshot->AddGauge("lusail_service_in_flight",
+                     "Queries currently queued or running.", none,
+                     static_cast<double>(s.in_flight));
+  snapshot->AddGauge("lusail_service_running",
+                     "Queries currently executing on a worker.", none,
+                     static_cast<double>(s.running));
+  snapshot->AddHistogram("lusail_service_queue_wait_seconds",
+                         "Admission-to-execution queue wait.", none, s.wait);
+
+  const fed::Federation* federation = engine_.federation();
+  if (federation == nullptr) return;
+  for (size_t i = 0; i < federation->size(); ++i) {
+    net::Endpoint* endpoint = federation->endpoint(i);
+    if (auto* resilient = dynamic_cast<net::ResilientEndpoint*>(endpoint)) {
+      resilient->ExportMetrics(snapshot);  // Includes a wrapped group.
+    } else if (auto* group = dynamic_cast<net::ReplicaGroup*>(endpoint)) {
+      group->ExportMetrics(snapshot);
+    }
+  }
+  if (FederationCache* cache = federation->query_cache()) {
+    cache->ExportMetrics(snapshot);
+  }
 }
 
 Result<uint64_t> QueryService::WarmLoadCache(const std::string& path) {

@@ -16,7 +16,9 @@
 #include "core/options.h"
 #include "federation/federation.h"
 #include "obs/endpoint_stats.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace lusail::cache {
 
@@ -28,6 +30,10 @@ struct QueryServiceOptions {
   size_t max_pending = 0;
   /// Engine configuration shared by every query this service runs.
   core::LusailOptions engine;
+  /// When non-null, every finished query (success or failure) is filed
+  /// into this recorder with its phase timings and request counters.
+  /// Non-owning; must outlive the service.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Cumulative Submit/completion counters. `in_flight` is the current
@@ -105,6 +111,11 @@ class QueryService {
   /// resilient wrappers — failover/hedge counters and per-replica
   /// health, and a "cache" section when a FederationCache is attached.
   obs::JsonValue StatsJson() const;
+
+  /// Emits lusail_service_* counters, the queue-wait histogram, and the
+  /// nested exports of every endpoint wrapper plus the federation cache
+  /// — everything /metrics needs from the serving layer in one call.
+  void ExportMetrics(obs::MetricsSnapshot* snapshot) const;
 
   /// Warm-loads the federation's shared FederationCache from a
   /// SaveCacheSnapshot file (verdict + COUNT tiers), so a restarted

@@ -1,10 +1,30 @@
 #include "federation/federation.h"
 
+#include <unistd.h>
+
 #include <cctype>
+#include <optional>
 
 #include "common/string_util.h"
+#include "obs/trace_context.h"
 
 namespace lusail::fed {
+
+QueryTrace::QueryTrace(bool enabled, const std::string& engine_name,
+                       MetricsCollector* metrics)
+    : metrics_(metrics) {
+  if (!enabled) return;
+  tracer_ = std::make_shared<obs::Tracer>();
+  tracer_->set_trace_id(obs::GenerateTraceId());
+  tracer_->RegisterProcess(static_cast<uint64_t>(::getpid()),
+                           "federator/" + engine_name);
+  root_ = tracer_->StartSpan("query", "query");
+  tracer_->Annotate(root_, "engine", engine_name);
+  tracer_->Annotate(root_, "trace_id", tracer_->trace_id());
+  metrics_->SetTracer(tracer_.get());
+  metrics_->SetTracerShared(tracer_);
+  metrics_->SetTraceParent(root_);
+}
 
 obs::JsonValue ProfileToJson(const ExecutionProfile& profile) {
   obs::JsonValue out = obs::JsonValue::Object();
@@ -71,37 +91,61 @@ Result<sparql::ResultTable> Federation::Execute(
     tracer->Annotate(span, "is_ask", is_ask);
   }
 
+  // While the endpoint call runs, downstream layers (the HTTP client,
+  // hedged replica workers) can pick up the trace identity from the
+  // calling thread and propagate it across the wire. Parent remote
+  // subtrees under this exchange's "request" span.
+  std::optional<obs::TraceContextScope> trace_scope;
+  if (tracer != nullptr) {
+    std::shared_ptr<obs::Tracer> shared = metrics->shared_tracer();
+    if (shared != nullptr && shared.get() == tracer) {
+      obs::TraceContext context;
+      context.tracer = std::move(shared);
+      context.trace_id = tracer->trace_id();
+      context.parent = span;
+      trace_scope.emplace(std::move(context));
+    }
+  }
+
   Result<net::QueryResponse> response = Status::Internal("unreachable");
   net::RetryOutcome outcome;
   if (retry != nullptr && retry->enabled()) {
     response = net::QueryWithRetry(endpoints_[i].get(), text, deadline,
                                    *retry, breakers_[i].get(), &outcome,
                                    tracer, span);
-    if (metrics != nullptr) metrics->RecordRetryOutcome(outcome);
   } else {
     response = endpoints_[i]->QueryWithDeadline(text, deadline);
   }
+  trace_scope.reset();
+  if (metrics != nullptr) {
+    metrics->RecordExchange(response.ok() ? &*response : nullptr, is_ask,
+                            outcome);
+  }
 
   if (stats_ != nullptr) {
+    obs::EndpointExchange exchange;
+    exchange.success = response.ok();
+    exchange.retries = static_cast<uint64_t>(outcome.retries);
+    exchange.breaker_rejections =
+        static_cast<uint64_t>(outcome.breaker_rejections);
+    exchange.breaker_trips = static_cast<uint64_t>(outcome.breaker_trips);
     if (response.ok()) {
-      stats_->RecordSuccess(endpoint_id,
-                            response->network_ms + response->server_ms,
-                            response->request_bytes, response->response_bytes,
-                            response->table.NumRows());
+      exchange.latency_ms = response->network_ms + response->server_ms;
+      exchange.bytes_sent = response->request_bytes;
+      exchange.bytes_received = response->response_bytes;
+      exchange.rows = response->table.NumRows();
+      if (response->transport.over_network) {
+        exchange.network = true;
+        exchange.reused_connection = response->transport.reused_connection;
+        exchange.wire_bytes_sent = response->transport.wire_bytes_sent;
+        exchange.wire_bytes_received =
+            response->transport.wire_bytes_received;
+      }
     } else {
-      stats_->RecordFailure(endpoint_id, response.status().code() ==
-                                             StatusCode::kTimeout);
+      exchange.timeout =
+          response.status().code() == StatusCode::kTimeout;
     }
-    stats_->RecordResilience(endpoint_id,
-                             static_cast<uint64_t>(outcome.retries),
-                             static_cast<uint64_t>(outcome.breaker_rejections),
-                             static_cast<uint64_t>(outcome.breaker_trips));
-    if (response.ok() && response->transport.over_network) {
-      stats_->RecordTransport(endpoint_id,
-                              response->transport.reused_connection,
-                              response->transport.wire_bytes_sent,
-                              response->transport.wire_bytes_received);
-    }
+    stats_->RecordExchange(endpoint_id, exchange);
   }
 
   if (span != 0) {
@@ -137,7 +181,6 @@ Result<sparql::ResultTable> Federation::Execute(
   }
 
   if (!response.ok()) return response.status();
-  if (metrics != nullptr) metrics->RecordRequest(*response, is_ask);
   return std::move(response->table);
 }
 

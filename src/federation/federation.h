@@ -77,50 +77,59 @@ struct ExecutionProfile {
 obs::JsonValue ProfileToJson(const ExecutionProfile& profile);
 
 /// Thread-safe accumulator for one federated query execution.
+///
+/// All counters live under one mutex so a reader (FillCounters, or a
+/// /metrics scrape through the collector) always sees a consistent cut:
+/// request counts can never lag the retry counts folded in by the same
+/// exchange. Record an exchange's response and retry outcome together
+/// with RecordExchange — separate RecordRetryOutcome-then-RecordRequest
+/// calls open a window where a snapshot reports retries for requests it
+/// has not counted yet.
 class MetricsCollector {
  public:
   MetricsCollector() = default;
   MetricsCollector(const MetricsCollector&) = delete;
   MetricsCollector& operator=(const MetricsCollector&) = delete;
 
-  void RecordRequest(const net::QueryResponse& response, bool is_ask) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    if (is_ask) ask_requests_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(response.request_bytes, std::memory_order_relaxed);
-    bytes_received_.fetch_add(response.response_bytes,
-                              std::memory_order_relaxed);
-    rows_received_.fetch_add(response.table.NumRows(),
-                             std::memory_order_relaxed);
-    // Round to the nearest microsecond instead of truncating: a
-    // truncating cast floors every request's network time, so workloads
-    // of many sub-microsecond requests would report ~0 network time.
-    network_us_.fetch_add(
-        static_cast<uint64_t>(std::llround(response.network_ms * 1000.0)),
-        std::memory_order_relaxed);
-    if (response.hedged) {
-      hedged_requests_.fetch_add(1, std::memory_order_relaxed);
+  /// Folds one endpoint exchange — the response (when the request
+  /// produced one) and its retry-loop accounting — into the totals as a
+  /// single atomic update. `response` may be null for requests that
+  /// failed without a response.
+  void RecordExchange(const net::QueryResponse* response, bool is_ask,
+                      const net::RetryOutcome& outcome) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (response != nullptr) {
+      AddResponseLocked(*response, is_ask);
     }
+    retries_ += outcome.retries;
+    breaker_rejections_ += outcome.breaker_rejections;
+    breaker_trips_ += outcome.breaker_trips;
+  }
+
+  void RecordRequest(const net::QueryResponse& response, bool is_ask) {
+    std::lock_guard<std::mutex> lock(mu_);
+    AddResponseLocked(response, is_ask);
   }
 
   /// Folds one retry loop's accounting into the query totals.
   void RecordRetryOutcome(const net::RetryOutcome& outcome) {
-    retries_.fetch_add(outcome.retries, std::memory_order_relaxed);
-    breaker_rejections_.fetch_add(outcome.breaker_rejections,
-                                  std::memory_order_relaxed);
-    breaker_trips_.fetch_add(outcome.breaker_trips,
-                             std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    retries_ += outcome.retries;
+    breaker_rejections_ += outcome.breaker_rejections;
+    breaker_trips_ += outcome.breaker_trips;
   }
 
   /// Records that `endpoint_id`'s contribution was dropped from a
   /// subquery union (partial-results degradation).
   void RecordEndpointDropped(const std::string& endpoint_id) {
-    std::lock_guard<std::mutex> lock(dropped_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     dropped_endpoints_.insert(endpoint_id);
   }
 
   /// Records a subquery that lost *all* of its endpoints.
   void RecordSubqueryDropped() {
-    subqueries_dropped_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++subqueries_dropped_;
   }
 
   // --- Tracing (optional; engines attach a tracer per traced query) ---
@@ -135,6 +144,19 @@ class MetricsCollector {
     return tracer_.load(std::memory_order_acquire);
   }
 
+  /// Shared ownership of the same tracer, for components that may hold a
+  /// reference past the query frame (detached hedge losers grafting a
+  /// late server subtree). Set alongside SetTracer when the owner keeps
+  /// the tracer in a shared_ptr; empty otherwise.
+  void SetTracerShared(std::shared_ptr<obs::Tracer> tracer) {
+    std::lock_guard<std::mutex> lock(tracer_mu_);
+    shared_tracer_ = std::move(tracer);
+  }
+  std::shared_ptr<obs::Tracer> shared_tracer() const {
+    std::lock_guard<std::mutex> lock(tracer_mu_);
+    return shared_tracer_;
+  }
+
   /// The span new request spans are parented to when the call site does
   /// not pass an explicit parent. Engines point this at the currently
   /// running phase span (PhaseSpan maintains it automatically).
@@ -145,49 +167,59 @@ class MetricsCollector {
     return trace_parent_.load(std::memory_order_acquire);
   }
 
-  /// Copies the counters into a profile (phase timings are the caller's).
+  /// Copies the counters into a profile (phase timings are the caller's)
+  /// as one consistent snapshot.
   void FillCounters(ExecutionProfile* profile) const {
-    profile->requests = requests_.load(std::memory_order_relaxed);
-    profile->ask_requests = ask_requests_.load(std::memory_order_relaxed);
-    profile->bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
-    profile->bytes_received = bytes_received_.load(std::memory_order_relaxed);
-    profile->rows_received = rows_received_.load(std::memory_order_relaxed);
-    profile->network_ms =
-        static_cast<double>(network_us_.load(std::memory_order_relaxed)) /
-        1000.0;
-    profile->retries = retries_.load(std::memory_order_relaxed);
-    profile->breaker_rejections =
-        breaker_rejections_.load(std::memory_order_relaxed);
-    profile->breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
-    profile->subqueries_dropped =
-        subqueries_dropped_.load(std::memory_order_relaxed);
-    profile->hedged_requests =
-        hedged_requests_.load(std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(dropped_mu_);
-      profile->failed_endpoint_ids.assign(dropped_endpoints_.begin(),
-                                          dropped_endpoints_.end());
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    profile->requests = requests_;
+    profile->ask_requests = ask_requests_;
+    profile->bytes_sent = bytes_sent_;
+    profile->bytes_received = bytes_received_;
+    profile->rows_received = rows_received_;
+    profile->network_ms = static_cast<double>(network_us_) / 1000.0;
+    profile->retries = retries_;
+    profile->breaker_rejections = breaker_rejections_;
+    profile->breaker_trips = breaker_trips_;
+    profile->subqueries_dropped = subqueries_dropped_;
+    profile->hedged_requests = hedged_requests_;
+    profile->failed_endpoint_ids.assign(dropped_endpoints_.begin(),
+                                        dropped_endpoints_.end());
     profile->endpoints_failed = profile->failed_endpoint_ids.size();
     profile->partial =
         profile->endpoints_failed > 0 || profile->subqueries_dropped > 0;
   }
 
  private:
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> ask_requests_{0};
-  std::atomic<uint64_t> bytes_sent_{0};
-  std::atomic<uint64_t> bytes_received_{0};
-  std::atomic<uint64_t> rows_received_{0};
-  std::atomic<uint64_t> network_us_{0};
-  std::atomic<uint64_t> retries_{0};
-  std::atomic<uint64_t> breaker_rejections_{0};
-  std::atomic<uint64_t> breaker_trips_{0};
-  std::atomic<uint64_t> subqueries_dropped_{0};
-  std::atomic<uint64_t> hedged_requests_{0};
-  mutable std::mutex dropped_mu_;
+  void AddResponseLocked(const net::QueryResponse& response, bool is_ask) {
+    ++requests_;
+    if (is_ask) ++ask_requests_;
+    bytes_sent_ += response.request_bytes;
+    bytes_received_ += response.response_bytes;
+    rows_received_ += response.table.NumRows();
+    // Round to the nearest microsecond instead of truncating: a
+    // truncating cast floors every request's network time, so workloads
+    // of many sub-microsecond requests would report ~0 network time.
+    network_us_ +=
+        static_cast<uint64_t>(std::llround(response.network_ms * 1000.0));
+    if (response.hedged) ++hedged_requests_;
+  }
+
+  mutable std::mutex mu_;
+  uint64_t requests_ = 0;
+  uint64_t ask_requests_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t rows_received_ = 0;
+  uint64_t network_us_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t breaker_rejections_ = 0;
+  uint64_t breaker_trips_ = 0;
+  uint64_t subqueries_dropped_ = 0;
+  uint64_t hedged_requests_ = 0;
   std::set<std::string> dropped_endpoints_;
   std::atomic<obs::Tracer*> tracer_{nullptr};
+  mutable std::mutex tracer_mu_;
+  std::shared_ptr<obs::Tracer> shared_tracer_;
   std::atomic<obs::SpanId> trace_parent_{0};
 };
 
@@ -234,21 +266,15 @@ class PhaseSpan {
 };
 
 /// Per-query tracing harness shared by all engines: when `enabled`, owns
-/// the tracer, opens the root "query" span, and registers the tracer with
-/// the metrics collector. Attach() closes the root span and hands the
-/// finished trace to the profile.
+/// the tracer (shared, so detached hedge losers can finish grafting a
+/// late server subtree after the query frame unwinds), generates the
+/// query's 128-bit trace id, opens the root "query" span, and registers
+/// the tracer with the metrics collector. Attach() closes the root span
+/// and hands the finished trace to the profile.
 class QueryTrace {
  public:
   QueryTrace(bool enabled, const std::string& engine_name,
-             MetricsCollector* metrics)
-      : metrics_(metrics) {
-    if (!enabled) return;
-    tracer_ = std::make_unique<obs::Tracer>();
-    root_ = tracer_->StartSpan("query", "query");
-    tracer_->Annotate(root_, "engine", engine_name);
-    metrics_->SetTracer(tracer_.get());
-    metrics_->SetTraceParent(root_);
-  }
+             MetricsCollector* metrics);
   QueryTrace(const QueryTrace&) = delete;
   QueryTrace& operator=(const QueryTrace&) = delete;
   ~QueryTrace() {
@@ -256,6 +282,7 @@ class QueryTrace {
     // only within the engine's Execute frame, but stay defensive).
     if (tracer_ != nullptr && metrics_ != nullptr) {
       metrics_->SetTracer(nullptr);
+      metrics_->SetTracerShared(nullptr);
     }
   }
 
@@ -272,7 +299,7 @@ class QueryTrace {
 
  private:
   MetricsCollector* metrics_ = nullptr;
-  std::unique_ptr<obs::Tracer> tracer_;
+  std::shared_ptr<obs::Tracer> tracer_;
   obs::SpanId root_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/trace_context.h"
+
 namespace lusail::net {
 
 namespace {
@@ -248,10 +250,23 @@ void ReplicaGroup::LaunchAttempt(const std::shared_ptr<Replica>& replica,
     ++inflight->count;
   }
   CancelToken token = shared->attempts[slot].token;
+  // Capture the caller's trace context by value: the worker thread (its
+  // own thread-local context empty) re-installs it so both hedge arms
+  // propagate the same trace identity — the tracer is held via shared_ptr
+  // and so outlives the query frame even for a detached loser.
+  obs::TraceContext trace_context;
+  if (const obs::TraceContext* current = obs::CurrentTraceContext()) {
+    trace_context = *current;
+  }
   // The worker captures only shared_ptrs and values — never `this` — so a
   // loser can finish after the Query* call (though not the group: the
   // destructor drains `inflight`).
-  std::thread([replica, text, token, shared, slot, inflight]() {
+  std::thread([replica, text, token, shared, slot, inflight,
+               trace_context]() {
+    std::optional<obs::TraceContextScope> trace_scope;
+    if (trace_context.tracer != nullptr) {
+      trace_scope.emplace(trace_context);
+    }
     Result<QueryResponse> result = Status::Internal("unreachable");
     if (token.Cancelled()) {
       result = token.StatusAt("replica attempt");
@@ -266,6 +281,7 @@ void ReplicaGroup::LaunchAttempt(const std::shared_ptr<Replica>& replica,
                             token.Cancelled();
       RecordOutcome(replica, result, sw.ElapsedMillis(), self_inflicted);
     }
+    trace_scope.reset();
     {
       std::lock_guard<std::mutex> lock(shared->mu);
       shared->attempts[slot].result = std::move(result);
@@ -322,6 +338,22 @@ Result<QueryResponse> ReplicaGroup::QueryHedged(
     }
     if (winner >= 0) {
       cancel_losers(winner);
+      // When this query is traced, wait (bounded) for the cancelled
+      // losers to finish: a loser's server answers the cancellation with
+      // its span subtree, and the graft must land before the caller
+      // snapshots the trace — this is what makes hedged traces show one
+      // winning and one cancelled server subtree deterministically.
+      if (obs::CurrentTraceContext() != nullptr) {
+        Deadline drain = Deadline::AfterMillis(2500.0);
+        for (;;) {
+          size_t finished = 0;
+          for (size_t s = 0; s < launched; ++s) {
+            if (shared->attempts[s].result.has_value()) ++finished;
+          }
+          if (finished == launched || drain.Expired()) break;
+          shared->cv.wait_for(lock, std::chrono::milliseconds(10));
+        }
+      }
       Result<QueryResponse> result = std::move(*shared->attempts[winner].result);
       result->served_by =
           replicas_[shared->attempts[winner].replica_index]->endpoint->id();
@@ -381,6 +413,49 @@ ReplicaGroupStats ReplicaGroup::stats() const {
   stats.hedge_losses = hedge_losses_.load(std::memory_order_relaxed);
   stats.breaker_skips = breaker_skips_.load(std::memory_order_relaxed);
   return stats;
+}
+
+void ReplicaGroup::ExportMetrics(obs::MetricsSnapshot* snapshot) const {
+  ReplicaGroupStats s = stats();
+  obs::MetricLabels labels{{"endpoint", id_}};
+  snapshot->AddCounter("lusail_replica_requests_total",
+                       "Queries issued through the replica group.", labels,
+                       static_cast<double>(s.requests));
+  snapshot->AddCounter("lusail_replica_failovers_total",
+                       "Sequential failovers after a replica failure.",
+                       labels, static_cast<double>(s.failovers));
+  snapshot->AddCounter("lusail_replica_probes_total",
+                       "Lazy health probes issued.", labels,
+                       static_cast<double>(s.probes));
+  snapshot->AddCounter("lusail_replica_hedges_launched_total",
+                       "Duplicate (hedged) requests started.", labels,
+                       static_cast<double>(s.hedges_launched));
+  snapshot->AddCounter("lusail_replica_hedge_wins_total",
+                       "Hedged requests that answered first.", labels,
+                       static_cast<double>(s.hedge_wins));
+  snapshot->AddCounter("lusail_replica_hedge_losses_total",
+                       "Hedges beaten by the primary.", labels,
+                       static_cast<double>(s.hedge_losses));
+  snapshot->AddCounter("lusail_replica_breaker_skips_total",
+                       "Replicas skipped on an open breaker.", labels,
+                       static_cast<double>(s.breaker_skips));
+  for (const auto& replica : replicas_) {
+    obs::MetricLabels replica_labels{{"endpoint", id_},
+                                     {"replica", replica->endpoint->id()}};
+    obs::LatencyHistogram latency;
+    {
+      std::lock_guard<std::mutex> lock(replica->mu);
+      latency = replica->latency;
+    }
+    snapshot->AddHistogram("lusail_replica_latency_seconds",
+                           "Per-replica request latency.", replica_labels,
+                           latency);
+    snapshot->AddGauge(
+        "lusail_replica_breaker_open",
+        "1 when the replica's circuit breaker would reject a request.",
+        std::move(replica_labels),
+        replica->breaker.WouldAllowRequest() ? 0.0 : 1.0);
+  }
 }
 
 obs::JsonValue ReplicaGroup::StatsJson() const {

@@ -18,6 +18,7 @@
 #include "net/resilience.h"
 #include "obs/endpoint_stats.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace lusail::net {
 
@@ -131,6 +132,10 @@ class ReplicaGroup : public Endpoint {
   /// verdict (healthy / unhealthy / unknown / stale), probe status, and
   /// latency percentiles.
   obs::JsonValue StatsJson() const;
+
+  /// Emits lusail_replica_* counters ({endpoint=<group id>}) and the
+  /// per-replica latency histograms ({endpoint,replica}).
+  void ExportMetrics(obs::MetricsSnapshot* snapshot) const;
 
   const ReplicaGroupOptions& options() const { return options_; }
 

@@ -313,6 +313,39 @@ obs::JsonValue ResilienceStats::ToJson() const {
   return out;
 }
 
+void ResilientEndpoint::ExportMetrics(obs::MetricsSnapshot* snapshot) const {
+  ResilienceStats s = stats();
+  obs::MetricLabels labels{{"endpoint", id()}};
+  snapshot->AddCounter("lusail_resilience_requests_total",
+                       "Queries entering the resilient wrapper.", labels,
+                       static_cast<double>(s.requests));
+  snapshot->AddCounter("lusail_resilience_attempts_total",
+                       "Requests issued to the inner endpoint.", labels,
+                       static_cast<double>(s.attempts));
+  snapshot->AddCounter("lusail_resilience_retries_total",
+                       "Attempts beyond the first.", labels,
+                       static_cast<double>(s.retries));
+  snapshot->AddCounter("lusail_resilience_failures_total",
+                       "Queries that failed after all retries.", labels,
+                       static_cast<double>(s.failures));
+  snapshot->AddCounter("lusail_resilience_breaker_rejections_total",
+                       "Requests refused by the open breaker.", labels,
+                       static_cast<double>(s.breaker_rejections));
+  snapshot->AddCounter("lusail_resilience_breaker_trips_total",
+                       "Breaker transitions to open.", labels,
+                       static_cast<double>(s.breaker_trips));
+  snapshot->AddCounter("lusail_resilience_backoff_seconds_total",
+                       "Total backoff sleep time.", labels,
+                       s.backoff_ms / 1e3);
+  snapshot->AddGauge(
+      "lusail_resilience_breaker_open",
+      "1 when the breaker would reject a request right now.",
+      std::move(labels), breaker_.WouldAllowRequest() ? 0.0 : 1.0);
+  if (const auto* group = dynamic_cast<const ReplicaGroup*>(inner_.get())) {
+    group->ExportMetrics(snapshot);
+  }
+}
+
 obs::JsonValue ResilientEndpoint::StatsJson() const {
   obs::JsonValue out = stats().ToJson();
   out.Set("breaker_state", std::string(CircuitBreaker::StateName(

@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "net/endpoint.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace lusail::net {
@@ -220,6 +221,10 @@ class ResilientEndpoint : public Endpoint {
   /// Operational snapshot: the cumulative stats plus the breaker's
   /// current state ("closed" / "open" / "half-open") and trip count.
   obs::JsonValue StatsJson() const;
+
+  /// Emits lusail_resilience_* counters labelled {endpoint=<id>}; a
+  /// wrapped ReplicaGroup exports its lusail_replica_* metrics too.
+  void ExportMetrics(obs::MetricsSnapshot* snapshot) const;
 
  private:
   std::shared_ptr<Endpoint> inner_;

@@ -1,5 +1,7 @@
 #include "obs/endpoint_stats.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -151,6 +153,37 @@ JsonValue EndpointStats::ToJson() const {
 // EndpointStatsRegistry
 // ---------------------------------------------------------------------
 
+void EndpointStatsRegistry::RecordExchange(const std::string& endpoint_id,
+                                           const EndpointExchange& exchange) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointStats& s = stats_[endpoint_id];
+  ++s.requests;
+  if (exchange.success) {
+    ++s.successes;
+    s.bytes_sent += exchange.bytes_sent;
+    s.bytes_received += exchange.bytes_received;
+    s.rows_received += exchange.rows;
+    s.latency.Record(exchange.latency_ms);
+  } else if (exchange.timeout) {
+    ++s.timeouts;
+  } else {
+    ++s.errors;
+  }
+  s.retries += exchange.retries;
+  s.breaker_rejections += exchange.breaker_rejections;
+  s.breaker_trips += exchange.breaker_trips;
+  if (exchange.network) {
+    ++s.network_requests;
+    if (exchange.reused_connection) {
+      ++s.connections_reused;
+    } else {
+      ++s.connections_opened;
+    }
+    s.wire_bytes_sent += exchange.wire_bytes_sent;
+    s.wire_bytes_received += exchange.wire_bytes_received;
+  }
+}
+
 void EndpointStatsRegistry::RecordSuccess(const std::string& endpoint_id,
                                           double latency_ms,
                                           uint64_t bytes_sent,
@@ -251,6 +284,45 @@ JsonValue EndpointStatsRegistry::ToJson() const {
   JsonValue out = JsonValue::Object();
   out.Set("endpoints", std::move(endpoints));
   return out;
+}
+
+void EndpointStatsRegistry::ExportMetrics(MetricsSnapshot* snapshot) const {
+  for (const auto& [id, stats] : All()) {
+    MetricLabels labels = {{"endpoint", id}};
+    snapshot->AddCounter("lusail_endpoint_requests_total",
+                         "Completed requests (success + failure).", labels,
+                         static_cast<double>(stats.requests));
+    snapshot->AddCounter("lusail_endpoint_successes_total",
+                         "Requests that returned a result.", labels,
+                         static_cast<double>(stats.successes));
+    snapshot->AddCounter("lusail_endpoint_errors_total",
+                         "Non-timeout failures.", labels,
+                         static_cast<double>(stats.errors));
+    snapshot->AddCounter("lusail_endpoint_timeouts_total",
+                         "Requests that timed out.", labels,
+                         static_cast<double>(stats.timeouts));
+    snapshot->AddCounter("lusail_endpoint_retries_total",
+                         "Requests retried after a retryable failure.",
+                         labels, static_cast<double>(stats.retries));
+    snapshot->AddCounter("lusail_endpoint_breaker_rejections_total",
+                         "Requests refused by an open circuit breaker.",
+                         labels, static_cast<double>(stats.breaker_rejections));
+    snapshot->AddCounter("lusail_endpoint_breaker_trips_total",
+                         "Circuit-breaker transitions to open.", labels,
+                         static_cast<double>(stats.breaker_trips));
+    snapshot->AddCounter("lusail_endpoint_bytes_sent_total",
+                         "Query text bytes shipped to the endpoint.", labels,
+                         static_cast<double>(stats.bytes_sent));
+    snapshot->AddCounter("lusail_endpoint_bytes_received_total",
+                         "Serialized result bytes received.", labels,
+                         static_cast<double>(stats.bytes_received));
+    snapshot->AddCounter("lusail_endpoint_rows_received_total",
+                         "Binding rows received.", labels,
+                         static_cast<double>(stats.rows_received));
+    snapshot->AddHistogram("lusail_endpoint_latency_seconds",
+                           "Successful-request latency.", labels,
+                           stats.latency);
+  }
 }
 
 std::string EndpointStatsRegistry::ToText() const {

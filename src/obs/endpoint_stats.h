@@ -13,6 +13,9 @@
 
 namespace lusail::obs {
 
+class MetricsSnapshot;  // metrics.h includes this header; declared here
+                        // to break the cycle.
+
 /// Mergeable log-bucketed latency histogram. Bucket b holds samples whose
 /// latency in microseconds lies in [2^(b-1), 2^b) (bucket 0 holds < 1 us),
 /// so the whole dynamic range from sub-microsecond to hours fits in 64
@@ -79,6 +82,25 @@ struct EndpointStats {
   JsonValue ToJson() const;
 };
 
+/// Everything one completed endpoint exchange contributes to the stats,
+/// applied under a single registry lock so a concurrent scrape can never
+/// observe the resilience counters ahead of the request counter.
+struct EndpointExchange {
+  bool success = false;
+  bool timeout = false;       ///< Classifies a failure; ignored on success.
+  double latency_ms = 0.0;    ///< Recorded only on success.
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t rows = 0;
+  uint64_t retries = 0;
+  uint64_t breaker_rejections = 0;
+  uint64_t breaker_trips = 0;
+  bool network = false;       ///< The request crossed a real socket.
+  bool reused_connection = false;
+  uint64_t wire_bytes_sent = 0;
+  uint64_t wire_bytes_received = 0;
+};
+
 /// Thread-safe registry of per-endpoint statistics spanning queries and
 /// engines. Attach one to a Federation (set_stats_registry) and every
 /// request any engine issues through that federation is accounted here;
@@ -88,6 +110,12 @@ class EndpointStatsRegistry {
   EndpointStatsRegistry() = default;
   EndpointStatsRegistry(const EndpointStatsRegistry&) = delete;
   EndpointStatsRegistry& operator=(const EndpointStatsRegistry&) = delete;
+
+  /// Applies a whole exchange (outcome + resilience + transport) in one
+  /// lock acquisition. Preferred over the piecemeal Record* methods for
+  /// per-request accounting: cheaper, and atomic with respect to All().
+  void RecordExchange(const std::string& endpoint_id,
+                      const EndpointExchange& exchange);
 
   void RecordSuccess(const std::string& endpoint_id, double latency_ms,
                      uint64_t bytes_sent, uint64_t bytes_received,
@@ -117,6 +145,10 @@ class EndpointStatsRegistry {
 
   /// Fixed-width table for terminal output.
   std::string ToText() const;
+
+  /// Emits lusail_endpoint_* counters and the success-latency histogram,
+  /// one sample per endpoint labelled {endpoint=<id>}.
+  void ExportMetrics(MetricsSnapshot* snapshot) const;
 
  private:
   mutable std::mutex mu_;

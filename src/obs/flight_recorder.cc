@@ -1,0 +1,122 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <utility>
+
+namespace lusail::obs {
+
+uint64_t HashQueryText(const std::string& text) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis.
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string QueryHashHex(const std::string& text) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(HashQueryText(text)));
+  return buf;
+}
+
+JsonValue FlightRecord::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("sequence", sequence);
+  out.Set("unix_ms", unix_ms);
+  out.Set("query_hash", query_hash);
+  if (!trace_id.empty()) out.Set("trace_id", trace_id);
+  out.Set("status", status);
+  if (!served_by.empty()) out.Set("served_by", served_by);
+  out.Set("hedged", hedged);
+  out.Set("cancelled", cancelled);
+  out.Set("partial", partial);
+  out.Set("truncated", truncated);
+  out.Set("slow", slow);
+  out.Set("rows", rows);
+  out.Set("requests", requests);
+  out.Set("cache_hits", cache_hits);
+  out.Set("total_ms", total_ms);
+  out.Set("source_selection_ms", source_selection_ms);
+  out.Set("analysis_ms", analysis_ms);
+  out.Set("execution_ms", execution_ms);
+  out.Set("network_ms", network_ms);
+  return out;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  if (record.unix_ms == 0.0) {
+    record.unix_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  }
+  record.slow = options_.slow_threshold_ms > 0.0 &&
+                record.total_ms >= options_.slow_threshold_ms;
+  bool emit_query_line = options_.log_json;
+  bool emit_slow_line = record.slow && !options_.log_json;
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.sequence = ++total_;
+    if (record.slow) ++slow_;
+    ring_.push_back(record);
+    while (ring_.size() > options_.capacity) ring_.pop_front();
+  }
+  if (emit_query_line || emit_slow_line) {
+    JsonValue body = record.ToJson();
+    JsonValue entry = JsonValue::Object();
+    entry.Set("event", emit_query_line ? "query" : "slow_query");
+    for (const auto& [key, value] : body.members()) {
+      entry.Set(key, value);
+    }
+    line = entry.Serialize();
+    std::FILE* stream = options_.stream != nullptr ? options_.stream : stderr;
+    std::fprintf(stream, "%s\n", line.c_str());
+    std::fflush(stream);
+  }
+}
+
+std::vector<FlightRecord> FlightRecorder::Recent(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t take = (n == 0 || n > ring_.size()) ? ring_.size() : n;
+  std::vector<FlightRecord> out;
+  out.reserve(take);
+  for (auto it = ring_.rbegin(); it != ring_.rend() && out.size() < take;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t FlightRecorder::slow_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+JsonValue FlightRecorder::ToJson(size_t n) const {
+  JsonValue out = JsonValue::Object();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.Set("total", total_);
+    out.Set("slow", slow_);
+  }
+  JsonValue queries = JsonValue::Array();
+  for (const FlightRecord& record : Recent(n)) {
+    queries.Append(record.ToJson());
+  }
+  out.Set("queries", std::move(queries));
+  return out;
+}
+
+}  // namespace lusail::obs

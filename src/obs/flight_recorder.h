@@ -1,0 +1,104 @@
+#ifndef LUSAIL_OBS_FLIGHT_RECORDER_H_
+#define LUSAIL_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lusail::obs {
+
+/// One completed query's black-box record. Both sides of the wire fill
+/// the subset that applies to them: the federator records phase timings
+/// and profile counters, an endpointd records evaluation time, rows, and
+/// truncation. Unused fields stay at their defaults and still serialize,
+/// so the /debug/queries schema is uniform.
+struct FlightRecord {
+  uint64_t sequence = 0;    ///< Monotonic per recorder; assigned on Record.
+  double unix_ms = 0.0;     ///< Wall-clock completion time (assigned if 0).
+  std::string query_hash;   ///< 16 hex chars (FNV-1a 64 of the query text).
+  std::string trace_id;     ///< Empty when the query was not traced.
+  std::string status = "ok";  ///< "ok" or the StatusCode name.
+  std::string served_by;    ///< Winning replica id, when replicated.
+  bool hedged = false;
+  bool cancelled = false;   ///< Explicit cancellation (not deadline expiry).
+  bool partial = false;     ///< Degraded: some endpoint contribution lost.
+  bool truncated = false;   ///< Result rows were cut at a server cap.
+  bool slow = false;        ///< Crossed the recorder's slow threshold.
+  uint64_t rows = 0;
+  uint64_t requests = 0;    ///< Endpoint requests issued (federator side).
+  uint64_t cache_hits = 0;  ///< Federation-cache hits for this query.
+  double total_ms = 0.0;
+  double source_selection_ms = 0.0;
+  double analysis_ms = 0.0;
+  double execution_ms = 0.0;
+  double network_ms = 0.0;
+
+  JsonValue ToJson() const;
+};
+
+/// FNV-1a 64 of the query text — the stable, log-greppable identity of a
+/// query shape without reproducing (possibly huge) query text in logs.
+uint64_t HashQueryText(const std::string& text);
+
+/// HashQueryText as 16 lowercase hex characters.
+std::string QueryHashHex(const std::string& text);
+
+struct FlightRecorderOptions {
+  /// Ring size: the last `capacity` completed queries stay inspectable.
+  size_t capacity = 128;
+
+  /// Queries at or above this total time are flagged slow and logged
+  /// even without log_json; 0 disables the slow-query log.
+  double slow_threshold_ms = 0.0;
+
+  /// Emit one JSON line per completed query (--log-json).
+  bool log_json = false;
+
+  /// Where log lines go; nullptr = stderr.
+  std::FILE* stream = nullptr;
+};
+
+/// Fixed-size ring buffer of the last K completed query records, with a
+/// threshold-based slow-query log and structured one-line JSON logging.
+/// Record() is one short mutex hold plus (when logging is on) one stdio
+/// write; readers copy records out, so a /debug/queries scrape never
+/// blocks query completion for long. Thread-safe.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stamps sequence (and unix_ms when unset), classifies slow, pushes
+  /// into the ring, and emits the configured log lines.
+  void Record(FlightRecord record);
+
+  /// The most recent `n` records, newest first (all of them when n == 0
+  /// or n exceeds what's buffered).
+  std::vector<FlightRecord> Recent(size_t n = 0) const;
+
+  uint64_t total_recorded() const;
+  uint64_t slow_queries() const;
+
+  /// {"total":N,"slow":M,"queries":[...newest first...]} — the body of
+  /// GET /debug/queries?n=.
+  JsonValue ToJson(size_t n = 0) const;
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+ private:
+  FlightRecorderOptions options_;
+  mutable std::mutex mu_;
+  std::deque<FlightRecord> ring_;
+  uint64_t total_ = 0;
+  uint64_t slow_ = 0;
+};
+
+}  // namespace lusail::obs
+
+#endif  // LUSAIL_OBS_FLIGHT_RECORDER_H_

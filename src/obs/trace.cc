@@ -1,8 +1,11 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <functional>
 #include <thread>
+#include <unordered_map>
 
 namespace lusail::obs {
 
@@ -16,6 +19,33 @@ std::string FormatDouble(double d) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.6g", d);
   return buf;
+}
+
+JsonValue SpanToWireJson(const Span& s) {
+  JsonValue out = JsonValue::Object();
+  out.Set("id", s.id);
+  out.Set("parent", s.parent);
+  out.Set("name", s.name);
+  out.Set("cat", s.category);
+  out.Set("start_us", s.start_us);
+  out.Set("dur_us", s.duration_us);
+  out.Set("tid", s.thread_id % 1000000);
+  if (!s.annotations.empty()) {
+    JsonValue ann = JsonValue::Array();
+    for (const SpanAnnotation& a : s.annotations) {
+      JsonValue pair = JsonValue::Array();
+      pair.Append(a.key);
+      pair.Append(a.value);
+      ann.Append(std::move(pair));
+    }
+    out.Set("ann", std::move(ann));
+  }
+  return out;
+}
+
+double NumberOr(const JsonValue& value, double fallback) {
+  return value.type() == JsonValue::Type::kNumber ? value.AsDouble()
+                                                  : fallback;
 }
 
 }  // namespace
@@ -47,7 +77,21 @@ std::vector<const Span*> Trace::ChildrenOf(SpanId parent) const {
 }
 
 JsonValue Trace::ToChromeJson() const {
+  // Spans recorded locally (process_id 0) render under the local pid;
+  // grafted remote subtrees keep their server's pid, so Chrome/Perfetto
+  // lays each process of a merged trace out on its own track group.
+  uint64_t local_pid = local_process_id != 0 ? local_process_id : 1;
   JsonValue events = JsonValue::Array();
+  for (const auto& [pid, name] : processes) {
+    JsonValue meta = JsonValue::Object();
+    meta.Set("name", "process_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", pid != 0 ? pid : local_pid);
+    JsonValue args = JsonValue::Object();
+    args.Set("name", name);
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
   for (const Span& s : spans) {
     JsonValue event = JsonValue::Object();
     event.Set("name", s.name);
@@ -55,7 +99,7 @@ JsonValue Trace::ToChromeJson() const {
     event.Set("ph", "X");
     event.Set("ts", s.start_us);
     event.Set("dur", s.duration_us < 0.0 ? 0.0 : s.duration_us);
-    event.Set("pid", uint64_t{1});
+    event.Set("pid", s.process_id != 0 ? s.process_id : local_pid);
     // Compress the hashed thread id into something Perfetto renders as a
     // small track number while keeping distinct threads distinct.
     event.Set("tid", s.thread_id % 1000000);
@@ -69,9 +113,109 @@ JsonValue Trace::ToChromeJson() const {
     events.Append(std::move(event));
   }
   JsonValue doc = JsonValue::Object();
+  if (!trace_id.empty()) doc.Set("traceId", trace_id);
   doc.Set("traceEvents", std::move(events));
   doc.Set("displayTimeUnit", "ms");
   return doc;
+}
+
+std::string Trace::ToWireString(size_t max_bytes, bool* truncated) const {
+  if (truncated != nullptr) *truncated = false;
+  uint64_t pid = local_process_id;
+  std::string process_name;
+  for (const auto& [p, name] : processes) {
+    if (p == pid || p == 0) process_name = name;
+  }
+  std::string head = "{\"trace_id\":\"" + JsonEscape(trace_id) +
+                     "\",\"process_id\":" + std::to_string(pid) +
+                     ",\"process\":\"" + JsonEscape(process_name) + "\"";
+  // Budget the span list: spans serialize in creation order (a span's
+  // parent always precedes it), so keeping a prefix keeps a well-formed
+  // tree. The root always ships even when it alone busts the cap.
+  const std::string tail = ",\"truncated\":false,\"spans\":[]}";
+  size_t used = head.size() + tail.size();
+  std::vector<std::string> parts;
+  bool cut = false;
+  for (const Span& s : spans) {
+    std::string part = SpanToWireJson(s).Serialize();
+    if (!parts.empty() && used + part.size() + 1 > max_bytes) {
+      cut = true;
+      break;
+    }
+    used += part.size() + (parts.empty() ? 0 : 1);
+    parts.push_back(std::move(part));
+  }
+  if (truncated != nullptr) *truncated = cut;
+  std::string out = std::move(head);
+  out += ",\"truncated\":";
+  out += cut ? "true" : "false";
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += parts[i];
+  }
+  out += "]}";
+  return out;
+}
+
+Result<Trace> Trace::FromWireString(const std::string& text,
+                                    bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  LUSAIL_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(text));
+  if (doc.type() != JsonValue::Type::kObject) {
+    return Status::ParseError("trace wire payload is not a JSON object");
+  }
+  Trace trace;
+  if (doc.Get("trace_id").type() == JsonValue::Type::kString) {
+    trace.trace_id = doc.Get("trace_id").AsString();
+  }
+  uint64_t pid = static_cast<uint64_t>(NumberOr(doc.Get("process_id"), 0.0));
+  std::string process_name;
+  if (doc.Get("process").type() == JsonValue::Type::kString) {
+    process_name = doc.Get("process").AsString();
+  }
+  if (pid != 0) trace.processes.emplace_back(pid, process_name);
+  if (doc.Get("truncated").type() == JsonValue::Type::kBool &&
+      doc.Get("truncated").AsBool() && truncated != nullptr) {
+    *truncated = true;
+  }
+  const JsonValue& spans = doc.Get("spans");
+  if (spans.type() != JsonValue::Type::kArray) {
+    return Status::ParseError("trace wire payload has no spans array");
+  }
+  for (const JsonValue& item : spans.items()) {
+    if (item.type() != JsonValue::Type::kObject) {
+      return Status::ParseError("trace wire span is not an object");
+    }
+    Span span;
+    span.id = static_cast<SpanId>(NumberOr(item.Get("id"), 0.0));
+    span.parent = static_cast<SpanId>(NumberOr(item.Get("parent"), 0.0));
+    if (item.Get("name").type() == JsonValue::Type::kString) {
+      span.name = item.Get("name").AsString();
+    }
+    if (item.Get("cat").type() == JsonValue::Type::kString) {
+      span.category = item.Get("cat").AsString();
+    }
+    span.start_us = NumberOr(item.Get("start_us"), 0.0);
+    span.duration_us = NumberOr(item.Get("dur_us"), 0.0);
+    span.thread_id = static_cast<uint64_t>(NumberOr(item.Get("tid"), 0.0));
+    span.process_id = pid;
+    const JsonValue& ann = item.Get("ann");
+    if (ann.type() == JsonValue::Type::kArray) {
+      for (const JsonValue& pair : ann.items()) {
+        if (pair.type() == JsonValue::Type::kArray && pair.size() == 2 &&
+            pair[0].type() == JsonValue::Type::kString &&
+            pair[1].type() == JsonValue::Type::kString) {
+          span.annotations.push_back({pair[0].AsString(), pair[1].AsString()});
+        }
+      }
+    }
+    if (span.id == 0) {
+      return Status::ParseError("trace wire span has no id");
+    }
+    trace.spans.push_back(std::move(span));
+  }
+  return trace;
 }
 
 // ---------------------------------------------------------------------
@@ -138,10 +282,74 @@ size_t Tracer::NumSpans() const {
   return spans_.size();
 }
 
+void Tracer::set_trace_id(std::string trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_id_ = std::move(trace_id);
+}
+
+std::string Tracer::trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_id_;
+}
+
+void Tracer::RegisterProcess(uint64_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [p, n] : processes_) {
+    if (p == pid) {
+      n = std::move(name);
+      return;
+    }
+  }
+  processes_.emplace_back(pid, std::move(name));
+}
+
+SpanId Tracer::Graft(const Trace& remote, SpanId attach_under) {
+  if (remote.spans.empty()) return 0;
+  double now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [pid, name] : remote.processes) {
+    bool known = false;
+    for (auto& [p, n] : processes_) {
+      if (p == pid) {
+        n = name;
+        known = true;
+        break;
+      }
+    }
+    if (!known) processes_.emplace_back(pid, name);
+  }
+  // Remote timestamps are relative to the remote tracer's epoch. Shift
+  // them so the remote root *ends* now — the response just arrived — and
+  // thus nests inside the still-open client-side request span. (The
+  // return-path network latency shows as the gap after the server span.)
+  const Span& remote_root = remote.spans.front();
+  double root_duration =
+      remote_root.duration_us < 0.0 ? 0.0 : remote_root.duration_us;
+  double offset = now - (remote_root.start_us + root_duration);
+  std::unordered_map<SpanId, SpanId> remap;
+  SpanId grafted_root = 0;
+  for (const Span& rs : remote.spans) {
+    Span span = rs;
+    SpanId remote_id = span.id;
+    span.id = spans_.size() + 1;
+    auto mapped = remap.find(span.parent);
+    span.parent = mapped != remap.end() ? mapped->second : attach_under;
+    span.start_us += offset;
+    if (span.duration_us < 0.0) span.duration_us = 0.0;
+    remap[remote_id] = span.id;
+    if (grafted_root == 0) grafted_root = span.id;
+    spans_.push_back(std::move(span));
+  }
+  return grafted_root;
+}
+
 Trace Tracer::Snapshot() const {
   double now = NowMicros();
   std::lock_guard<std::mutex> lock(mu_);
   Trace trace;
+  trace.trace_id = trace_id_;
+  trace.local_process_id = static_cast<uint64_t>(::getpid());
+  trace.processes = processes_;
   trace.spans = spans_;
   for (Span& s : trace.spans) {
     if (s.duration_us < 0.0) s.duration_us = now - s.start_us;

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/json.h"
 
 namespace lusail::obs {
@@ -36,11 +37,26 @@ struct Span {
   double start_us = 0.0;
   double duration_us = -1.0;  ///< -1 while the span is open.
   uint64_t thread_id = 0;     ///< Hashed std::thread::id of the opener.
+  /// OS pid of the process that recorded the span; 0 = the tracer's own
+  /// process. Grafted remote subtrees carry their server's pid, so a
+  /// merged Chrome trace renders each process on its own track.
+  uint64_t process_id = 0;
   std::vector<SpanAnnotation> annotations;
 };
 
 /// A finished (or snapshotted) collection of spans.
 struct Trace {
+  /// 128-bit trace id (32 lowercase hex chars); empty for traces that
+  /// never crossed a process boundary.
+  std::string trace_id;
+
+  /// The pid of the process that recorded spans with process_id == 0.
+  uint64_t local_process_id = 0;
+
+  /// Display names of every process that contributed spans, keyed by pid
+  /// ("federator/lusail", "endpointd/EP1", ...).
+  std::vector<std::pair<uint64_t, std::string>> processes;
+
   std::vector<Span> spans;
 
   /// Spans matching `category`, in creation order.
@@ -58,6 +74,19 @@ struct Trace {
   /// `args`.
   JsonValue ToChromeJson() const;
   std::string ToChromeJsonString() const { return ToChromeJson().Serialize(); }
+
+  /// Compact single-line JSON of this trace for the X-Lusail-Trace
+  /// response header: trace id, process identity, and the spans in
+  /// creation order. When the serialization would exceed `max_bytes`,
+  /// trailing spans are dropped (the root always survives) and the
+  /// output carries "truncated":true — a partial subtree beats none.
+  std::string ToWireString(size_t max_bytes, bool* truncated = nullptr) const;
+
+  /// Parses a ToWireString payload back into a Trace. `*truncated` is
+  /// set when the sender marked the subtree as cut. Fails with
+  /// kParseError on malformed input.
+  static Result<Trace> FromWireString(const std::string& text,
+                                      bool* truncated = nullptr);
 };
 
 /// Thread-safe hierarchical span collector for one query execution.
@@ -88,6 +117,24 @@ class Tracer {
 
   size_t NumSpans() const;
 
+  /// The 128-bit trace id this tracer's spans belong to (empty until a
+  /// query-admission layer assigns one).
+  void set_trace_id(std::string trace_id);
+  std::string trace_id() const;
+
+  /// Registers a display name for `pid` in Chrome exports ("federator",
+  /// "endpointd/EP1"). Re-registering a pid overwrites its name.
+  void RegisterProcess(uint64_t pid, std::string name);
+
+  /// Splices a remote process's span subtree (a FromWireString result)
+  /// into this tracer under `attach_under`: span ids are remapped into
+  /// this tracer's id space, remote-root spans are re-parented to
+  /// `attach_under`, and timestamps are shifted so the remote root ends
+  /// "now" — i.e. inside the client-side request span that is still open
+  /// when the response arrives. Returns the local id of the grafted root
+  /// (0 when `remote` has no spans). Thread-safe like every other method.
+  SpanId Graft(const Trace& remote, SpanId attach_under);
+
   /// Copies all spans out; spans still open are reported with their
   /// duration so far (a well-formed execution closes everything first).
   Trace Snapshot() const;
@@ -97,6 +144,8 @@ class Tracer {
 
   mutable std::mutex mu_;
   std::vector<Span> spans_;
+  std::string trace_id_;
+  std::vector<std::pair<uint64_t, std::string>> processes_;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -1,0 +1,61 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace lusail::obs {
+
+namespace {
+
+thread_local const TraceContext* g_current_context = nullptr;
+
+}  // namespace
+
+const TraceContext* CurrentTraceContext() { return g_current_context; }
+
+TraceContextScope::TraceContextScope(TraceContext context)
+    : installed_(true),
+      context_(std::move(context)),
+      previous_(g_current_context) {
+  g_current_context = &context_;
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (installed_) g_current_context = previous_;
+}
+
+std::string GenerateTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t seed =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 1) ^
+      (counter.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL);
+  Rng rng(seed);
+  uint64_t hi = rng.Next();
+  uint64_t lo = rng.Next();
+  if (hi == 0 && lo == 0) lo = 1;  // All-zero ids are reserved as invalid.
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+bool IsValidTraceId(const std::string& id) {
+  if (id.size() != 32) return false;
+  bool nonzero = false;
+  for (char c : id) {
+    bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+    if (c != '0') nonzero = true;
+  }
+  return nonzero;
+}
+
+}  // namespace lusail::obs

@@ -1,0 +1,66 @@
+#ifndef LUSAIL_OBS_TRACE_CONTEXT_H_
+#define LUSAIL_OBS_TRACE_CONTEXT_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace lusail::obs {
+
+/// Ambient per-thread trace context: which tracer the current query is
+/// recording into, the query's 128-bit trace id, and the span any
+/// transport-level work on this thread should parent itself to.
+///
+/// The context is how trace identity crosses layers that share no
+/// interface: fed::Federation installs it around the endpoint call, and
+/// rpc::HttpSparqlEndpoint — several decorators below, behind the plain
+/// net::Endpoint vtable — reads it to stamp X-Lusail-Trace-Id /
+/// X-Lusail-Parent-Span onto the outgoing request and to graft the
+/// server's returned span subtree under the right parent. Holding the
+/// tracer by shared_ptr keeps it alive for detached hedge losers that
+/// outlive the engine's Execute frame.
+struct TraceContext {
+  std::shared_ptr<Tracer> tracer;  ///< Null when tracing is off.
+  std::string trace_id;            ///< 32 lowercase hex characters.
+  SpanId parent = 0;               ///< Span requests should parent to.
+};
+
+/// The context installed on this thread, or nullptr. The pointer is only
+/// valid while the installing TraceContextScope is alive; callers that
+/// hand work to another thread must copy the value.
+const TraceContext* CurrentTraceContext();
+
+/// RAII installer for a TraceContext on the current thread. Scopes nest:
+/// destruction restores whatever was installed before. The default
+/// constructor installs nothing (a no-op scope), so call sites can stay
+/// unconditional.
+class TraceContextScope {
+ public:
+  TraceContextScope() = default;
+  explicit TraceContextScope(TraceContext context);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  bool installed_ = false;
+  TraceContext context_;
+  const TraceContext* previous_ = nullptr;
+};
+
+/// A fresh 128-bit trace id as 32 lowercase hex characters. Seeded from
+/// the clock, the thread id, and a process-wide counter, so concurrent
+/// queries in one process and queries from different processes both get
+/// distinct ids without any shared entropy source.
+std::string GenerateTraceId();
+
+/// True iff `id` is a well-formed trace id (exactly 32 lowercase-hex
+/// characters, not all zero). Servers fall back to a fresh id when a
+/// client sends something else.
+bool IsValidTraceId(const std::string& id);
+
+}  // namespace lusail::obs
+
+#endif  // LUSAIL_OBS_TRACE_CONTEXT_H_

@@ -12,10 +12,13 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "rpc/results_json.h"
 
 namespace lusail::rpc {
@@ -114,7 +117,11 @@ obs::JsonValue HttpServerStats::ToJson() const {
 
 HttpServer::HttpServer(std::shared_ptr<net::Endpoint> endpoint,
                        HttpServerOptions options)
-    : endpoint_(std::move(endpoint)), options_(std::move(options)) {}
+    : endpoint_(std::move(endpoint)), options_(std::move(options)) {
+  if (options_.server_name.empty()) {
+    options_.server_name = endpoint_ != nullptr ? endpoint_->id() : "server";
+  }
+}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -224,6 +231,38 @@ HttpServerStats HttpServer::stats() const {
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   return s;
+}
+
+void HttpServer::ExportMetrics(obs::MetricsSnapshot* snapshot) const {
+  HttpServerStats s = stats();
+  obs::MetricLabels labels{{"server", options_.server_name}};
+  snapshot->AddCounter("lusail_rpc_connections_accepted_total",
+                       "TCP connections accepted.", labels,
+                       static_cast<double>(s.connections_accepted));
+  snapshot->AddCounter("lusail_rpc_requests_total",
+                       "Well-formed SPARQL requests handled.", labels,
+                       static_cast<double>(s.requests));
+  snapshot->AddCounter("lusail_rpc_bad_requests_total",
+                       "Requests answered 4xx (malformed, wrong route).",
+                       labels, static_cast<double>(s.bad_requests));
+  snapshot->AddCounter("lusail_rpc_failed_queries_total",
+                       "Endpoint evaluations that failed.", labels,
+                       static_cast<double>(s.failed_queries));
+  snapshot->AddCounter("lusail_rpc_truncated_results_total",
+                       "Responses cut at the row cap.", labels,
+                       static_cast<double>(s.truncated_results));
+  snapshot->AddCounter("lusail_rpc_timed_out_queries_total",
+                       "Evaluations abandoned on deadline expiry.", labels,
+                       static_cast<double>(s.timed_out_queries));
+  snapshot->AddCounter("lusail_rpc_cancelled_queries_total",
+                       "Evaluations cancelled (disconnect or shutdown).",
+                       labels, static_cast<double>(s.cancelled_queries));
+  snapshot->AddCounter("lusail_rpc_bytes_in_total",
+                       "Wire bytes read, headers included.", labels,
+                       static_cast<double>(s.bytes_in));
+  snapshot->AddCounter("lusail_rpc_bytes_out_total",
+                       "Wire bytes written, headers included.", labels,
+                       static_cast<double>(s.bytes_out));
 }
 
 void HttpServer::AcceptLoop() {
@@ -352,7 +391,15 @@ void HttpServer::WatchLoop() {
 }
 
 HttpResponse HttpServer::Handle(const HttpRequest& request, int fd) {
-  if (request.target == "/sparql") {
+  // Split "?n=..." style query strings off the route.
+  std::string_view target(request.target);
+  std::string_view query_string;
+  size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    query_string = target.substr(qmark + 1);
+    target = target.substr(0, qmark);
+  }
+  if (target == "/sparql") {
     if (request.method != "POST") {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       HttpResponse response = ErrorResponse(
@@ -361,19 +408,57 @@ HttpResponse HttpServer::Handle(const HttpRequest& request, int fd) {
       response.SetHeader("Allow", "POST");
       return response;
     }
+    if (endpoint_ == nullptr) {
+      failed_queries_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(503, StatusCode::kUnavailable,
+                           "no endpoint behind this listener");
+    }
     return HandleSparql(request, fd);
   }
-  if (request.target == "/health" && request.method == "GET") {
+  if (target == "/health" && request.method == "GET") {
     obs::JsonValue body = obs::JsonValue::Object();
-    body.Set("ok", true);
-    body.Set("endpoint", endpoint_->id());
-    return JsonResponse(200, std::move(body));
+    bool healthy = true;
+    if (options_.health_probe) {
+      healthy = options_.health_probe(&body);
+    }
+    body.Set("ok", healthy);
+    body.Set("endpoint", endpoint_id());
+    return JsonResponse(healthy ? 200 : 503, std::move(body));
   }
-  if (request.target == "/stats" && request.method == "GET") {
+  if (target == "/stats" && request.method == "GET") {
     obs::JsonValue body = obs::JsonValue::Object();
-    body.Set("endpoint", endpoint_->id());
+    body.Set("endpoint", endpoint_id());
     body.Set("server", stats().ToJson());
     return JsonResponse(200, std::move(body));
+  }
+  if (target == "/metrics" && request.method == "GET") {
+    obs::MetricsSnapshot snapshot;
+    ExportMetrics(&snapshot);
+    if (options_.metrics != nullptr) {
+      options_.metrics->CollectInto(&snapshot);
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.reason = "OK";
+    response.SetHeader("Content-Type",
+                       "text/plain; version=0.0.4; charset=utf-8");
+    response.body = snapshot.RenderPrometheus();
+    return response;
+  }
+  if (target == "/debug/queries" && request.method == "GET") {
+    if (options_.flight_recorder == nullptr) {
+      return ErrorResponse(404, StatusCode::kNotFound,
+                           "no flight recorder on this server");
+    }
+    size_t n = 0;  // 0 = everything buffered.
+    size_t npos = query_string.find("n=");
+    if (npos != std::string_view::npos &&
+        (npos == 0 || query_string[npos - 1] == '&')) {
+      n = static_cast<size_t>(
+          std::strtoull(std::string(query_string.substr(npos + 2)).c_str(),
+                        nullptr, 10));
+    }
+    return JsonResponse(200, options_.flight_recorder->ToJson(n));
   }
   bad_requests_.fetch_add(1, std::memory_order_relaxed);
   return ErrorResponse(404, StatusCode::kNotFound,
@@ -417,6 +502,66 @@ HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
 
   requests_.fetch_add(1, std::memory_order_relaxed);
 
+  // Adopt the client's trace identity: a request carrying either trace
+  // header gets a per-request tracer whose span subtree ships back in
+  // X-Lusail-Trace, letting the federator merge both processes into one
+  // trace. A malformed trace id falls back to a locally generated one so
+  // the server subtree is still internally consistent.
+  std::shared_ptr<obs::Tracer> tracer;
+  std::string trace_id;
+  obs::SpanId serve_span = 0;
+  const std::string* trace_id_header = request.FindHeader("X-Lusail-Trace-Id");
+  const std::string* parent_header = request.FindHeader("X-Lusail-Parent-Span");
+  if (trace_id_header != nullptr || parent_header != nullptr) {
+    trace_id =
+        trace_id_header != nullptr && obs::IsValidTraceId(*trace_id_header)
+            ? *trace_id_header
+            : obs::GenerateTraceId();
+    tracer = std::make_shared<obs::Tracer>();
+    tracer->set_trace_id(trace_id);
+    tracer->RegisterProcess(static_cast<uint64_t>(::getpid()),
+                            "endpointd/" + options_.server_name);
+    serve_span = tracer->StartSpan("serve " + options_.server_name, "server");
+    tracer->Annotate(serve_span, "trace_id", trace_id);
+    if (parent_header != nullptr) {
+      // The parent span id lives in the *client's* id space; recorded as
+      // an annotation for debugging. Graft() on the client side does the
+      // actual re-parenting.
+      tracer->Annotate(serve_span, "client_parent_span", *parent_header);
+    }
+  }
+
+  Stopwatch request_timer;
+
+  // Common exit: closes the serve span, attaches the (size-capped) span
+  // subtree to success and error responses alike, and files the flight
+  // record.
+  auto finish = [&](HttpResponse response, const std::string& status_name,
+                    uint64_t rows, bool truncated, bool cancelled_flag) {
+    double total_ms = request_timer.ElapsedMillis();
+    if (tracer != nullptr) {
+      tracer->Annotate(serve_span, "status", status_name);
+      if (cancelled_flag) tracer->Annotate(serve_span, "cancelled", true);
+      tracer->EndSpan(serve_span);
+      response.SetHeader(
+          "X-Lusail-Trace",
+          tracer->Snapshot().ToWireString(options_.max_trace_header_bytes));
+    }
+    if (options_.flight_recorder != nullptr) {
+      obs::FlightRecord record;
+      record.query_hash = obs::QueryHashHex(query_text);
+      record.trace_id = trace_id;
+      record.status = status_name;
+      record.cancelled = cancelled_flag;
+      record.truncated = truncated;
+      record.rows = rows;
+      record.total_ms = total_ms;
+      record.execution_ms = total_ms;
+      options_.flight_recorder->Record(std::move(record));
+    }
+    return response;
+  };
+
   // Derive a server-local deadline from the client's remaining budget.
   // The header value is "milliseconds left at send time", so the skew is
   // one network hop — the client always gives up first, as it should.
@@ -432,8 +577,10 @@ HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
   if (deadline.Expired()) {
     timed_out_queries_.fetch_add(1, std::memory_order_relaxed);
     failed_queries_.fetch_add(1, std::memory_order_relaxed);
-    return ErrorResponse(504, StatusCode::kTimeout,
-                         "deadline expired before evaluation started");
+    return finish(
+        ErrorResponse(504, StatusCode::kTimeout,
+                      "deadline expired before evaluation started"),
+        StatusCodeToString(StatusCode::kTimeout), 0, false, false);
   }
 
   CancelToken cancel = CancelToken::Cancellable(deadline);
@@ -444,8 +591,31 @@ HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
   watch_cv_.notify_all();
 
   Stopwatch server_timer;
-  Result<net::QueryResponse> evaluated =
-      endpoint_->QueryCancellable(query_text, cancel);
+  Result<net::QueryResponse> evaluated = Status::Internal("unreachable");
+  {
+    obs::SpanId eval_span = 0;
+    std::optional<obs::TraceContextScope> trace_scope;
+    if (tracer != nullptr) {
+      eval_span = tracer->StartSpan("evaluate", "server", serve_span);
+      // Install the context so a nested federating endpoint (multi-hop
+      // topologies) propagates the same trace one level further down.
+      obs::TraceContext context;
+      context.tracer = tracer;
+      context.trace_id = trace_id;
+      context.parent = eval_span;
+      trace_scope.emplace(std::move(context));
+    }
+    evaluated = endpoint_->QueryCancellable(query_text, cancel);
+    trace_scope.reset();
+    if (eval_span != 0) {
+      tracer->Annotate(eval_span, "ok", evaluated.ok());
+      if (evaluated.ok()) {
+        tracer->Annotate(eval_span, "rows",
+                         static_cast<uint64_t>(evaluated->table.NumRows()));
+      }
+      tracer->EndSpan(eval_span);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(watch_mu_);
     in_flight_.erase(fd);
@@ -456,15 +626,19 @@ HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
     // token: a client that times out also closes its connection, so the
     // watchdog often requests cancellation while the evaluation is still
     // unwinding from the deadline check — the root cause is the deadline.
+    bool cancelled_flag = false;
     if (evaluated.status().code() == StatusCode::kTimeout &&
         cancel.deadline().Expired()) {
       timed_out_queries_.fetch_add(1, std::memory_order_relaxed);
     } else if (cancel.CancelRequested()) {
       cancelled_queries_.fetch_add(1, std::memory_order_relaxed);
+      cancelled_flag = true;
     }
-    return ErrorResponse(HttpStatusForCode(evaluated.status().code()),
-                         evaluated.status().code(),
-                         evaluated.status().message());
+    return finish(
+        ErrorResponse(HttpStatusForCode(evaluated.status().code()),
+                      evaluated.status().code(), evaluated.status().message()),
+        StatusCodeToString(evaluated.status().code()), 0, false,
+        cancelled_flag);
   }
 
   sparql::ResultTable* table = &evaluated->table;
@@ -486,7 +660,8 @@ HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
                      std::to_string(server_timer.ElapsedMillis()));
   if (truncated) response.SetHeader("X-Lusail-Truncated", "true");
   response.body = ResultTableToSrj(*table);
-  return response;
+  return finish(std::move(response), "ok",
+                static_cast<uint64_t>(table->rows.size()), truncated, false);
 }
 
 }  // namespace lusail::rpc

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -15,7 +16,9 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "net/endpoint.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "rpc/http.h"
 
 namespace lusail::rpc {
@@ -49,6 +52,28 @@ struct HttpServerOptions {
   /// experience report's truncation hazard): when a result is cut, the
   /// response carries "X-Lusail-Truncated: true".
   size_t max_result_rows = 0;
+
+  /// Display name for this server in metrics labels and traces; defaults
+  /// to the fronted endpoint's id (or "server" on a stats-only listener).
+  std::string server_name;
+
+  /// Extra metric collectors rendered into GET /metrics alongside the
+  /// server's own counters. Non-owning; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// When set, every completed /sparql request is recorded here and
+  /// GET /debug/queries serves the ring. Non-owning; may be null.
+  obs::FlightRecorder* flight_recorder = nullptr;
+
+  /// Health probe behind GET /health: fill `body` with component state
+  /// and return overall health (true -> 200, false -> 503). When unset,
+  /// /health always answers 200 {"ok":true}.
+  std::function<bool(obs::JsonValue* body)> health_probe;
+
+  /// Size cap on the X-Lusail-Trace response header carrying this
+  /// server's span subtree back to the federator. Oversized subtrees are
+  /// truncated span-by-span (the root always survives), never dropped.
+  size_t max_trace_header_bytes = 8192;
 };
 
 /// Cumulative server-side counters (atomic reads, no lock).
@@ -107,6 +132,9 @@ struct HttpServerStats {
 class HttpServer {
  public:
   /// Serves `endpoint` (shared; several servers may front one endpoint).
+  /// A null endpoint makes a stats-only listener: /metrics, /health,
+  /// /stats, and /debug/queries work; /sparql answers 503. This is what
+  /// backs the federator-side `lusail_cli --metrics-port` listener.
   HttpServer(std::shared_ptr<net::Endpoint> endpoint,
              HttpServerOptions options = {});
   ~HttpServer();
@@ -130,9 +158,15 @@ class HttpServer {
   /// "http://<bind_address>:<port>/sparql".
   std::string url() const;
 
-  const std::string& endpoint_id() const { return endpoint_->id(); }
+  const std::string& endpoint_id() const {
+    return endpoint_ != nullptr ? endpoint_->id() : options_.server_name;
+  }
 
   HttpServerStats stats() const;
+
+  /// Emits the server's own lusail_rpc_* counters, labelled
+  /// {server=<server_name>}.
+  void ExportMetrics(obs::MetricsSnapshot* snapshot) const;
 
  private:
   /// Per-connection state that outlives any single worker task: the

@@ -15,12 +15,43 @@
 
 #include "common/stopwatch.h"
 #include "obs/json.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "rpc/http_server.h"
 #include "rpc/results_json.h"
 
 namespace lusail::rpc {
 
 namespace {
+
+// Poll slice while waiting for response bytes under a cancellable token:
+// cancellation latency is bounded by this without busy-waiting.
+constexpr int kCancelPollSliceMs = 10;
+
+// After half-closing a cancelled request, how long we keep listening for
+// the server's abort response (the 504 carrying its span subtree). Keeps
+// hedged-loser threads from lingering until the full query deadline when
+// the peer is not a Lusail server and never answers the half-close.
+constexpr double kCancelResponseWaitMs = 2000.0;
+
+// Grafts the server's span subtree (the X-Lusail-Trace response header)
+// into the calling thread's active trace, parented under the span that
+// issued this request. Runs for success and error responses alike — a
+// cancelled or timed-out server still reports how far it got.
+void MaybeGraftServerTrace(const HttpResponse& http,
+                           const std::string& endpoint_id) {
+  const obs::TraceContext* context = obs::CurrentTraceContext();
+  if (context == nullptr || context->tracer == nullptr) return;
+  const std::string* wire = http.FindHeader("X-Lusail-Trace");
+  if (wire == nullptr) return;
+  bool truncated = false;
+  auto remote = obs::Trace::FromWireString(*wire, &truncated);
+  if (!remote.ok()) return;
+  obs::SpanId root = context->tracer->Graft(remote.value(), context->parent);
+  if (root == 0) return;
+  context->tracer->Annotate(root, "served_by", endpoint_id);
+  if (truncated) context->tracer->Annotate(root, "trace.truncated", true);
+}
 
 // Dials host:port with a non-blocking connect bounded by `deadline`.
 Result<int> DialTcp(const std::string& host, uint16_t port,
@@ -136,6 +167,26 @@ HttpClientStats HttpSparqlEndpoint::stats() const {
   return s;
 }
 
+void HttpSparqlEndpoint::ExportMetrics(obs::MetricsSnapshot* snapshot) const {
+  HttpClientStats s = stats();
+  obs::MetricLabels labels{{"endpoint", id_}};
+  snapshot->AddCounter("lusail_http_client_requests_total",
+                       "HTTP SPARQL requests issued by this client.", labels,
+                       static_cast<double>(s.requests));
+  snapshot->AddCounter("lusail_http_client_connections_opened_total",
+                       "Fresh TCP connections dialed.", labels,
+                       static_cast<double>(s.connections_opened));
+  snapshot->AddCounter("lusail_http_client_connections_reused_total",
+                       "Pooled keep-alive connections reused.", labels,
+                       static_cast<double>(s.connections_reused));
+  snapshot->AddCounter("lusail_http_client_stale_retries_total",
+                       "Reused connections found dead and replaced.", labels,
+                       static_cast<double>(s.stale_retries));
+  snapshot->AddCounter("lusail_http_client_transport_errors_total",
+                       "Requests that failed at the transport layer.", labels,
+                       static_cast<double>(s.transport_errors));
+}
+
 Result<int> HttpSparqlEndpoint::AcquireConnection(const Deadline& deadline,
                                                   bool* reused,
                                                   double* connect_ms) {
@@ -183,8 +234,8 @@ void HttpSparqlEndpoint::ReleaseConnection(int fd) {
 
 Result<net::QueryResponse> HttpSparqlEndpoint::RoundTrip(
     int fd, const std::string& query, const Deadline& deadline,
-    bool* got_response_bytes, bool* conn_reusable, uint64_t* wire_in,
-    uint64_t* wire_out) {
+    const CancelToken* cancel, bool* got_response_bytes, bool* conn_reusable,
+    uint64_t* wire_in, uint64_t* wire_out) {
   *got_response_bytes = false;
   *conn_reusable = false;
   *wire_in = 0;
@@ -203,17 +254,61 @@ Result<net::QueryResponse> HttpSparqlEndpoint::RoundTrip(
     request.SetHeader("X-Lusail-Deadline-Ms",
                       std::to_string(deadline.RemainingMillis()));
   }
+  // Propagate the trace identity so the server joins this query's trace:
+  // it adopts the id, parents its own spans under ours, and ships its
+  // subtree back in X-Lusail-Trace.
+  const obs::TraceContext* trace_context = obs::CurrentTraceContext();
+  if (trace_context != nullptr && trace_context->tracer != nullptr) {
+    request.SetHeader("X-Lusail-Trace-Id", trace_context->trace_id);
+    request.SetHeader("X-Lusail-Parent-Span",
+                      std::to_string(trace_context->parent));
+  }
   request.body = query;
 
   std::string serialized = request.Serialize();
   *wire_out = serialized.size();
   LUSAIL_RETURN_NOT_OK(SendAll(fd, serialized, deadline));
 
+  // With a cancellable token, wait for the first response bytes in poll
+  // slices so cancellation can interrupt the wait. On cancellation we
+  // half-close the connection — the server's disconnect watchdog sees
+  // EOF and aborts evaluation — then keep the read side open a bounded
+  // while longer for the abort response (and its span subtree).
+  bool half_closed = false;
+  if (cancel != nullptr && cancel->can_cancel()) {
+    Deadline cancel_wait;
+    for (;;) {
+      if (deadline.Expired()) break;
+      if (half_closed && cancel_wait.Expired()) {
+        return cancel->StatusAt("cancelled endpoint request");
+      }
+      if (!half_closed && cancel->CancelRequested()) {
+        ::shutdown(fd, SHUT_WR);
+        half_closed = true;
+        cancel_wait = Deadline::AfterMillis(
+            std::min(kCancelResponseWaitMs, deadline.RemainingMillis()));
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      int n = ::poll(&pfd, 1, kCancelPollSliceMs);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // Let ReadResponse surface the connection error.
+      }
+      if (n > 0) break;  // Bytes (or EOF) ready.
+    }
+  }
+
   HttpConnection conn(fd);
   auto response = conn.ReadResponse(options_.limits, deadline);
   *wire_in = conn.bytes_read();
   *got_response_bytes = conn.bytes_read() > 0;
+  if (half_closed) *conn_reusable = false;
   if (!response.ok()) {
+    if (half_closed) {
+      // The server closed without answering the abort (or the response
+      // was cut short): report the cancellation, not the transport noise.
+      return cancel->StatusAt("cancelled endpoint request");
+    }
     // Normalize parse-level failures: garbage from the server is a
     // transport problem from the federator's point of view (retryable),
     // not a query problem.
@@ -226,6 +321,13 @@ Result<net::QueryResponse> HttpSparqlEndpoint::RoundTrip(
     return s;
   }
   HttpResponse& http = response.value();
+  MaybeGraftServerTrace(http, id_);
+
+  if (half_closed) {
+    // The evaluation was cancelled; the response exists only to carry
+    // the server's subtree (grafted above).
+    return cancel->StatusAt("cancelled endpoint request");
+  }
 
   if (http.status != 200) {
     // Recover the original StatusCode from the JSON error body when the
@@ -260,7 +362,8 @@ Result<net::QueryResponse> HttpSparqlEndpoint::RoundTrip(
   out.table = std::move(table);
 
   // Only a fully-read keep-alive response leaves the connection reusable.
-  *conn_reusable = http.KeepAlive() && !conn.HasBufferedData();
+  *conn_reusable =
+      !half_closed && http.KeepAlive() && !conn.HasBufferedData();
   return out;
 }
 
@@ -271,6 +374,18 @@ Result<net::QueryResponse> HttpSparqlEndpoint::Query(
 
 Result<net::QueryResponse> HttpSparqlEndpoint::QueryWithDeadline(
     const std::string& sparql_text, const Deadline& deadline) {
+  return QueryInternal(sparql_text, deadline, nullptr);
+}
+
+Result<net::QueryResponse> HttpSparqlEndpoint::QueryCancellable(
+    const std::string& sparql_text, const CancelToken& cancel) {
+  if (cancel.Cancelled()) return cancel.StatusAt("endpoint request");
+  return QueryInternal(sparql_text, cancel.deadline(), &cancel);
+}
+
+Result<net::QueryResponse> HttpSparqlEndpoint::QueryInternal(
+    const std::string& sparql_text, const Deadline& deadline,
+    const CancelToken* cancel) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   // A plain Query() call carries no deadline; cap it so a hung remote
   // server cannot hang the engine.
@@ -296,8 +411,9 @@ Result<net::QueryResponse> HttpSparqlEndpoint::QueryWithDeadline(
     bool got_response_bytes = false;
     bool conn_reusable = false;
     uint64_t wire_in = 0, wire_out = 0;
-    auto result = RoundTrip(fd, sparql_text, effective, &got_response_bytes,
-                            &conn_reusable, &wire_in, &wire_out);
+    auto result = RoundTrip(fd, sparql_text, effective, cancel,
+                            &got_response_bytes, &conn_reusable, &wire_in,
+                            &wire_out);
 
     if (result.ok()) {
       if (conn_reusable) {
@@ -321,7 +437,8 @@ Result<net::QueryResponse> HttpSparqlEndpoint::QueryWithDeadline(
     const Status& s = result.status();
     bool retryable_stale = reused && !got_response_bytes &&
                            s.code() == StatusCode::kUnavailable &&
-                           attempt == 0 && !effective.Expired();
+                           attempt == 0 && !effective.Expired() &&
+                           (cancel == nullptr || !cancel->CancelRequested());
     if (retryable_stale) {
       stale_retries_.fetch_add(1, std::memory_order_relaxed);
       continue;

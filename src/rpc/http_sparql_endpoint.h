@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/endpoint.h"
+#include "obs/metrics.h"
 #include "rpc/http.h"
 
 namespace lusail::rpc {
@@ -73,7 +74,21 @@ class HttpSparqlEndpoint : public net::Endpoint {
   Result<net::QueryResponse> QueryWithDeadline(
       const std::string& sparql_text, const Deadline& deadline) override;
 
+  /// Cancellable variant used by hedged replica requests. While waiting
+  /// for the response, the token is polled; on cancellation the client
+  /// half-closes the connection (shutdown(SHUT_WR)) so the server's
+  /// disconnect watchdog aborts evaluation, then keeps reading briefly —
+  /// a Lusail server answers the abort with a 504 that still carries its
+  /// span subtree, which is grafted into the active trace before the
+  /// cancellation status is returned.
+  Result<net::QueryResponse> QueryCancellable(const std::string& sparql_text,
+                                              const CancelToken& cancel)
+      override;
+
   HttpClientStats stats() const;
+
+  /// Emits lusail_http_client_* counters labelled {endpoint=id}.
+  void ExportMetrics(obs::MetricsSnapshot* snapshot) const;
 
   /// Closes every pooled idle connection (tests, endpoint restarts).
   void CloseIdleConnections();
@@ -84,11 +99,18 @@ class HttpSparqlEndpoint : public net::Endpoint {
                                 double* connect_ms);
   void ReleaseConnection(int fd);
 
+  /// Shared body of QueryWithDeadline / QueryCancellable; `cancel` may
+  /// be null.
+  Result<net::QueryResponse> QueryInternal(const std::string& sparql_text,
+                                           const Deadline& deadline,
+                                           const CancelToken* cancel);
+
   /// One request/response exchange on `fd`. `*got_response_bytes` tells
   /// the caller whether a stale-connection retry is still safe;
   /// `*conn_reusable` whether the fd may go back into the pool.
   Result<net::QueryResponse> RoundTrip(int fd, const std::string& query,
                                        const Deadline& deadline,
+                                       const CancelToken* cancel,
                                        bool* got_response_bytes,
                                        bool* conn_reusable,
                                        uint64_t* wire_in, uint64_t* wire_out);

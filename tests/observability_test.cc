@@ -310,10 +310,14 @@ TEST(TracedExecutionTest, LusailQueryProducesFullSpanTree) {
   for (const obs::Span* span : requests) endpoints_hit.insert(span->name);
   EXPECT_GE(endpoints_hit.size(), 2u);
 
-  // The trace exports as loadable Chrome trace-event JSON.
+  // The trace exports as loadable Chrome trace-event JSON: one complete
+  // event per span plus one process_name metadata event per registered
+  // process (the federator registers itself when tracing is on).
   auto chrome = obs::JsonValue::Parse(trace.ToChromeJsonString());
   ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
-  EXPECT_EQ(chrome->Get("traceEvents").items().size(), trace.spans.size());
+  EXPECT_EQ(chrome->Get("traceEvents").items().size(),
+            trace.spans.size() + trace.processes.size());
+  EXPECT_GE(trace.processes.size(), 1u);
 
   // The stats registry saw the same traffic.
   EXPECT_GE(registry.size(), 2u);

@@ -21,8 +21,13 @@
 #include <gtest/gtest.h>
 
 #include "core/lusail_engine.h"
+#include "net/replica.h"
 #include "net/resilience.h"
 #include "net/sparql_endpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "rpc/http.h"
 #include "rpc/http_server.h"
 #include "rpc/http_sparql_endpoint.h"
@@ -733,6 +738,445 @@ TEST(HttpServerConcurrencyTest, MoreConnectionsThanWorkersMakeProgress) {
   }
   for (auto& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Trace propagation over the wire
+// ---------------------------------------------------------------------
+
+/// Extracts one header value from a raw HTTP response string.
+std::string HeaderValue(const std::string& response, const std::string& name) {
+  std::string needle = name + ": ";
+  size_t pos = response.find(needle);
+  if (pos == std::string::npos) return "";
+  size_t end = response.find("\r\n", pos);
+  return response.substr(pos + needle.size(), end - pos - needle.size());
+}
+
+TEST(TracePropagationTest, ServerAdoptsTraceIdAndReturnsItsSubtree) {
+  HttpServer server(TinyEndpoint("EP"));
+  ASSERT_TRUE(server.Start().ok());
+  std::string trace_id = obs::GenerateTraceId();
+  std::string body = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+  std::string response = RawExchange(
+      server.port(),
+      "POST /sparql HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "X-Lusail-Trace-Id: " + trace_id + "\r\n"
+      "X-Lusail-Parent-Span: 17\r\n"
+      "Content-Type: application/sparql-query\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body);
+  ASSERT_NE(response.find("200"), std::string::npos) << response;
+  std::string wire = HeaderValue(response, "X-Lusail-Trace");
+  ASSERT_FALSE(wire.empty()) << response;
+  auto parsed = obs::Trace::FromWireString(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->trace_id, trace_id);
+  ASSERT_GE(parsed->spans.size(), 2u);  // serve + evaluate.
+  // The serve root records the client's parent span id for debugging.
+  bool found_parent_annotation = false;
+  for (const auto& annotation : parsed->spans[0].annotations) {
+    if (annotation.key == "client_parent_span" && annotation.value == "17") {
+      found_parent_annotation = true;
+    }
+  }
+  EXPECT_TRUE(found_parent_annotation);
+  // The server identified its process for per-process trace tracks.
+  ASSERT_FALSE(parsed->processes.empty());
+  EXPECT_NE(parsed->processes[0].second.find("endpointd/"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(TracePropagationTest, MalformedTraceIdFallsBackToAFreshOne) {
+  HttpServer server(TinyEndpoint("EP"));
+  ASSERT_TRUE(server.Start().ok());
+  std::string body = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+  std::string response = RawExchange(
+      server.port(),
+      "POST /sparql HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "X-Lusail-Trace-Id: NOT-A-TRACE-ID\r\n"
+      "Content-Type: application/sparql-query\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body);
+  std::string wire = HeaderValue(response, "X-Lusail-Trace");
+  ASSERT_FALSE(wire.empty()) << response;
+  auto parsed = obs::Trace::FromWireString(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(obs::IsValidTraceId(parsed->trace_id)) << parsed->trace_id;
+  EXPECT_NE(parsed->trace_id, "NOT-A-TRACE-ID");
+  server.Stop();
+}
+
+TEST(TracePropagationTest, UntracedRequestsCarryNoTraceHeader) {
+  HttpServer server(TinyEndpoint("EP"));
+  ASSERT_TRUE(server.Start().ok());
+  std::string body = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+  std::string response = RawExchange(
+      server.port(),
+      "POST /sparql HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "Content-Type: application/sparql-query\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body);
+  ASSERT_NE(response.find("200"), std::string::npos);
+  EXPECT_EQ(response.find("X-Lusail-Trace:"), std::string::npos);
+  server.Stop();
+}
+
+TEST(TracePropagationTest, ClientGraftsServerSubtreeUnderItsRequestSpan) {
+  HttpServer server(TinyEndpoint("EP"));
+  ASSERT_TRUE(server.Start().ok());
+  HttpSparqlEndpoint client("EP", "127.0.0.1", server.port());
+
+  auto tracer = std::make_shared<obs::Tracer>();
+  tracer->set_trace_id(obs::GenerateTraceId());
+  obs::SpanId request_span = tracer->StartSpan("request", "request");
+  {
+    obs::TraceContext context;
+    context.tracer = tracer;
+    context.trace_id = tracer->trace_id();
+    context.parent = request_span;
+    obs::TraceContextScope scope(context);
+    auto response = client.QueryWithDeadline(
+        "SELECT ?s WHERE { ?s <http://ex/p> ?o }",
+        Deadline::AfterMillis(10000));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  tracer->EndSpan(request_span);
+
+  obs::Trace merged = tracer->Snapshot();
+  std::vector<const obs::Span*> servers = merged.ByCategory("server");
+  ASSERT_GE(servers.size(), 2u);  // Grafted serve + evaluate spans.
+  // The grafted serve root hangs under the client's request span and is
+  // labelled with the endpoint that served it.
+  const obs::Span* serve = nullptr;
+  for (const obs::Span* span : servers) {
+    if (span->parent == request_span) serve = span;
+  }
+  ASSERT_NE(serve, nullptr);
+  bool served_by = false;
+  for (const auto& annotation : serve->annotations) {
+    if (annotation.key == "served_by" && annotation.value == "EP") {
+      served_by = true;
+    }
+  }
+  EXPECT_TRUE(served_by);
+  server.Stop();
+}
+
+TEST(TracePropagationTest, OversizedSubtreeIsTruncatedNotDropped) {
+  HttpServerOptions options;
+  options.max_trace_header_bytes = 220;  // Too small for serve + evaluate.
+  HttpServer server(TinyEndpoint("EP"), options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpSparqlEndpoint client("EP", "127.0.0.1", server.port());
+
+  auto tracer = std::make_shared<obs::Tracer>();
+  tracer->set_trace_id(obs::GenerateTraceId());
+  obs::SpanId request_span = tracer->StartSpan("request", "request");
+  {
+    obs::TraceContext context;
+    context.tracer = tracer;
+    context.trace_id = tracer->trace_id();
+    context.parent = request_span;
+    obs::TraceContextScope scope(context);
+    auto response = client.QueryWithDeadline(
+        "SELECT ?s WHERE { ?s <http://ex/p> ?o }",
+        Deadline::AfterMillis(10000));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  tracer->EndSpan(request_span);
+
+  // The grafted root survived and is flagged as a cut subtree.
+  obs::Trace merged = tracer->Snapshot();
+  const obs::Span* serve = nullptr;
+  for (const obs::Span& span : merged.spans) {
+    if (span.parent == request_span && span.category == "server") {
+      serve = &span;
+    }
+  }
+  ASSERT_NE(serve, nullptr) << "truncation dropped the whole subtree";
+  bool marked = false;
+  for (const auto& annotation : serve->annotations) {
+    if (annotation.key == "trace.truncated" && annotation.value == "true") {
+      marked = true;
+    }
+  }
+  EXPECT_TRUE(marked);
+  server.Stop();
+}
+
+TEST_F(LoopbackFederationTest, FederatedTraceMergesServerSubtrees) {
+  core::LusailOptions options;
+  options.trace = true;
+  core::LusailEngine engine(&remote_, options);
+  Result<fed::FederatedResult> result =
+      engine.Execute(workload::LubmGenerator::QueryQa());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->profile.trace, nullptr);
+  const obs::Trace& trace = *result->profile.trace;
+
+  // The query got a wire-grade trace id, and the grafted server
+  // subtrees brought their endpointd process identities with them. (In
+  // this loopback test both sides share one pid, so the endpointd entry
+  // shadows the federator's; the CI e2e asserts >= 2 distinct pids with
+  // real processes.)
+  EXPECT_TRUE(obs::IsValidTraceId(trace.trace_id)) << trace.trace_id;
+  bool endpointd_process = false;
+  for (const auto& [pid, name] : trace.processes) {
+    if (name.find("endpointd/") != std::string::npos) {
+      endpointd_process = true;
+    }
+  }
+  EXPECT_TRUE(endpointd_process);
+
+  // Server-side spans were grafted, and every one of them reaches a
+  // local span through its parent chain — no orphans in the merged tree.
+  std::vector<const obs::Span*> servers = trace.ByCategory("server");
+  ASSERT_GT(servers.size(), 0u);
+  for (const obs::Span* span : servers) {
+    const obs::Span* cursor = span;
+    int hops = 0;
+    while (cursor->parent != 0 && hops++ < 32) {
+      cursor = trace.Find(cursor->parent);
+      ASSERT_NE(cursor, nullptr) << "orphaned server span " << span->name;
+    }
+    EXPECT_EQ(cursor->parent, 0u);
+    EXPECT_EQ(cursor->category, "query")
+        << "server span " << span->name << " does not reach the query root";
+  }
+
+  // The merged trace exports to Chrome JSON without losing the server
+  // spans (one complete event per span).
+  std::string chrome = trace.ToChromeJsonString();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("serve "), std::string::npos);
+}
+
+TEST(HedgedTraceTest, HedgedRequestGraftsWinnerAndCancelledLoser) {
+  // Slow primary (multi-second token-checking evaluation) + fast
+  // runner-up; a 10 ms hedge delay guarantees the hedge launches and
+  // wins while the primary is still evaluating, and the loser's
+  // half-closed cancellation response still carries its server subtree.
+  HttpServer slow_server(CrossProductEndpoint("EP#0"));
+  HttpServer fast_server(TinyEndpoint("EP#1"));
+  ASSERT_TRUE(slow_server.Start().ok());
+  ASSERT_TRUE(fast_server.Start().ok());
+
+  std::vector<std::shared_ptr<net::Endpoint>> replicas = {
+      std::make_shared<HttpSparqlEndpoint>("EP#0", "127.0.0.1",
+                                           slow_server.port()),
+      std::make_shared<HttpSparqlEndpoint>("EP#1", "127.0.0.1",
+                                           fast_server.port()),
+  };
+  net::ReplicaGroupOptions group_options;
+  group_options.lazy_probe = false;  // Keep ranking = insertion order.
+  group_options.hedging_enabled = true;
+  group_options.hedge_delay_ms = 10.0;
+  auto group = std::make_unique<net::ReplicaGroup>("EP", std::move(replicas),
+                                                   group_options);
+
+  auto tracer = std::make_shared<obs::Tracer>();
+  tracer->set_trace_id(obs::GenerateTraceId());
+  obs::SpanId request_span = tracer->StartSpan("request", "request");
+  Result<net::QueryResponse> response = Status::Internal("not run");
+  {
+    obs::TraceContext context;
+    context.tracer = tracer;
+    context.trace_id = tracer->trace_id();
+    context.parent = request_span;
+    obs::TraceContextScope scope(context);
+    response = group->QueryCancellable(
+        kSlowQuery, CancelToken::Cancellable(Deadline::AfterMillis(20000)));
+  }
+  // Destroying the group drains the detached loser, so its cancelled
+  // subtree is grafted before we snapshot.
+  group.reset();
+  tracer->EndSpan(request_span);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->served_by, "EP#1");
+  EXPECT_TRUE(response->hedged);
+
+  // Both arms made it into the trace: exactly one serve span finished
+  // "ok" (the winner, labelled with its replica id) and exactly one was
+  // cancelled (the half-closed loser).
+  obs::Trace merged = tracer->Snapshot();
+  int winners = 0;
+  int cancelled = 0;
+  for (const obs::Span& span : merged.spans) {
+    if (span.category != "server" || span.name.rfind("serve ", 0) != 0) {
+      continue;
+    }
+    EXPECT_EQ(span.parent, request_span);
+    std::string status;
+    std::string served_by;
+    bool was_cancelled = false;
+    for (const auto& annotation : span.annotations) {
+      if (annotation.key == "status") status = annotation.value;
+      if (annotation.key == "served_by") served_by = annotation.value;
+      if (annotation.key == "cancelled" && annotation.value == "true") {
+        was_cancelled = true;
+      }
+    }
+    if (status == "ok") {
+      ++winners;
+      EXPECT_EQ(served_by, "EP#1");
+    }
+    if (was_cancelled) {
+      ++cancelled;
+      EXPECT_EQ(served_by, "EP#0");
+    }
+  }
+  EXPECT_EQ(winners, 1);
+  EXPECT_EQ(cancelled, 1);
+
+  slow_server.Stop();
+  fast_server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// /metrics, /debug/queries, /health
+// ---------------------------------------------------------------------
+
+/// Parses the first sample value of `name{...}` from Prometheus text.
+double SampleValue(const std::string& text, const std::string& prefix) {
+  size_t pos = text.find(prefix);
+  if (pos == std::string::npos) return -1.0;
+  size_t space = text.find("} ", pos);
+  if (space == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + space + 2, nullptr);
+}
+
+TEST(MetricsEndpointTest, ExposesMonotonicCountersAcrossScrapes) {
+  obs::MetricsRegistry registry;
+  HttpServerOptions options;
+  options.metrics = &registry;
+  HttpServer server(TinyEndpoint("EP"), options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpSparqlEndpoint client("EP", "127.0.0.1", server.port());
+  const std::string query = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+  ASSERT_TRUE(client.Query(query).ok());
+
+  auto scrape = [&] {
+    return RawExchange(server.port(),
+                       "GET /metrics HTTP/1.1\r\nHost: x\r\n"
+                       "Connection: close\r\n\r\n");
+  };
+  std::string first = scrape();
+  EXPECT_NE(first.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << first;
+  EXPECT_NE(first.find("# TYPE lusail_rpc_requests_total counter"),
+            std::string::npos);
+  double before =
+      SampleValue(first, "lusail_rpc_requests_total{server=\"EP\"}");
+  ASSERT_GE(before, 1.0) << first;
+
+  ASSERT_TRUE(client.Query(query).ok());
+  double after = SampleValue(
+      scrape(), "lusail_rpc_requests_total{server=\"EP\"}");
+  EXPECT_GT(after, before);
+  server.Stop();
+}
+
+TEST(MetricsEndpointTest, RegistryCollectorsJoinTheExposition) {
+  obs::MetricsRegistry registry;
+  obs::ScopedCollector collector(
+      &registry, [](obs::MetricsSnapshot* snapshot) {
+        snapshot->AddCounter("lusail_custom_total", "A custom counter.",
+                             {{"tier", "verdicts"}}, 7);
+      });
+  HttpServerOptions options;
+  options.metrics = &registry;
+  HttpServer server(TinyEndpoint("EP"), options);
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = RawExchange(
+      server.port(),
+      "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(response.find("lusail_custom_total{tier=\"verdicts\"} 7"),
+            std::string::npos)
+      << response;
+  server.Stop();
+}
+
+TEST(FlightRecorderEndpointTest, DebugQueriesServesTheRing) {
+  obs::FlightRecorder recorder;
+  HttpServerOptions options;
+  options.flight_recorder = &recorder;
+  HttpServer server(TinyEndpoint("EP"), options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpSparqlEndpoint client("EP", "127.0.0.1", server.port());
+  ASSERT_TRUE(client.Query("SELECT ?s WHERE { ?s <http://ex/p> ?o }").ok());
+  ASSERT_TRUE(client.Query("ASK { ?s <http://ex/p> ?o }").ok());
+
+  std::string response = RawExchange(
+      server.port(),
+      "GET /debug/queries?n=1 HTTP/1.1\r\nHost: x\r\n"
+      "Connection: close\r\n\r\n");
+  ASSERT_NE(response.find("200"), std::string::npos) << response;
+  size_t body_start = response.find("\r\n\r\n");
+  ASSERT_NE(body_start, std::string::npos);
+  auto parsed = obs::JsonValue::Parse(response.substr(body_start + 4));
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_EQ(parsed->Get("total").AsDouble(), 2.0);
+  // n=1 limits the returned records to the newest one (the ASK).
+  std::string body = response.substr(body_start + 4);
+  EXPECT_EQ(body.find("\"query_hash\""), body.rfind("\"query_hash\""))
+      << body;
+  server.Stop();
+}
+
+TEST(FlightRecorderEndpointTest, NoRecorderMeans404) {
+  HttpServer server(TinyEndpoint("EP"));
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = RawExchange(
+      server.port(),
+      "GET /debug/queries HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(response.find("404"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(HealthProbeTest, DegradedProbeAnswers503WithDetail) {
+  HttpServerOptions options;
+  options.health_probe = [](obs::JsonValue* body) {
+    body->Set("degraded", std::string("cache snapshot load failed"));
+    return false;
+  };
+  HttpServer server(TinyEndpoint("EP"), options);
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = RawExchange(
+      server.port(),
+      "GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("cache snapshot load failed"), std::string::npos);
+  server.Stop();
+}
+
+TEST(StatsListenerTest, NullEndpointServesMetricsButNotSparql) {
+  obs::MetricsRegistry registry;
+  obs::ScopedCollector collector(
+      &registry, [](obs::MetricsSnapshot* snapshot) {
+        snapshot->AddCounter("lusail_federator_up", "Up.", {}, 1);
+      });
+  HttpServerOptions options;
+  options.server_name = "federator";
+  options.metrics = &registry;
+  HttpServer server(nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string metrics = RawExchange(
+      server.port(),
+      "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("lusail_federator_up 1"), std::string::npos);
+  EXPECT_NE(metrics.find("server=\"federator\""), std::string::npos);
+
+  std::string body = "SELECT * WHERE { ?s ?p ?o }";
+  std::string sparql = RawExchange(
+      server.port(),
+      "POST /sparql HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "Content-Type: application/sparql-query\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(sparql.find("HTTP/1.1 503"), std::string::npos) << sparql;
   server.Stop();
 }
 
