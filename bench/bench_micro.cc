@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/cancel.h"
 #include "common/rng.h"
@@ -120,8 +122,8 @@ void BM_ParallelHashJoin(benchmark::State& state) {
   right.vars = {"k", "b"};
   for (int i = 0; i < n; ++i) {
     rdf::TermId key = dict.Intern(rdf::Term::Integer(i));
-    left.rows.push_back({key, dict.Intern(rdf::Term::Integer(i * 2))});
-    right.rows.push_back({key, dict.Intern(rdf::Term::Integer(i * 3))});
+    left.AppendRow({key, dict.Intern(rdf::Term::Integer(i * 2))});
+    right.AppendRow({key, dict.Intern(rdf::Term::Integer(i * 3))});
   }
   for (auto _ : state) {
     fed::BindingTable joined =
@@ -133,6 +135,67 @@ void BM_ParallelHashJoin(benchmark::State& state) {
 BENCHMARK(BM_ParallelHashJoin)->Arg(1000)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// ID-space vs. string-space join. BM_StringHashJoin is the pre-ID-engine
+// execution model: wire-format rows of rdf::Term, keys hashed and
+// compared as strings. BM_IdHashJoin is the engine's current path: the
+// same data dictionary-encoded once, joined on fixed-width 64-bit ids
+// over columnar storage. CI runs the pair at 65536 rows and gates on the
+// id join being no slower (.github/workflows/ci.yml).
+// ---------------------------------------------------------------------
+
+void BM_StringHashJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sparql::ResultTable left, right;
+  left.vars = {"k", "a"};
+  right.vars = {"k", "b"};
+  for (int i = 0; i < n; ++i) {
+    rdf::Term key = rdf::Term::Iri("http://example.org/k/" +
+                                   std::to_string(i));
+    left.rows.push_back({key, rdf::Term::Integer(i * 2)});
+    right.rows.push_back({key, rdf::Term::Integer(i * 3)});
+  }
+  for (auto _ : state) {
+    std::unordered_multimap<std::string, size_t> index;
+    index.reserve(right.rows.size());
+    for (size_t r = 0; r < right.rows.size(); ++r) {
+      index.emplace(right.rows[r][0]->ToString(), r);
+    }
+    sparql::ResultTable out;
+    out.vars = {"k", "a", "b"};
+    for (const auto& lrow : left.rows) {
+      auto [begin, end] = index.equal_range(lrow[0]->ToString());
+      for (auto it = begin; it != end; ++it) {
+        out.rows.push_back(
+            {lrow[0], lrow[1], right.rows[it->second][1]});
+      }
+    }
+    benchmark::DoNotOptimize(out.rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StringHashJoin)->Arg(65536)->Unit(benchmark::kMillisecond);
+
+void BM_IdHashJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  fed::SharedDictionary dict;
+  fed::BindingTable left, right;
+  left.vars = {"k", "a"};
+  right.vars = {"k", "b"};
+  for (int i = 0; i < n; ++i) {
+    rdf::TermId key = dict.Intern(rdf::Term::Iri(
+        "http://example.org/k/" + std::to_string(i)));
+    left.AppendRow({key, dict.Intern(rdf::Term::Integer(i * 2))});
+    right.AppendRow({key, dict.Intern(rdf::Term::Integer(i * 3))});
+  }
+  for (auto _ : state) {
+    fed::BindingTable out = fed::HashJoin(left, right);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IdHashJoin)->Arg(65536)->Unit(benchmark::kMillisecond);
+
 /// Serial vs. parallel cartesian product around the dispatch threshold.
 /// The arg is the output size in cells (left rows × right rows, square
 /// sides); comparing BM_CartesianSerial/N with BM_CartesianParallel/N
@@ -143,7 +206,7 @@ fed::BindingTable CartesianSide(fed::SharedDictionary* dict, const char* var,
   fed::BindingTable side;
   side.vars = {var};
   for (int i = 0; i < rows; ++i) {
-    side.rows.push_back({dict->Intern(rdf::Term::Integer(i + salt))});
+    side.AppendRow({dict->Intern(rdf::Term::Integer(i + salt))});
   }
   return side;
 }

@@ -363,6 +363,7 @@ int main(int argc, char** argv) {
   recorder_options.log_json = options.log_json;
   obs::FlightRecorder recorder(recorder_options);
   obs::MetricsRegistry metrics;
+  core::LusailEngine* metered_engine = nullptr;  // Set once built below.
   obs::ScopedCollector federation_metrics(
       &metrics, [&](obs::MetricsSnapshot* snapshot) {
         for (size_t i = 0; i < federation->size(); ++i) {
@@ -378,6 +379,9 @@ int main(int argc, char** argv) {
         }
         if (federation->query_cache() != nullptr) {
           federation->query_cache()->ExportMetrics(snapshot);
+        }
+        if (metered_engine != nullptr) {
+          metered_engine->ExportMetrics(snapshot);  // Dictionary gauges.
         }
       });
   std::unique_ptr<rpc::HttpServer> stats_server;
@@ -431,6 +435,20 @@ int main(int argc, char** argv) {
   }
   if (options.engine == "lade") lusail_options.enable_sape = false;
   core::LusailEngine lusail(federation.get(), lusail_options);
+  metered_engine = &lusail;
+  if (options.engine == "lusail" || options.engine == "lade") {
+    // ID-space fast path for remote federations: HTTP responses parse
+    // straight into the engine dictionary (SRJ -> IdTable) and reach the
+    // executor with zero federator-side string rows. Baselines keep
+    // string responses; replica groups keep them too (their inner
+    // endpoints answer through the group, not directly).
+    for (size_t i = 0; i < federation->size(); ++i) {
+      if (auto* http = dynamic_cast<rpc::HttpSparqlEndpoint*>(
+              federation->endpoint(i))) {
+        http->set_parse_dictionary(lusail.dictionary());
+      }
+    }
+  }
   baselines::FedXOptions fedx_options;
   fedx_options.trace = trace;
   baselines::FedXEngine fedx(federation.get(), fedx_options);
@@ -459,6 +477,14 @@ int main(int argc, char** argv) {
     } else {
       std::fputs(report->ToText().c_str(), stdout);
     }
+    // Planning interns every constant the decomposer and probes touched;
+    // the counts preview the id space the query would execute in.
+    core::DictionaryStats dict_stats = lusail.dictionary()->GetStats();
+    std::fprintf(stderr,
+                 "# dictionary: %llu terms interned (%llu bytes) during "
+                 "planning\n",
+                 static_cast<unsigned long long>(dict_stats.terms),
+                 static_cast<unsigned long long>(dict_stats.bytes));
     return 0;
   }
 
@@ -499,6 +525,19 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "# %zu rows (engine: %s)\n", result->table.NumRows(),
                engine->name().c_str());
   PrintProfile(result->profile);
+  if (engine == &lusail) {
+    core::DictionaryStats dict_stats = lusail.dictionary()->GetStats();
+    std::fprintf(
+        stderr,
+        "# dictionary: %llu terms (%llu bytes); encoded %llu cells "
+        "(%.1f ms), decoded %llu cells (%.1f ms)\n",
+        static_cast<unsigned long long>(dict_stats.terms),
+        static_cast<unsigned long long>(dict_stats.bytes),
+        static_cast<unsigned long long>(dict_stats.encode_terms),
+        dict_stats.encode_seconds * 1e3,
+        static_cast<unsigned long long>(dict_stats.decode_terms),
+        dict_stats.decode_seconds * 1e3);
+  }
   if (trace) {
     if (result->profile.trace == nullptr) {
       std::fprintf(stderr, "# no trace recorded (engine %s does not trace)\n",

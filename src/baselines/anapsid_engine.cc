@@ -154,8 +154,8 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
   // report, so the engines' peaks are comparable).
   auto track_peak = [&]() {
     uint64_t total = 0;
-    for (const BindingTable& t : group_tables) total += t.rows.size();
-    for (const BindingTable& t : ready) total += t.rows.size();
+    for (const BindingTable& t : group_tables) total += t.NumRows();
+    for (const BindingTable& t : ready) total += t.NumRows();
     profile->peak_intermediate_rows =
         std::max(profile->peak_intermediate_rows, total);
   };
@@ -229,7 +229,7 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
           ExecutePattern(alt, dict, metrics, deadline, profile));
       fed::AppendUnion(&unioned, branch);
     }
-    if (table.vars.empty() && table.rows.empty() && pattern.triples.empty()) {
+    if (table.vars.empty() && table.NumRows() == 0 && pattern.triples.empty()) {
       table = std::move(unioned);
     } else {
       table = fed::HashJoin(table, unioned);
@@ -246,7 +246,7 @@ Result<BindingTable> AnapsidEngine::ExecutePattern(
   }
   profile->peak_intermediate_rows = std::max(
       profile->peak_intermediate_rows,
-      static_cast<uint64_t>(table.rows.size()));
+      static_cast<uint64_t>(table.NumRows()));
   profile->execution_ms += timer.ElapsedMillis();
   return table;
 }
@@ -271,24 +271,26 @@ Result<fed::FederatedResult> AnapsidEngine::Execute(
   BindingTable table = std::move(table_or).value();
 
   if (query.form == sparql::QueryForm::kAsk) {
-    if (!table.rows.empty()) result.table.rows.push_back({});
+    if (table.NumRows() > 0) result.table.rows.push_back({});
   } else if (query.aggregate.has_value()) {
     const sparql::CountAggregate& agg = *query.aggregate;
     uint64_t count = 0;
     if (!agg.var.has_value()) {
-      count = table.rows.size();
+      count = table.NumRows();
     } else {
       int idx = table.VarIndex(agg.var->name);
-      std::set<rdf::TermId> seen;
-      for (const auto& row : table.rows) {
-        if (idx < 0 || row[idx] == rdf::kInvalidTermId) continue;
-        if (agg.distinct) {
-          seen.insert(row[idx]);
-        } else {
-          ++count;
+      if (idx >= 0) {
+        std::set<rdf::TermId> seen;
+        for (rdf::TermId id : table.Column(static_cast<size_t>(idx))) {
+          if (id == rdf::kInvalidTermId) continue;
+          if (agg.distinct) {
+            seen.insert(id);
+          } else {
+            ++count;
+          }
         }
+        if (agg.distinct) count = seen.size();
       }
-      if (agg.distinct) count = seen.size();
     }
     result.table.vars.push_back(agg.alias.name);
     result.table.rows.push_back(
@@ -310,14 +312,10 @@ Result<fed::FederatedResult> AnapsidEngine::Execute(
                                result.table.rows.begin() + end);
     } else {
       size_t begin =
-          std::min<size_t>(query.offset.value_or(0), projected.rows.size());
-      size_t end = projected.rows.size();
+          std::min<size_t>(query.offset.value_or(0), projected.NumRows());
+      size_t end = projected.NumRows();
       if (query.limit.has_value()) end = std::min(end, begin + *query.limit);
-      BindingTable window;
-      window.vars = projected.vars;
-      window.rows.assign(projected.rows.begin() + begin,
-                         projected.rows.begin() + end);
-      result.table = fed::DecodeTable(window, dict);
+      result.table = fed::DecodeTable(projected.Slice(begin, end), dict);
     }
   }
 

@@ -206,7 +206,7 @@ Result<BindingTable> FedXEngine::BoundJoinStep(
     return fetched;
   };
 
-  if (table.vars.empty() && table.rows.empty()) {
+  if (table.vars.empty() && table.NumRows() == 0) {
     // First operand.
     return fetch_all();
   }
@@ -222,16 +222,17 @@ Result<BindingTable> FedXEngine::BoundJoinStep(
   std::vector<std::vector<rdf::TermId>> distinct;
   {
     std::set<std::vector<rdf::TermId>> seen;
-    for (const auto& row : table.rows) {
+    for (size_t r = 0; r < table.NumRows(); ++r) {
       std::vector<rdf::TermId> key;
       key.reserve(shared_idx.size());
       bool bound_key = true;
       for (int idx : shared_idx) {
-        if (row[idx] == rdf::kInvalidTermId) {
+        rdf::TermId id = table.At(r, static_cast<size_t>(idx));
+        if (id == rdf::kInvalidTermId) {
           bound_key = false;
           break;
         }
-        key.push_back(row[idx]);
+        key.push_back(id);
       }
       if (bound_key && seen.insert(key).second) distinct.push_back(key);
     }
@@ -282,7 +283,7 @@ Result<BindingTable> FedXEngine::BoundJoinStep(
       // exist (FedX's first-N termination; see the paper's C4 discussion).
       BindingTable probe = left_outer ? fed::LeftOuterJoin(table, fetched)
                                       : fed::HashJoin(table, fetched);
-      if (probe.rows.size() >= *result_cap) return probe;
+      if (probe.NumRows() >= *result_cap) return probe;
     }
   }
   return left_outer ? fed::LeftOuterJoin(table, fetched)
@@ -334,8 +335,8 @@ Result<BindingTable> FedXEngine::ExecutePattern(
                              deadline));
     profile->peak_intermediate_rows = std::max(
         profile->peak_intermediate_rows,
-        static_cast<uint64_t>(table.rows.size()));
-    if (table.rows.empty() && !table.vars.empty() && k + 1 < order.size()) {
+        static_cast<uint64_t>(table.NumRows()));
+    if (table.NumRows() == 0 && !table.vars.empty() && k + 1 < order.size()) {
       // Join already empty; later operands cannot add rows.
       break;
     }
@@ -349,7 +350,7 @@ Result<BindingTable> FedXEngine::ExecutePattern(
           ExecutePattern(alt, std::nullopt, dict, metrics, deadline, profile));
       fed::AppendUnion(&unioned, branch);
     }
-    if (table.vars.empty() && table.rows.empty() && pattern.triples.empty()) {
+    if (table.vars.empty() && table.NumRows() == 0 && pattern.triples.empty()) {
       table = std::move(unioned);
     } else {
       table = fed::HashJoin(table, unioned);
@@ -373,13 +374,14 @@ Result<BindingTable> FedXEngine::ExecutePattern(
   for (const sparql::ValuesClause& vc : pattern.values) {
     BindingTable vt;
     for (const sparql::Variable& v : vc.vars) vt.vars.push_back(v.name);
+    std::vector<rdf::TermId> ids;
     for (const auto& row : vc.rows) {
-      std::vector<rdf::TermId> ids;
+      ids.clear();
       for (const auto& cell : row) {
         ids.push_back(cell.has_value() ? dict->Intern(*cell)
                                        : rdf::kInvalidTermId);
       }
-      vt.rows.push_back(std::move(ids));
+      vt.AppendRow(ids);
     }
     table = fed::HashJoin(table, vt);
   }
@@ -414,24 +416,26 @@ Result<fed::FederatedResult> FedXEngine::Execute(
   BindingTable table = std::move(table_or).value();
 
   if (query.form == sparql::QueryForm::kAsk) {
-    if (!table.rows.empty()) result.table.rows.push_back({});
+    if (table.NumRows() > 0) result.table.rows.push_back({});
   } else if (query.aggregate.has_value()) {
     const sparql::CountAggregate& agg = *query.aggregate;
     uint64_t count = 0;
     if (!agg.var.has_value()) {
-      count = table.rows.size();
+      count = table.NumRows();
     } else {
       int idx = table.VarIndex(agg.var->name);
-      std::set<rdf::TermId> seen;
-      for (const auto& row : table.rows) {
-        if (idx < 0 || row[idx] == rdf::kInvalidTermId) continue;
-        if (agg.distinct) {
-          seen.insert(row[idx]);
-        } else {
-          ++count;
+      if (idx >= 0) {
+        std::set<rdf::TermId> seen;
+        for (rdf::TermId id : table.Column(static_cast<size_t>(idx))) {
+          if (id == rdf::kInvalidTermId) continue;
+          if (agg.distinct) {
+            seen.insert(id);
+          } else {
+            ++count;
+          }
         }
+        if (agg.distinct) count = seen.size();
       }
-      if (agg.distinct) count = seen.size();
     }
     result.table.vars.push_back(agg.alias.name);
     result.table.rows.push_back(
@@ -454,14 +458,10 @@ Result<fed::FederatedResult> FedXEngine::Execute(
                                result.table.rows.begin() + end);
     } else {
       size_t begin =
-          std::min<size_t>(query.offset.value_or(0), projected.rows.size());
-      size_t end = projected.rows.size();
+          std::min<size_t>(query.offset.value_or(0), projected.NumRows());
+      size_t end = projected.NumRows();
       if (query.limit.has_value()) end = std::min(end, begin + *query.limit);
-      BindingTable window;
-      window.vars = projected.vars;
-      window.rows.assign(projected.rows.begin() + begin,
-                         projected.rows.begin() + end);
-      result.table = fed::DecodeTable(window, dict);
+      result.table = fed::DecodeTable(projected.Slice(begin, end), dict);
     }
   }
 

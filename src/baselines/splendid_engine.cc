@@ -204,13 +204,13 @@ Result<BindingTable> SplendidEngine::ExecutePattern(
     BindingTable fetched;
     fetched.vars = tp_vars;
     if (!first && !shared.empty() &&
-        table.rows.size() <= options_.bind_join_threshold) {
+        table.NumRows() <= options_.bind_join_threshold) {
       // Bind join: ship current bindings of the first shared variable.
       const std::string& bv = shared[0];
       int idx = table.VarIndex(bv);
       std::set<rdf::TermId> distinct;
-      for (const auto& row : table.rows) {
-        if (row[idx] != rdf::kInvalidTermId) distinct.insert(row[idx]);
+      for (rdf::TermId id : table.Column(static_cast<size_t>(idx))) {
+        if (id != rdf::kInvalidTermId) distinct.insert(id);
       }
       std::vector<rdf::TermId> values(distinct.begin(), distinct.end());
       const size_t block = std::max<size_t>(1, options_.bind_join_block_size);
@@ -246,11 +246,11 @@ Result<BindingTable> SplendidEngine::ExecutePattern(
     // FedX report, so the engines' peaks are comparable).
     profile->peak_intermediate_rows = std::max(
         profile->peak_intermediate_rows,
-        static_cast<uint64_t>(table.rows.size() + fetched.rows.size()));
+        static_cast<uint64_t>(table.NumRows() + fetched.NumRows()));
     table = first ? std::move(fetched) : fed::HashJoin(table, fetched);
     profile->peak_intermediate_rows = std::max(
         profile->peak_intermediate_rows,
-        static_cast<uint64_t>(table.rows.size()));
+        static_cast<uint64_t>(table.NumRows()));
     first = false;
   }
 
@@ -287,9 +287,9 @@ Result<fed::FederatedResult> SplendidEngine::Execute(
   BindingTable table = std::move(table_or).value();
 
   if (query.form == sparql::QueryForm::kAsk) {
-    if (!table.rows.empty()) result.table.rows.push_back({});
+    if (table.NumRows() > 0) result.table.rows.push_back({});
   } else if (query.aggregate.has_value()) {
-    uint64_t count = table.rows.size();
+    uint64_t count = table.NumRows();
     result.table.vars.push_back(query.aggregate->alias.name);
     result.table.rows.push_back(
         {rdf::Term::Integer(static_cast<int64_t>(count))});
@@ -311,14 +311,10 @@ Result<fed::FederatedResult> SplendidEngine::Execute(
                                result.table.rows.begin() + end);
     } else {
       size_t begin =
-          std::min<size_t>(query.offset.value_or(0), projected.rows.size());
-      size_t end = projected.rows.size();
+          std::min<size_t>(query.offset.value_or(0), projected.NumRows());
+      size_t end = projected.NumRows();
       if (query.limit.has_value()) end = std::min(end, begin + *query.limit);
-      BindingTable window;
-      window.vars = projected.vars;
-      window.rows.assign(projected.rows.begin() + begin,
-                         projected.rows.begin() + end);
-      result.table = fed::DecodeTable(window, dict);
+      result.table = fed::DecodeTable(projected.Slice(begin, end), dict);
     }
   }
 

@@ -22,7 +22,9 @@ Result<net::QueryResponse> CachedAskEndpoint::QueryCancellable(
   misses_.fetch_add(1, std::memory_order_relaxed);
   Result<net::QueryResponse> response = inner_->QueryCancellable(text, cancel);
   if (response.ok()) {
-    cache_->PutVerdict(key, id(), !response->table.rows.empty());
+    // RowCount, not table.rows: an inner endpoint on the parse-to-ids
+    // path reports its ASK row via QueryResponse::ids.
+    cache_->PutVerdict(key, id(), response->RowCount() > 0);
   }
   return response;
 }

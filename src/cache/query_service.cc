@@ -203,6 +203,8 @@ void QueryService::ExportMetrics(obs::MetricsSnapshot* snapshot) const {
                      static_cast<double>(s.running));
   snapshot->AddHistogram("lusail_service_queue_wait_seconds",
                          "Admission-to-execution queue wait.", none, s.wait);
+  // lusail_engine_dictionary_* — the id space the service executes in.
+  engine_.ExportMetrics(snapshot);
 
   const fed::Federation* federation = engine_.federation();
   if (federation == nullptr) return;

@@ -1,0 +1,143 @@
+#include "core/dictionary.h"
+
+namespace lusail::core {
+
+namespace {
+
+/// Global epoch source: one tag per dictionary instance, process-wide.
+std::atomic<uint64_t>& EpochCounter() {
+  static std::atomic<uint64_t> counter{1};
+  return counter;
+}
+
+/// Approximate resident cost of one interned term: string payloads plus
+/// the deque slot and the hash-table entry it occupies.
+size_t TermBytes(const rdf::Term& term) {
+  return term.lexical().size() + term.datatype().size() +
+         term.lang().size() + 2 * sizeof(rdf::Term) +
+         sizeof(rdf::TermId) + 32;
+}
+
+/// Stable FNV-1a over the term's full identity. Field separators (bytes
+/// that cannot appear unescaped inside the components) keep e.g.
+/// ("ab","c") and ("a","bc") from hashing equally across fields.
+uint64_t HashTermContent(const rdf::Term& term) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&](const void* data, size_t len) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) h = (h ^ bytes[i]) * 1099511628211ull;
+  };
+  unsigned char kind = static_cast<unsigned char>(term.kind());
+  mix(&kind, 1);
+  mix(term.lexical().data(), term.lexical().size());
+  mix("\x1f", 1);
+  mix(term.datatype().data(), term.datatype().size());
+  mix("\x1f", 1);
+  mix(term.lang().data(), term.lang().size());
+  return h;
+}
+
+}  // namespace
+
+TermDictionary::TermDictionary()
+    : epoch_(EpochCounter().fetch_add(1, std::memory_order_relaxed)) {}
+
+rdf::TermId TermDictionary::Intern(const rdf::Term& term) {
+  size_t s = ShardOf(term);
+  Shard& shard = shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ids.find(term);
+  if (it != shard.ids.end()) return it->second;
+  rdf::TermId id = (static_cast<rdf::TermId>(shard.terms.size()) << 4) |
+                   static_cast<rdf::TermId>(s);
+  shard.terms.push_back(term);
+  shard.hashes.push_back(HashTermContent(term));
+  shard.ids.emplace(term, id);
+  shard.bytes += TermBytes(term);
+  return id;
+}
+
+uint64_t TermDictionary::content_hash(rdf::TermId id) const {
+  const Shard& shard = shards_[id & kShardMask];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.hashes[id >> 4];
+}
+
+rdf::TermId TermDictionary::Lookup(const rdf::Term& term) const {
+  const Shard& shard = shards_[ShardOf(term)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ids.find(term);
+  return it != shard.ids.end() ? it->second : rdf::kInvalidTermId;
+}
+
+const rdf::Term& TermDictionary::term(rdf::TermId id) const {
+  const Shard& shard = shards_[id & kShardMask];
+  // The lock covers the deque's block bookkeeping (a concurrent Intern
+  // may grow it); the returned reference itself is stable because
+  // elements are never moved or erased.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.terms[id >> 4];
+}
+
+size_t TermDictionary::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.terms.size();
+  }
+  return total;
+}
+
+void TermDictionary::AddEncodeBatch(double seconds, uint64_t cells) const {
+  encode_ns_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+  encode_cells_.fetch_add(cells, std::memory_order_relaxed);
+}
+
+void TermDictionary::AddDecodeBatch(double seconds, uint64_t cells) const {
+  decode_ns_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+  decode_cells_.fetch_add(cells, std::memory_order_relaxed);
+}
+
+DictionaryStats TermDictionary::GetStats() const {
+  DictionaryStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.terms += shard.terms.size();
+    stats.bytes += shard.bytes;
+  }
+  stats.encode_terms = encode_cells_.load(std::memory_order_relaxed);
+  stats.decode_terms = decode_cells_.load(std::memory_order_relaxed);
+  stats.encode_seconds =
+      static_cast<double>(encode_ns_.load(std::memory_order_relaxed)) / 1e9;
+  stats.decode_seconds =
+      static_cast<double>(decode_ns_.load(std::memory_order_relaxed)) / 1e9;
+  return stats;
+}
+
+void TermDictionary::ExportMetrics(obs::MetricsSnapshot* snapshot,
+                                   const std::string& subsystem) const {
+  DictionaryStats stats = GetStats();
+  const std::string prefix = "lusail_" + subsystem + "_dictionary_";
+  snapshot->AddGauge(prefix + "terms",
+                     "Distinct terms interned in the dictionary", {},
+                     static_cast<double>(stats.terms));
+  snapshot->AddGauge(prefix + "bytes",
+                     "Approximate resident bytes of the dictionary", {},
+                     static_cast<double>(stats.bytes));
+  snapshot->AddCounter(prefix + "encode_cells_total",
+                       "Cells encoded from terms to ids", {},
+                       static_cast<double>(stats.encode_terms));
+  snapshot->AddCounter(prefix + "decode_cells_total",
+                       "Cells decoded from ids back to terms", {},
+                       static_cast<double>(stats.decode_terms));
+  snapshot->AddCounter(prefix + "encode_seconds_total",
+                       "Wall time spent encoding terms to ids", {},
+                       stats.encode_seconds);
+  snapshot->AddCounter(prefix + "decode_seconds_total",
+                       "Wall time spent decoding ids to terms", {},
+                       stats.decode_seconds);
+}
+
+}  // namespace lusail::core

@@ -1,0 +1,120 @@
+#ifndef LUSAIL_CORE_DICTIONARY_H_
+#define LUSAIL_CORE_DICTIONARY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace lusail::core {
+
+/// Cumulative counters of one TermDictionary, read at scrape time.
+struct DictionaryStats {
+  uint64_t terms = 0;          ///< Distinct terms interned.
+  uint64_t bytes = 0;          ///< Approximate resident bytes.
+  uint64_t encode_terms = 0;   ///< Cells pushed through Encode batches.
+  uint64_t decode_terms = 0;   ///< Cells pulled through Decode batches.
+  double encode_seconds = 0.0; ///< Wall time spent in encode batches.
+  double decode_seconds = 0.0; ///< Wall time spent in decode batches.
+};
+
+/// Thread-safe two-way Term <-> TermId dictionary: the per-engine term
+/// space ID-space execution runs on. Endpoint responses are encoded into
+/// ids once at the federator boundary (or parsed straight to ids by the
+/// HTTP transport), every join/dedup/fingerprint downstream works on
+/// fixed-width u64s, and only the final projected rows are decoded back
+/// to terms (late materialization).
+///
+/// Sharded 16 ways to keep concurrent interning from SAPE's fetch pool
+/// off a single mutex: id = (index_in_shard << 4) | shard. Terms live in
+/// per-shard deques, so `term(id)` hands out references that stay valid
+/// for the dictionary's lifetime — filter evaluation holds them across
+/// expression trees with no per-row copies.
+///
+/// The dictionary is owned by the engine and lives across queries (terms
+/// are never evicted; LUBM-scale federations intern a few hundred
+/// thousand distinct terms). Because ids are only meaningful relative to
+/// one dictionary instance, every instance carries a process-unique
+/// `epoch` tag. Anything id-derived that can outlive or escape the
+/// engine — VALUES-block cache fingerprints for the shared result
+/// cache — must NOT be keyed on raw ids or the epoch: the shared cache
+/// spans engines, so keys have to be content-based. For that, every
+/// interned term also gets a 64-bit `content_hash` computed once from
+/// its kind/lexical/datatype/lang; it is equal across dictionaries for
+/// equal terms and O(1) to look up by id.
+class TermDictionary {
+ public:
+  TermDictionary();
+  TermDictionary(const TermDictionary&) = delete;
+  TermDictionary& operator=(const TermDictionary&) = delete;
+
+  /// Interns `term`, returning its id (existing or newly assigned).
+  rdf::TermId Intern(const rdf::Term& term);
+
+  /// Returns the id of `term` if interned, otherwise kInvalidTermId.
+  rdf::TermId Lookup(const rdf::Term& term) const;
+
+  /// Returns the term for `id`. The reference stays valid for the
+  /// dictionary's lifetime. Requires an id previously returned by Intern.
+  const rdf::Term& term(rdf::TermId id) const;
+
+  /// Number of distinct interned terms.
+  size_t size() const;
+
+  /// Process-unique instance tag (debugging / --explain output; ids from
+  /// dictionaries with different epochs are incomparable).
+  uint64_t epoch() const { return epoch_; }
+
+  /// Stable 64-bit content hash of the term behind `id`, computed once
+  /// at intern time from kind/lexical/datatype/lang. Equal terms hash
+  /// equally in every dictionary instance, so fingerprints built from
+  /// content hashes are valid keys for caches shared across engines.
+  uint64_t content_hash(rdf::TermId id) const;
+
+  /// Batch timing hooks: encode/decode helpers time a whole table pass
+  /// and report it here, so the hot path never reads the clock per cell.
+  /// Const because decode runs against a const dictionary (stats are
+  /// bookkeeping, not term-space state).
+  void AddEncodeBatch(double seconds, uint64_t cells) const;
+  void AddDecodeBatch(double seconds, uint64_t cells) const;
+
+  DictionaryStats GetStats() const;
+
+  /// Emits lusail_<subsystem>_dictionary_{terms,bytes} gauges and
+  /// encode/decode {seconds,cells}_total counters.
+  void ExportMetrics(obs::MetricsSnapshot* snapshot,
+                     const std::string& subsystem) const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  static constexpr uint64_t kShardMask = kShards - 1;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<rdf::Term> terms;
+    std::deque<uint64_t> hashes;  ///< content_hash, parallel to `terms`.
+    std::unordered_map<rdf::Term, rdf::TermId, rdf::TermHash> ids;
+    size_t bytes = 0;
+  };
+
+  static size_t ShardOf(const rdf::Term& term) {
+    return rdf::TermHash{}(term) & kShardMask;
+  }
+
+  Shard shards_[kShards];
+  uint64_t epoch_;
+  mutable std::atomic<uint64_t> encode_cells_{0};
+  mutable std::atomic<uint64_t> decode_cells_{0};
+  mutable std::atomic<uint64_t> encode_ns_{0};
+  mutable std::atomic<uint64_t> decode_ns_{0};
+};
+
+}  // namespace lusail::core
+
+#endif  // LUSAIL_CORE_DICTIONARY_H_

@@ -7,11 +7,12 @@ namespace lusail::core {
 
 namespace {
 
-size_t KeyHash(const std::vector<rdf::TermId>& row,
+size_t KeyHash(const fed::BindingTable& table, size_t row,
                const std::vector<int>& key_cols) {
   size_t h = 1469598103934665603ULL;
   for (int c : key_cols) {
-    h ^= row[c] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= table.At(row, static_cast<size_t>(c)) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
   }
   return h;
 }
@@ -23,43 +24,65 @@ fed::BindingTable ParallelCartesian(const fed::BindingTable& left,
                                     const fed::BindingTable& right,
                                     ThreadPool* pool, size_t partitions,
                                     const CancelToken* cancel) {
-  fed::BindingTable out;
-  out.vars = left.vars;
-  out.vars.insert(out.vars.end(), right.vars.begin(), right.vars.end());
-  if (left.rows.empty() || right.rows.empty()) return out;
+  std::vector<std::string> out_vars = left.vars;
+  out_vars.insert(out_vars.end(), right.vars.begin(), right.vars.end());
+  if (left.NumRows() == 0 || right.NumRows() == 0) {
+    return fed::BindingTable(std::move(out_vars));
+  }
 
-  const size_t chunk = (left.rows.size() + partitions - 1) / partitions;
-  auto cross_chunk = [&left, &right, cancel](size_t begin, size_t end) {
-    std::vector<std::vector<rdf::TermId>> rows;
-    rows.reserve((end - begin) * right.rows.size());
-    // Poll the token every ~1k output cells: cheap enough to keep the
-    // ~50 ns/cell inner loop unaffected, frequent enough that a running
-    // product stops within microseconds of the token firing.
-    size_t ticks = 0;
-    for (size_t i = begin; i < end; ++i) {
-      for (const auto& rrow : right.rows) {
-        if (cancel != nullptr && (++ticks & 1023u) == 0 &&
-            cancel->Cancelled()) {
-          return rows;
+  const size_t ln = left.NumRows();
+  const size_t rn = right.NumRows();
+  const size_t chunk = (ln + partitions - 1) / partitions;
+  // Each worker builds its chunk's columns directly: left columns repeat
+  // each value rn times, right columns tile whole column copies — block
+  // appends instead of the old per-row vector allocations. The token is
+  // polled between blocks (a block is one column copy, microseconds even
+  // at bench sizes), and a cancelled worker returns an empty table the
+  // drain below discards anyway.
+  auto cross_chunk = [&left, &right, &out_vars, rn,
+                      cancel](size_t begin, size_t end) -> fed::BindingTable {
+    const size_t out_n = (end - begin) * rn;
+    std::vector<std::vector<rdf::TermId>> cols(out_vars.size());
+    for (size_t c = 0; c < left.NumVars(); ++c) {
+      const std::vector<rdf::TermId>& lc = left.Column(c);
+      std::vector<rdf::TermId>& dst = cols[c];
+      dst.reserve(out_n);
+      for (size_t i = begin; i < end; ++i) {
+        if (cancel != nullptr && cancel->Cancelled()) {
+          return fed::BindingTable{};
         }
-        std::vector<rdf::TermId> combined = left.rows[i];
-        combined.insert(combined.end(), rrow.begin(), rrow.end());
-        rows.push_back(std::move(combined));
+        dst.insert(dst.end(), rn,
+                   lc.empty() ? rdf::kInvalidTermId : lc[i]);
       }
     }
-    return rows;
+    for (size_t c = 0; c < right.NumVars(); ++c) {
+      const std::vector<rdf::TermId>& rc = right.Column(c);
+      std::vector<rdf::TermId>& dst = cols[left.NumVars() + c];
+      dst.reserve(out_n);
+      for (size_t i = begin; i < end; ++i) {
+        if (cancel != nullptr && cancel->Cancelled()) {
+          return fed::BindingTable{};
+        }
+        if (rc.empty()) {
+          dst.insert(dst.end(), rn, rdf::kInvalidTermId);
+        } else {
+          dst.insert(dst.end(), rc.begin(), rc.end());
+        }
+      }
+    }
+    return fed::BindingTable::FromColumns(out_vars, std::move(cols), out_n);
   };
 
-  std::vector<std::future<std::vector<std::vector<rdf::TermId>>>> futures;
-  for (size_t begin = 0; begin < left.rows.size(); begin += chunk) {
-    size_t end = std::min(left.rows.size(), begin + chunk);
+  std::vector<std::future<fed::BindingTable>> futures;
+  for (size_t begin = 0; begin < ln; begin += chunk) {
+    size_t end = std::min(ln, begin + chunk);
     futures.push_back(pool->Submit(cross_chunk, begin, end));
   }
+  fed::BindingTable out(out_vars);
   for (auto& f : futures) {
-    std::vector<std::vector<rdf::TermId>> rows = f.get();
+    fed::BindingTable part = f.get();
     if (cancel != nullptr && cancel->Cancelled()) continue;  // Drain only.
-    out.rows.insert(out.rows.end(), std::make_move_iterator(rows.begin()),
-                    std::make_move_iterator(rows.end()));
+    out.Append(part);
   }
   return out;
 }
@@ -82,15 +105,15 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
     // second core turns that into wall-clock speedup; by ~16k cells
     // the overhead is fully amortized (<2% even on one core). Below
     // 2048 the dispatch overhead rivals the work itself.
-    if (partitions > 1 && pool != nullptr && !right.rows.empty() &&
-        left.rows.size() >= 2 &&
-        left.rows.size() * right.rows.size() >= 2048) {
+    if (partitions > 1 && pool != nullptr && right.NumRows() > 0 &&
+        left.NumRows() >= 2 &&
+        left.NumRows() * right.NumRows() >= 2048) {
       return ParallelCartesian(left, right, pool, partitions, cancel);
     }
     return fed::HashJoin(left, right);
   }
   if (partitions <= 1 || pool == nullptr ||
-      left.rows.size() + right.rows.size() < 2048) {
+      left.NumRows() + right.NumRows() < 2048) {
     return fed::HashJoin(left, right);
   }
   std::vector<int> left_keys, right_keys;
@@ -101,9 +124,11 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
   // Rows with unbound key cells break partitioning; fall back.
   auto has_unbound_key = [](const fed::BindingTable& t,
                             const std::vector<int>& keys) {
-    for (const auto& row : t.rows) {
-      for (int k : keys) {
-        if (row[k] == rdf::kInvalidTermId) return true;
+    for (int k : keys) {
+      const std::vector<rdf::TermId>& col = t.Column(static_cast<size_t>(k));
+      if (col.empty() && t.NumRows() > 0) return true;
+      for (rdf::TermId id : col) {
+        if (id == rdf::kInvalidTermId) return true;
       }
     }
     return false;
@@ -112,17 +137,23 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
     return fed::HashJoin(left, right);
   }
 
+  // Partition row indices by key hash, then materialize each partition
+  // with one column gather per side.
+  std::vector<std::vector<uint32_t>> left_index(partitions);
+  std::vector<std::vector<uint32_t>> right_index(partitions);
+  for (size_t r = 0; r < left.NumRows(); ++r) {
+    left_index[KeyHash(left, r, left_keys) % partitions].push_back(
+        static_cast<uint32_t>(r));
+  }
+  for (size_t r = 0; r < right.NumRows(); ++r) {
+    right_index[KeyHash(right, r, right_keys) % partitions].push_back(
+        static_cast<uint32_t>(r));
+  }
   std::vector<fed::BindingTable> left_parts(partitions);
   std::vector<fed::BindingTable> right_parts(partitions);
   for (size_t p = 0; p < partitions; ++p) {
-    left_parts[p].vars = left.vars;
-    right_parts[p].vars = right.vars;
-  }
-  for (const auto& row : left.rows) {
-    left_parts[KeyHash(row, left_keys) % partitions].rows.push_back(row);
-  }
-  for (const auto& row : right.rows) {
-    right_parts[KeyHash(row, right_keys) % partitions].rows.push_back(row);
+    left_parts[p] = left.SelectRows(left_index[p]);
+    right_parts[p] = right.SelectRows(right_index[p]);
   }
 
   std::vector<std::future<fed::BindingTable>> futures;
@@ -135,11 +166,14 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
           if (cancel != nullptr && cancel->Cancelled()) {
             return fed::BindingTable{};
           }
-          return fed::HashJoin(left_parts[p], right_parts[p]);
+          // JoinIds directly (not the build-side-swapping HashJoin
+          // wrapper): every partition then shares the fixed layout
+          // left.vars + right-only vars and concatenates with no
+          // column realignment.
+          return core::JoinIds(left_parts[p], right_parts[p],
+                               /*left_outer=*/false);
         }));
   }
-  // Fixed output layout: left vars then right-only vars. fed::HashJoin may
-  // swap sides internally, so realign each partition's columns by name.
   fed::BindingTable out;
   out.vars = left.vars;
   for (const std::string& v : right.vars) {
@@ -148,17 +182,7 @@ fed::BindingTable ParallelHashJoin(const fed::BindingTable& left,
   for (auto& f : futures) {
     fed::BindingTable part = f.get();
     if (cancel != nullptr && cancel->Cancelled()) continue;  // Drain only.
-    std::vector<int> mapping(out.vars.size(), -1);
-    for (size_t i = 0; i < out.vars.size(); ++i) {
-      mapping[i] = part.VarIndex(out.vars[i]);
-    }
-    for (const auto& row : part.rows) {
-      std::vector<rdf::TermId> aligned(out.vars.size(), rdf::kInvalidTermId);
-      for (size_t i = 0; i < mapping.size(); ++i) {
-        if (mapping[i] >= 0) aligned[i] = row[mapping[i]];
-      }
-      out.rows.push_back(std::move(aligned));
-    }
+    out.Append(part);
   }
   return out;
 }

@@ -145,7 +145,8 @@ LusailEngine::LusailEngine(const fed::Federation* federation,
                            LusailOptions options)
     : federation_(federation),
       options_(options),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads),
+      dict_(std::make_shared<fed::SharedDictionary>()) {}
 
 std::string LusailEngine::name() const {
   return options_.enable_sape ? "Lusail" : "Lusail-LADE";
@@ -505,13 +506,14 @@ Result<BindingTable> LusailEngine::ExecutePattern(
   for (const sparql::ValuesClause& vc : pattern.values) {
     BindingTable values_table;
     for (const sparql::Variable& v : vc.vars) values_table.vars.push_back(v.name);
+    std::vector<rdf::TermId> ids;
     for (const auto& row : vc.rows) {
-      std::vector<rdf::TermId> ids;
+      ids.clear();
       for (const auto& cell : row) {
         ids.push_back(cell.has_value() ? dict->Intern(*cell)
                                        : rdf::kInvalidTermId);
       }
-      values_table.rows.push_back(std::move(ids));
+      values_table.AppendRow(ids);
     }
     table = fed::HashJoin(table, values_table);
   }
@@ -531,7 +533,10 @@ Result<fed::FederatedResult> LusailEngine::Execute(
   fed::FederatedResult result;
   fed::MetricsCollector metrics;
   fed::QueryTrace trace(options_.trace, name(), &metrics);
-  fed::SharedDictionary dict;
+  // The engine-lifetime dictionary: ids persist across queries, so the
+  // transports' parse dictionaries (set once at wiring time) keep
+  // matching and every response arrives pre-encoded.
+  fed::SharedDictionary& dict = *dict_;
 
   std::set<std::string> needed = NeededVars(query);
   Result<BindingTable> table_or =
@@ -546,25 +551,29 @@ Result<fed::FederatedResult> LusailEngine::Execute(
 
   Stopwatch finish_timer;
   if (query.form == sparql::QueryForm::kAsk) {
-    if (!table.rows.empty()) result.table.rows.push_back({});
+    if (table.NumRows() > 0) result.table.rows.push_back({});
   } else if (query.aggregate.has_value()) {
+    // COUNT runs entirely in id space: one contiguous column scan, no
+    // term is ever decoded (the count itself is the only output).
     const sparql::CountAggregate& agg = *query.aggregate;
     uint64_t count = 0;
     if (!agg.var.has_value()) {
-      count = table.rows.size();
+      count = table.NumRows();
     } else {
       int idx = table.VarIndex(agg.var->name);
-      if (agg.distinct) {
-        std::set<rdf::TermId> seen;
-        for (const auto& row : table.rows) {
-          if (idx >= 0 && row[idx] != rdf::kInvalidTermId) {
-            seen.insert(row[idx]);
+      if (idx >= 0) {
+        const std::vector<rdf::TermId>& col =
+            table.Column(static_cast<size_t>(idx));
+        if (agg.distinct) {
+          std::set<rdf::TermId> seen;
+          for (rdf::TermId id : col) {
+            if (id != rdf::kInvalidTermId) seen.insert(id);
           }
-        }
-        count = seen.size();
-      } else if (idx >= 0) {
-        for (const auto& row : table.rows) {
-          if (row[idx] != rdf::kInvalidTermId) ++count;
+          count = seen.size();
+        } else {
+          for (rdf::TermId id : col) {
+            if (id != rdf::kInvalidTermId) ++count;
+          }
         }
       }
     }
@@ -579,6 +588,8 @@ Result<fed::FederatedResult> LusailEngine::Execute(
     BindingTable projected = fed::Project(table, projection, query.distinct);
     if (!query.order_by.empty()) {
       // Sort the decoded full result, then cut the LIMIT/OFFSET window.
+      // ORDER BY is the one consumer that must materialize everything:
+      // the sort compares lexical forms, not ids.
       result.table = fed::DecodeTable(projected, dict);
       sparql::SortRows(&result.table, query.order_by);
       size_t begin = std::min<size_t>(query.offset.value_or(0),
@@ -588,15 +599,13 @@ Result<fed::FederatedResult> LusailEngine::Execute(
       result.table.rows.assign(result.table.rows.begin() + begin,
                                result.table.rows.begin() + end);
     } else {
+      // Late materialization pays off here: only the LIMIT/OFFSET window
+      // is decoded to strings, everything outside it stays ids.
       size_t begin =
-          std::min<size_t>(query.offset.value_or(0), projected.rows.size());
-      size_t end = projected.rows.size();
+          std::min<size_t>(query.offset.value_or(0), projected.NumRows());
+      size_t end = projected.NumRows();
       if (query.limit.has_value()) end = std::min(end, begin + *query.limit);
-      BindingTable window;
-      window.vars = projected.vars;
-      window.rows.assign(projected.rows.begin() + begin,
-                         projected.rows.begin() + end);
-      result.table = fed::DecodeTable(window, dict);
+      result.table = fed::DecodeTable(projected.Slice(begin, end), dict);
     }
   }
   result.profile.execution_ms += finish_timer.ElapsedMillis();

@@ -82,7 +82,24 @@ class LusailEngine : public fed::FederatedEngine {
   Result<AnalyzedQuery> Analyze(const std::string& sparql_text);
 
   /// Drops the ASK and check-query caches (Figure 12's cold-cache runs).
+  /// The term dictionary is deliberately *not* cleared: interned ids stay
+  /// valid for the endpoints that parse straight into it, and re-warming
+  /// it would only repeat work — it is an id space, not a result cache.
   void ClearCaches();
+
+  /// The engine's term dictionary: the id space every query executes in.
+  /// Shared so transports can parse responses straight into it
+  /// (HttpSparqlEndpoint::set_parse_dictionary) and results arrive as ids
+  /// with zero federator-side string rows.
+  const std::shared_ptr<fed::SharedDictionary>& dictionary() const {
+    return dict_;
+  }
+
+  /// Emits lusail_engine_dictionary_* gauges/counters (term count, bytes,
+  /// encode/decode cell and time totals).
+  void ExportMetrics(obs::MetricsSnapshot* snapshot) const {
+    dict_->ExportMetrics(snapshot, "engine");
+  }
 
   const LusailOptions& options() const { return options_; }
   LusailOptions* mutable_options() { return &options_; }
@@ -123,6 +140,7 @@ class LusailEngine : public fed::FederatedEngine {
   ThreadPool pool_;
   fed::AskCache ask_cache_;
   fed::AskCache check_cache_;
+  std::shared_ptr<fed::SharedDictionary> dict_;
 };
 
 }  // namespace lusail::core

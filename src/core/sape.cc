@@ -1,7 +1,6 @@
 #include "core/sape.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <future>
 #include <map>
 #include <set>
@@ -18,15 +17,15 @@ namespace {
 using fed::BindingTable;
 using sparql::TriplePattern;
 
-/// Distinct bound values of a column.
+/// Distinct bound values of a column (one contiguous scan — this is the
+/// columnar layout's home turf).
 std::vector<rdf::TermId> DistinctColumn(const BindingTable& table,
                                         const std::string& var) {
   std::vector<rdf::TermId> out;
   int idx = table.VarIndex(var);
   if (idx < 0) return out;
   std::unordered_set<rdf::TermId> seen;
-  for (const auto& row : table.rows) {
-    rdf::TermId id = row[idx];
+  for (rdf::TermId id : table.Column(static_cast<size_t>(idx))) {
     if (id != rdf::kInvalidTermId && seen.insert(id).second) {
       out.push_back(id);
     }
@@ -124,7 +123,7 @@ std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
     std::vector<double> sizes;
     std::vector<std::set<std::string>> vars;
     for (size_t i : members) {
-      sizes.push_back(static_cast<double>(tables[i].rows.size()));
+      sizes.push_back(static_cast<double>(tables[i].NumRows()));
       vars.emplace_back(tables[i].vars.begin(), tables[i].vars.end());
     }
     std::vector<int> order =
@@ -141,28 +140,12 @@ std::vector<BindingTable> JoinConnected(std::vector<BindingTable> tables,
   return out;
 }
 
-// 128 bits of FNV-1a (two independent offset bases) rendered as hex.
-// Used to key bound-join fetches by their VALUES block: collisions would
-// silently return wrong rows, so a single 64-bit hash is not enough.
-std::string BindingBlockFingerprint(const std::string& bound_text) {
-  uint64_t h1 = 14695981039346656037ull;
-  uint64_t h2 = 10650232656628343401ull;
-  for (unsigned char c : bound_text) {
-    h1 = (h1 ^ c) * 1099511628211ull;
-    h2 = (h2 ^ c) * 1099511628211ull;
-  }
-  char buf[33];
-  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
-                static_cast<unsigned long long>(h1),
-                static_cast<unsigned long long>(h2));
-  return std::string(buf);
-}
-
 }  // namespace
 
-Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
+Result<BindingTable> SapeExecutor::FetchEndpoint(
     int ep, const std::string& text, const std::string& cache_key,
-    bool cacheable, fed::MetricsCollector* metrics, const CancelToken& cancel,
+    bool cacheable, fed::SharedDictionary* dict,
+    fed::MetricsCollector* metrics, const CancelToken& cancel,
     const net::RetryPolicy* retry, obs::SpanId trace_parent) {
   // Queued fetches whose token already fired bail before touching the
   // wire — crucial when many (subquery, endpoint) tasks are backed up
@@ -187,43 +170,63 @@ Result<sparql::ResultTable> SapeExecutor::FetchEndpoint(
                          static_cast<uint64_t>(hit->rows.size()));
         tracer->EndSpan(span);
       }
-      return std::move(*hit);
+      // The shared cache stores wire-format string rows (it outlives any
+      // one dictionary), so a hit re-interns here.
+      return fed::InternTable(*hit, dict);
     }
   }
-  Result<sparql::ResultTable> table =
-      federation_->Execute(static_cast<size_t>(ep), text, metrics,
-                           cancel.deadline(), retry, trace_parent);
-  if (shared != nullptr && table.ok()) {
-    shared->PutResult(endpoint_id, cache_key, *table);
+  // The string form of the response rides along exactly when the wire
+  // path produced one anyway; the pure id path (parse-to-ids transport)
+  // decodes only if a cache store actually needs it.
+  std::optional<sparql::ResultTable> wire;
+  Result<BindingTable> ids = federation_->ExecuteEncoded(
+      static_cast<size_t>(ep), text, dict, metrics, cancel.deadline(), retry,
+      trace_parent, shared != nullptr ? &wire : nullptr);
+  if (shared != nullptr && ids.ok()) {
+    if (wire.has_value()) {
+      shared->PutResult(endpoint_id, cache_key, *wire);
+    } else {
+      shared->PutResult(endpoint_id, cache_key, fed::DecodeTable(*ids, *dict));
+    }
   }
-  return table;
+  return ids;
 }
 
 Result<BindingTable> SapeExecutor::RunEverywhere(
     const Subquery& sq, const std::vector<TriplePattern>& triples,
-    const sparql::ValuesClause* values, fed::SharedDictionary* dict,
+    const sparql::ValuesClause* values,
+    const std::vector<rdf::TermId>* bound_ids, fed::SharedDictionary* dict,
     fed::MetricsCollector* metrics, const CancelToken& cancel,
     obs::SpanId trace_parent) {
   std::string text = sq.ToSparql(triples, values);
   const net::RetryPolicy* retry = RetryOf(options_);
   // Unbound texts key the shared result cache directly. Bound (VALUES)
-  // fetches are keyed as base text + a fingerprint of the binding block,
-  // so re-running a query in a warm serving process skips its bound
-  // joins too (identical inputs produce identical binding blocks) while
-  // giant VALUES serializations stay out of the cache index.
+  // fetches are keyed as base text + an id-space fingerprint of the
+  // binding block (one precomputed 8-byte content hash mixed per binding
+  // instead of serializing the block; content hashes keep the key stable
+  // across engines sharing the cache), so re-running a query in a warm
+  // serving process skips its bound joins too while giant VALUES
+  // serializations stay out of the cache index.
   std::string cache_key = text;
+  bool cacheable = true;
   if (values != nullptr) {
-    cache_key = sq.ToSparql(triples, nullptr) + "\n#values-block:" +
-                BindingBlockFingerprint(text);
+    if (bound_ids == nullptr || values->vars.empty()) {
+      // No id-space identity for the block: skip the cache rather than
+      // risk keying different blocks identically.
+      cacheable = false;
+    } else {
+      cache_key = sq.ToSparql(triples, nullptr) + "\n#values-block:" +
+                  FingerprintIdBindings(values->vars[0].name, *dict,
+                                        bound_ids->data(), bound_ids->size());
+    }
   }
-  const bool cacheable = true;
-  std::vector<std::future<Result<sparql::ResultTable>>> futures;
+  std::vector<std::future<Result<BindingTable>>> futures;
   futures.reserve(sq.sources.size());
   for (int ep : sq.sources) {
     futures.push_back(pool_->Submit(
-        [this, ep, text, cache_key, cacheable, metrics, cancel, retry,
+        [this, ep, text, cache_key, cacheable, dict, metrics, cancel, retry,
          trace_parent]() {
-          return FetchEndpoint(ep, text, cache_key, cacheable, metrics,
+          return FetchEndpoint(ep, text, cache_key, cacheable, dict, metrics,
                                cancel, retry, trace_parent);
         }));
   }
@@ -232,13 +235,13 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
   std::vector<EndpointFailure> failures;
   size_t successes = 0;
   for (size_t k = 0; k < futures.size(); ++k) {
-    Result<sparql::ResultTable> table = futures[k].get();
+    Result<BindingTable> table = futures[k].get();
     if (!table.ok()) {
       failures.push_back({sq.sources[k], table.status()});
       continue;
     }
     ++successes;
-    fed::AppendUnion(&merged, fed::InternTable(*table, dict));
+    fed::AppendUnion(&merged, *table);
   }
   if (!failures.empty()) {
     if (!options_->partial_results) {
@@ -267,7 +270,7 @@ Result<BindingTable> SapeExecutor::Execute(
   auto track_peak = [profile](const std::vector<BindingTable>& tables) {
     if (profile == nullptr) return;
     uint64_t total = 0;
-    for (const BindingTable& t : tables) total += t.rows.size();
+    for (const BindingTable& t : tables) total += t.NumRows();
     profile->peak_intermediate_rows =
         std::max(profile->peak_intermediate_rows, total);
   };
@@ -295,9 +298,9 @@ Result<BindingTable> SapeExecutor::Execute(
   // independently and union (Algorithm 3, lines 2-4).
   if (subqueries.size() == 1) {
     obs::SpanId span = start_sq_span(0, "whole query");
-    Result<BindingTable> table = RunEverywhere(subqueries[0], triples,
-                                               nullptr, dict, metrics, cancel,
-                                               span);
+    Result<BindingTable> table =
+        RunEverywhere(subqueries[0], triples, nullptr, nullptr, dict, metrics,
+                      cancel, span);
     if (tracer != nullptr) tracer->EndSpan(span);
     if (table.ok() && cancel.Cancelled()) {
       return cancel.StatusAt("subquery evaluation");
@@ -329,7 +332,7 @@ Result<BindingTable> SapeExecutor::Execute(
   struct Fetch {
     size_t sq_index;
     int endpoint;
-    std::future<Result<sparql::ResultTable>> result;
+    std::future<Result<BindingTable>> result;
   };
   const net::RetryPolicy* retry = RetryOf(options_);
   std::vector<Fetch> fetches;
@@ -354,10 +357,10 @@ Result<BindingTable> SapeExecutor::Execute(
       fetch.sq_index = i;
       fetch.endpoint = ep;
       fetch.result = pool_->Submit(
-          [this, ep, text, metrics, cancel, retry, span]() {
+          [this, ep, text, dict, metrics, cancel, retry, span]() {
             return FetchEndpoint(ep, text, /*cache_key=*/text,
-                                 /*cacheable=*/true, metrics, cancel, retry,
-                                 span);
+                                 /*cacheable=*/true, dict, metrics, cancel,
+                                 retry, span);
           });
       fetches.push_back(std::move(fetch));
     }
@@ -365,21 +368,20 @@ Result<BindingTable> SapeExecutor::Execute(
   std::vector<EndpointFailure> phase1_failures;
   std::set<size_t> phase1_failed_sqs;
   for (Fetch& fetch : fetches) {
-    Result<sparql::ResultTable> part = fetch.result.get();
+    Result<BindingTable> part = fetch.result.get();
     if (!part.ok()) {
       phase1_failures.push_back({fetch.endpoint, part.status()});
       phase1_failed_sqs.insert(fetch.sq_index);
     } else {
       ++phase1_successes[fetch.sq_index];
-      fed::AppendUnion(&phase1_tables[fetch.sq_index],
-                       fed::InternTable(*part, dict));
+      fed::AppendUnion(&phase1_tables[fetch.sq_index], *part);
     }
     // The subquery span closes when its last endpoint result lands.
     if (tracer != nullptr && --phase1_pending[fetch.sq_index] == 0) {
       obs::SpanId span = phase1_spans[fetch.sq_index];
       tracer->Annotate(
           span, "rows",
-          static_cast<uint64_t>(phase1_tables[fetch.sq_index].rows.size()));
+          static_cast<uint64_t>(phase1_tables[fetch.sq_index].NumRows()));
       tracer->EndSpan(span);
     }
   }
@@ -477,7 +479,7 @@ Result<BindingTable> SapeExecutor::Execute(
     // unbound still joins compatibly and must not short-circuit.
     bool empty_partner = false;
     for (const BindingTable& t : tables) {
-      if (!t.rows.empty()) continue;
+      if (t.NumRows() != 0) continue;
       for (const std::string& v : sq.projection) {
         if (t.VarIndex(v) >= 0) {
           empty_partner = true;
@@ -502,13 +504,13 @@ Result<BindingTable> SapeExecutor::Execute(
     auto [bind_var, bindings] = found_bindings_for(sq);
     if (bind_var.empty()) {
       // Nothing to bind with: evaluate unbound like phase 1.
-      Result<BindingTable> t = RunEverywhere(sq, triples, nullptr, dict,
-                                             metrics, cancel, sq_span);
+      Result<BindingTable> t = RunEverywhere(sq, triples, nullptr, nullptr,
+                                             dict, metrics, cancel, sq_span);
       if (!t.ok()) {
         end_sq_span(0);
         return t.status();
       }
-      end_sq_span(t->rows.size());
+      end_sq_span(t->NumRows());
       tables.push_back(std::move(t).value());
       tables = JoinConnected(std::move(tables), pool_,
                              options_->join_partitions, &cancel);
@@ -589,21 +591,23 @@ Result<BindingTable> SapeExecutor::Execute(
       // stop at the first block past the deadline/cancel, not overshoot
       // by the full remaining chunk count.
       if (cancel.Cancelled()) {
-        end_sq_span(merged.rows.size());
+        end_sq_span(merged.NumRows());
         return cancel.StatusAt("bound join");
       }
       sparql::ValuesClause values;
       values.vars.push_back(sparql::Variable{bind_var});
       size_t end = std::min(bindings.size(), start + block);
-      for (size_t i = start; i < end; ++i) {
-        values.rows.push_back({dict->term(bindings[i])});
+      std::vector<rdf::TermId> chunk_ids(bindings.begin() + start,
+                                         bindings.begin() + end);
+      for (rdf::TermId id : chunk_ids) {
+        values.rows.push_back({dict->term(id)});
       }
       ++values_blocks;
-      Result<BindingTable> part = RunEverywhere(bound_sq, triples, &values,
-                                                dict, metrics, cancel,
-                                                sq_span);
+      Result<BindingTable> part =
+          RunEverywhere(bound_sq, triples, &values, &chunk_ids, dict, metrics,
+                        cancel, sq_span);
       if (!part.ok()) {
-        end_sq_span(merged.rows.size());
+        end_sq_span(merged.NumRows());
         return part.status();
       }
       fed::AppendUnion(&merged, *part);
@@ -612,7 +616,7 @@ Result<BindingTable> SapeExecutor::Execute(
       tracer->Annotate(sq_span, "values_blocks",
                        static_cast<uint64_t>(values_blocks));
     }
-    end_sq_span(merged.rows.size());
+    end_sq_span(merged.NumRows());
     tables.push_back(std::move(merged));
     track_peak(tables);
     tables = JoinConnected(std::move(tables), pool_,
@@ -629,7 +633,7 @@ Result<BindingTable> SapeExecutor::Execute(
     // join partitions the product across the pool when it is large.
     std::sort(tables.begin(), tables.end(),
               [](const BindingTable& a, const BindingTable& b) {
-                return a.rows.size() < b.rows.size();
+                return a.NumRows() < b.NumRows();
               });
     BindingTable joined =
         ParallelHashJoin(tables[0], tables[1], pool_,

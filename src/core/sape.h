@@ -48,33 +48,41 @@ class SapeExecutor {
 
  private:
   /// Runs one subquery (optionally with a VALUES block) at all of its
-  /// relevant endpoints concurrently and unions the results. Requests are
+  /// relevant endpoints concurrently and unions the results in `dict`'s
+  /// id space. When `values` is set, `bound_ids` must carry the block's
+  /// binding ids — they key the shared result cache via an id-space
+  /// fingerprint instead of hashing the serialized block. Requests are
   /// traced as children of `trace_parent` (the subquery's span) — an
   /// explicit parent, because requests run on pool threads while the
   /// collector's default parent tracks the caller's current phase.
   Result<fed::BindingTable> RunEverywhere(const Subquery& sq,
                                           const std::vector<sparql::TriplePattern>& triples,
                                           const sparql::ValuesClause* values,
+                                          const std::vector<rdf::TermId>* bound_ids,
                                           fed::SharedDictionary* dict,
                                           fed::MetricsCollector* metrics,
                                           const CancelToken& cancel,
                                           obs::SpanId trace_parent = 0);
 
-  /// One endpoint request, routed through the federation's shared result
-  /// cache when this engine opted in (options.result_cache) and
-  /// `cacheable` holds. `cache_key` identifies the fetch in the shared
-  /// cache: the query text itself for unbound subqueries, or the base
-  /// subquery text plus a fingerprint of the VALUES binding block for
-  /// bound (delayed-phase) fetches — so a warm serving process skips
-  /// repeated bound joins too. A hit is recorded as a "cache" span
-  /// instead of a request span and issues no request.
-  Result<sparql::ResultTable> FetchEndpoint(int ep, const std::string& text,
-                                            const std::string& cache_key,
-                                            bool cacheable,
-                                            fed::MetricsCollector* metrics,
-                                            const CancelToken& cancel,
-                                            const net::RetryPolicy* retry,
-                                            obs::SpanId trace_parent);
+  /// One endpoint request in id space, routed through the federation's
+  /// shared result cache when this engine opted in (options.result_cache)
+  /// and `cacheable` holds. `cache_key` identifies the fetch in the
+  /// shared cache: the query text itself for unbound subqueries, or the
+  /// base subquery text plus an id-space fingerprint of the VALUES
+  /// binding block for bound (delayed-phase) fetches — so a warm serving
+  /// process skips repeated bound joins too. A hit is recorded as a
+  /// "cache" span instead of a request span, issues no request, and is
+  /// re-encoded from the cache's string rows into `dict`. A miss goes
+  /// through Federation::ExecuteEncoded, so an endpoint parsing straight
+  /// into `dict` hands back ids untouched.
+  Result<fed::BindingTable> FetchEndpoint(int ep, const std::string& text,
+                                          const std::string& cache_key,
+                                          bool cacheable,
+                                          fed::SharedDictionary* dict,
+                                          fed::MetricsCollector* metrics,
+                                          const CancelToken& cancel,
+                                          const net::RetryPolicy* retry,
+                                          obs::SpanId trace_parent);
 
   const fed::Federation* federation_;
   ThreadPool* pool_;

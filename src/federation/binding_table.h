@@ -1,92 +1,77 @@
 #ifndef LUSAIL_FEDERATION_BINDING_TABLE_H_
 #define LUSAIL_FEDERATION_BINDING_TABLE_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "rdf/dictionary.h"
+#include "core/dictionary.h"
+#include "core/id_table.h"
 #include "sparql/ast.h"
 #include "sparql/result_table.h"
 
 namespace lusail::fed {
 
-/// Thread-safe term dictionary owned by the federated query processor.
-/// Endpoint results are re-interned here so that all federation-level
-/// joins run on integer keys regardless of which endpoint produced a
-/// binding.
-class SharedDictionary {
- public:
-  SharedDictionary() = default;
-  SharedDictionary(const SharedDictionary&) = delete;
-  SharedDictionary& operator=(const SharedDictionary&) = delete;
+/// The federation-level binding table is the columnar core::IdTable, and
+/// the shared dictionary is the sharded, engine-owned core::TermDictionary
+/// — ID-space execution replaced the old row-major table and the
+/// single-mutex per-query dictionary. The aliases and the thin wrappers
+/// below keep the established federation-layer vocabulary (InternTable /
+/// DecodeTable / HashJoin / ...) for the engines and baselines built on
+/// it.
+using SharedDictionary = core::TermDictionary;
+using BindingTable = core::IdTable;
 
-  rdf::TermId Intern(const rdf::Term& term) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return dict_.Intern(term);
-  }
-
-  rdf::Term term(rdf::TermId id) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return dict_.term(id);
-  }
-
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return dict_.size();
-  }
-
- private:
-  mutable std::mutex mu_;
-  rdf::Dictionary dict_;
-};
-
-/// A federation-level binding table: columns are variable names, cells are
-/// SharedDictionary ids (kInvalidTermId = unbound).
-struct BindingTable {
-  std::vector<std::string> vars;
-  std::vector<std::vector<rdf::TermId>> rows;
-
-  size_t NumRows() const { return rows.size(); }
-
-  /// Index of `var` in vars, or -1.
-  int VarIndex(const std::string& var) const;
-
-  /// Variables present in both tables.
-  static std::vector<std::string> SharedVars(const BindingTable& a,
-                                             const BindingTable& b);
-};
-
-/// Re-interns an endpoint result into the shared dictionary.
-BindingTable InternTable(const sparql::ResultTable& table,
-                         SharedDictionary* dict);
+/// Encodes an endpoint result into the shared dictionary's id space.
+inline BindingTable InternTable(const sparql::ResultTable& table,
+                                SharedDictionary* dict) {
+  return core::EncodeResultTable(table, dict);
+}
 
 /// Decodes a binding table back to term-level results (final answer).
-sparql::ResultTable DecodeTable(const BindingTable& table,
-                                const SharedDictionary& dict);
+inline sparql::ResultTable DecodeTable(const BindingTable& table,
+                                       const SharedDictionary& dict) {
+  return core::DecodeIdTable(table, dict);
+}
 
 /// Natural inner join on all shared variables (cartesian product when the
 /// tables share none). Rows with an unbound shared variable use SPARQL
-/// compatibility semantics: unbound is compatible with any value.
-BindingTable HashJoin(const BindingTable& left, const BindingTable& right);
+/// compatibility semantics: unbound is compatible with any value. Builds
+/// the hash on the smaller side; column order of the result follows the
+/// build side, so align by name, not position.
+inline BindingTable HashJoin(const BindingTable& left,
+                             const BindingTable& right) {
+  if (right.NumRows() > left.NumRows()) {
+    return core::JoinIds(right, left, /*left_outer=*/false);
+  }
+  return core::JoinIds(left, right, /*left_outer=*/false);
+}
 
 /// Left outer join: left rows with no compatible right row survive with
 /// the right-only columns unbound (OPTIONAL at the federator).
-BindingTable LeftOuterJoin(const BindingTable& left,
-                           const BindingTable& right);
+inline BindingTable LeftOuterJoin(const BindingTable& left,
+                                  const BindingTable& right) {
+  return core::JoinIds(left, right, /*left_outer=*/true);
+}
 
 /// Appends src's rows to dst, aligning columns by name; variables missing
 /// from src become unbound (UNION at the federator).
-void AppendUnion(BindingTable* dst, const BindingTable& src);
+inline void AppendUnion(BindingTable* dst, const BindingTable& src) {
+  core::AppendUnionIds(dst, src);
+}
 
 /// Keeps the rows satisfying `filter` (decoding cells through `dict`).
-void FilterRows(BindingTable* table, const sparql::Expr& filter,
-                const SharedDictionary& dict);
+inline void FilterRows(BindingTable* table, const sparql::Expr& filter,
+                       const SharedDictionary& dict) {
+  core::FilterIds(table, filter, dict);
+}
 
 /// Projects the table onto `vars` (missing variables become unbound
 /// columns); optionally deduplicates rows.
-BindingTable Project(const BindingTable& table,
-                     const std::vector<std::string>& vars, bool distinct);
+inline BindingTable Project(const BindingTable& table,
+                            const std::vector<std::string>& vars,
+                            bool distinct) {
+  return core::ProjectIds(table, vars, distinct);
+}
 
 }  // namespace lusail::fed
 

@@ -68,7 +68,7 @@ void Federation::ConfigureBreakers(const net::CircuitBreakerConfig& config) {
   }
 }
 
-Result<sparql::ResultTable> Federation::Execute(
+Result<net::QueryResponse> Federation::ExecuteResponse(
     size_t i, const std::string& text, MetricsCollector* metrics,
     const Deadline& deadline, const net::RetryPolicy* retry,
     obs::SpanId trace_parent) const {
@@ -133,7 +133,7 @@ Result<sparql::ResultTable> Federation::Execute(
       exchange.latency_ms = response->network_ms + response->server_ms;
       exchange.bytes_sent = response->request_bytes;
       exchange.bytes_received = response->response_bytes;
-      exchange.rows = response->table.NumRows();
+      exchange.rows = response->RowCount();
       if (response->transport.over_network) {
         exchange.network = true;
         exchange.reused_connection = response->transport.reused_connection;
@@ -152,7 +152,7 @@ Result<sparql::ResultTable> Federation::Execute(
     tracer->Annotate(span, "ok", response.ok());
     if (response.ok()) {
       tracer->Annotate(span, "rows",
-                       static_cast<uint64_t>(response->table.NumRows()));
+                       static_cast<uint64_t>(response->RowCount()));
       tracer->Annotate(span, "bytes_received", response->response_bytes);
       tracer->Annotate(span, "network_ms", response->network_ms);
       if (!response->served_by.empty()) {
@@ -181,7 +181,51 @@ Result<sparql::ResultTable> Federation::Execute(
   }
 
   if (!response.ok()) return response.status();
-  return std::move(response->table);
+  return std::move(*response);
+}
+
+Result<sparql::ResultTable> Federation::Execute(
+    size_t i, const std::string& text, MetricsCollector* metrics,
+    const Deadline& deadline, const net::RetryPolicy* retry,
+    obs::SpanId trace_parent) const {
+  LUSAIL_ASSIGN_OR_RETURN(
+      net::QueryResponse response,
+      ExecuteResponse(i, text, metrics, deadline, retry, trace_parent));
+  if (response.ids != nullptr) {
+    // A string-path consumer over an endpoint that parses straight to
+    // ids (set_parse_dictionary): decode at the boundary so callers see
+    // the same ResultTable they always did.
+    return core::DecodeIdTable(*response.ids, *response.ids_dict);
+  }
+  return std::move(response.table);
+}
+
+Result<BindingTable> Federation::ExecuteEncoded(
+    size_t i, const std::string& text, SharedDictionary* dict,
+    MetricsCollector* metrics, const Deadline& deadline,
+    const net::RetryPolicy* retry, obs::SpanId trace_parent,
+    std::optional<sparql::ResultTable>* wire_table) const {
+  LUSAIL_ASSIGN_OR_RETURN(
+      net::QueryResponse response,
+      ExecuteResponse(i, text, metrics, deadline, retry, trace_parent));
+  if (response.ids != nullptr) {
+    if (response.ids_dict.get() == dict) {
+      // Fast path: the transport already interned into our dictionary;
+      // the ids are the result, no string rows ever existed.
+      return std::move(*response.ids);
+    }
+    // Ids from a foreign dictionary (endpoint shared across engines, or
+    // reconfigured mid-flight): decode through the dictionary that
+    // minted them, then re-encode into ours. Correct, just slower.
+    sparql::ResultTable table =
+        core::DecodeIdTable(*response.ids, *response.ids_dict);
+    BindingTable ids = core::EncodeResultTable(table, dict);
+    if (wire_table != nullptr) *wire_table = std::move(table);
+    return ids;
+  }
+  BindingTable ids = core::EncodeResultTable(response.table, dict);
+  if (wire_table != nullptr) *wire_table = std::move(response.table);
+  return ids;
 }
 
 Result<bool> Federation::Ask(size_t i, const std::string& text,
@@ -190,9 +234,9 @@ Result<bool> Federation::Ask(size_t i, const std::string& text,
                              const net::RetryPolicy* retry,
                              obs::SpanId trace_parent) const {
   LUSAIL_ASSIGN_OR_RETURN(
-      sparql::ResultTable table,
-      Execute(i, text, metrics, deadline, retry, trace_parent));
-  return !table.rows.empty();
+      net::QueryResponse response,
+      ExecuteResponse(i, text, metrics, deadline, retry, trace_parent));
+  return response.RowCount() > 0;
 }
 
 }  // namespace lusail::fed

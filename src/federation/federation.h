@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "federation/binding_table.h"
 #include "net/endpoint.h"
 #include "net/resilience.h"
 #include "obs/endpoint_stats.h"
@@ -195,7 +196,7 @@ class MetricsCollector {
     if (is_ask) ++ask_requests_;
     bytes_sent_ += response.request_bytes;
     bytes_received_ += response.response_bytes;
-    rows_received_ += response.table.NumRows();
+    rows_received_ += response.RowCount();
     // Round to the nearest microsecond instead of truncating: a
     // truncating cast floors every request's network time, so workloads
     // of many sub-microsecond requests would report ~0 network time.
@@ -368,6 +369,21 @@ class Federation {
                                       const net::RetryPolicy* retry = nullptr,
                                       obs::SpanId trace_parent = 0) const;
 
+  /// ID-space variant of Execute: the response lands as a BindingTable in
+  /// `dict`'s id space. When the endpoint parses straight into this
+  /// dictionary (HttpSparqlEndpoint::set_parse_dictionary), the ids pass
+  /// through untouched; a string response is encoded here at the
+  /// federator boundary; ids from a *different* dictionary are decoded
+  /// and re-encoded (correct, just slower). When `wire_table` is non-null
+  /// it receives the string form of the response if one existed on the
+  /// wire path (for result-cache stores); it stays nullopt on the pure
+  /// id path, where the caller decides whether decoding is worth it.
+  Result<BindingTable> ExecuteEncoded(
+      size_t i, const std::string& text, SharedDictionary* dict,
+      MetricsCollector* metrics, const Deadline& deadline,
+      const net::RetryPolicy* retry = nullptr, obs::SpanId trace_parent = 0,
+      std::optional<sparql::ResultTable>* wire_table = nullptr) const;
+
   /// Convenience ASK wrapper: true iff the endpoint returned a row.
   Result<bool> Ask(size_t i, const std::string& text,
                    MetricsCollector* metrics, const Deadline& deadline,
@@ -375,6 +391,14 @@ class Federation {
                    obs::SpanId trace_parent = 0) const;
 
  private:
+  /// Shared body of Execute/ExecuteEncoded: the full request path with
+  /// accounting, tracing, and endpoint-stats recording, representation
+  /// untouched (the response may carry a string table or an IdTable).
+  Result<net::QueryResponse> ExecuteResponse(
+      size_t i, const std::string& text, MetricsCollector* metrics,
+      const Deadline& deadline, const net::RetryPolicy* retry,
+      obs::SpanId trace_parent) const;
+
   std::vector<std::shared_ptr<net::Endpoint>> endpoints_;
   std::vector<std::unique_ptr<net::CircuitBreaker>> breakers_;
   net::CircuitBreakerConfig breaker_config_;

@@ -1,11 +1,14 @@
 #ifndef LUSAIL_NET_ENDPOINT_H_
 #define LUSAIL_NET_ENDPOINT_H_
 
+#include <memory>
 #include <string>
 
 #include "common/cancel.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "core/dictionary.h"
+#include "core/id_table.h"
 #include "sparql/result_table.h"
 
 namespace lusail::net {
@@ -31,6 +34,21 @@ struct QueryResponse {
   double network_ms = 0.0;    ///< Network time (simulated or measured).
   double server_ms = 0.0;     ///< Endpoint-side evaluation time.
   TransportInfo transport;    ///< Physical transport details, if any.
+
+  /// ID-space fast path: a transport configured with a parse dictionary
+  /// (rpc::HttpSparqlEndpoint::set_parse_dictionary) decodes the wire
+  /// response straight into an IdTable and leaves `table` empty —
+  /// `ids_dict` records which dictionary the ids belong to, so a consumer
+  /// holding a different dictionary can still decode and re-encode
+  /// instead of silently comparing incomparable ids. Decorators pass both
+  /// through untouched.
+  std::shared_ptr<core::IdTable> ids;
+  std::shared_ptr<core::TermDictionary> ids_dict;
+
+  /// Row count regardless of representation (accounting, annotations).
+  size_t RowCount() const {
+    return ids != nullptr ? ids->NumRows() : table.NumRows();
+  }
 
   /// Replica bookkeeping, filled by ReplicaGroup: the id of the replica
   /// that produced this response (empty for plain endpoints) and whether

@@ -24,6 +24,24 @@ std::string EscapeLabelValue(const std::string& value) {
   return out;
 }
 
+/// HELP text uses a different escape set than label values (exposition
+/// format 0.0.4): backslash and newline are escaped, quotes are NOT —
+/// they are legal verbatim outside a quoted position. An unescaped
+/// newline here would split the comment mid-line and make the next
+/// fragment parse as a sample.
+std::string EscapeHelpText(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string RenderLabels(const MetricLabels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -125,7 +143,7 @@ void MetricsSnapshot::AddHistogram(const std::string& name,
 std::string MetricsSnapshot::RenderPrometheus() const {
   std::string out;
   for (const MetricFamily& family : families_) {
-    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# HELP " + family.name + " " + EscapeHelpText(family.help) + "\n";
     out += "# TYPE " + family.name + " " + std::string(TypeName(family.type)) +
            "\n";
     for (const MetricSample& sample : family.samples) {

@@ -351,20 +351,41 @@ Result<net::QueryResponse> HttpSparqlEndpoint::RoundTrip(
                             message);
   }
 
-  LUSAIL_ASSIGN_OR_RETURN(sparql::ResultTable table, ParseSrj(http.body));
-
   net::QueryResponse out;
+  // ID-space fast path: with a parse dictionary configured, the SRJ body
+  // is decoded straight into dictionary ids — the federator never holds
+  // string term rows for this response. ASK bodies (zero-column tables)
+  // take the same path; consumers count rows via RowCount().
+  std::shared_ptr<core::TermDictionary> parse_dict;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    parse_dict = parse_dict_;
+  }
+  if (parse_dict != nullptr) {
+    LUSAIL_ASSIGN_OR_RETURN(core::IdTable ids,
+                            ParseSrjToIds(http.body, parse_dict.get()));
+    out.ids = std::make_shared<core::IdTable>(std::move(ids));
+    out.ids_dict = std::move(parse_dict);
+  } else {
+    LUSAIL_ASSIGN_OR_RETURN(sparql::ResultTable table, ParseSrj(http.body));
+    out.table = std::move(table);
+  }
   out.request_bytes = query.size();
   out.response_bytes = http.body.size();
   if (const std::string* server_ms = http.FindHeader("X-Lusail-Server-Ms")) {
     out.server_ms = std::strtod(server_ms->c_str(), nullptr);
   }
-  out.table = std::move(table);
 
   // Only a fully-read keep-alive response leaves the connection reusable.
   *conn_reusable =
       !half_closed && http.KeepAlive() && !conn.HasBufferedData();
   return out;
+}
+
+void HttpSparqlEndpoint::set_parse_dictionary(
+    std::shared_ptr<core::TermDictionary> dict) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  parse_dict_ = std::move(dict);
 }
 
 Result<net::QueryResponse> HttpSparqlEndpoint::Query(

@@ -87,6 +87,14 @@ class HttpSparqlEndpoint : public net::Endpoint {
 
   HttpClientStats stats() const;
 
+  /// Enables the ID-space fast path: responses are parsed straight into
+  /// `dict` (SRJ -> IdTable, no federator-side string rows) and returned
+  /// via QueryResponse::ids with ids_dict set. Pass the engine's
+  /// dictionary so Federation::ExecuteEncoded consumes the ids with zero
+  /// re-encoding; pass nullptr to return to string-table responses.
+  /// Thread-safe; takes effect for requests issued after the call.
+  void set_parse_dictionary(std::shared_ptr<core::TermDictionary> dict);
+
   /// Emits lusail_http_client_* counters labelled {endpoint=id}.
   void ExportMetrics(obs::MetricsSnapshot* snapshot) const;
 
@@ -122,6 +130,7 @@ class HttpSparqlEndpoint : public net::Endpoint {
 
   std::mutex pool_mu_;
   std::vector<int> idle_fds_;
+  std::shared_ptr<core::TermDictionary> parse_dict_;  ///< Guarded by pool_mu_.
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> connections_opened_{0};

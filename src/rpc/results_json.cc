@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/stopwatch.h"
+
 namespace lusail::rpc {
 
 namespace {
@@ -48,8 +50,14 @@ Result<rdf::Term> TermFromJson(const obs::JsonValue& value) {
     return rdf::Term::BlankNode(lexical.AsString());
   }
   if (type.AsString() == "literal" || type.AsString() == "typed-literal") {
+    // Precedence (see results_json.h): a non-empty language tag wins over
+    // a datatype, matching the serializer. An empty xml:lang means "no
+    // language" — it used to shadow an accompanying datatype, turning
+    // typed literals from lax producers into plain lang-less literals
+    // with the datatype silently dropped.
     const obs::JsonValue& lang = value.Get("xml:lang");
-    if (lang.type() == obs::JsonValue::Type::kString) {
+    if (lang.type() == obs::JsonValue::Type::kString &&
+        !lang.AsString().empty()) {
       return rdf::Term::LangLiteral(lexical.AsString(), lang.AsString());
     }
     const obs::JsonValue& datatype = value.Get("datatype");
@@ -151,6 +159,72 @@ Result<sparql::ResultTable> ParseSrj(const std::string& text) {
     }
     table.rows.push_back(std::move(row));
   }
+  return table;
+}
+
+Result<core::IdTable> ParseSrjToIds(const std::string& text,
+                                    core::TermDictionary* dict) {
+  Stopwatch timer;
+  LUSAIL_ASSIGN_OR_RETURN(obs::JsonValue doc, obs::JsonValue::Parse(text));
+  if (doc.type() != obs::JsonValue::Type::kObject) {
+    return Status::InvalidArgument("SRJ document is not a JSON object");
+  }
+  const obs::JsonValue& head = doc.Get("head");
+  if (head.type() != obs::JsonValue::Type::kObject) {
+    return Status::InvalidArgument("SRJ document has no \"head\" object");
+  }
+
+  core::IdTable table;
+  const obs::JsonValue& boolean = doc.Get("boolean");
+  if (boolean.type() == obs::JsonValue::Type::kBool) {
+    // ASK form: zero-column table with 0 or 1 rows.
+    if (boolean.AsBool()) table.AddEmptyRows(1);
+    return table;
+  }
+
+  const obs::JsonValue& vars = head.Get("vars");
+  if (vars.type() != obs::JsonValue::Type::kArray) {
+    return Status::InvalidArgument(
+        "SRJ head has neither \"vars\" nor a boolean result");
+  }
+  for (const obs::JsonValue& v : vars.items()) {
+    if (v.type() != obs::JsonValue::Type::kString) {
+      return Status::InvalidArgument("SRJ head var is not a string");
+    }
+    table.vars.push_back(v.AsString());
+  }
+
+  const obs::JsonValue& results = doc.Get("results");
+  if (results.type() != obs::JsonValue::Type::kObject) {
+    return Status::InvalidArgument("SRJ document has no \"results\" object");
+  }
+  const obs::JsonValue& bindings = results.Get("bindings");
+  if (bindings.type() != obs::JsonValue::Type::kArray) {
+    return Status::InvalidArgument("SRJ results have no \"bindings\" array");
+  }
+  std::vector<rdf::TermId> row;
+  uint64_t cells = 0;
+  for (const obs::JsonValue& binding : bindings.items()) {
+    if (binding.type() != obs::JsonValue::Type::kObject) {
+      return Status::InvalidArgument("SRJ binding is not an object");
+    }
+    row.assign(table.vars.size(), rdf::kInvalidTermId);
+    for (const auto& [var, value] : binding.members()) {
+      size_t col = 0;
+      while (col < table.vars.size() && table.vars[col] != var) ++col;
+      if (col == table.vars.size()) {
+        return Status::InvalidArgument("SRJ binding references variable \"" +
+                                       var + "\" absent from head");
+      }
+      LUSAIL_ASSIGN_OR_RETURN(rdf::Term term, TermFromJson(value));
+      row[col] = dict->Intern(term);
+      ++cells;
+    }
+    table.AppendRow(row);
+  }
+  // The whole parse is the boundary encode: terms go from wire JSON to
+  // ids without a federator-side string row ever existing.
+  dict->AddEncodeBatch(timer.ElapsedMillis() / 1e3, cells);
   return table;
 }
 

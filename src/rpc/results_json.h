@@ -4,6 +4,8 @@
 #include <string>
 
 #include "common/status.h"
+#include "core/dictionary.h"
+#include "core/id_table.h"
 #include "obs/json.h"
 #include "sparql/result_table.h"
 
@@ -22,6 +24,14 @@ namespace lusail::rpc {
 ///   - blank nodes     -> {"type":"bnode","value":...}
 ///   - unbound / UNDEF -> the variable is omitted from the binding object
 ///
+/// Annotation precedence (serializer and parser agree, locked by the
+/// codec tests): a non-empty language tag wins — a literal carrying both
+/// a lang tag and a datatype serializes with xml:lang only and parses
+/// back as a lang literal. An xml:lang member that is present but the
+/// empty string is treated as absent (no language), so a datatype
+/// alongside it is honored instead of silently dropped. Empty-string
+/// literal *values* ("") are ordinary literals and round-trip bound.
+///
 /// ASK results follow the spec's boolean form: a zero-column table (the
 /// net::Endpoint contract for ASK, 0 or 1 rows) serializes as
 /// {"head":{},"boolean":...} and parses back to a zero-column table.
@@ -36,6 +46,13 @@ std::string ResultTableToSrj(const sparql::ResultTable& table);
 /// malformed JSON and with kInvalidArgument on well-formed JSON that is
 /// not a valid SRJ document (missing head, unknown term type, ...).
 Result<sparql::ResultTable> ParseSrj(const std::string& text);
+
+/// Parses an SRJ document straight into dictionary id space: every bound
+/// term is interned into `dict` as it is parsed, so the federator-side
+/// string Term rows are never materialized (the transport-level half of
+/// late materialization). Same validation behavior as ParseSrj.
+Result<core::IdTable> ParseSrjToIds(const std::string& text,
+                                    core::TermDictionary* dict);
 
 }  // namespace lusail::rpc
 

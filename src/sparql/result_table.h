@@ -35,6 +35,11 @@ struct ResultTable {
   }
 
   /// Tab-separated rendering (debugging and examples).
+  ///
+  /// Cells are escaped with TsvEscape: a term's N-Triples form can carry
+  /// raw tabs or newlines outside the quoted-literal section (IRIs, blank
+  /// node labels, and language tags pass through ToString verbatim), and
+  /// an unescaped occurrence silently shifts every later cell in the row.
   std::string ToTsv() const {
     std::string out;
     for (size_t i = 0; i < vars.size(); ++i) {
@@ -46,9 +51,27 @@ struct ResultTable {
     for (const auto& row : rows) {
       for (size_t i = 0; i < row.size(); ++i) {
         if (i > 0) out += '\t';
-        out += row[i].has_value() ? row[i]->ToString() : "";
+        if (row[i].has_value()) out += TsvEscape(row[i]->ToString());
       }
       out += '\n';
+    }
+    return out;
+  }
+
+  /// Escapes a cell for the TSV rendering: backslash-escapes the three
+  /// characters that are structural in TSV (tab, newline, carriage
+  /// return) plus backslash itself so the escape is unambiguous.
+  static std::string TsvEscape(const std::string& cell) {
+    std::string out;
+    out.reserve(cell.size());
+    for (char c : cell) {
+      switch (c) {
+        case '\t': out += "\\t"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\\': out += "\\\\"; break;
+        default: out += c;
+      }
     }
     return out;
   }

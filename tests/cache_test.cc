@@ -652,7 +652,7 @@ TEST(SapeEmptyPartnerTest, DelayedSubqueryWithEmptyPartnerIsNotFetched) {
   auto result = sape.Execute({empty_sq, delayed_sq}, query->where.triples,
                              &dict, nullptr, CancelToken());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result->rows.empty());
+  EXPECT_EQ(result->NumRows(), 0u);
 
   // EP1 (the delayed subquery's only source) was never contacted.
   auto* ep1 = dynamic_cast<net::SparqlEndpoint*>(federation->endpoint(1));
@@ -766,24 +766,23 @@ TEST(ParallelCartesianTest, MatchesSingleThreadedProduct) {
   left.vars = {"a"};
   right.vars = {"b"};
   for (int i = 0; i < 80; ++i) {
-    left.rows.push_back(
-        {dict.Intern(rdf::Term::Iri("urn:l" + std::to_string(i)))});
+    left.AppendRow({dict.Intern(rdf::Term::Iri("urn:l" + std::to_string(i)))});
   }
   for (int i = 0; i < 60; ++i) {
-    right.rows.push_back(
-        {dict.Intern(rdf::Term::Iri("urn:r" + std::to_string(i)))});
+    right.AppendRow({dict.Intern(rdf::Term::Iri("urn:r" + std::to_string(i)))});
   }
   ThreadPool pool(4);
   fed::BindingTable parallel = core::ParallelHashJoin(left, right, &pool, 4);
   fed::BindingTable serial = fed::HashJoin(left, right);
-  ASSERT_EQ(parallel.rows.size(), 80u * 60u);
-  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  ASSERT_EQ(parallel.NumRows(), 80u * 60u);
+  ASSERT_EQ(serial.NumRows(), parallel.NumRows());
 
   auto fingerprint = [](const fed::BindingTable& t) {
     std::multiset<std::string> out;
-    int a = t.VarIndex("a"), b = t.VarIndex("b");
-    for (const auto& row : t.rows) {
-      out.insert(std::to_string(row[a]) + "|" + std::to_string(row[b]));
+    size_t a = static_cast<size_t>(t.VarIndex("a"));
+    size_t b = static_cast<size_t>(t.VarIndex("b"));
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      out.insert(std::to_string(t.At(r, a)) + "|" + std::to_string(t.At(r, b)));
     }
     return out;
   };
@@ -795,11 +794,11 @@ TEST(ParallelCartesianTest, EmptySideYieldsEmptyProduct) {
   left.vars = {"a"};
   right.vars = {"b"};
   for (int i = 0; i < 5000; ++i) {
-    left.rows.push_back({static_cast<rdf::TermId>(i + 1)});
+    left.AppendRow({static_cast<rdf::TermId>(i + 1)});
   }
   ThreadPool pool(4);
   fed::BindingTable product = core::ParallelHashJoin(left, right, &pool, 4);
-  EXPECT_TRUE(product.rows.empty());
+  EXPECT_EQ(product.NumRows(), 0u);
   EXPECT_EQ(product.vars.size(), 2u);
 }
 

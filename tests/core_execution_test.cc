@@ -226,10 +226,9 @@ fed::BindingTable BigTable(fed::SharedDictionary* dict, const std::string& var,
   fed::BindingTable t;
   t.vars = {var, other};
   for (int i = 0; i < n; ++i) {
-    t.rows.push_back(
-        {dict->Intern(rdf::Term::Integer(i + offset)),
-         dict->Intern(rdf::Term::Iri("http://r/" + other + "/" +
-                                     std::to_string(i)))});
+    t.AppendRow({dict->Intern(rdf::Term::Integer(i + offset)),
+                 dict->Intern(rdf::Term::Iri("http://r/" + other + "/" +
+                                             std::to_string(i)))});
   }
   return t;
 }
@@ -247,8 +246,10 @@ TEST(ParallelHashJoinTest, MatchesSequentialJoin) {
   auto key_of = [](const fed::BindingTable& t) {
     std::multiset<std::vector<rdf::TermId>> keys;
     int k = t.VarIndex("k"), l = t.VarIndex("l"), r = t.VarIndex("r");
-    for (const auto& row : t.rows) {
-      keys.insert({row[k], row[l], row[r]});
+    for (size_t row = 0; row < t.NumRows(); ++row) {
+      keys.insert({t.At(row, static_cast<size_t>(k)),
+                   t.At(row, static_cast<size_t>(l)),
+                   t.At(row, static_cast<size_t>(r))});
     }
     return keys;
   };

@@ -39,7 +39,7 @@ class BindingTableTest : public ::testing::Test {
       for (const std::string& cell : row) {
         ids.push_back(cell.empty() ? rdf::kInvalidTermId : Id(cell));
       }
-      t.rows.push_back(std::move(ids));
+      t.AppendRow(ids);
     }
     return t;
   }
@@ -68,7 +68,7 @@ TEST_F(BindingTableTest, HashJoinUnboundIsCompatible) {
   ASSERT_EQ(joined.NumRows(), 1u);
   // The unbound ?y picks up the right-side value.
   int y = joined.VarIndex("y");
-  EXPECT_EQ(joined.rows[0][y], Id("b"));
+  EXPECT_EQ(joined.At(0, static_cast<size_t>(y)), Id("b"));
 }
 
 TEST_F(BindingTableTest, LeftOuterJoinPadsMisses) {
@@ -78,8 +78,8 @@ TEST_F(BindingTableTest, LeftOuterJoinPadsMisses) {
   ASSERT_EQ(joined.NumRows(), 2u);
   int z = joined.VarIndex("z");
   int matched = 0;
-  for (const auto& row : joined.rows) {
-    if (row[z] != rdf::kInvalidTermId) ++matched;
+  for (TermId id : joined.Column(static_cast<size_t>(z))) {
+    if (id != rdf::kInvalidTermId) ++matched;
   }
   EXPECT_EQ(matched, 1);
 }
@@ -91,9 +91,9 @@ TEST_F(BindingTableTest, AppendUnionAlignsColumns) {
   ASSERT_EQ(a.NumRows(), 2u);
   EXPECT_EQ(a.vars.size(), 3u);
   int x = a.VarIndex("x"), z = a.VarIndex("z");
-  EXPECT_EQ(a.rows[1][x], rdf::kInvalidTermId);
-  EXPECT_EQ(a.rows[0][z], rdf::kInvalidTermId);
-  EXPECT_EQ(a.rows[1][z], Id("d"));
+  EXPECT_EQ(a.At(1, static_cast<size_t>(x)), rdf::kInvalidTermId);
+  EXPECT_EQ(a.At(0, static_cast<size_t>(z)), rdf::kInvalidTermId);
+  EXPECT_EQ(a.At(1, static_cast<size_t>(z)), Id("d"));
 }
 
 TEST_F(BindingTableTest, AppendUnionIntoEmpty) {
@@ -112,20 +112,20 @@ TEST_F(BindingTableTest, ProjectAndDistinct) {
   EXPECT_EQ(dedup.NumRows(), 1u);
   BindingTable missing = Project(t, {"x", "w"}, false);
   EXPECT_EQ(missing.vars.size(), 2u);
-  EXPECT_EQ(missing.rows[0][1], rdf::kInvalidTermId);
+  EXPECT_EQ(missing.At(0, 1), rdf::kInvalidTermId);
 }
 
 TEST_F(BindingTableTest, FilterRowsDecodesTerms) {
   BindingTable t;
   t.vars = {"n"};
-  t.rows.push_back({dict_.Intern(Term::Integer(5))});
-  t.rows.push_back({dict_.Intern(Term::Integer(15))});
+  t.AppendRow({dict_.Intern(Term::Integer(5))});
+  t.AppendRow({dict_.Intern(Term::Integer(15))});
   sparql::Expr filter = sparql::Expr::Binary(
       sparql::ExprOp::kGt, sparql::Expr::Var("n"),
       sparql::Expr::Const(Term::Integer(10)));
   FilterRows(&t, filter, dict_);
   ASSERT_EQ(t.NumRows(), 1u);
-  EXPECT_EQ(dict_.term(t.rows[0][0]).lexical(), "15");
+  EXPECT_EQ(dict_.term(t.At(0, 0)).lexical(), "15");
 }
 
 TEST_F(BindingTableTest, InternAndDecodeRoundTrip) {
@@ -134,7 +134,7 @@ TEST_F(BindingTableTest, InternAndDecodeRoundTrip) {
   rt.rows.push_back({Term::Iri("http://x"), std::nullopt});
   BindingTable bt = InternTable(rt, &dict_);
   ASSERT_EQ(bt.NumRows(), 1u);
-  EXPECT_EQ(bt.rows[0][1], rdf::kInvalidTermId);
+  EXPECT_EQ(bt.At(0, 1), rdf::kInvalidTermId);
   sparql::ResultTable back = DecodeTable(bt, dict_);
   EXPECT_EQ(back.rows[0][0], Term::Iri("http://x"));
   EXPECT_FALSE(back.rows[0][1].has_value());

@@ -1,0 +1,411 @@
+// ID-space execution properties: the TermDictionary (round trips,
+// concurrent interning, cross-instance content hashes), the columnar
+// IdTable's operators, the encode/decode boundary, and — end to end —
+// row-identity of the transport ID path (responses parsed straight into
+// the engine dictionary) against the string path and the union-graph
+// oracle over a loopback LUBM federation.
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dictionary.h"
+#include "core/id_table.h"
+#include "core/lusail_engine.h"
+#include "net/latency_model.h"
+#include "net/sparql_endpoint.h"
+#include "rpc/http_server.h"
+#include "rpc/http_sparql_endpoint.h"
+#include "sparql/evaluator.h"
+#include "sparql/parser.h"
+#include "store/triple_store.h"
+#include "workload/federation_builder.h"
+#include "workload/lubm_generator.h"
+
+namespace lusail {
+namespace {
+
+std::vector<rdf::Term> TermZoo() {
+  return {
+      rdf::Term::Iri("http://example.org/plain"),
+      rdf::Term::Iri("http://example.org/caf\xC3\xA9/r\xC3\xA9sum\xC3\xA9"),
+      rdf::Term::Iri("http://example.org/\xE6\x97\xA5\xE6\x9C\xAC"),
+      rdf::Term::Literal(""),
+      rdf::Term::Literal("plain text"),
+      rdf::Term::Literal("tab\there \"and\" newline\n"),
+      rdf::Term::Literal("\xC3\xA9\xC3\xA8\xC3\xAA \xD0\xBC\xD0\xB8\xD1\x80"),
+      rdf::Term::LangLiteral("hallo", "de"),
+      rdf::Term::LangLiteral("hallo", "de-AT"),
+      rdf::Term::TypedLiteral("42", std::string(rdf::kXsdInteger)),
+      rdf::Term::TypedLiteral("42", "http://example.org/custom"),
+      rdf::Term::BlankNode("b0"),
+      rdf::Term::BlankNode("b1"),
+      rdf::Term::Double(2.5),
+  };
+}
+
+// ---------------------------------------------------------------------
+// TermDictionary properties
+// ---------------------------------------------------------------------
+
+TEST(TermDictionaryTest, InternRoundTripsTermZooIncludingNonAscii) {
+  core::TermDictionary dict;
+  std::vector<rdf::Term> zoo = TermZoo();
+  std::vector<rdf::TermId> ids;
+  for (const rdf::Term& term : zoo) ids.push_back(dict.Intern(term));
+  EXPECT_EQ(dict.size(), zoo.size());
+
+  // Distinct terms get distinct ids; equal terms re-intern to the same.
+  std::set<rdf::TermId> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), zoo.size());
+  for (size_t i = 0; i < zoo.size(); ++i) {
+    EXPECT_EQ(dict.Intern(zoo[i]), ids[i]);
+    EXPECT_EQ(dict.Lookup(zoo[i]), ids[i]);
+    EXPECT_EQ(dict.term(ids[i]), zoo[i]) << zoo[i].ToString();
+  }
+  EXPECT_EQ(dict.size(), zoo.size());
+  EXPECT_EQ(dict.Lookup(rdf::Term::Iri("http://never/interned")),
+            rdf::kInvalidTermId);
+}
+
+TEST(TermDictionaryTest, DistinguishesKindAndFieldBoundaries) {
+  // Same lexical bytes in different term kinds or field splits must not
+  // alias: ids, lookups, and content hashes all stay distinct.
+  core::TermDictionary dict;
+  std::vector<rdf::Term> lookalikes = {
+      rdf::Term::Iri("x"),
+      rdf::Term::Literal("x"),
+      rdf::Term::BlankNode("x"),
+      rdf::Term::LangLiteral("x", "en"),
+      rdf::Term::TypedLiteral("x", "en"),
+      rdf::Term::Literal("xen"),
+  };
+  std::set<rdf::TermId> ids;
+  std::set<uint64_t> hashes;
+  for (const rdf::Term& term : lookalikes) {
+    rdf::TermId id = dict.Intern(term);
+    ids.insert(id);
+    hashes.insert(dict.content_hash(id));
+  }
+  EXPECT_EQ(ids.size(), lookalikes.size());
+  EXPECT_EQ(hashes.size(), lookalikes.size());
+}
+
+TEST(TermDictionaryTest, ConcurrentInterningConverges) {
+  // Many threads intern overlapping slices of one term universe; every
+  // term must end with exactly one id, and reads (term / Lookup /
+  // content_hash) racing the writes must stay coherent. Run under TSan
+  // this is also the dictionary's data-race check.
+  core::TermDictionary dict;
+  constexpr int kThreads = 8;
+  constexpr int kTerms = 400;
+  auto term_of = [](int i) {
+    return rdf::Term::Iri("http://example.org/concurrent/\xC3\xA9/" +
+                          std::to_string(i));
+  };
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  std::vector<std::vector<rdf::TermId>> seen(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      seen[t].assign(kTerms, rdf::kInvalidTermId);
+      // Each thread walks the universe at a different stride so the
+      // shards see interleaved first-interns and re-interns (strides
+      // that share factors with kTerms simply skip some indices).
+      for (int k = 0; k < kTerms; ++k) {
+        int i = (k * (t + 1) + t) % kTerms;
+        rdf::TermId id = dict.Intern(term_of(i));
+        seen[t][i] = id;
+        EXPECT_EQ(dict.term(id), term_of(i));
+        EXPECT_NE(dict.content_hash(id), 0u);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kTerms));
+  for (int i = 0; i < kTerms; ++i) {
+    rdf::TermId id = dict.Lookup(term_of(i));
+    ASSERT_NE(id, rdf::kInvalidTermId);
+    for (int t = 0; t < kThreads; ++t) {
+      if (seen[t][i] != rdf::kInvalidTermId) EXPECT_EQ(seen[t][i], id);
+    }
+  }
+}
+
+TEST(TermDictionaryTest, ContentHashesAgreeAcrossInstances) {
+  // Two dictionaries interning the same terms in different orders assign
+  // different ids but identical content hashes — the property VALUES
+  // fingerprints rely on to stay valid keys in the engine-spanning
+  // shared cache.
+  core::TermDictionary first, second;
+  std::vector<rdf::Term> zoo = TermZoo();
+  std::vector<rdf::TermId> first_ids;
+  for (const rdf::Term& term : zoo) first_ids.push_back(first.Intern(term));
+  std::vector<rdf::TermId> second_ids(zoo.size());
+  for (size_t i = zoo.size(); i-- > 0;) {
+    second_ids[i] = second.Intern(zoo[i]);
+  }
+  EXPECT_NE(first.epoch(), second.epoch());
+  for (size_t i = 0; i < zoo.size(); ++i) {
+    EXPECT_EQ(first.content_hash(first_ids[i]),
+              second.content_hash(second_ids[i]))
+        << zoo[i].ToString();
+  }
+}
+
+TEST(FingerprintTest, StableAcrossDictionariesAndSensitiveToContent) {
+  core::TermDictionary first, second;
+  std::vector<rdf::Term> zoo = TermZoo();
+  std::vector<rdf::TermId> first_ids, second_ids;
+  for (const rdf::Term& term : zoo) first_ids.push_back(first.Intern(term));
+  // Perturb second's id assignment with extra interns before the zoo.
+  for (int i = 0; i < 100; ++i) {
+    second.Intern(rdf::Term::Integer(i));
+  }
+  for (const rdf::Term& term : zoo) second_ids.push_back(second.Intern(term));
+  ASSERT_NE(first_ids[0], second_ids[0]);  // Ids genuinely differ.
+
+  std::string a = core::FingerprintIdBindings(
+      "v", first, first_ids.data(), first_ids.size());
+  std::string b = core::FingerprintIdBindings(
+      "v", second, second_ids.data(), second_ids.size());
+  EXPECT_EQ(a, b);
+
+  // Different variable, block order, or block content all change the key.
+  EXPECT_NE(core::FingerprintIdBindings("w", first, first_ids.data(),
+                                        first_ids.size()),
+            a);
+  std::vector<rdf::TermId> reversed(first_ids.rbegin(), first_ids.rend());
+  EXPECT_NE(core::FingerprintIdBindings("v", first, reversed.data(),
+                                        reversed.size()),
+            a);
+  EXPECT_NE(core::FingerprintIdBindings("v", first, first_ids.data(),
+                                        first_ids.size() - 1),
+            a);
+}
+
+// ---------------------------------------------------------------------
+// IdTable operators and the encode/decode boundary
+// ---------------------------------------------------------------------
+
+TEST(IdTableTest, LazyColumnsReadAsUnboundUntilNextMutation) {
+  core::IdTable table;
+  table.vars = {"a"};
+  table.AppendRow({7});
+  table.vars.push_back("b");  // No column yet.
+  EXPECT_EQ(table.At(0, 1), rdf::kInvalidTermId);
+  EXPECT_TRUE(table.Column(1).empty());
+  table.AppendRow({8, 9});  // Mutation materializes the column, padded.
+  EXPECT_EQ(table.At(0, 0), 7u);
+  EXPECT_EQ(table.At(0, 1), rdf::kInvalidTermId);
+  EXPECT_EQ(table.At(1, 1), 9u);
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST(IdTableTest, SliceSelectAndUnionAlignment) {
+  core::IdTable table({"x", "y"});
+  for (rdf::TermId i = 0; i < 10; ++i) table.AppendRow({i, i + 100});
+
+  core::IdTable window = table.Slice(3, 6);
+  ASSERT_EQ(window.NumRows(), 3u);
+  EXPECT_EQ(window.At(0, 0), 3u);
+  EXPECT_EQ(window.At(2, 1), 105u);
+
+  core::IdTable picked = table.SelectRows({9, 0, 9});
+  ASSERT_EQ(picked.NumRows(), 3u);
+  EXPECT_EQ(picked.At(0, 0), 9u);
+  EXPECT_EQ(picked.At(1, 0), 0u);
+  EXPECT_EQ(picked.At(2, 1), 109u);
+
+  // Union aligns by name and pads missing vars unbound.
+  core::IdTable other({"y", "z"});
+  other.AppendRow({55, 66});
+  core::AppendUnionIds(&table, other);
+  ASSERT_EQ(table.NumRows(), 11u);
+  EXPECT_EQ(table.At(10, 0), rdf::kInvalidTermId);  // x unbound.
+  EXPECT_EQ(table.At(10, 1), 55u);
+  ASSERT_EQ(table.vars.size(), 3u);
+  EXPECT_EQ(table.vars[2], "z");
+  EXPECT_EQ(table.At(10, 2), 66u);
+  EXPECT_EQ(table.At(0, 2), rdf::kInvalidTermId);
+}
+
+TEST(IdTableTest, JoinAndProjectMatchSparqlSemantics) {
+  core::IdTable left({"k", "a"});
+  left.AppendRow({1, 10});
+  left.AppendRow({2, 20});
+  left.AppendRow({rdf::kInvalidTermId, 30});  // Unbound k joins anything.
+  core::IdTable right({"k", "b"});
+  right.AppendRow({2, 200});
+  right.AppendRow({3, 300});
+
+  core::IdTable inner = core::JoinIds(left, right, /*left_outer=*/false);
+  ASSERT_EQ(inner.vars, (std::vector<std::string>{"k", "a", "b"}));
+  // Row {2,20} matches {2,200}; unbound-k row matches both right rows
+  // with the bound side's k surfacing in the shared column.
+  EXPECT_EQ(inner.NumRows(), 3u);
+  size_t bound_k = 0;
+  for (size_t r = 0; r < inner.NumRows(); ++r) {
+    bound_k += inner.At(r, 0) != rdf::kInvalidTermId;
+  }
+  EXPECT_EQ(bound_k, 3u);
+
+  core::IdTable outer = core::JoinIds(left, right, /*left_outer=*/true);
+  EXPECT_EQ(outer.NumRows(), 4u);  // {1,10} survives with b unbound.
+
+  core::IdTable dedup = core::ProjectIds(inner, {"b"}, /*distinct=*/true);
+  ASSERT_EQ(dedup.vars, (std::vector<std::string>{"b"}));
+  EXPECT_EQ(dedup.NumRows(), 2u);  // 200 (twice) and 300 collapse.
+}
+
+TEST(IdTableTest, EncodeDecodeRoundTripsTheTermZoo) {
+  sparql::ResultTable wire;
+  wire.vars = {"a", "b"};
+  std::vector<rdf::Term> zoo = TermZoo();
+  for (size_t i = 0; i + 1 < zoo.size(); i += 2) {
+    wire.rows.push_back({zoo[i], zoo[i + 1]});
+  }
+  wire.rows.push_back({std::nullopt, zoo[0]});
+  wire.rows.push_back({std::nullopt, std::nullopt});
+
+  core::TermDictionary dict;
+  core::IdTable encoded = core::EncodeResultTable(wire, &dict);
+  EXPECT_EQ(encoded.NumRows(), wire.rows.size());
+  sparql::ResultTable decoded = core::DecodeIdTable(encoded, dict);
+  ASSERT_EQ(decoded.rows.size(), wire.rows.size());
+  EXPECT_EQ(decoded.vars, wire.vars);
+  for (size_t r = 0; r < wire.rows.size(); ++r) {
+    for (size_t c = 0; c < wire.vars.size(); ++c) {
+      ASSERT_EQ(decoded.rows[r][c].has_value(), wire.rows[r][c].has_value());
+      if (wire.rows[r][c].has_value()) {
+        EXPECT_EQ(*decoded.rows[r][c], *wire.rows[r][c]);
+      }
+    }
+  }
+  core::DictionaryStats stats = dict.GetStats();
+  EXPECT_GT(stats.encode_terms, 0u);
+  EXPECT_GT(stats.decode_terms, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Loopback federation: ID path vs string path vs oracle
+// ---------------------------------------------------------------------
+
+std::multiset<std::string> RowBag(const sparql::ResultTable& table) {
+  std::vector<size_t> order(table.vars.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return table.vars[a] < table.vars[b];
+  });
+  std::multiset<std::string> rows;
+  for (const auto& row : table.rows) {
+    std::string line;
+    for (size_t i : order) {
+      line += table.vars[i] + "=" +
+              (row[i].has_value() ? row[i]->ToString() : "UNDEF") + "|";
+    }
+    rows.insert(line);
+  }
+  return rows;
+}
+
+class IdExecutionLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::LubmConfig config = workload::LubmConfig::Small();
+    config.num_universities = 3;
+    specs_ = workload::LubmGenerator(config).GenerateAll();
+    for (const auto& spec : specs_) {
+      auto store = std::make_unique<store::TripleStore>();
+      for (const auto& triple : spec.triples) store->Add(triple);
+      store->Freeze();
+      auto endpoint = std::make_shared<net::SparqlEndpoint>(
+          spec.id, std::move(store), net::LatencyModel::None());
+      auto server = std::make_unique<rpc::HttpServer>(endpoint);
+      ASSERT_TRUE(server->Start().ok());
+      auto client = std::make_shared<rpc::HttpSparqlEndpoint>(
+          spec.id, "127.0.0.1", server->port());
+      clients_.push_back(client);
+      remote_.Add(client);
+      servers_.push_back(std::move(server));
+    }
+  }
+  void TearDown() override {
+    for (auto& server : servers_) server->Stop();
+  }
+
+  sparql::ResultTable Oracle(const std::string& text) {
+    store::TripleStore store;
+    for (const auto& spec : specs_) {
+      for (const rdf::TermTriple& t : spec.triples) store.Add(t);
+    }
+    store.Freeze();
+    sparql::Evaluator evaluator(&store);
+    auto query = sparql::ParseQuery(text);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    auto result = evaluator.Execute(*query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  std::vector<workload::EndpointSpec> specs_;
+  fed::Federation remote_;
+  std::vector<std::shared_ptr<rpc::HttpSparqlEndpoint>> clients_;
+  std::vector<std::unique_ptr<rpc::HttpServer>> servers_;
+};
+
+TEST_F(IdExecutionLoopbackTest, IdPathIsRowIdenticalToStringPathAndOracle) {
+  // String path: responses arrive as wire tables and are encoded at the
+  // federator boundary.
+  core::LusailEngine string_engine(&remote_);
+
+  std::vector<std::pair<std::string, std::string>> queries =
+      workload::LubmGenerator::BenchmarkQueries();
+  queries.push_back({"Qa", workload::LubmGenerator::QueryQa()});
+
+  std::map<std::string, std::multiset<std::string>> string_rows;
+  for (const auto& [label, text] : queries) {
+    auto result = string_engine.Execute(text);
+    ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+    string_rows[label] = RowBag(result->table);
+  }
+
+  // ID path: the transport parses SRJ straight into the engine's
+  // dictionary; no federator-side string rows exist until the final
+  // projected window is decoded.
+  core::LusailEngine id_engine(&remote_);
+  for (auto& client : clients_) {
+    client->set_parse_dictionary(id_engine.dictionary());
+  }
+  for (const auto& [label, text] : queries) {
+    auto result = id_engine.Execute(text);
+    ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+    auto parsed = sparql::ParseQuery(text);
+    ASSERT_TRUE(parsed.ok());
+    if (parsed->limit.has_value()) {
+      // LIMIT picks an arbitrary subset; row counts must still agree.
+      EXPECT_EQ(result->table.NumRows(), string_rows[label].size()) << label;
+      continue;
+    }
+    EXPECT_EQ(RowBag(result->table), string_rows[label]) << label;
+    EXPECT_EQ(RowBag(result->table), RowBag(Oracle(text))) << label;
+  }
+  // The fast path actually ran: the engine dictionary saw the terms the
+  // transport interned while parsing responses.
+  EXPECT_GT(id_engine.dictionary()->size(), 0u);
+  for (auto& client : clients_) client->set_parse_dictionary(nullptr);
+}
+
+}  // namespace
+}  // namespace lusail

@@ -189,6 +189,56 @@ TEST(SrjTest, RoundTripsTermZoo) {
   }
 }
 
+TEST(SrjTest, EmptyStringLiteralRoundTripsAsBound) {
+  // "" is a real RDF literal, distinct from an unbound cell; the codec
+  // must keep the binding present with an empty lexical form, not drop
+  // it into nullopt on either leg of the round trip.
+  sparql::ResultTable table;
+  table.vars = {"x", "y"};
+  table.rows.push_back({rdf::Term::Literal(""), std::nullopt});
+  Result<sparql::ResultTable> back = ParseSrj(ResultTableToSrj(table));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->rows.size(), 1u);
+  ASSERT_TRUE(back->rows[0][0].has_value());
+  EXPECT_TRUE(back->rows[0][0]->is_literal());
+  EXPECT_EQ(back->rows[0][0]->lexical(), "");
+  EXPECT_TRUE(back->rows[0][0]->lang().empty());
+  EXPECT_FALSE(back->rows[0][1].has_value());
+}
+
+TEST(SrjTest, NonEmptyLanguageTagWinsOverDatatype) {
+  // Lax producers emit both xml:lang and datatype on one binding. The
+  // SPARQL data model says a language-tagged literal's datatype is
+  // implied (rdf:langString), so a non-empty tag takes precedence.
+  Result<sparql::ResultTable> parsed = ParseSrj(
+      "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":"
+      "[{\"x\":{\"type\":\"literal\",\"value\":\"bonjour\","
+      "\"xml:lang\":\"fr\","
+      "\"datatype\":\"http://www.w3.org/2001/XMLSchema#string\"}}]}}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->rows.size(), 1u);
+  ASSERT_TRUE(parsed->rows[0][0].has_value());
+  EXPECT_EQ(parsed->rows[0][0]->lang(), "fr");
+  EXPECT_EQ(parsed->rows[0][0]->lexical(), "bonjour");
+  EXPECT_TRUE(parsed->rows[0][0]->datatype().empty());
+}
+
+TEST(SrjTest, EmptyLanguageTagDoesNotShadowDatatype) {
+  // Regression: a present-but-empty xml:lang used to shadow the
+  // datatype, silently turning typed literals into plain ones.
+  Result<sparql::ResultTable> parsed = ParseSrj(
+      "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":"
+      "[{\"x\":{\"type\":\"literal\",\"value\":\"42\",\"xml:lang\":\"\","
+      "\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\"}}]}}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->rows.size(), 1u);
+  ASSERT_TRUE(parsed->rows[0][0].has_value());
+  EXPECT_TRUE(parsed->rows[0][0]->lang().empty());
+  EXPECT_EQ(parsed->rows[0][0]->datatype(),
+            "http://www.w3.org/2001/XMLSchema#integer");
+  EXPECT_EQ(parsed->rows[0][0]->lexical(), "42");
+}
+
 TEST(SrjTest, RoundTripsAskBooleanForm) {
   // ASK true: zero columns, one row.
   sparql::ResultTable yes;
@@ -1095,6 +1145,50 @@ TEST(MetricsEndpointTest, RegistryCollectorsJoinTheExposition) {
             std::string::npos)
       << response;
   server.Stop();
+}
+
+TEST(MetricsEndpointTest, ScrapeBodyEscapesHelpAndLabelValues) {
+  // Wire-level check of the exposition escapes: a collector whose HELP
+  // text and label values carry newlines, quotes, and backslashes must
+  // still produce a body where every line is a comment or a sample.
+  obs::MetricsRegistry registry;
+  obs::ScopedCollector collector(
+      &registry, [](obs::MetricsSnapshot* snapshot) {
+        snapshot->AddCounter("lusail_hostile_total",
+                             "line one\nline two \\ \"quoted\"",
+                             {{"path", "C:\\data\n\"x\""}}, 1);
+      });
+  HttpServerOptions options;
+  options.metrics = &registry;
+  HttpServer server(TinyEndpoint("EP"), options);
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = RawExchange(
+      server.port(),
+      "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  server.Stop();
+
+  size_t body_start = response.find("\r\n\r\n");
+  ASSERT_NE(body_start, std::string::npos) << response;
+  std::string body = response.substr(body_start + 4);
+  EXPECT_NE(
+      body.find("# HELP lusail_hostile_total line one\\nline two \\\\ "
+                "\"quoted\"\n"),
+      std::string::npos)
+      << body;
+  EXPECT_NE(
+      body.find("lusail_hostile_total{path=\"C:\\\\data\\n\\\"x\\\"\"} 1"),
+      std::string::npos)
+      << body;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) break;
+    std::string line = body.substr(pos, eol - pos);
+    EXPECT_TRUE(line.empty() || line.rfind("# ", 0) == 0 ||
+                line.rfind("lusail_", 0) == 0)
+        << "stray exposition line: " << line;
+    pos = eol + 1;
+  }
 }
 
 TEST(FlightRecorderEndpointTest, DebugQueriesServesTheRing) {

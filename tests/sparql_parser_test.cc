@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "sparql/result_table.h"
 #include "sparql/serializer.h"
 
 namespace lusail::sparql {
@@ -258,6 +261,37 @@ TEST(OrderByTest, SerializerRoundTrip) {
 
 TEST(OrderByTest, EmptyOrderByIsAnError) {
   EXPECT_FALSE(ParseQuery("SELECT ?a WHERE { ?a ?p ?o . } ORDER BY").ok());
+}
+
+TEST(ResultTableTsvTest, EscapesControlCharactersInCells) {
+  // Regression: terms whose rendered form carries raw tabs or newlines
+  // (literal lexicals, IRIs, language tags all pass through ToString)
+  // used to be emitted verbatim, shifting every later cell in the row.
+  ResultTable table;
+  table.vars = {"a", "b"};
+  table.rows.push_back({rdf::Term::Literal("tab\there\nnewline"),
+                        rdf::Term::Iri("http://ex/odd\tiri")});
+  table.rows.push_back({std::nullopt, rdf::Term::Literal("back\\slash")});
+  std::string tsv = table.ToTsv();
+
+  // Header + exactly one line per row: embedded newlines are escaped.
+  size_t lines = 0;
+  for (char c : tsv) lines += c == '\n';
+  EXPECT_EQ(lines, 3u) << tsv;
+  // Exactly one tab per line: embedded tabs are escaped.
+  size_t pos = 0;
+  while (pos < tsv.size()) {
+    size_t eol = tsv.find('\n', pos);
+    std::string line = tsv.substr(pos, eol - pos);
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\t'), 1) << line;
+    pos = eol + 1;
+  }
+  // Literal lexicals are escaped once by ToString (N-Triples) and the
+  // resulting backslashes escaped again for TSV; IRI tabs, which
+  // ToString passes through raw, get their escape from TsvEscape.
+  EXPECT_NE(tsv.find("tab\\\\there\\\\nnewline"), std::string::npos) << tsv;
+  EXPECT_NE(tsv.find("http://ex/odd\\tiri"), std::string::npos) << tsv;
+  EXPECT_NE(tsv.find("back\\\\\\\\slash"), std::string::npos) << tsv;
 }
 
 }  // namespace

@@ -277,6 +277,34 @@ TEST(MetricsSnapshotTest, RendersValidPrometheusText) {
   EXPECT_EQ(text.back(), '\n');
 }
 
+TEST(MetricsSnapshotTest, HelpTextIsEscapedPerExpositionFormat) {
+  // Format 0.0.4: HELP text escapes backslash and newline ONLY — quotes
+  // are legal verbatim in a comment. A raw newline in the help string
+  // must not split the comment into a second line (the remainder would
+  // parse as a malformed sample).
+  MetricsSnapshot snapshot;
+  snapshot.AddCounter("a_total", "first line\nsecond \"quoted\" c:\\path",
+                      {}, 1);
+  std::string text = snapshot.RenderPrometheus();
+  EXPECT_NE(
+      text.find(
+          "# HELP a_total first line\\nsecond \"quoted\" c:\\\\path\n"),
+      std::string::npos)
+      << text;
+  // Every line of the exposition is a comment or a sample; the raw
+  // newline inside the help string must not have leaked a bare line.
+  EXPECT_EQ(text.find("second \"quoted\""), text.rfind("second \"quoted\""));
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = text.substr(pos, eol - pos);
+    EXPECT_TRUE(line.rfind("# ", 0) == 0 || line.rfind("a_total", 0) == 0)
+        << "stray exposition line: " << line;
+    pos = eol + 1;
+  }
+}
+
 TEST(MetricsSnapshotTest, HistogramBucketsAreCumulative) {
   MetricsSnapshot snapshot;
   obs::LatencyHistogram histogram;
