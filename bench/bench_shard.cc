@@ -1,0 +1,141 @@
+// Sharded data plane microbenchmark: the same LUBM federation served by
+// 1, 2, and 4 subject-hash shards per logical endpoint, queried through
+// the engine with a warm shared cache. Reports the scatter-gather cost
+// of fanout (requests, rows, wall time) as shard count grows, plus the
+// direct-endpoint scatter latency and the subject-constant single-shard
+// fast path. Each engine-level run dumps BENCH_shard_*.json.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cache/federation_cache.h"
+#include "core/lusail_engine.h"
+#include "net/sparql_endpoint.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_endpoint.h"
+#include "store/triple_store.h"
+#include "workload/federation_builder.h"
+#include "workload/lubm_generator.h"
+
+namespace lusail {
+namespace {
+
+/// One LUBM federation whose every endpoint is an N-shard
+/// ShardedEndpoint over in-process members, with a shared cache warmed
+/// by one untimed pass.
+struct ShardedFixture {
+  cache::FederationCache cache;
+  fed::Federation federation;
+  std::vector<std::shared_ptr<shard::ShardedEndpoint>> endpoints;
+  std::unique_ptr<core::LusailEngine> engine;
+};
+
+std::unique_ptr<store::TripleStore> StoreOf(
+    const std::vector<rdf::TermTriple>& triples) {
+  auto store = std::make_unique<store::TripleStore>();
+  for (const auto& triple : triples) store->Add(triple);
+  store->Freeze();
+  return store;
+}
+
+ShardedFixture* FixtureFor(size_t num_shards) {
+  static std::map<size_t, std::unique_ptr<ShardedFixture>> fixtures;
+  auto it = fixtures.find(num_shards);
+  if (it != fixtures.end()) return it->second.get();
+
+  auto fixture = std::make_unique<ShardedFixture>();
+  workload::LubmConfig config = workload::LubmConfig::Small();
+  std::vector<workload::EndpointSpec> specs =
+      workload::LubmGenerator(config).GenerateAll();
+  shard::ShardMap map = shard::ShardMap::HashRing(num_shards);
+  for (const auto& spec : specs) {
+    std::vector<std::vector<rdf::TermTriple>> slices(num_shards);
+    for (const auto& triple : spec.triples) {
+      slices[map.ShardOfSubject(triple.subject)].push_back(triple);
+    }
+    std::vector<std::shared_ptr<net::Endpoint>> members;
+    for (size_t i = 0; i < slices.size(); ++i) {
+      members.push_back(std::make_shared<net::SparqlEndpoint>(
+          spec.id + "#" + std::to_string(i), StoreOf(slices[i]),
+          net::LatencyModel::None()));
+    }
+    shard::ShardedEndpointOptions options;
+    options.cache = &fixture->cache;
+    auto endpoint = std::make_shared<shard::ShardedEndpoint>(
+        spec.id, map, std::move(members), options);
+    fixture->endpoints.push_back(endpoint);
+    fixture->federation.Add(endpoint);
+  }
+  fixture->federation.set_query_cache(&fixture->cache);
+  fixture->engine =
+      std::make_unique<core::LusailEngine>(&fixture->federation);
+
+  ShardedFixture* raw = fixture.get();
+  fixtures.emplace(num_shards, std::move(fixture));
+  return raw;
+}
+
+/// Engine-level LUBM Qa at 1/2/4 shards, warm cache (RunFederatedQuery's
+/// untimed warm-up fills the verdict/count tiers before timing starts).
+void BM_ShardedLubmQa(benchmark::State& state) {
+  ShardedFixture* fixture = FixtureFor(static_cast<size_t>(state.range(0)));
+  bench::RunFederatedQuery(
+      state, fixture->engine.get(), workload::LubmGenerator::QueryQa(),
+      "shard_lubm_qa_" + std::to_string(state.range(0)) + "shards");
+  shard::ShardedEndpointStats stats = fixture->endpoints[0]->stats();
+  state.counters["fanout"] = static_cast<double>(stats.fanout_requests);
+  state.counters["pruned"] = static_cast<double>(stats.pruned_shards);
+}
+BENCHMARK(BM_ShardedLubmQa)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Direct scatter-gather latency of one full-scan star, no engine.
+void BM_ShardScatterScan(benchmark::State& state) {
+  ShardedFixture* fixture = FixtureFor(static_cast<size_t>(state.range(0)));
+  const std::string text =
+      "SELECT ?x ?y WHERE { ?x "
+      "<http://swat.cse.lehigh.edu/onto/univ-bench.owl#advisor> ?y . }";
+  double rows = 0;
+  for (auto _ : state) {
+    auto response = fixture->endpoints[0]->Query(text);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    rows = static_cast<double>(response->RowCount());
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = rows;
+}
+BENCHMARK(BM_ShardScatterScan)->Arg(1)->Arg(2)->Arg(4);
+
+/// Subject-constant lookup: routing must hit exactly one shard, so the
+/// latency should stay flat as the shard count grows.
+void BM_ShardSubjectConstant(benchmark::State& state) {
+  ShardedFixture* fixture = FixtureFor(static_cast<size_t>(state.range(0)));
+  const std::string text =
+      "SELECT ?p ?o WHERE { "
+      "<http://www.Department0.University0.edu/FullProfessor0> ?p ?o . }";
+  for (auto _ : state) {
+    auto response = fixture->endpoints[0]->Query(text);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(response->RowCount());
+  }
+  shard::ShardedEndpointStats stats = fixture->endpoints[0]->stats();
+  state.counters["single_shard"] =
+      static_cast<double>(stats.single_shard_queries);
+}
+BENCHMARK(BM_ShardSubjectConstant)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace lusail
+
+BENCHMARK_MAIN();

@@ -36,13 +36,38 @@
 //                         ReplicaGroup with health-checked failover and
 //                         hedged requests (replicas get ids id#0, id#1,
 //                         ...)
+//   --shards <spec>       add a *sharded* logical endpoint: N endpointd
+//                         processes each holding the slice of one dataset
+//                         the subject hash ring assigns them. <spec> is
+//                         host:port,host:port,...=logical-id where each
+//                         comma-separated member is addr[|addr...][^token]
+//                         ('|' makes that shard a ReplicaGroup, '^token'
+//                         switches to explicit-token routing, e.g. LUBM
+//                         per-university files). Repeatable. Queries
+//                         scatter-gather across the shards with
+//                         subject-constant routing and cached-verdict
+//                         pruning; see DESIGN.md "Sharded data plane".
+//   --partial-results     when a shard member fails mid-query, drop its
+//                         contribution and return a lower-bound answer
+//                         (the profile reports partial) instead of
+//                         failing the whole query
+//   --shard-split <file>  loader mode: split the N-Triples file into
+//                         --shard-count chunks by the same subject hash
+//                         ring the routing uses, write them next to
+//                         --shard-out (default: alongside the input) as
+//                         <stem>.shard<k>.nt, and exit
+//   --shard-count <n>     number of chunks for --shard-split (default 4)
+//   --shard-out <dir>     output directory for --shard-split
 //   --retry <n>           enable the standard retry policy with n
 //                         attempts per request (0 = off, the default)
 //   --cache-file <path>   persist the shared cross-query cache across
 //                         runs: warm-load the snapshot before the query
 //                         and save it back afterwards (implies attaching
 //                         the shared cache), so a repeated query needs
-//                         zero cold ASK probes
+//                         zero cold ASK probes. The engine's term
+//                         dictionary snapshots alongside it (<path>.dict),
+//                         so a warm restart keeps interned TermIds and
+//                         content hashes stable across runs.
 //   --format tsv|srj      result output format (default tsv; srj is
 //                         SPARQL 1.1 JSON Results, the wire format)
 //   --metrics-port <n>    serve a federator-side stats listener on port n
@@ -63,11 +88,14 @@
 // given. Results are printed as TSV (or SRJ), followed by the execution
 // profile.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "baselines/fedx_engine.h"
 #include "baselines/splendid_engine.h"
@@ -83,6 +111,8 @@
 #include "rpc/http_server.h"
 #include "rpc/http_sparql_endpoint.h"
 #include "rpc/results_json.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_endpoint.h"
 #include "workload/federation_builder.h"
 #include "workload/lrb_generator.h"
 #include "workload/lubm_generator.h"
@@ -101,6 +131,11 @@ struct CliOptions {
   std::string query_file;
   std::string trace_file;
   std::string remote;
+  std::vector<std::string> shards;
+  std::string shard_split_file;
+  std::string shard_out_dir;
+  size_t shard_count = 4;
+  bool partial_results = false;
   std::string cache_file;
   std::string format = "tsv";
   double timeout_ms = 60000;
@@ -122,6 +157,10 @@ int Usage() {
                "                  [--explain-json] [--trace <file>]\n"
                "                  [--cache-stats] [--deadline-ms <ms>]\n"
                "                  [--remote host:port[|host:port...]=id,...]\n"
+               "                  [--shards host:port,host:port,...=id]\n"
+               "                  [--partial-results]\n"
+               "                  [--shard-split <file.nt> [--shard-count <n>]\n"
+               "                   [--shard-out <dir>]]\n"
                "                  [--retry <n>] [--cache-file <path>]\n"
                "                  [--format tsv|srj] [--metrics-port <n>]\n"
                "                  [--slow-ms <n>] [--log-json]\n"
@@ -188,6 +227,81 @@ Result<std::unique_ptr<fed::Federation>> BuildRemoteFederation(
     return Status::InvalidArgument("--remote lists no endpoints");
   }
   return federation;
+}
+
+/// Builds one sharded logical endpoint from a --shards spec: every member
+/// becomes an HTTP client endpoint (or a ReplicaGroup of them when the
+/// member lists several '|'-joined addresses) behind a scatter-gather
+/// ShardedEndpoint facade.
+Result<std::shared_ptr<shard::ShardedEndpoint>> BuildShardedEndpoint(
+    const std::string& spec_text, cache::FederationCache* cache,
+    bool partial_results) {
+  auto spec = shard::ParseShardsArg(spec_text);
+  if (!spec.ok()) return spec.status();
+  std::vector<std::shared_ptr<net::Endpoint>> members;
+  for (const shard::ShardMemberSpec& member : spec->members) {
+    if (member.addresses.size() == 1) {
+      auto parsed = ParseHostPort(member.addresses[0], spec_text);
+      if (!parsed.ok()) return parsed.status();
+      members.push_back(std::make_shared<rpc::HttpSparqlEndpoint>(
+          member.id, parsed->first, parsed->second));
+      continue;
+    }
+    std::vector<std::shared_ptr<net::Endpoint>> replicas;
+    for (size_t r = 0; r < member.addresses.size(); ++r) {
+      auto parsed = ParseHostPort(member.addresses[r], spec_text);
+      if (!parsed.ok()) return parsed.status();
+      replicas.push_back(std::make_shared<rpc::HttpSparqlEndpoint>(
+          member.id + "@" + std::to_string(r), parsed->first, parsed->second));
+    }
+    members.push_back(
+        std::make_shared<net::ReplicaGroup>(member.id, std::move(replicas)));
+  }
+  shard::ShardedEndpointOptions shard_options;
+  shard_options.partial_results = partial_results;
+  shard_options.cache = cache;
+  return std::make_shared<shard::ShardedEndpoint>(
+      spec->logical_id, spec->Map(), std::move(members), shard_options);
+}
+
+/// Loader mode: split an N-Triples file into shard_count chunks by the
+/// same subject ring the routing uses, writing <stem>.shard<k>.nt.
+int RunShardSplit(const CliOptions& options) {
+  std::ifstream in(options.shard_split_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n",
+                 options.shard_split_file.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  shard::ShardMap map = shard::ShardMap::HashRing(options.shard_count);
+  auto chunks = shard::SplitNTriples(buffer.str(), map);
+  if (!chunks.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 chunks.status().ToString().c_str());
+    return 1;
+  }
+  std::filesystem::path input(options.shard_split_file);
+  std::filesystem::path dir = options.shard_out_dir.empty()
+                                  ? input.parent_path()
+                                  : std::filesystem::path(options.shard_out_dir);
+  std::string stem = input.stem().string();
+  for (size_t k = 0; k < chunks->size(); ++k) {
+    std::filesystem::path out_path =
+        dir / (stem + ".shard" + std::to_string(k) + ".nt");
+    std::ofstream out(out_path);
+    out << (*chunks)[k];
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.string().c_str());
+      return 1;
+    }
+    size_t lines = static_cast<size_t>(
+        std::count((*chunks)[k].begin(), (*chunks)[k].end(), '\n'));
+    std::fprintf(stderr, "# wrote %s (%zu triples)\n",
+                 out_path.string().c_str(), lines);
+  }
+  return 0;
 }
 
 std::vector<workload::EndpointSpec> MakeWorkload(const std::string& name) {
@@ -262,6 +376,24 @@ int main(int argc, char** argv) {
       if (!next(&options.trace_file)) return Usage();
     } else if (arg == "--remote") {
       if (!next(&options.remote)) return Usage();
+    } else if (arg == "--shards") {
+      std::string spec;
+      if (!next(&spec)) return Usage();
+      options.shards.push_back(std::move(spec));
+    } else if (arg == "--partial-results") {
+      options.partial_results = true;
+    } else if (arg == "--shard-split") {
+      if (!next(&options.shard_split_file)) return Usage();
+    } else if (arg == "--shard-out") {
+      if (!next(&options.shard_out_dir)) return Usage();
+    } else if (arg == "--shard-count") {
+      std::string v;
+      if (!next(&v)) return Usage();
+      options.shard_count = std::strtoul(v.c_str(), nullptr, 10);
+      if (options.shard_count == 0) {
+        std::fprintf(stderr, "--shard-count must be >= 1\n");
+        return Usage();
+      }
     } else if (arg == "--format") {
       if (!next(&options.format)) return Usage();
       if (options.format != "tsv" && options.format != "srj") {
@@ -298,6 +430,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!options.shard_split_file.empty()) return RunShardSplit(options);
+
   if (!options.export_dir.empty()) {
     auto specs = MakeWorkload(options.workload);
     Status status = workload::ExportFederation(specs, options.export_dir);
@@ -310,6 +444,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Shared cross-query cache: one process-wide instance every engine on
+  // this federation consults for ASK verdicts, COUNT probes, and (for
+  // Lusail with result_cache) subquery result tables. Declared before the
+  // federation so sharded endpoints can prune through it.
+  cache::FederationCache shared_cache;
+
   // Build the federation.
   std::unique_ptr<fed::Federation> federation;
   if (!options.remote.empty()) {
@@ -319,6 +459,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     federation = std::move(built).value();
+  } else if (!options.shards.empty() && options.directory.empty()) {
+    // --shards with no --remote/--dir: the sharded endpoints added below
+    // are the whole federation.
+    federation = std::make_unique<fed::Federation>();
   } else if (!options.directory.empty()) {
     auto loaded = workload::LoadFederationFromDirectory(
         options.directory, MakeLatency(options.latency));
@@ -331,12 +475,25 @@ int main(int argc, char** argv) {
     federation = workload::BuildFederation(MakeWorkload(options.workload),
                                            MakeLatency(options.latency));
   }
+
+  // Sharded logical endpoints join whatever federation was built above.
+  std::vector<shard::ShardedEndpoint*> sharded_endpoints;
+  for (const std::string& spec_text : options.shards) {
+    auto sharded = BuildShardedEndpoint(spec_text, &shared_cache,
+                                        options.partial_results);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "%s\n", sharded.status().ToString().c_str());
+      return 1;
+    }
+    sharded_endpoints.push_back(sharded->get());
+    federation->Add(*sharded);
+  }
+  if (federation->size() == 0) {
+    std::fprintf(stderr, "federation has no endpoints\n");
+    return 1;
+  }
   std::fprintf(stderr, "# federation: %zu endpoints\n", federation->size());
 
-  // Shared cross-query cache: one process-wide instance every engine on
-  // this federation consults for ASK verdicts, COUNT probes, and (for
-  // Lusail with result_cache) subquery result tables.
-  cache::FederationCache shared_cache;
   if (options.cache_stats || !options.cache_file.empty()) {
     federation->set_query_cache(&shared_cache);
   }
@@ -375,6 +532,19 @@ int main(int argc, char** argv) {
             resilient->ExportMetrics(snapshot);
           } else if (auto* group = dynamic_cast<net::ReplicaGroup*>(endpoint)) {
             group->ExportMetrics(snapshot);
+          } else if (auto* sharded =
+                         dynamic_cast<shard::ShardedEndpoint*>(endpoint)) {
+            sharded->ExportMetrics(snapshot);
+            for (size_t m = 0; m < sharded->NumShards(); ++m) {
+              net::Endpoint* member = sharded->member(m);
+              if (auto* http =
+                      dynamic_cast<rpc::HttpSparqlEndpoint*>(member)) {
+                http->ExportMetrics(snapshot);
+              } else if (auto* member_group =
+                             dynamic_cast<net::ReplicaGroup*>(member)) {
+                member_group->ExportMetrics(snapshot);
+              }
+            }
           }
         }
         if (federation->query_cache() != nullptr) {
@@ -436,6 +606,23 @@ int main(int argc, char** argv) {
   if (options.engine == "lade") lusail_options.enable_sape = false;
   core::LusailEngine lusail(federation.get(), lusail_options);
   metered_engine = &lusail;
+  // Warm-load the engine dictionary snapshot: interned TermIds and
+  // content hashes stay stable across restarts, keeping id-derived state
+  // (persisted cache fingerprints, logged ids) meaningful.
+  std::string dict_file =
+      options.cache_file.empty() ? "" : options.cache_file + ".dict";
+  if (!dict_file.empty()) {
+    auto restored = lusail.dictionary()->LoadFromDisk(dict_file);
+    if (restored.ok()) {
+      std::fprintf(stderr, "# dictionary: warm-loaded %llu terms from %s\n",
+                   static_cast<unsigned long long>(*restored),
+                   dict_file.c_str());
+    } else if (restored.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "# dictionary: ignoring snapshot %s: %s\n",
+                   dict_file.c_str(),
+                   restored.status().ToString().c_str());
+    }
+  }
   if (options.engine == "lusail" || options.engine == "lade") {
     // ID-space fast path for remote federations: HTTP responses parse
     // straight into the engine dictionary (SRJ -> IdTable) and reach the
@@ -446,6 +633,18 @@ int main(int argc, char** argv) {
       if (auto* http = dynamic_cast<rpc::HttpSparqlEndpoint*>(
               federation->endpoint(i))) {
         http->set_parse_dictionary(lusail.dictionary());
+      } else if (auto* sharded = dynamic_cast<shard::ShardedEndpoint*>(
+                     federation->endpoint(i))) {
+        // The gather site unions into the engine dictionary, and member
+        // responses parse straight into it too, so scattered subquery
+        // rows reach SAPE with zero re-encoding.
+        sharded->set_parse_dictionary(lusail.dictionary());
+        for (size_t m = 0; m < sharded->NumShards(); ++m) {
+          if (auto* member_http = dynamic_cast<rpc::HttpSparqlEndpoint*>(
+                  sharded->member(m))) {
+            member_http->set_parse_dictionary(lusail.dictionary());
+          }
+        }
       }
     }
   }
@@ -525,6 +724,25 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "# %zu rows (engine: %s)\n", result->table.NumRows(),
                engine->name().c_str());
   PrintProfile(result->profile);
+  // One Prometheus-style line per shard counter, so scripts (and CI) can
+  // assert on routing behavior without scraping a metrics port.
+  for (const shard::ShardedEndpoint* sharded : sharded_endpoints) {
+    shard::ShardedEndpointStats s = sharded->stats();
+    const char* id = sharded->id().c_str();
+    std::fprintf(stderr,
+                 "# lusail_shard_queries_total{endpoint=\"%s\"} %llu\n"
+                 "# lusail_shard_fanout_total{endpoint=\"%s\"} %llu\n"
+                 "# lusail_shard_pruned_total{endpoint=\"%s\"} %llu\n"
+                 "# lusail_shard_single_total{endpoint=\"%s\"} %llu\n"
+                 "# lusail_shard_broadcast_total{endpoint=\"%s\"} %llu\n"
+                 "# lusail_shard_partial_total{endpoint=\"%s\"} %llu\n",
+                 id, static_cast<unsigned long long>(s.queries),
+                 id, static_cast<unsigned long long>(s.fanout_requests),
+                 id, static_cast<unsigned long long>(s.pruned_shards),
+                 id, static_cast<unsigned long long>(s.single_shard_queries),
+                 id, static_cast<unsigned long long>(s.broadcast_fallbacks),
+                 id, static_cast<unsigned long long>(s.partial_queries));
+  }
   if (engine == &lusail) {
     core::DictionaryStats dict_stats = lusail.dictionary()->GetStats();
     std::fprintf(
@@ -566,6 +784,16 @@ int main(int argc, char** argv) {
                    options.cache_file.c_str());
     } else {
       std::fprintf(stderr, "# cache: snapshot save failed: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
+  if (!dict_file.empty()) {
+    Status saved = lusail.dictionary()->SaveToDisk(dict_file);
+    if (saved.ok()) {
+      std::fprintf(stderr, "# dictionary: snapshot saved to %s\n",
+                   dict_file.c_str());
+    } else {
+      std::fprintf(stderr, "# dictionary: snapshot save failed: %s\n",
                    saved.ToString().c_str());
     }
   }

@@ -14,6 +14,15 @@
 //                         truncated responses carry X-Lusail-Truncated)
 //   --latency none|local|geo   extra simulated latency (default none —
 //                         a real server already has real latency)
+//   --num-shards <n>      serve one shard of a sharded logical endpoint:
+//                         keep only the triples whose subject the
+//                         consistent-hash ring over n shards assigns to
+//                         this process (requires --shard-index)
+//   --shard-index <k>     which of the n shards this process serves
+//                         (0-based). The ring is keyed by shard index
+//                         only, so every process that agrees on n derives
+//                         the same assignment as the federator's
+//                         --shards routing — no shared state needed.
 //   --cache-file <path>   crash-safe ASK-verdict cache: warm-load the
 //                         snapshot at startup, memoize ASK verdicts
 //                         while serving, and save the snapshot back on
@@ -47,12 +56,17 @@
 #include <cstring>
 #include <filesystem>
 
+#include <fstream>
+#include <sstream>
+
 #include "cache/cached_endpoint.h"
 #include "cache/federation_cache.h"
 #include "net/sparql_endpoint.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "rdf/ntriples.h"
 #include "rpc/http_server.h"
+#include "shard/shard_map.h"
 #include "store/triple_store.h"
 
 namespace {
@@ -65,6 +79,7 @@ int Usage() {
                "                        [--port <n>] [--bind <address>]\n"
                "                        [--threads <n>] [--max-rows <n>]\n"
                "                        [--latency none|local|geo]\n"
+               "                        [--num-shards <n> --shard-index <k>]\n"
                "                        [--cache-file <path>]\n"
                "                        [--slow-ms <n>] [--log-json]\n");
   return 2;
@@ -81,6 +96,8 @@ int main(int argc, char** argv) {
   std::string cache_file;
   rpc::HttpServerOptions server_options;
   std::string latency = "none";
+  size_t num_shards = 0;
+  long shard_index = -1;
   obs::FlightRecorderOptions recorder_options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -109,6 +126,12 @@ int main(int argc, char** argv) {
           std::strtoul(value.c_str(), nullptr, 10);
     } else if (arg == "--latency") {
       if (!next(&latency)) return Usage();
+    } else if (arg == "--num-shards") {
+      if (!next(&value)) return Usage();
+      num_shards = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (arg == "--shard-index") {
+      if (!next(&value)) return Usage();
+      shard_index = static_cast<long>(std::strtol(value.c_str(), nullptr, 10));
     } else if (arg == "--cache-file") {
       if (!next(&cache_file)) return Usage();
     } else if (arg == "--slow-ms") {
@@ -124,14 +147,62 @@ int main(int argc, char** argv) {
     }
   }
   if (data_file.empty()) return Usage();
-  if (id.empty()) id = std::filesystem::path(data_file).stem().string();
+  bool sharded = num_shards > 1 || shard_index >= 0;
+  if (sharded && (num_shards < 1 || shard_index < 0 ||
+                  static_cast<size_t>(shard_index) >= num_shards)) {
+    std::fprintf(stderr,
+                 "--num-shards/--shard-index must both be given with "
+                 "0 <= index < shards\n");
+    return Usage();
+  }
+  if (id.empty()) {
+    id = std::filesystem::path(data_file).stem().string();
+    if (sharded) id += "-shard" + std::to_string(shard_index);
+  }
 
   auto store = std::make_unique<store::TripleStore>();
-  Status loaded = store->LoadNTriplesFile(data_file);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", data_file.c_str(),
-                 loaded.ToString().c_str());
-    return 1;
+  if (sharded) {
+    // Keep only this shard's slice: the same ring the federator's
+    // --shards routing uses, so subject-routed subqueries always land on
+    // the process that holds the data.
+    std::ifstream in(data_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", data_file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    shard::ShardMap map = shard::ShardMap::HashRing(num_shards);
+    size_t total = 0, kept = 0;
+    std::string line;
+    std::istringstream lines(text);
+    while (std::getline(lines, line)) {
+      rdf::TermTriple triple;
+      bool has_triple = false;
+      Status status = rdf::ParseNTriplesLine(line, &triple, &has_triple);
+      if (!status.ok()) {
+        std::fprintf(stderr, "cannot load %s: %s\n", data_file.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+      if (!has_triple) continue;
+      ++total;
+      if (map.ShardOfSubject(triple.subject) ==
+          static_cast<size_t>(shard_index)) {
+        store->Add(triple);
+        ++kept;
+      }
+    }
+    std::fprintf(stderr, "# %s: shard %ld/%zu kept %zu of %zu triples\n",
+                 id.c_str(), shard_index, num_shards, kept, total);
+  } else {
+    Status loaded = store->LoadNTriplesFile(data_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", data_file.c_str(),
+                   loaded.ToString().c_str());
+      return 1;
+    }
   }
   store->Freeze();
   size_t triples = store->size();

@@ -235,6 +235,33 @@ void FederationCache::Invalidate(const std::string& endpoint_id) {
   verdicts_.InvalidateEndpoint(endpoint_id);
   counts_.InvalidateEndpoint(endpoint_id);
   results_.InvalidateEndpoint(endpoint_id);
+  // Logical endpoints fan out to their registered constituents: shard
+  // members and replicas key cache entries by their own member ids, and
+  // those entries describe the same underlying data.
+  std::vector<std::string> members;
+  {
+    std::lock_guard<std::mutex> lock(members_mu_);
+    auto it = members_.find(endpoint_id);
+    if (it != members_.end()) members = it->second;
+  }
+  for (const std::string& member : members) {
+    verdicts_.InvalidateEndpoint(member);
+    counts_.InvalidateEndpoint(member);
+    results_.InvalidateEndpoint(member);
+  }
+}
+
+void FederationCache::RegisterMemberIds(
+    const std::string& logical_id,
+    const std::vector<std::string>& member_ids) {
+  std::lock_guard<std::mutex> lock(members_mu_);
+  std::vector<std::string>& list = members_[logical_id];
+  for (const std::string& member : member_ids) {
+    if (member == logical_id) continue;  // Self-registration would recurse.
+    if (std::find(list.begin(), list.end(), member) == list.end()) {
+      list.push_back(member);
+    }
+  }
 }
 
 void FederationCache::AdvanceTimeForTesting(double ms) {

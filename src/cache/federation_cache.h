@@ -360,7 +360,18 @@ class FederationCache {
   /// Outdates every tier's entries derived from `endpoint_id` (call when
   /// the endpoint's store mutates). O(1): bumps the endpoint's
   /// generation; outdated entries are dropped lazily as Gets touch them.
+  /// When `endpoint_id` is a logical endpoint with registered members
+  /// (shard members, replicas), every member's generation is bumped too —
+  /// cached per-member verdicts must not outlive the logical endpoint's
+  /// data.
   void Invalidate(const std::string& endpoint_id);
+
+  /// Declares that `member_ids` are constituents of logical endpoint
+  /// `logical_id` (shard members, replica ids), so Invalidate(logical_id)
+  /// reaches entries keyed by any member id. Members accumulate across
+  /// calls; registering is idempotent.
+  void RegisterMemberIds(const std::string& logical_id,
+                         const std::vector<std::string>& member_ids);
 
   /// Shifts all tiers' clocks forward (deterministic TTL tests).
   void AdvanceTimeForTesting(double ms);
@@ -402,6 +413,9 @@ class FederationCache {
   LruTier<bool> verdicts_;
   LruTier<uint64_t> counts_;
   LruTier<sparql::ResultTable> results_;
+
+  mutable std::mutex members_mu_;
+  std::unordered_map<std::string, std::vector<std::string>> members_;
 };
 
 }  // namespace lusail::cache

@@ -1,5 +1,11 @@
 #include "core/dictionary.h"
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
 namespace lusail::core {
 
 namespace {
@@ -38,6 +44,256 @@ uint64_t HashTermContent(const rdf::Term& term) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------
+// Snapshot wire format (all integers little-endian):
+//
+//   8 bytes  magic "LUSDICTS"
+//   u32      version (currently 1)
+//   u64      shard count (must equal kShards)
+//   per shard:
+//     u64    number of terms, in insertion (id) order
+//       { u8 kind, u64 lexical length, lexical bytes,
+//         u64 datatype length, datatype bytes,
+//         u64 lang length, lang bytes } ...
+//   u64      FNV-1a 64 checksum of everything above
+// ---------------------------------------------------------------------
+
+constexpr char kDictMagic[8] = {'L', 'U', 'S', 'D', 'I', 'C', 'T', 'S'};
+constexpr uint32_t kDictSnapshotVersion = 1;
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU64(out, s.size());
+  out->append(s);
+}
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Bounds-checked little-endian reader (degrades to ok() == false rather
+/// than reading out of bounds).
+class DictReader {
+ public:
+  DictReader(const std::string& data, size_t pos, size_t end)
+      : data_(data), pos_(pos), end_(end) {}
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return static_cast<unsigned char>(data_[pos_++]);
+  }
+
+  uint32_t U32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::string Str() {
+    uint64_t length = U64();
+    if (!ok_ || !Require(length)) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s = data_.substr(pos_, length);
+    pos_ += length;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == end_; }
+
+ private:
+  bool Require(uint64_t bytes) {
+    if (!ok_ || bytes > end_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& data_;
+  size_t pos_;
+  size_t end_;
+  bool ok_ = true;
+};
+
+rdf::Term TermFromFields(uint8_t kind, std::string lexical,
+                         std::string datatype, std::string lang) {
+  switch (static_cast<rdf::TermKind>(kind)) {
+    case rdf::TermKind::kIri:
+      return rdf::Term::Iri(std::move(lexical));
+    case rdf::TermKind::kBlankNode:
+      return rdf::Term::BlankNode(std::move(lexical));
+    case rdf::TermKind::kLiteral:
+      if (!lang.empty()) {
+        return rdf::Term::LangLiteral(std::move(lexical), std::move(lang));
+      }
+      if (!datatype.empty()) {
+        return rdf::Term::TypedLiteral(std::move(lexical),
+                                       std::move(datatype));
+      }
+      return rdf::Term::Literal(std::move(lexical));
+  }
+  return rdf::Term();
+}
+
+}  // namespace
+
+Status TermDictionary::SaveToDisk(const std::string& path) const {
+  std::string buf;
+  buf.append(kDictMagic, sizeof(kDictMagic));
+  AppendU32(&buf, kDictSnapshotVersion);
+  AppendU64(&buf, kShards);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    AppendU64(&buf, shard.terms.size());
+    for (const rdf::Term& term : shard.terms) {
+      buf.push_back(static_cast<char>(term.kind()));
+      AppendString(&buf, term.lexical());
+      AppendString(&buf, term.datatype());
+      AppendString(&buf, term.lang());
+    }
+  }
+  AppendU64(&buf, Fnv1a64(buf.data(), buf.size()));
+
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot write dictionary snapshot " + tmp);
+    }
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal("short write to dictionary snapshot " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot move dictionary snapshot into place: " +
+                            path);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> TermDictionary::LoadFromDisk(const std::string& path) {
+  if (size() != 0) {
+    return Status::InvalidArgument(
+        "dictionary snapshot must load into an empty dictionary (ids are "
+        "only reproducible from a clean slate)");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no dictionary snapshot at " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  constexpr size_t kHeaderBytes = sizeof(kDictMagic) + 4;
+  constexpr size_t kFooterBytes = 8;
+  if (data.size() < kHeaderBytes + kFooterBytes) {
+    return Status::InvalidArgument("dictionary snapshot truncated: " + path);
+  }
+  if (std::memcmp(data.data(), kDictMagic, sizeof(kDictMagic)) != 0) {
+    return Status::InvalidArgument("not a dictionary snapshot: " + path);
+  }
+  size_t body_end = data.size() - kFooterBytes;
+  DictReader footer(data, body_end, data.size());
+  if (Fnv1a64(data.data(), body_end) != footer.U64()) {
+    return Status::InvalidArgument("dictionary snapshot checksum mismatch: " +
+                                   path);
+  }
+  DictReader reader(data, sizeof(kDictMagic), body_end);
+  uint32_t version = reader.U32();
+  if (version != kDictSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported dictionary snapshot version " + std::to_string(version) +
+        ": " + path);
+  }
+  if (reader.U64() != kShards) {
+    return Status::InvalidArgument(
+        "dictionary snapshot has an incompatible shard count: " + path);
+  }
+
+  // Parse and validate everything before touching the dictionary, so a
+  // malformed snapshot leaves it untouched (and still loadable later).
+  std::vector<std::vector<rdf::Term>> parsed(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    uint64_t n = reader.U64();
+    parsed[s].reserve(reader.ok() ? n : 0);
+    for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+      uint8_t kind = reader.U8();
+      std::string lexical = reader.Str();
+      std::string datatype = reader.Str();
+      std::string lang = reader.Str();
+      if (!reader.ok()) break;
+      if (kind > static_cast<uint8_t>(rdf::TermKind::kBlankNode)) {
+        return Status::InvalidArgument(
+            "dictionary snapshot has an unknown term kind: " + path);
+      }
+      rdf::Term term = TermFromFields(kind, std::move(lexical),
+                                      std::move(datatype), std::move(lang));
+      if (ShardOf(term) != s) {
+        return Status::InvalidArgument(
+            "dictionary snapshot term hashes to the wrong shard (stale or "
+            "corrupt snapshot): " + path);
+      }
+      parsed[s].push_back(std::move(term));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("malformed dictionary snapshot: " + path);
+  }
+
+  uint64_t restored = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (rdf::Term& term : parsed[s]) {
+      rdf::TermId id = (static_cast<rdf::TermId>(shard.terms.size()) << 4) |
+                       static_cast<rdf::TermId>(s);
+      shard.hashes.push_back(HashTermContent(term));
+      shard.bytes += TermBytes(term);
+      shard.ids.emplace(term, id);
+      shard.terms.push_back(std::move(term));
+      ++restored;
+    }
+  }
+  return restored;
+}
 
 TermDictionary::TermDictionary()
     : epoch_(EpochCounter().fetch_add(1, std::memory_order_relaxed)) {}

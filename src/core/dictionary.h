@@ -91,6 +91,23 @@ class TermDictionary {
   void ExportMetrics(obs::MetricsSnapshot* snapshot,
                      const std::string& subsystem) const;
 
+  // --- Crash-safe persistence (warm endpointd restarts) ---
+
+  /// Writes a versioned, checksummed binary snapshot of every interned
+  /// term to `path` (atomically: tmp file + rename), preserving per-shard
+  /// insertion order so a LoadFromDisk into a fresh dictionary reproduces
+  /// the identical TermId for every term — id-derived state that survived
+  /// the restart (persisted caches, logged ids) stays meaningful.
+  Status SaveToDisk(const std::string& path) const;
+
+  /// Restores a SaveToDisk snapshot. The dictionary must be empty (ids
+  /// are only reproducible from a clean slate); unknown magic, version
+  /// mismatches, truncation, checksum mismatches, and terms that no
+  /// longer hash to their recorded shard are rejected without touching
+  /// the dictionary. Content hashes are recomputed, so equal terms keep
+  /// equal hashes across save/load. Returns the number of terms restored.
+  Result<uint64_t> LoadFromDisk(const std::string& path);
+
  private:
   static constexpr size_t kShards = 16;
   static constexpr uint64_t kShardMask = kShards - 1;

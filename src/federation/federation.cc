@@ -120,6 +120,14 @@ Result<net::QueryResponse> Federation::ExecuteResponse(
   if (metrics != nullptr) {
     metrics->RecordExchange(response.ok() ? &*response : nullptr, is_ask,
                             outcome);
+    // A sharded endpoint answering in partial-results mode names the
+    // members it dropped; fold them into the profile's failed-endpoint
+    // set so the caller sees the answer is a lower bound.
+    if (response.ok()) {
+      for (const std::string& member : response->degraded_members) {
+        metrics->RecordEndpointDropped(member);
+      }
+    }
   }
 
   if (stats_ != nullptr) {
@@ -160,6 +168,11 @@ Result<net::QueryResponse> Federation::ExecuteResponse(
       }
       if (response->hedged) {
         tracer->Annotate(span, "replica.hedged", true);
+      }
+      if (!response->degraded_members.empty()) {
+        tracer->Annotate(
+            span, "shard.degraded_members",
+            static_cast<uint64_t>(response->degraded_members.size()));
       }
       if (response->transport.over_network) {
         const net::TransportInfo& t = response->transport;

@@ -5,6 +5,7 @@
 
 #include "cache/federation_cache.h"
 #include "net/replica.h"
+#include "shard/sharded_endpoint.h"
 
 namespace lusail::fed {
 
@@ -35,14 +36,18 @@ Result<std::vector<std::vector<int>>> SourceSelector::SelectSources(
   };
   std::vector<Probe> probes;
 
-  // Replica-group health consult: a group whose every replica has an
-  // open breaker cannot answer a probe, so don't spend deadline budget
+  // Replica-group / shard health consult: a group whose every replica
+  // has an open breaker — or a sharded endpoint whose every shard is
+  // known-dead — cannot answer a probe, so don't spend deadline budget
   // asking. Evaluated once per endpoint, not per pattern.
   std::vector<bool> group_dead(num_eps, false);
   for (size_t ei = 0; ei < num_eps; ++ei) {
     if (const auto* group =
             dynamic_cast<const net::ReplicaGroup*>(federation_->endpoint(ei))) {
       group_dead[ei] = !group->HasAvailableReplica();
+    } else if (const auto* sharded = dynamic_cast<const shard::ShardedEndpoint*>(
+                   federation_->endpoint(ei))) {
+      group_dead[ei] = !sharded->HasAvailableShard();
     }
   }
 

@@ -55,6 +55,13 @@ struct QueryResponse {
   /// a hedged (duplicate) request was launched while this one ran.
   std::string served_by;
   bool hedged = false;
+
+  /// Shard bookkeeping, filled by shard::ShardedEndpoint in
+  /// partial-results mode: ids of the shard members whose contribution
+  /// was dropped because the member failed mid-scatter. Non-empty means
+  /// this response is a lower bound of the exact answer; Federation folds
+  /// the ids into the query profile's failed-endpoint set.
+  std::vector<std::string> degraded_members;
 };
 
 /// Abstract SPARQL endpoint. Federated engines interact with endpoints

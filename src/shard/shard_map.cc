@@ -1,0 +1,233 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace lusail::shard {
+
+uint64_t StableHash64(std::string_view data) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis.
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;  // FNV-1a prime.
+  }
+  return hash;
+}
+
+namespace {
+
+std::vector<ShardMap::RingPoint> BuildRing(size_t num_shards, size_t vnodes);
+
+}  // namespace
+
+ShardMap ShardMap::HashRing(size_t num_shards, size_t vnodes) {
+  ShardMap map;
+  map.mode_ = ShardMode::kHashRing;
+  map.num_shards_ = num_shards == 0 ? 1 : num_shards;
+  map.ring_ = BuildRing(map.num_shards_, vnodes);
+  return map;
+}
+
+Result<ShardMap> ShardMap::Tokens(std::vector<std::string> tokens,
+                                  size_t vnodes) {
+  for (const std::string& token : tokens) {
+    if (token.empty()) {
+      return Status::InvalidArgument("shard token must be non-empty");
+    }
+  }
+  ShardMap map;
+  map.mode_ = ShardMode::kTokens;
+  map.num_shards_ = tokens.empty() ? 1 : tokens.size();
+  map.tokens_ = std::move(tokens);
+  // Strays (subjects matching no token) fall back to this ring, keeping
+  // the loader and the router consistent without a catch-all member.
+  map.ring_ = BuildRing(map.num_shards_, vnodes);
+  return map;
+}
+
+namespace {
+
+std::vector<ShardMap::RingPoint> BuildRing(size_t num_shards, size_t vnodes) {
+  if (vnodes == 0) vnodes = 1;
+  std::vector<ShardMap::RingPoint> ring;
+  ring.reserve(num_shards * vnodes);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    for (size_t v = 0; v < vnodes; ++v) {
+      std::string key =
+          "shard" + std::to_string(shard) + "#" + std::to_string(v);
+      ring.push_back(ShardMap::RingPoint{StableHash64(key),
+                                         static_cast<uint32_t>(shard)});
+    }
+  }
+  std::sort(ring.begin(), ring.end());
+  return ring;
+}
+
+}  // namespace
+
+size_t ShardMap::RingShardOf(uint64_t hash) const {
+  // First ring point at or after the subject's hash, wrapping past the
+  // top of the ring back to the first point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), RingPoint{hash, 0},
+      [](const RingPoint& a, const RingPoint& b) { return a.hash < b.hash; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+size_t ShardMap::ShardOfSubjectText(std::string_view subject_ntriples) const {
+  if (num_shards_ <= 1) return 0;
+  if (mode_ == ShardMode::kTokens) {
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      if (subject_ntriples.find(tokens_[i]) != std::string_view::npos) {
+        return i;
+      }
+    }
+  }
+  return RingShardOf(StableHash64(subject_ntriples));
+}
+
+size_t ShardMap::ShardOfSubject(const rdf::Term& subject) const {
+  return ShardOfSubjectText(subject.ToString());
+}
+
+ShardMap ShardSpec::Map() const {
+  bool tokens = !members.empty() && !members.front().token.empty();
+  if (tokens) {
+    std::vector<std::string> list;
+    list.reserve(members.size());
+    for (const ShardMemberSpec& member : members) list.push_back(member.token);
+    auto map = ShardMap::Tokens(std::move(list));
+    if (map.ok()) return *std::move(map);  // Parser validated the tokens.
+  }
+  return ShardMap::HashRing(members.size());
+}
+
+namespace {
+
+std::vector<std::string> SplitOn(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool IsHostPort(std::string_view addr) {
+  size_t colon = addr.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == addr.size()) {
+    return false;
+  }
+  for (size_t i = colon + 1; i < addr.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(addr[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ShardSpec> ParseShardsArg(const std::string& arg) {
+  size_t eq = arg.rfind('=');
+  if (eq == std::string::npos || eq + 1 == arg.size()) {
+    return Status::InvalidArgument("--shards spec missing '=logical-id': '" +
+                                   arg + "'");
+  }
+  ShardSpec spec;
+  spec.logical_id = arg.substr(eq + 1);
+  std::string members_text = arg.substr(0, eq);
+  if (members_text.empty()) {
+    return Status::InvalidArgument("--shards spec has no members: '" + arg +
+                                   "'");
+  }
+  size_t with_token = 0;
+  for (const std::string& member_text : SplitOn(members_text, ',')) {
+    if (member_text.empty()) {
+      return Status::InvalidArgument(
+          "--shards spec has an empty member (stray comma): '" + members_text +
+          "'");
+    }
+    ShardMemberSpec member;
+    std::string addresses_text = member_text;
+    size_t caret = member_text.find('^');
+    if (caret != std::string::npos) {
+      member.token = member_text.substr(caret + 1);
+      addresses_text = member_text.substr(0, caret);
+      if (member.token.empty() ||
+          member.token.find('^') != std::string::npos) {
+        return Status::InvalidArgument("--shards member has a malformed "
+                                       "'^token' suffix: '" +
+                                       member_text + "'");
+      }
+      ++with_token;
+    }
+    for (const std::string& addr : SplitOn(addresses_text, '|')) {
+      if (!IsHostPort(addr)) {
+        return Status::InvalidArgument(
+            "--shards address is not host:port: '" + addr + "'");
+      }
+      member.addresses.push_back(addr);
+    }
+    std::sort(member.addresses.begin(), member.addresses.end());
+    spec.members.push_back(std::move(member));
+  }
+  if (with_token != 0 && with_token != spec.members.size()) {
+    return Status::InvalidArgument(
+        "--shards spec mixes '^token' and tokenless members: '" +
+        members_text + "'");
+  }
+  // Lexicographic member order fixes the shard indices, so the same host
+  // list in any order produces the identical assignment.
+  std::sort(spec.members.begin(), spec.members.end(),
+            [](const ShardMemberSpec& a, const ShardMemberSpec& b) {
+              return a.addresses < b.addresses;
+            });
+  std::set<std::string> seen;
+  for (size_t i = 0; i < spec.members.size(); ++i) {
+    spec.members[i].id = spec.logical_id + "#" + std::to_string(i);
+    for (const std::string& addr : spec.members[i].addresses) {
+      if (!seen.insert(addr).second) {
+        return Status::InvalidArgument(
+            "--shards address appears twice: '" + addr + "'");
+      }
+    }
+  }
+  return spec;
+}
+
+Result<std::vector<std::string>> SplitNTriples(std::string_view text,
+                                               const ShardMap& map) {
+  std::vector<std::string> chunks(map.NumShards());
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = end == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    if (!line.empty()) {
+      rdf::TermTriple triple;
+      bool has_triple = false;
+      Status status = rdf::ParseNTriplesLine(line, &triple, &has_triple);
+      if (!status.ok()) return status;
+      if (has_triple) {
+        std::string& chunk = chunks[map.ShardOfSubject(triple.subject)];
+        chunk.append(triple.ToString());
+        chunk.push_back('\n');
+      }
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return chunks;
+}
+
+}  // namespace lusail::shard

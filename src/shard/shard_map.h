@@ -1,0 +1,135 @@
+#ifndef LUSAIL_SHARD_SHARD_MAP_H_
+#define LUSAIL_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+
+namespace lusail::shard {
+
+/// 64-bit FNV-1a over `data`. The shard layer's only hash: it is defined
+/// by the algorithm (not by std::hash), so a loader process splitting an
+/// N-Triples file and a federator process routing subqueries agree on
+/// subject placement even across builds and machines.
+uint64_t StableHash64(std::string_view data);
+
+/// How a ShardMap assigns subjects to shards.
+enum class ShardMode {
+  kHashRing,  ///< Consistent hashing over the subject's N-Triples form.
+  kTokens,    ///< Explicit ranges: first member whose token matches wins.
+};
+
+/// Deterministic subject-to-shard assignment for one logical endpoint
+/// split into N shards.
+///
+/// Hash-ring mode places `vnodes` points per shard on a 64-bit ring keyed
+/// only by the shard *index* ("shard<k>#<v>"), so every process that
+/// agrees on N — the loader splitting the file, each endpointd filtering
+/// its slice, the federator routing subqueries — derives the identical
+/// assignment with no shared state. Callers that build a map from a host
+/// list must fix the index order first (ParseShardsArg sorts member
+/// addresses lexicographically), which is what makes the assignment
+/// independent of the order hosts were listed in.
+///
+/// Token mode captures partitioned datasets whose file layout already
+/// names the partition — LUBM's per-university files, where subject IRIs
+/// embed ".University<u>." mid-string. The first member whose token is a
+/// substring of the subject's N-Triples form owns the subject; subjects
+/// matching no token fall back to the hash ring over the same N, so the
+/// loader and the router still agree on strays.
+class ShardMap {
+ public:
+  /// Hash-ring map over `num_shards` shards. `num_shards` must be >= 1.
+  static ShardMap HashRing(size_t num_shards, size_t vnodes = 64);
+
+  /// Token map: shard k owns subjects containing `tokens[k]`. Tokens must
+  /// be non-empty; earlier tokens win on overlap.
+  static Result<ShardMap> Tokens(std::vector<std::string> tokens,
+                                 size_t vnodes = 64);
+
+  size_t NumShards() const { return num_shards_; }
+  ShardMode mode() const { return mode_; }
+
+  /// The shard owning `subject`. Deterministic: same term, same N, same
+  /// tokens => same answer in every process.
+  size_t ShardOfSubject(const rdf::Term& subject) const;
+
+  /// The shard owning the subject rendered in N-Triples form (loader fast
+  /// path: no Term construction needed when the line is already split).
+  size_t ShardOfSubjectText(std::string_view subject_ntriples) const;
+
+  /// One point on the consistent-hash ring (public so the ring builder
+  /// can construct them; the ring itself stays private).
+  struct RingPoint {
+    uint64_t hash;
+    uint32_t shard;
+    bool operator<(const RingPoint& other) const {
+      return hash < other.hash || (hash == other.hash && shard < other.shard);
+    }
+  };
+
+ private:
+  ShardMap() = default;
+
+  size_t RingShardOf(uint64_t hash) const;
+
+  ShardMode mode_ = ShardMode::kHashRing;
+  size_t num_shards_ = 1;
+  std::vector<RingPoint> ring_;         ///< Sorted by hash.
+  std::vector<std::string> tokens_;     ///< Token mode only, one per shard.
+};
+
+/// One shard member from a parsed --shards spec: the replica addresses
+/// serving this shard (>= 1; several mean a ReplicaGroup) and, in token
+/// mode, the substring this member's slice owns.
+struct ShardMemberSpec {
+  std::vector<std::string> addresses;  ///< host:port, sorted.
+  std::string token;                   ///< Empty in hash-ring mode.
+
+  /// Stable member id: "<logical>#<index>" is assigned by the parser; the
+  /// primary address is kept for display.
+  std::string id;
+};
+
+/// A parsed --shards argument: one logical endpoint split into members.
+struct ShardSpec {
+  std::string logical_id;
+  std::vector<ShardMemberSpec> members;
+
+  /// The assignment map this spec implies (token mode iff any member
+  /// carries a token).
+  ShardMap Map() const;
+};
+
+/// Parses one --shards argument:
+///
+///   host:port,host:port,...=logical-id
+///
+/// where each comma-separated member is `addr[|addr...][^token]` —
+/// multiple `|`-joined addresses make that shard a replica group, and a
+/// `^token` suffix switches the whole spec to explicit-token mode (LUBM
+/// per-university files; every member must then carry a token).
+///
+/// Members are sorted by primary address before shard indices are
+/// assigned, so the same host list in any order yields the identical
+/// hash-ring assignment. Malformed input — missing `=id`, empty member,
+/// an address without `host:port` shape, mixed token/tokenless members,
+/// duplicate addresses — returns kInvalidArgument naming the offending
+/// token.
+Result<ShardSpec> ParseShardsArg(const std::string& arg);
+
+/// Splits an N-Triples document into NumShards() chunks by subject
+/// assignment (the loader side of the contract ShardOfSubject routes
+/// by). Returns one N-Triples document per shard; comments and blank
+/// lines are dropped, malformed lines fail the split.
+Result<std::vector<std::string>> SplitNTriples(std::string_view text,
+                                               const ShardMap& map);
+
+}  // namespace lusail::shard
+
+#endif  // LUSAIL_SHARD_SHARD_MAP_H_

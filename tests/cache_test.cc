@@ -1033,5 +1033,54 @@ TEST_F(SharedCacheLubmTest, SnapshotWarmStartSkipsEveryAskProbe) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Member-id fan-out: Invalidate(logical id) reaches shard/replica ids
+// ---------------------------------------------------------------------
+
+TEST(FederationCacheTest, InvalidateReachesRegisteredMemberIds) {
+  cache::FederationCache cache;
+  cache.RegisterMemberIds("lubm", {"lubm#0", "lubm#1"});
+
+  std::string k0 = cache::FederationCache::Key("lubm#0", "ASK { a }");
+  std::string k1 = cache::FederationCache::Key("lubm#1", "COUNT q");
+  std::string k_logical = cache::FederationCache::Key("lubm", "ASK { b }");
+  std::string k_other = cache::FederationCache::Key("other", "ASK { a }");
+  cache.PutVerdict(k0, "lubm#0", true);
+  cache.PutCount(k1, "lubm#1", 7);
+  cache.PutVerdict(k_logical, "lubm", false);
+  cache.PutVerdict(k_other, "other", true);
+
+  // Invalidating the *logical* endpoint must outdate the member-keyed
+  // entries too — cached per-shard verdicts must not outlive the logical
+  // endpoint's data — while unrelated endpoints keep theirs.
+  cache.Invalidate("lubm");
+  EXPECT_FALSE(cache.GetVerdict(k0).has_value());
+  EXPECT_FALSE(cache.GetCount(k1).has_value());
+  EXPECT_FALSE(cache.GetVerdict(k_logical).has_value());
+  EXPECT_EQ(cache.GetVerdict(k_other), std::optional<bool>(true));
+}
+
+TEST(FederationCacheTest, MemberRegistrationAccumulatesAndDedups) {
+  cache::FederationCache cache;
+  cache.RegisterMemberIds("ep", {"ep#0"});
+  cache.RegisterMemberIds("ep", {"ep#0", "ep#1"});  // Idempotent + growth.
+  cache.RegisterMemberIds("ep", {"ep"});  // Self-registration is a no-op.
+
+  std::string k0 = cache::FederationCache::Key("ep#0", "q");
+  std::string k1 = cache::FederationCache::Key("ep#1", "q");
+  cache.PutVerdict(k0, "ep#0", true);
+  cache.PutVerdict(k1, "ep#1", true);
+  cache.Invalidate("ep");
+  EXPECT_FALSE(cache.GetVerdict(k0).has_value());
+  EXPECT_FALSE(cache.GetVerdict(k1).has_value());
+
+  // Invalidating a member directly still touches only that member.
+  cache.PutVerdict(k0, "ep#0", true);
+  cache.PutVerdict(k1, "ep#1", true);
+  cache.Invalidate("ep#0");
+  EXPECT_FALSE(cache.GetVerdict(k0).has_value());
+  EXPECT_EQ(cache.GetVerdict(k1), std::optional<bool>(true));
+}
+
 }  // namespace
 }  // namespace lusail

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
@@ -405,6 +407,109 @@ TEST_F(IdExecutionLoopbackTest, IdPathIsRowIdenticalToStringPathAndOracle) {
   // transport interned while parsing responses.
   EXPECT_GT(id_engine.dictionary()->size(), 0u);
   for (auto& client : clients_) client->set_parse_dictionary(nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Dictionary snapshots: SaveToDisk / LoadFromDisk
+// ---------------------------------------------------------------------
+
+std::string DictSnapshotPath(const std::string& name) {
+  return ::testing::TempDir() + "lusail_" + name + ".dict";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(DictionarySnapshotTest, RoundTripReproducesIdsAndContentHashes) {
+  const std::string path = DictSnapshotPath("roundtrip");
+  core::TermDictionary original;
+  std::vector<rdf::Term> zoo = TermZoo();
+  std::vector<rdf::TermId> ids;
+  for (const rdf::Term& term : zoo) ids.push_back(original.Intern(term));
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+
+  core::TermDictionary restored;
+  auto loaded = restored.LoadFromDisk(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, zoo.size());
+  EXPECT_EQ(restored.size(), original.size());
+  for (size_t i = 0; i < zoo.size(); ++i) {
+    // Identical TermId for every term — id-derived state persisted
+    // alongside the dictionary stays meaningful after the restart.
+    EXPECT_EQ(restored.Lookup(zoo[i]), ids[i]) << zoo[i].ToString();
+    EXPECT_EQ(restored.term(ids[i]), zoo[i]);
+    EXPECT_EQ(restored.content_hash(ids[i]), original.content_hash(ids[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DictionarySnapshotTest, LoadIntoNonEmptyDictionaryIsRejected) {
+  const std::string path = DictSnapshotPath("nonempty");
+  core::TermDictionary original;
+  original.Intern(rdf::Term::Iri("http://ex/a"));
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+
+  core::TermDictionary busy;
+  busy.Intern(rdf::Term::Iri("http://ex/b"));
+  auto loaded = busy.LoadFromDisk(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(busy.size(), 1u);  // Untouched.
+  std::remove(path.c_str());
+}
+
+TEST(DictionarySnapshotTest, MissingSnapshotIsNotFound) {
+  core::TermDictionary dict;
+  auto loaded = dict.LoadFromDisk(DictSnapshotPath("does_not_exist"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DictionarySnapshotTest, CorruptSnapshotIsRejectedWithoutMutation) {
+  const std::string path = DictSnapshotPath("corrupt");
+  core::TermDictionary original;
+  for (const rdf::Term& term : TermZoo()) original.Intern(term);
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 20u);
+  bytes[bytes.size() / 2] ^= 0x5a;  // Flip bits mid-body.
+  WriteFileBytes(path, bytes);
+
+  core::TermDictionary restored;
+  ASSERT_FALSE(restored.LoadFromDisk(path).ok());
+  EXPECT_EQ(restored.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DictionarySnapshotTest, TruncatedAndBadMagicSnapshotsAreRejected) {
+  const std::string path = DictSnapshotPath("truncated");
+  core::TermDictionary original;
+  for (const rdf::Term& term : TermZoo()) original.Intern(term);
+  ASSERT_TRUE(original.SaveToDisk(path).ok());
+  std::string bytes = ReadFileBytes(path);
+
+  WriteFileBytes(path, bytes.substr(0, bytes.size() / 2));
+  core::TermDictionary after_truncation;
+  ASSERT_FALSE(after_truncation.LoadFromDisk(path).ok());
+  EXPECT_EQ(after_truncation.size(), 0u);
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] ^= 0xff;
+  WriteFileBytes(path, wrong_magic);
+  core::TermDictionary after_magic;
+  ASSERT_FALSE(after_magic.LoadFromDisk(path).ok());
+  EXPECT_EQ(after_magic.size(), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
