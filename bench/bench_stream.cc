@@ -1,0 +1,164 @@
+// Streaming result plane microbenchmark: one LUBM endpoint served over
+// loopback HTTP, queried with a large-answer scan through the buffered
+// path and the chunked streaming path. Reports time-to-first-row next to
+// total time (the streaming plane's whole point: the first batch prints
+// while the server is still producing) and checks row counts agree.
+// Dumps BENCH_stream_*.json with first_row_ms populated.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/id_table.h"
+#include "net/sparql_endpoint.h"
+#include "rpc/http_server.h"
+#include "rpc/http_sparql_endpoint.h"
+#include "store/triple_store.h"
+#include "workload/lubm_generator.h"
+
+namespace lusail {
+namespace {
+
+/// A large-answer scan (every triple in the endpoint): enough rows that
+/// many chunks stream while evaluation and serialization still run.
+const char kScanQuery[] = "SELECT ?s ?p ?o WHERE { ?s ?p ?o . }";
+
+/// One in-process LUBM endpoint behind a loopback HttpServer, plus the
+/// HTTP client endpoint pointed at it.
+struct StreamFixture {
+  std::unique_ptr<rpc::HttpServer> server;
+  std::shared_ptr<rpc::HttpSparqlEndpoint> client;
+};
+
+StreamFixture* Fixture() {
+  static std::unique_ptr<StreamFixture> fixture;
+  if (fixture != nullptr) return fixture.get();
+  fixture = std::make_unique<StreamFixture>();
+
+  workload::LubmConfig config = workload::LubmConfig::Small();
+  std::vector<workload::EndpointSpec> specs =
+      workload::LubmGenerator(config).GenerateAll();
+  auto store = std::make_unique<store::TripleStore>();
+  for (const auto& spec : specs) {
+    for (const auto& triple : spec.triples) store->Add(triple);
+  }
+  store->Freeze();
+  auto backend = std::make_shared<net::SparqlEndpoint>(
+      "bench", std::move(store), net::LatencyModel::None());
+
+  rpc::HttpServerOptions options;
+  options.port = 0;
+  options.num_threads = 2;
+  options.server_name = "bench-stream";
+  fixture->server = std::make_unique<rpc::HttpServer>(backend, options);
+  Status started = fixture->server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bench_stream: cannot start server: %s\n",
+                 started.ToString().c_str());
+    std::exit(1);
+  }
+  fixture->client = std::make_shared<rpc::HttpSparqlEndpoint>(
+      "bench", "127.0.0.1", fixture->server->port());
+  return fixture.get();
+}
+
+/// Buffered baseline: full SRJ response parsed at once.
+void BM_BufferedScan(benchmark::State& state) {
+  StreamFixture* fixture = Fixture();
+  double rows = 0;
+  fed::ExecutionProfile profile;
+  for (auto _ : state) {
+    Stopwatch sw;
+    auto response = fixture->client->Query(kScanQuery);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    rows = static_cast<double>(response->RowCount());
+    profile.total_ms = sw.ElapsedMillis();
+    // Buffered: the first row is only usable when everything arrived.
+    profile.first_row_ms = profile.total_ms;
+    profile.rows_received = response->RowCount();
+    profile.bytes_received = response->response_bytes;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = rows;
+  state.counters["firstRowMs"] = profile.first_row_ms;
+  bench::DumpBenchMetrics("stream/buffered", profile, rows, 0, 0);
+}
+BENCHMARK(BM_BufferedScan)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+/// Chunked streaming path: rows decoded batch-by-batch as chunks arrive;
+/// firstRowMs is when the first batch reached the sink.
+void BM_StreamedScan(benchmark::State& state) {
+  StreamFixture* fixture = Fixture();
+  double rows = 0;
+  fed::ExecutionProfile profile;
+  for (auto _ : state) {
+    Stopwatch sw;
+    double first_row_ms = 0.0;
+    uint64_t delivered = 0;
+    net::StreamOptions options;
+    auto summary = fixture->client->QueryStreaming(
+        kScanQuery, CancelToken(), options,
+        [&](net::StreamBatch&& batch) -> Status {
+          if (batch.NumRows() > 0 && first_row_ms == 0.0) {
+            first_row_ms = sw.ElapsedMillis();
+          }
+          delivered += batch.NumRows();
+          return Status::OK();
+        });
+    if (!summary.ok()) {
+      state.SkipWithError(summary.status().ToString().c_str());
+      return;
+    }
+    rows = static_cast<double>(delivered);
+    profile.total_ms = sw.ElapsedMillis();
+    profile.first_row_ms = first_row_ms;
+    profile.rows_received = delivered;
+    profile.bytes_received = summary->response.response_bytes;
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.counters["rows"] = rows;
+  state.counters["firstRowMs"] = profile.first_row_ms;
+  state.counters["totalMs"] = profile.total_ms;
+  bench::DumpBenchMetrics("stream/streamed", profile, rows, 0, 0);
+}
+BENCHMARK(BM_StreamedScan)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+/// Streaming with a row budget: the client half-closes once satisfied,
+/// so a tiny budget on a big answer should cost a fraction of the full
+/// stream.
+void BM_StreamedBudget(benchmark::State& state) {
+  StreamFixture* fixture = Fixture();
+  double rows = 0;
+  for (auto _ : state) {
+    net::StreamOptions options;
+    options.max_rows = static_cast<uint64_t>(state.range(0));
+    uint64_t delivered = 0;
+    auto summary = fixture->client->QueryStreaming(
+        kScanQuery, CancelToken(), options,
+        [&](net::StreamBatch&& batch) -> Status {
+          delivered += batch.NumRows();
+          return Status::OK();
+        });
+    if (!summary.ok()) {
+      state.SkipWithError(summary.status().ToString().c_str());
+      return;
+    }
+    rows = static_cast<double>(delivered);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.counters["rows"] = rows;
+}
+BENCHMARK(BM_StreamedBudget)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+}  // namespace lusail
+
+BENCHMARK_MAIN();

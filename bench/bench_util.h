@@ -188,6 +188,7 @@ inline void RunFederatedQuery(benchmark::State& state,
   state.counters["bytesRecv"] = static_cast<double>(last.bytes_received);
   state.counters["rows"] = rows;
   state.counters["netMs"] = last.network_ms;
+  state.counters["firstRowMs"] = last.first_row_ms;
   state.counters["srcSelMs"] = last.source_selection_ms;
   state.counters["analysisMs"] = last.analysis_ms;
   state.counters["execMs"] = last.execution_ms;

@@ -70,6 +70,19 @@
 //                         content hashes stable across runs.
 //   --format tsv|srj      result output format (default tsv; srj is
 //                         SPARQL 1.1 JSON Results, the wire format)
+//   --stream              stream rows to stdout as endpoints produce them
+//                         instead of buffering the whole answer. Only
+//                         queries the engine would run in whole-query mode
+//                         stream exactly (one co-located subquery, no
+//                         ORDER BY/DISTINCT/aggregate, nothing joined at
+//                         the federator); anything else falls back to the
+//                         buffered path with a note. LIMIT is pushed to
+//                         the endpoints (as offset+limit), OFFSET is
+//                         applied locally while printing. Against --remote
+//                         endpoints the rows arrive over chunked HTTP and
+//                         the first row prints before the endpoints finish
+//                         evaluating; the profile line reports the
+//                         first-row latency next to the total.
 //   --metrics-port <n>    serve a federator-side stats listener on port n
 //                         (0 = ephemeral) for the lifetime of the run:
 //                         GET /metrics is the Prometheus exposition of the
@@ -102,6 +115,7 @@
 #include "cache/federation_cache.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/id_table.h"
 #include "core/lusail_engine.h"
 #include "net/replica.h"
 #include "net/resilience.h"
@@ -113,6 +127,8 @@
 #include "rpc/results_json.h"
 #include "shard/shard_map.h"
 #include "shard/sharded_endpoint.h"
+#include "sparql/parser.h"
+#include "sparql/serializer.h"
 #include "workload/federation_builder.h"
 #include "workload/lrb_generator.h"
 #include "workload/lubm_generator.h"
@@ -138,6 +154,7 @@ struct CliOptions {
   bool partial_results = false;
   std::string cache_file;
   std::string format = "tsv";
+  bool stream = false;
   double timeout_ms = 60000;
   int retry_attempts = 0;
   int metrics_port = -1;  ///< -1 = no stats listener; 0 = ephemeral.
@@ -162,7 +179,8 @@ int Usage() {
                "                  [--shard-split <file.nt> [--shard-count <n>]\n"
                "                   [--shard-out <dir>]]\n"
                "                  [--retry <n>] [--cache-file <path>]\n"
-               "                  [--format tsv|srj] [--metrics-port <n>]\n"
+               "                  [--format tsv|srj] [--stream]\n"
+               "                  [--metrics-port <n>]\n"
                "                  [--slow-ms <n>] [--log-json]\n"
                "                  [query-file]\n");
   return 2;
@@ -336,10 +354,170 @@ void PrintProfile(const fed::ExecutionProfile& profile) {
                profile.source_selection_ms, profile.analysis_ms,
                profile.execution_ms, profile.total_ms, profile.network_ms,
                static_cast<unsigned long long>(profile.pushed_optionals));
+  if (profile.first_row_ms > 0.0) {
+    std::fprintf(stderr, "# first endpoint row after %.1f ms\n",
+                 profile.first_row_ms);
+  }
   if (profile.hedged_requests > 0) {
     std::fprintf(stderr, "# hedged requests: %llu\n",
                  static_cast<unsigned long long>(profile.hedged_requests));
   }
+}
+
+/// Why a query cannot stream end-to-end, or "" when it can. Streaming
+/// unions per-endpoint answers of the whole query text, which is exact
+/// only when the engine itself would run in whole-query mode: one
+/// co-located subquery, nothing joined, deduped, sorted, or aggregated at
+/// the federator afterwards.
+std::string StreamIneligibleReason(const sparql::Query& query,
+                                   const obs::ExplainReport& report) {
+  if (query.form != sparql::QueryForm::kSelect) return "not a SELECT";
+  if (query.distinct) return "DISTINCT dedups across endpoints";
+  if (query.aggregate.has_value()) return "aggregate needs every row";
+  if (!query.order_by.empty()) return "ORDER BY needs a global sort";
+  if (!query.where.unions.empty()) {
+    return "top-level UNION joins at the federator";
+  }
+  if (!query.where.values.empty()) return "VALUES joins at the federator";
+  if (report.subqueries.size() != 1) {
+    return std::to_string(report.subqueries.size()) +
+           " subqueries join at the federator";
+  }
+  if (report.unpushed_optionals > 0) {
+    return "OPTIONAL left-joins at the federator";
+  }
+  return "";
+}
+
+/// End-to-end streaming execution: ships the whole query (OFFSET
+/// stripped, LIMIT capped to offset+limit) to every endpoint in turn via
+/// QueryStreaming and prints rows as batches arrive. OFFSET is skipped
+/// while printing; once the global LIMIT is satisfied the remaining
+/// endpoints are never contacted. Exact only for stream-eligible queries
+/// (see StreamIneligibleReason).
+int RunStream(const CliOptions& options, fed::Federation* federation,
+              const sparql::Query& parsed) {
+  sparql::Query shipped = parsed;
+  const uint64_t offset = shipped.offset.value_or(0);
+  const std::optional<uint64_t> limit = shipped.limit;
+  shipped.offset.reset();
+  if (limit.has_value()) shipped.limit = offset + *limit;
+  std::string text = sparql::QueryToString(shipped);
+  const uint64_t want = limit.has_value() ? offset + *limit : 0;
+  const bool srj = options.format == "srj";
+
+  Stopwatch wall;
+  double first_row_ms = 0.0;
+  uint64_t printed = 0;
+  uint64_t skipped = 0;
+  uint64_t received = 0;
+  std::vector<std::string> header;
+  bool head_printed = false;
+  bool srj_first = true;
+
+  auto emit = [&](sparql::ResultTable&& batch) {
+    if (!head_printed) {
+      header = batch.vars;
+      if (srj) {
+        std::fputs(rpc::SrjStreamPrefix(header).c_str(), stdout);
+      } else {
+        std::string line;
+        for (size_t i = 0; i < header.size(); ++i) {
+          if (i > 0) line += '\t';
+          line += '?';
+          line += header[i];
+        }
+        line += '\n';
+        std::fputs(line.c_str(), stdout);
+      }
+      head_printed = true;
+    }
+    // Map this batch's columns onto the header order (endpoints answer
+    // the same text, but stay defensive about column order).
+    std::vector<int> col(header.size(), -1);
+    for (size_t i = 0; i < header.size(); ++i) {
+      for (size_t j = 0; j < batch.vars.size(); ++j) {
+        if (batch.vars[j] == header[i]) {
+          col[i] = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    sparql::ResultTable out;
+    out.vars = header;
+    for (auto& row : batch.rows) {
+      if (skipped < offset) {
+        ++skipped;
+        continue;
+      }
+      if (limit.has_value() && printed >= *limit) break;
+      std::vector<std::optional<rdf::Term>> mapped(header.size());
+      for (size_t i = 0; i < header.size(); ++i) {
+        if (col[i] >= 0 && static_cast<size_t>(col[i]) < row.size()) {
+          mapped[i] = std::move(row[static_cast<size_t>(col[i])]);
+        }
+      }
+      out.rows.push_back(std::move(mapped));
+      ++printed;
+    }
+    if (!out.rows.empty()) {
+      if (first_row_ms == 0.0) first_row_ms = wall.ElapsedMillis();
+      if (srj) {
+        std::fputs(rpc::SrjStreamBindings(out, &srj_first).c_str(), stdout);
+      } else {
+        std::string tsv = out.ToTsv();
+        // Drop ToTsv's header line; it was printed once already.
+        size_t nl = tsv.find('\n');
+        std::fputs(tsv.c_str() + (nl == std::string::npos ? 0 : nl + 1),
+                   stdout);
+      }
+    }
+    std::fflush(stdout);
+  };
+
+  CancelToken cancel{Deadline::AfterMillis(options.timeout_ms)};
+  net::StreamOptions stream_options;
+  for (size_t i = 0; i < federation->size(); ++i) {
+    if (limit.has_value() && skipped + printed >= want) break;
+    if (limit.has_value()) {
+      stream_options.max_rows = want - (skipped + printed);
+    }
+    auto summary = federation->endpoint(i)->QueryStreaming(
+        text, cancel, stream_options,
+        [&](net::StreamBatch&& batch) -> Status {
+          sparql::ResultTable table;
+          if (batch.ids != nullptr && batch.ids_dict != nullptr) {
+            table = core::DecodeIdTable(*batch.ids, *batch.ids_dict);
+          } else {
+            table = std::move(batch.table);
+          }
+          received += table.NumRows();
+          emit(std::move(table));
+          return Status::OK();
+        });
+    if (!summary.ok()) {
+      std::fprintf(stderr, "stream from %s failed: %s\n",
+                   federation->id(i).c_str(),
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (srj) {
+    if (!head_printed) {
+      std::fputs(rpc::SrjStreamPrefix({}).c_str(), stdout);
+    }
+    std::fputs(rpc::SrjStreamSuffix().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  std::fprintf(stderr,
+               "# %llu rows streamed (%llu received, %llu skipped by "
+               "OFFSET)\n"
+               "# first row after %.1f ms, total %.1f ms\n",
+               static_cast<unsigned long long>(printed),
+               static_cast<unsigned long long>(received),
+               static_cast<unsigned long long>(skipped), first_row_ms,
+               wall.ElapsedMillis());
+  return 0;
 }
 
 }  // namespace
@@ -400,6 +578,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown format: %s\n", options.format.c_str());
         return Usage();
       }
+    } else if (arg == "--stream") {
+      options.stream = true;
     } else if (arg == "--retry") {
       std::string v;
       if (!next(&v)) return Usage();
@@ -676,6 +856,19 @@ int main(int argc, char** argv) {
     } else {
       std::fputs(report->ToText().c_str(), stdout);
     }
+    // Streaming eligibility rides along: the same whole-query-mode test
+    // --stream applies at execution time.
+    if (auto parsed = sparql::ParseQuery(query_text); parsed.ok()) {
+      std::string reason = StreamIneligibleReason(*parsed, *report);
+      if (reason.empty()) {
+        std::fprintf(stderr,
+                     "# streaming: eligible (--stream delivers rows "
+                     "incrementally)\n");
+      } else {
+        std::fprintf(stderr, "# streaming: not eligible (%s)\n",
+                     reason.c_str());
+      }
+    }
     // Planning interns every constant the decomposer and probes touched;
     // the counts preview the id space the query would execute in.
     core::DictionaryStats dict_stats = lusail.dictionary()->GetStats();
@@ -685,6 +878,27 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(dict_stats.terms),
                  static_cast<unsigned long long>(dict_stats.bytes));
     return 0;
+  }
+
+  if (options.stream) {
+    auto parsed = sparql::ParseQuery(query_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    std::string reason;
+    auto report = obs::Explain(lusail, query_text);
+    if (!report.ok()) {
+      reason = "plan unavailable: " + report.status().ToString();
+    } else {
+      reason = StreamIneligibleReason(*parsed, *report);
+    }
+    if (reason.empty()) {
+      return RunStream(options, federation.get(), *parsed);
+    }
+    std::fprintf(stderr, "# stream: not eligible (%s); buffered fallback\n",
+                 reason.c_str());
   }
 
   Stopwatch query_timer;

@@ -78,6 +78,7 @@ int Usage() {
                "usage: lusail_endpointd --data <file.nt> [--id <name>]\n"
                "                        [--port <n>] [--bind <address>]\n"
                "                        [--threads <n>] [--max-rows <n>]\n"
+               "                        [--stream-batch-rows <n>]\n"
                "                        [--latency none|local|geo]\n"
                "                        [--num-shards <n> --shard-index <k>]\n"
                "                        [--cache-file <path>]\n"
@@ -123,6 +124,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-rows") {
       if (!next(&value)) return Usage();
       server_options.max_result_rows =
+          std::strtoul(value.c_str(), nullptr, 10);
+    } else if (arg == "--stream-batch-rows") {
+      if (!next(&value)) return Usage();
+      server_options.stream_batch_rows =
           std::strtoul(value.c_str(), nullptr, 10);
     } else if (arg == "--latency") {
       if (!next(&latency)) return Usage();

@@ -264,7 +264,8 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
     const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
     fed::MetricsCollector* metrics, const CancelToken& cancel,
     fed::ExecutionProfile* profile,
-    std::vector<const sparql::GraphPattern*>* unpushed_optionals) {
+    std::vector<const sparql::GraphPattern*>* unpushed_optionals,
+    size_t row_limit) {
   const Deadline& deadline = cancel.deadline();
   // Phase A: source selection — for the mandatory patterns and for the
   // push-down candidates' patterns (needed by the locality analysis).
@@ -357,13 +358,16 @@ Result<BindingTable> LusailEngine::ExecuteBgp(
   profile->analysis_ms += timer.ElapsedMillis();
   if (cancel.Cancelled()) return cancel.StatusAt("LADE analysis");
 
-  // Phase C: SAPE execution.
+  // Phase C: SAPE execution. The LIMIT hint survives only when no global
+  // filter runs after the subqueries — a filter could discard rows a
+  // capped fetch never over-delivered.
   timer.Restart();
   fed::PhaseSpan sape_span(metrics, "SAPE execution");
   SapeExecutor sape(federation_, &pool_, &options_);
+  size_t sape_limit = decomposition.global_filters.empty() ? row_limit : 0;
   Result<BindingTable> table =
       sape.Execute(std::move(decomposition.subqueries), triples, dict,
-                   metrics, cancel, profile);
+                   metrics, cancel, profile, sape_limit);
   if (!table.ok()) return table.status();
 
   BindingTable result = std::move(table).value();
@@ -378,7 +382,7 @@ Result<BindingTable> LusailEngine::ExecutePattern(
     const sparql::GraphPattern& pattern,
     const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
     fed::MetricsCollector* metrics, const CancelToken& cancel,
-    fed::ExecutionProfile* profile) {
+    fed::ExecutionProfile* profile, size_t row_limit) {
   if (!pattern.exists_filters.empty()) {
     return Status::Unsupported(
         "FILTER [NOT] EXISTS is not supported in federated queries (it is "
@@ -438,10 +442,18 @@ Result<BindingTable> LusailEngine::ExecutePattern(
       candidates.push_back(&opt);
     }
     std::vector<const sparql::GraphPattern*> unpushed;
+    // The LIMIT hint may cross the BGP only when nothing at this level
+    // can discard rows afterwards: UNION chains and VALUES blocks join
+    // (can drop rows), residual filters drop rows. Unpushed OPTIONALs are
+    // harmless — a left join keeps every left row.
+    size_t bgp_limit = (row_limit > 0 && pattern.unions.empty() &&
+                        pattern.values.empty() && residual_filters.empty())
+                           ? row_limit
+                           : 0;
     LUSAIL_ASSIGN_OR_RETURN(
         table, ExecuteBgp(pattern.triples, bgp_filters, candidates,
                           outside_vars, bgp_needed, dict, metrics, cancel,
-                          profile, &unpushed));
+                          profile, &unpushed, bgp_limit));
     have_table = true;
 
     // UNION chains and the OPTIONAL blocks that could not be pushed down
@@ -539,9 +551,23 @@ Result<fed::FederatedResult> LusailEngine::Execute(
   fed::SharedDictionary& dict = *dict_;
 
   std::set<std::string> needed = NeededVars(query);
+  // LIMIT pushdown hint: with no ORDER BY, no DISTINCT and no aggregate,
+  // any offset+limit rows of the pattern are a correct answer, so
+  // upstream operators may stop producing once they have that many.
+  // OFFSET itself is never pushed — it is applied once, here, after the
+  // gather (a pushed OFFSET would skip rows per endpoint and lose them).
+  size_t push_limit = 0;
+  if (query.form == sparql::QueryForm::kSelect && !query.distinct &&
+      !query.aggregate.has_value() && query.order_by.empty() &&
+      query.limit.has_value()) {
+    push_limit = static_cast<size_t>(
+        std::min<uint64_t>(query.offset.value_or(0) +
+                               static_cast<uint64_t>(*query.limit),
+                           std::numeric_limits<uint32_t>::max()));
+  }
   Result<BindingTable> table_or =
       ExecutePattern(query.where, needed, &dict, &metrics, cancel,
-                     &result.profile);
+                     &result.profile, push_limit);
   if (!table_or.ok()) {
     metrics.FillCounters(&result.profile);
     trace.Attach(&result.profile);

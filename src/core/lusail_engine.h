@@ -125,15 +125,20 @@ class LusailEngine : public fed::FederatedEngine {
       const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
       fed::MetricsCollector* metrics, const CancelToken& cancel,
       fed::ExecutionProfile* profile,
-      std::vector<const sparql::GraphPattern*>* unpushed_optionals);
+      std::vector<const sparql::GraphPattern*>* unpushed_optionals,
+      size_t row_limit = 0);
 
   /// Recursive group evaluation: BGP, then UNION chains (inner join),
   /// OPTIONAL blocks (left-outer join), VALUES, residual filters.
+  /// `row_limit` > 0 means any `row_limit` rows of this pattern satisfy
+  /// the caller (a top-level LIMIT without ORDER BY/DISTINCT): it is
+  /// forwarded to the BGP only when nothing at this level — UNION joins,
+  /// VALUES joins, residual filters — can discard rows afterwards.
   Result<fed::BindingTable> ExecutePattern(
       const sparql::GraphPattern& pattern,
       const std::set<std::string>& needed_vars, fed::SharedDictionary* dict,
       fed::MetricsCollector* metrics, const CancelToken& cancel,
-      fed::ExecutionProfile* profile);
+      fed::ExecutionProfile* profile, size_t row_limit = 0);
 
   const fed::Federation* federation_;
   LusailOptions options_;

@@ -197,8 +197,12 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
     const sparql::ValuesClause* values,
     const std::vector<rdf::TermId>* bound_ids, fed::SharedDictionary* dict,
     fed::MetricsCollector* metrics, const CancelToken& cancel,
-    obs::SpanId trace_parent) {
+    obs::SpanId trace_parent, size_t row_limit) {
   std::string text = sq.ToSparql(triples, values);
+  // The LIMIT rides inside the text, so the shared result cache keys a
+  // limited fetch separately from the unlimited one — a capped answer
+  // never masquerades as the full result on a later warm run.
+  if (row_limit > 0) text += "\nLIMIT " + std::to_string(row_limit);
   const net::RetryPolicy* retry = RetryOf(options_);
   // Unbound texts key the shared result cache directly. Bound (VALUES)
   // fetches are keyed as base text + an id-space fingerprint of the
@@ -220,12 +224,22 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
                                         bound_ids->data(), bound_ids->size());
     }
   }
+  // Row budget: fired once the union already holds `row_limit` rows.
+  // Fetches still queued behind the satisfied point skip the wire and
+  // return empty — a budget hit is a cutoff, never a failure.
+  CancelToken budget =
+      row_limit > 0 ? CancelToken::Cancellable() : CancelToken();
   std::vector<std::future<Result<BindingTable>>> futures;
   futures.reserve(sq.sources.size());
   for (int ep : sq.sources) {
     futures.push_back(pool_->Submit(
         [this, ep, text, cache_key, cacheable, dict, metrics, cancel, retry,
-         trace_parent]() {
+         trace_parent, budget, projection = sq.projection]() {
+          if (budget.CancelRequested()) {
+            BindingTable skipped;
+            skipped.vars = projection;
+            return Result<BindingTable>(std::move(skipped));
+          }
           return FetchEndpoint(ep, text, cache_key, cacheable, dict, metrics,
                                cancel, retry, trace_parent);
         }));
@@ -242,6 +256,7 @@ Result<BindingTable> SapeExecutor::RunEverywhere(
     }
     ++successes;
     fed::AppendUnion(&merged, *table);
+    if (row_limit > 0 && merged.NumRows() >= row_limit) budget.Cancel();
   }
   if (!failures.empty()) {
     if (!options_->partial_results) {
@@ -266,7 +281,7 @@ Result<BindingTable> SapeExecutor::Execute(
     std::vector<Subquery> subqueries,
     const std::vector<TriplePattern>& triples, fed::SharedDictionary* dict,
     fed::MetricsCollector* metrics, const CancelToken& cancel,
-    fed::ExecutionProfile* profile) {
+    fed::ExecutionProfile* profile, size_t row_limit) {
   auto track_peak = [profile](const std::vector<BindingTable>& tables) {
     if (profile == nullptr) return;
     uint64_t total = 0;
@@ -298,9 +313,13 @@ Result<BindingTable> SapeExecutor::Execute(
   // independently and union (Algorithm 3, lines 2-4).
   if (subqueries.size() == 1) {
     obs::SpanId span = start_sq_span(0, "whole query");
+    if (tracer != nullptr && row_limit > 0) {
+      tracer->Annotate(span, "limit_pushdown",
+                       static_cast<uint64_t>(row_limit));
+    }
     Result<BindingTable> table =
         RunEverywhere(subqueries[0], triples, nullptr, nullptr, dict, metrics,
-                      cancel, span);
+                      cancel, span, row_limit);
     if (tracer != nullptr) tracer->EndSpan(span);
     if (table.ok() && cancel.Cancelled()) {
       return cancel.StatusAt("subquery evaluation");

@@ -40,11 +40,20 @@ class SapeExecutor {
   /// The token is checked before every endpoint fetch, between VALUES
   /// chunks of a bound join, and around every global-join step, so
   /// execution unwinds with kTimeout within one chunk of it firing.
+  ///
+  /// `row_limit` > 0 is a pushdown hint: the caller needs any `row_limit`
+  /// rows (top-level LIMIT, no ORDER BY/DISTINCT, nothing downstream that
+  /// filters rows). It applies only in whole-query mode (one subquery):
+  /// the generated subquery gets a LIMIT clause and a row budget cancels
+  /// the not-yet-started endpoint fetches once the union is satisfied.
+  /// Multi-subquery plans ignore the hint — a join can discard rows, so
+  /// no per-subquery limit is provably safe there.
   Result<fed::BindingTable> Execute(
       std::vector<Subquery> subqueries,
       const std::vector<sparql::TriplePattern>& triples,
       fed::SharedDictionary* dict, fed::MetricsCollector* metrics,
-      const CancelToken& cancel, fed::ExecutionProfile* profile = nullptr);
+      const CancelToken& cancel, fed::ExecutionProfile* profile = nullptr,
+      size_t row_limit = 0);
 
  private:
   /// Runs one subquery (optionally with a VALUES block) at all of its
@@ -55,6 +64,12 @@ class SapeExecutor {
   /// traced as children of `trace_parent` (the subquery's span) — an
   /// explicit parent, because requests run on pool threads while the
   /// collector's default parent tracks the caller's current phase.
+  /// `row_limit` > 0 appends a LIMIT clause to the generated text (any
+  /// `row_limit` rows satisfy the caller) and arms a row budget: once the
+  /// running union holds that many rows, a budget token fires and every
+  /// fetch still queued behind it returns an empty table instead of
+  /// touching the wire. In-flight requests are not interrupted — the
+  /// budget is a cutoff for upstream work, not a failure.
   Result<fed::BindingTable> RunEverywhere(const Subquery& sq,
                                           const std::vector<sparql::TriplePattern>& triples,
                                           const sparql::ValuesClause* values,
@@ -62,7 +77,8 @@ class SapeExecutor {
                                           fed::SharedDictionary* dict,
                                           fed::MetricsCollector* metrics,
                                           const CancelToken& cancel,
-                                          obs::SpanId trace_parent = 0);
+                                          obs::SpanId trace_parent = 0,
+                                          size_t row_limit = 0);
 
   /// One endpoint request in id space, routed through the federation's
   /// shared result cache when this engine opted in (options.result_cache)

@@ -34,6 +34,7 @@ obs::JsonValue ProfileToJson(const ExecutionProfile& profile) {
   out.Set("bytes_received", profile.bytes_received);
   out.Set("rows_received", profile.rows_received);
   out.Set("network_ms", profile.network_ms);
+  out.Set("first_row_ms", profile.first_row_ms);
   out.Set("source_selection_ms", profile.source_selection_ms);
   out.Set("analysis_ms", profile.analysis_ms);
   out.Set("execution_ms", profile.execution_ms);

@@ -38,6 +38,12 @@ struct ExecutionProfile {
   uint64_t rows_received = 0;  ///< Binding rows received.
   double network_ms = 0.0;     ///< Sum of simulated per-request network time.
 
+  /// Wall time from the collector's birth (query start) to the first
+  /// endpoint response that carried at least one binding row; 0 when no
+  /// rows ever arrived. The federated analogue of time-to-first-row: on
+  /// streamed answers it bounds how early the first batch could leave.
+  double first_row_ms = 0.0;
+
   double source_selection_ms = 0.0;
   double analysis_ms = 0.0;    ///< Lusail's LADE phase (GJV + decomposition).
   double execution_ms = 0.0;
@@ -178,6 +184,7 @@ class MetricsCollector {
     profile->bytes_received = bytes_received_;
     profile->rows_received = rows_received_;
     profile->network_ms = static_cast<double>(network_us_) / 1000.0;
+    profile->first_row_ms = first_row_ms_;
     profile->retries = retries_;
     profile->breaker_rejections = breaker_rejections_;
     profile->breaker_trips = breaker_trips_;
@@ -197,6 +204,9 @@ class MetricsCollector {
     bytes_sent_ += response.request_bytes;
     bytes_received_ += response.response_bytes;
     rows_received_ += response.RowCount();
+    if (first_row_ms_ == 0.0 && response.RowCount() > 0) {
+      first_row_ms_ = born_.ElapsedMillis();
+    }
     // Round to the nearest microsecond instead of truncating: a
     // truncating cast floors every request's network time, so workloads
     // of many sub-microsecond requests would report ~0 network time.
@@ -212,6 +222,8 @@ class MetricsCollector {
   uint64_t bytes_received_ = 0;
   uint64_t rows_received_ = 0;
   uint64_t network_us_ = 0;
+  Stopwatch born_;  ///< Started at construction = query start.
+  double first_row_ms_ = 0.0;
   uint64_t retries_ = 0;
   uint64_t breaker_rejections_ = 0;
   uint64_t breaker_trips_ = 0;

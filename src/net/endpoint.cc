@@ -1,0 +1,92 @@
+#include "net/endpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lusail::net {
+
+// Default streaming: evaluate buffered, then hand the rows to the sink in
+// batch_rows slices. The whole table exists once (inside this endpoint),
+// but the consumer never holds more than one batch, and each delivered
+// slice is *moved* out of the source table so the peak here decays as the
+// stream drains. Wire transports override this with true incremental
+// decoding.
+Result<StreamSummary> Endpoint::QueryStreaming(const std::string& sparql_text,
+                                               const CancelToken& cancel,
+                                               const StreamOptions& options,
+                                               const StreamSink& sink) {
+  Stopwatch timer;
+  auto evaluated = QueryCancellable(sparql_text, cancel);
+  if (!evaluated.ok()) return evaluated.status();
+
+  StreamSummary summary;
+  summary.response = *evaluated;
+  summary.response.table = sparql::ResultTable();
+  summary.response.ids.reset();
+  summary.response.ids_dict.reset();
+
+  const size_t batch_rows = std::max<size_t>(1, options.batch_rows);
+  const size_t total = evaluated->RowCount();
+  size_t limit = total;
+  if (options.max_rows > 0 && options.max_rows < total) {
+    limit = static_cast<size_t>(options.max_rows);
+    summary.truncated = true;
+  }
+  if (total > 0 && summary.response.first_row_ms == 0.0) {
+    summary.response.first_row_ms = timer.ElapsedMillis();
+  }
+
+  if (evaluated->ids != nullptr) {
+    // ID-space rows pass through in id-space batches; the consumer decodes
+    // per batch (or not at all) through ids_dict.
+    if (limit == 0) {
+      // Even an empty result delivers one empty batch: the sink learns the
+      // vars (the streaming serializer needs them for the head).
+      if (cancel.Cancelled()) return cancel.StatusAt("stream delivery");
+      StreamBatch batch;
+      batch.ids =
+          std::make_shared<core::IdTable>(core::IdTable(evaluated->ids->vars));
+      batch.ids_dict = evaluated->ids_dict;
+      Status delivered = sink(std::move(batch));
+      if (!delivered.ok()) return delivered;
+      return summary;
+    }
+    for (size_t begin = 0; begin < limit; begin += batch_rows) {
+      if (cancel.Cancelled()) return cancel.StatusAt("stream delivery");
+      size_t end = std::min(limit, begin + batch_rows);
+      StreamBatch batch;
+      batch.ids =
+          std::make_shared<core::IdTable>(evaluated->ids->Slice(begin, end));
+      batch.ids_dict = evaluated->ids_dict;
+      summary.rows_delivered += batch.NumRows();
+      Status delivered = sink(std::move(batch));
+      if (!delivered.ok()) return delivered;
+    }
+    return summary;
+  }
+
+  if (limit == 0) {
+    if (cancel.Cancelled()) return cancel.StatusAt("stream delivery");
+    StreamBatch batch;
+    batch.table.vars = evaluated->table.vars;
+    Status delivered = sink(std::move(batch));
+    if (!delivered.ok()) return delivered;
+    return summary;
+  }
+  for (size_t begin = 0; begin < limit; begin += batch_rows) {
+    if (cancel.Cancelled()) return cancel.StatusAt("stream delivery");
+    size_t end = std::min(limit, begin + batch_rows);
+    StreamBatch batch;
+    batch.table.vars = evaluated->table.vars;
+    batch.table.rows.reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) {
+      batch.table.rows.push_back(std::move(evaluated->table.rows[r]));
+    }
+    summary.rows_delivered += batch.table.rows.size();
+    Status delivered = sink(std::move(batch));
+    if (!delivered.ok()) return delivered;
+  }
+  return summary;
+}
+
+}  // namespace lusail::net

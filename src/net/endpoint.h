@@ -1,6 +1,7 @@
 #ifndef LUSAIL_NET_ENDPOINT_H_
 #define LUSAIL_NET_ENDPOINT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -62,6 +63,57 @@ struct QueryResponse {
   /// this response is a lower bound of the exact answer; Federation folds
   /// the ids into the query profile's failed-endpoint set.
   std::vector<std::string> degraded_members;
+
+  /// Milliseconds from request start until the first result row was
+  /// available to the caller. Filled by the streaming path (QueryStreaming
+  /// implementations); 0 when unknown (buffered exchanges, empty results).
+  double first_row_ms = 0.0;
+};
+
+/// One batch of rows delivered through a streaming query. Exactly one
+/// representation is filled: `table` (wire-format rows) or `ids` +
+/// `ids_dict` (ID-space rows, the fast path when the producer parses into
+/// a dictionary). Batches of one response always use the same
+/// representation and carry the same variable set.
+struct StreamBatch {
+  sparql::ResultTable table;
+  std::shared_ptr<core::IdTable> ids;
+  std::shared_ptr<core::TermDictionary> ids_dict;
+
+  size_t NumRows() const {
+    return ids != nullptr ? ids->NumRows() : table.NumRows();
+  }
+};
+
+/// Row-batch consumer for QueryStreaming. Returning a non-OK status stops
+/// the stream: the producer abandons remaining work (cancelling upstream
+/// fetches where it can) and QueryStreaming returns that status. The sink
+/// is invoked from the producer's thread, synchronously — a sink that
+/// blocks (a slow socket write) back-pressures the producer instead of
+/// letting it buffer unboundedly. On success the sink runs at least once:
+/// an empty result still delivers one zero-row batch so the consumer
+/// learns the variable set (streaming serializers need it for the head).
+using StreamSink = std::function<Status(StreamBatch&&)>;
+
+/// Tuning for one streaming query.
+struct StreamOptions {
+  /// Target rows per delivered batch (and per wire chunk).
+  size_t batch_rows = 256;
+
+  /// Stop after delivering this many rows (0 = unlimited). This is a
+  /// *budget*, not a LIMIT: the producer may cut evaluation short once the
+  /// budget is met, so the caller must treat a budget-bounded stream as
+  /// possibly truncated.
+  uint64_t max_rows = 0;
+};
+
+/// Summary of a completed stream: the per-exchange accounting of
+/// QueryResponse (table/ids left empty — the rows went through the sink)
+/// plus how many rows were delivered and whether a budget cut them short.
+struct StreamSummary {
+  QueryResponse response;   ///< Accounting only; row payloads are empty.
+  uint64_t rows_delivered = 0;
+  bool truncated = false;   ///< StreamOptions::max_rows cut the stream.
 };
 
 /// Abstract SPARQL endpoint. Federated engines interact with endpoints
@@ -98,6 +150,18 @@ class Endpoint {
     if (cancel.Cancelled()) return cancel.StatusAt("endpoint request");
     return QueryWithDeadline(sparql_text, cancel.deadline());
   }
+
+  /// Streaming variant: rows reach the caller in batches through `sink`
+  /// while the query runs, so no hop has to hold the whole answer. The
+  /// default evaluates via QueryCancellable and then delivers the
+  /// materialized table in `options.batch_rows` slices — wire transports
+  /// (rpc::HttpSparqlEndpoint) override this with true incremental
+  /// decoding, and decorators pass it through. Batches stop early when
+  /// the sink errors, the token fires, or `options.max_rows` is met.
+  virtual Result<StreamSummary> QueryStreaming(const std::string& sparql_text,
+                                               const CancelToken& cancel,
+                                               const StreamOptions& options,
+                                               const StreamSink& sink);
 };
 
 }  // namespace lusail::net

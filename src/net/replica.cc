@@ -236,6 +236,71 @@ Result<QueryResponse> ReplicaGroup::QueryCancellable(
                                  " replicas of " + id_ + " exhausted)");
 }
 
+Result<StreamSummary> ReplicaGroup::QueryStreaming(
+    const std::string& text, const CancelToken& cancel,
+    const StreamOptions& options, const StreamSink& sink) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (replicas_.empty()) {
+    return Status::NotFound("replica group " + id_ + " has no replicas");
+  }
+  if (cancel.Cancelled()) return cancel.StatusAt("replica selection");
+
+  std::vector<size_t> ranked = RankReplicas();
+  {
+    bool was_probed;
+    {
+      std::lock_guard<std::mutex> lock(replicas_[ranked[0]]->mu);
+      was_probed = replicas_[ranked[0]]->probed;
+    }
+    if (!was_probed) {
+      MaybeProbe(replicas_[ranked[0]], cancel);
+      ranked = RankReplicas();
+    }
+  }
+
+  // Failover is sound only while the sink has seen nothing: rows already
+  // delivered cannot be taken back, so a later replica would replay them.
+  bool delivered = false;
+  StreamSink guarded = [&](StreamBatch&& batch) -> Status {
+    delivered = true;
+    return sink(std::move(batch));
+  };
+
+  Status last = Status::Unavailable("no usable replica in group " + id_);
+  for (size_t pos = 0; pos < ranked.size(); ++pos) {
+    if (cancel.Cancelled()) return cancel.StatusAt("replica failover");
+    const std::shared_ptr<Replica>& replica = replicas_[ranked[pos]];
+    MaybeProbe(replica, cancel);
+    if (!replica->breaker.AllowRequest()) {
+      breaker_skips_.fetch_add(1, std::memory_order_relaxed);
+      last = Status::Unavailable("circuit breaker open for " +
+                                 replica->endpoint->id());
+      continue;
+    }
+    Stopwatch sw;
+    Result<StreamSummary> summary =
+        replica->endpoint->QueryStreaming(text, cancel, options, guarded);
+    bool self_inflicted = cancel.Cancelled();
+    Result<QueryResponse> accounting =
+        summary.ok() ? Result<QueryResponse>(summary->response)
+                     : Result<QueryResponse>(summary.status());
+    RecordOutcome(replica, accounting, sw.ElapsedMillis(), self_inflicted);
+    if (summary.ok()) {
+      summary->response.served_by = replica->endpoint->id();
+      return summary;
+    }
+    if (cancel.Cancelled()) return summary.status();
+    last = summary.status();
+    if (delivered || !last.IsRetryable()) return last;
+    if (pos + 1 < ranked.size()) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status(last.code(), last.message() + " (all " +
+                                 std::to_string(replicas_.size()) +
+                                 " replicas of " + id_ + " exhausted)");
+}
+
 void ReplicaGroup::LaunchAttempt(const std::shared_ptr<Replica>& replica,
                                  const std::string& text,
                                  const std::shared_ptr<HedgeShared>& shared,

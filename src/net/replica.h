@@ -113,6 +113,15 @@ class ReplicaGroup : public Endpoint {
   Result<QueryResponse> QueryCancellable(const std::string& text,
                                          const CancelToken& cancel) override;
 
+  /// Streaming across replicas: sequential failover only, and only while
+  /// the sink has seen nothing (a failover after the first batch would
+  /// replay rows). Hedging is never used — a duplicate stream would
+  /// deliver duplicate rows to the same sink.
+  Result<StreamSummary> QueryStreaming(const std::string& text,
+                                       const CancelToken& cancel,
+                                       const StreamOptions& options,
+                                       const StreamSink& sink) override;
+
   size_t NumReplicas() const { return replicas_.size(); }
 
   /// The id of replica `i` (its inner endpoint's id).

@@ -286,6 +286,91 @@ Result<QueryResponse> ResilientEndpoint::QueryCancellable(
   return response;
 }
 
+Result<StreamSummary> ResilientEndpoint::QueryStreaming(
+    const std::string& text, const CancelToken& cancel,
+    const StreamOptions& options, const StreamSink& sink) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const Deadline& deadline = cancel.deadline();
+  CircuitBreaker* breaker = policy_.use_circuit_breaker ? &breaker_ : nullptr;
+
+  // Once the sink has seen any batch, a retry would replay rows at the
+  // consumer; a failure after that point is final.
+  bool delivered = false;
+  StreamSink guarded = [&](StreamBatch&& batch) -> Status {
+    delivered = true;
+    return sink(std::move(batch));
+  };
+
+  Rng rng(policy_.jitter_seed ^ std::hash<std::string>{}(text));
+  int max_attempts = std::max(1, policy_.max_attempts);
+  double prev_backoff = policy_.initial_backoff_ms;
+  Status last = Status::Unavailable("no attempt issued to " + id());
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (cancel.CancelRequested()) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return cancel.StatusAt("endpoint retry loop");
+    }
+    if (deadline.Expired()) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Timeout("query deadline expired before attempt " +
+                             std::to_string(attempt + 1) + " to " + id());
+    }
+    if (breaker != nullptr && !breaker->AllowRequest()) {
+      breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("circuit breaker open for " + id());
+    }
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    Result<StreamSummary> summary =
+        inner_->QueryStreaming(text, cancel, options, guarded);
+    if (summary.ok()) {
+      if (breaker != nullptr) breaker->RecordSuccess();
+      return summary;
+    }
+    last = summary.status();
+    bool self_inflicted_timeout =
+        last.code() == StatusCode::kTimeout &&
+        (deadline.Expired() || cancel.CancelRequested());
+    if (breaker != nullptr && !self_inflicted_timeout &&
+        (last.IsRetryable() || last.code() == StatusCode::kInternal)) {
+      if (breaker->RecordFailure()) {
+        breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (delivered || !last.IsRetryable() || attempt + 1 >= max_attempts) {
+      break;
+    }
+
+    double backoff;
+    if (policy_.decorrelated_jitter) {
+      double lo = policy_.initial_backoff_ms;
+      double hi = std::max(lo, prev_backoff * 3.0);
+      backoff = lo + rng.NextDouble() * (hi - lo);
+    } else {
+      backoff = prev_backoff;
+    }
+    backoff = std::min(backoff, policy_.max_backoff_ms);
+    prev_backoff = policy_.decorrelated_jitter
+                       ? backoff
+                       : std::min(prev_backoff * policy_.backoff_multiplier,
+                                  policy_.max_backoff_ms);
+    if (deadline.has_deadline() && deadline.RemainingMillis() <= 0.0) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Timeout("query deadline expired before retry " +
+                             std::to_string(attempt + 2) + " to " + id() +
+                             " (last attempt: " + last.ToString() + ")");
+    }
+    double slept = SleepWithin(backoff, deadline);
+    backoff_us_.fetch_add(
+        static_cast<uint64_t>(std::llround(slept * 1000.0)),
+        std::memory_order_relaxed);
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
 ResilienceStats ResilientEndpoint::stats() const {
   ResilienceStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);

@@ -212,6 +212,15 @@ class ResilientEndpoint : public Endpoint {
   Result<QueryResponse> QueryCancellable(const std::string& text,
                                          const CancelToken& cancel) override;
 
+  /// Streaming with retries restricted to attempts that delivered nothing:
+  /// once the sink has seen a batch, a retry would replay rows, so a
+  /// mid-stream failure surfaces to the caller instead. Breaker accounting
+  /// matches the buffered path.
+  Result<StreamSummary> QueryStreaming(const std::string& text,
+                                       const CancelToken& cancel,
+                                       const StreamOptions& options,
+                                       const StreamSink& sink) override;
+
   const CircuitBreaker& breaker() const { return breaker_; }
   CircuitBreaker* mutable_breaker() { return &breaker_; }
   const RetryPolicy& policy() const { return policy_; }

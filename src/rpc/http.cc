@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -183,6 +184,50 @@ std::string HttpResponse::Serialize() const {
   out.append(kCrlf);
   AppendHeaders(&out, headers, body.size());
   out.append(body);
+  return out;
+}
+
+std::string HttpResponse::SerializeHead() const {
+  std::string out;
+  out.reserve(256);
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(status));
+  out.push_back(' ');
+  out.append(reason.empty() ? HttpReason(status) : reason.c_str());
+  out.append(kCrlf);
+  for (const auto& [key, value] : headers) {
+    out.append(key);
+    out.append(": ");
+    out.append(value);
+    out.append(kCrlf);
+  }
+  out.append(kCrlf);
+  return out;
+}
+
+std::string EncodeChunk(std::string_view data) {
+  char size_hex[24];
+  int n = std::snprintf(size_hex, sizeof(size_hex), "%zx",
+                        static_cast<size_t>(data.size()));
+  std::string out;
+  out.reserve(data.size() + static_cast<size_t>(n) + 4);
+  out.append(size_hex, static_cast<size_t>(n));
+  out.append(kCrlf);
+  out.append(data);
+  out.append(kCrlf);
+  return out;
+}
+
+std::string EncodeLastChunk(
+    const std::vector<std::pair<std::string, std::string>>& trailers) {
+  std::string out = "0\r\n";
+  for (const auto& [key, value] : trailers) {
+    out.append(key);
+    out.append(": ");
+    out.append(value);
+    out.append(kCrlf);
+  }
+  out.append(kCrlf);
   return out;
 }
 
@@ -366,8 +411,139 @@ Result<HttpRequest> HttpConnection::ReadRequest(const HttpLimits& limits,
   return request;
 }
 
+Status HttpConnection::ReadLine(const HttpLimits& limits,
+                                const Deadline& deadline, std::string* line) {
+  line->clear();
+  for (;;) {
+    while (pos_ < buffer_.size()) {
+      line->push_back(buffer_[pos_++]);
+      if (line->size() >= 2 && (*line)[line->size() - 2] == '\r' &&
+          line->back() == '\n') {
+        line->resize(line->size() - 2);
+        return Status::OK();
+      }
+      if (line->size() > limits.max_header_bytes) {
+        return Status::ParseError("HTTP chunk/trailer line exceeds " +
+                                  std::to_string(limits.max_header_bytes) +
+                                  " bytes");
+      }
+    }
+    int rc = FillBuffer(deadline);
+    if (rc == 0) return Status::Unavailable("connection closed mid-body");
+    if (rc == -1) return Status::Timeout("HTTP read deadline expired");
+    if (rc == -2) return Status::Unavailable("HTTP connection error");
+  }
+}
+
+Status HttpConnection::ReadChunk(
+    const HttpLimits& limits, const Deadline& deadline, std::string* data,
+    bool* last,
+    std::vector<std::pair<std::string, std::string>>* trailers) {
+  *last = false;
+  data->clear();
+  std::string line;
+  LUSAIL_RETURN_NOT_OK(ReadLine(limits, deadline, &line));
+  size_t semi = line.find(';');  // Chunk extensions are ignored.
+  std::string size_text =
+      line.substr(0, semi == std::string::npos ? line.size() : semi);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long size = std::strtoull(size_text.c_str(), &end, 16);
+  if (size_text.empty() || errno != 0 || end == size_text.c_str() ||
+      *end != '\0') {
+    return Status::ParseError("malformed HTTP chunk size \"" + line + "\"");
+  }
+  if (size > limits.max_body_bytes) {
+    return Status::InvalidArgument("HTTP chunk of " + size_text +
+                                   " bytes exceeds the limit of " +
+                                   std::to_string(limits.max_body_bytes));
+  }
+  if (size == 0) {
+    *last = true;
+    // Trailer section: header lines until the final blank line.
+    for (;;) {
+      LUSAIL_RETURN_NOT_OK(ReadLine(limits, deadline, &line));
+      if (line.empty()) break;
+      std::vector<std::pair<std::string, std::string>> parsed;
+      LUSAIL_RETURN_NOT_OK(ParseHeaderLines(line, &parsed));
+      if (trailers != nullptr) {
+        for (auto& header : parsed) trailers->push_back(std::move(header));
+      }
+    }
+    return Status::OK();
+  }
+  data->reserve(static_cast<size_t>(size));
+  while (data->size() < size) {
+    int rc = FillBuffer(deadline);
+    if (rc == 0) return Status::Unavailable("connection closed mid-body");
+    if (rc == -1) return Status::Timeout("HTTP read deadline expired");
+    if (rc == -2) return Status::Unavailable("HTTP connection error");
+    size_t want = static_cast<size_t>(size) - data->size();
+    size_t have = std::min(want, buffer_.size() - pos_);
+    data->append(buffer_, pos_, have);
+    pos_ += have;
+  }
+  LUSAIL_RETURN_NOT_OK(ReadLine(limits, deadline, &line));
+  if (!line.empty()) {
+    return Status::ParseError("HTTP chunk data not CRLF-terminated");
+  }
+  return Status::OK();
+}
+
+Status HttpConnection::ReadBodyBytes(size_t max_bytes, const Deadline& deadline,
+                                     std::string* data) {
+  data->clear();
+  if (max_bytes == 0) return Status::OK();
+  int rc = FillBuffer(deadline);
+  if (rc == 0) return Status::Unavailable("connection closed mid-body");
+  if (rc == -1) return Status::Timeout("HTTP read deadline expired");
+  if (rc == -2) return Status::Unavailable("HTTP connection error");
+  size_t have = std::min(max_bytes, buffer_.size() - pos_);
+  data->append(buffer_, pos_, have);
+  pos_ += have;
+  return Status::OK();
+}
+
 Result<HttpResponse> HttpConnection::ReadResponse(const HttpLimits& limits,
                                                   const Deadline& deadline) {
+  LUSAIL_ASSIGN_OR_RETURN(HttpResponse response,
+                          ReadResponseHead(limits, deadline));
+  const std::string* te = response.FindHeader("Transfer-Encoding");
+  if (te != nullptr && EqualsIgnoreCase(*te, "chunked")) {
+    // De-chunk for buffered callers; trailers become ordinary headers.
+    bool last = false;
+    std::string chunk;
+    while (!last) {
+      LUSAIL_RETURN_NOT_OK(
+          ReadChunk(limits, deadline, &chunk, &last, &response.headers));
+      if (response.body.size() + chunk.size() > limits.max_body_bytes) {
+        return Status::InvalidArgument(
+            "HTTP body exceeds the limit of " +
+            std::to_string(limits.max_body_bytes) + " bytes");
+      }
+      response.body.append(chunk);
+    }
+    return response;
+  }
+
+  LUSAIL_ASSIGN_OR_RETURN(size_t body_size,
+                          ContentLengthOf(response.headers, limits));
+  response.body.reserve(body_size);
+  while (response.body.size() < body_size) {
+    int rc = FillBuffer(deadline);
+    if (rc == 0) return Status::Unavailable("connection closed mid-body");
+    if (rc == -1) return Status::Timeout("HTTP read deadline expired");
+    if (rc == -2) return Status::Unavailable("HTTP connection error");
+    size_t want = body_size - response.body.size();
+    size_t have = std::min(want, buffer_.size() - pos_);
+    response.body.append(buffer_, pos_, have);
+    pos_ += have;
+  }
+  return response;
+}
+
+Result<HttpResponse> HttpConnection::ReadResponseHead(
+    const HttpLimits& limits, const Deadline& deadline) {
   std::string head;
   while (true) {
     int rc = FillBuffer(deadline);
@@ -413,20 +589,6 @@ Result<HttpResponse> HttpConnection::ReadResponse(const HttpLimits& limits,
   if (eol != std::string::npos) {
     LUSAIL_RETURN_NOT_OK(ParseHeaderLines(
         std::string_view(head).substr(eol + 2), &response.headers));
-  }
-
-  LUSAIL_ASSIGN_OR_RETURN(size_t body_size,
-                          ContentLengthOf(response.headers, limits));
-  response.body.reserve(body_size);
-  while (response.body.size() < body_size) {
-    int rc = FillBuffer(deadline);
-    if (rc == 0) return Status::Unavailable("connection closed mid-body");
-    if (rc == -1) return Status::Timeout("HTTP read deadline expired");
-    if (rc == -2) return Status::Unavailable("HTTP connection error");
-    size_t want = body_size - response.body.size();
-    size_t have = std::min(want, buffer_.size() - pos_);
-    response.body.append(buffer_, pos_, have);
-    pos_ += have;
   }
   return response;
 }

@@ -59,10 +59,26 @@ struct HttpResponse {
   const std::string* FindHeader(std::string_view name) const;
   bool KeepAlive() const;
   std::string Serialize() const;
+
+  /// Status line + headers + blank line only — no body and no automatic
+  /// Content-Length. This is the head of a `Transfer-Encoding: chunked`
+  /// response; the caller follows it with EncodeChunk frames and a
+  /// terminal EncodeLastChunk.
+  std::string SerializeHead() const;
 };
 
 /// Standard reason phrase for `status` ("OK", "Bad Request", ...).
 const char* HttpReason(int status);
+
+/// One HTTP/1.1 chunk frame: hex size, CRLF, data, CRLF. `data` must be
+/// non-empty (a zero-size chunk terminates the stream; use
+/// EncodeLastChunk).
+std::string EncodeChunk(std::string_view data);
+
+/// The terminal zero chunk plus optional trailer headers and the final
+/// blank line.
+std::string EncodeLastChunk(
+    const std::vector<std::pair<std::string, std::string>>& trailers = {});
 
 /// Percent-decodes an application/x-www-form-urlencoded value ('+' means
 /// space). Fails on truncated or non-hex escapes.
@@ -100,9 +116,32 @@ class HttpConnection {
                                   bool* clean_close = nullptr);
 
   /// Reads one full response (same error contract, minus clean_close:
-  /// a close before the status line is always kUnavailable).
+  /// a close before the status line is always kUnavailable). A
+  /// `Transfer-Encoding: chunked` body is de-chunked into `body` with any
+  /// trailer headers appended to `headers`, so buffered callers stay
+  /// oblivious to the framing.
   Result<HttpResponse> ReadResponse(const HttpLimits& limits,
                                     const Deadline& deadline);
+
+  /// Reads only the status line + headers of a response, leaving the body
+  /// on the wire — the incremental entry point for streaming consumers,
+  /// who then drain it with ReadChunk (chunked) or ReadBodyBytes
+  /// (Content-Length).
+  Result<HttpResponse> ReadResponseHead(const HttpLimits& limits,
+                                        const Deadline& deadline);
+
+  /// Reads one chunk of a chunked body into `*data` (cleared first). On
+  /// the terminal zero chunk, sets `*last`, consumes the trailer section,
+  /// and appends any trailer headers to `*trailers` (when non-null).
+  Status ReadChunk(const HttpLimits& limits, const Deadline& deadline,
+                   std::string* data, bool* last,
+                   std::vector<std::pair<std::string, std::string>>* trailers);
+
+  /// Reads up to `max_bytes` of a Content-Length body into `*data`
+  /// (cleared first; empty result means the body is exhausted after
+  /// `remaining` reached zero — the caller tracks `remaining`).
+  Status ReadBodyBytes(size_t max_bytes, const Deadline& deadline,
+                       std::string* data);
 
   Status Write(const HttpRequest& request, const Deadline& deadline) {
     return SendAll(fd_, request.Serialize(), deadline);
@@ -122,6 +161,11 @@ class HttpConnection {
   /// Ensures at least one more byte is buffered. Returns 0 on EOF, -1 on
   /// timeout, -2 on connection error, else 1.
   int FillBuffer(const Deadline& deadline);
+
+  /// Reads one CRLF-terminated line (terminator stripped). Used for chunk
+  /// size lines and trailer headers.
+  Status ReadLine(const HttpLimits& limits, const Deadline& deadline,
+                  std::string* line);
 
   int fd_;
   std::string buffer_;

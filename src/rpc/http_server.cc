@@ -17,6 +17,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/id_table.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "rpc/results_json.h"
@@ -110,6 +111,8 @@ obs::JsonValue HttpServerStats::ToJson() const {
   out.Set("truncated_results", truncated_results);
   out.Set("timed_out_queries", timed_out_queries);
   out.Set("cancelled_queries", cancelled_queries);
+  out.Set("streamed_requests", streamed_requests);
+  out.Set("stream_aborts", stream_aborts);
   out.Set("bytes_in", bytes_in);
   out.Set("bytes_out", bytes_out);
   return out;
@@ -228,6 +231,8 @@ HttpServerStats HttpServer::stats() const {
   s.truncated_results = truncated_results_.load(std::memory_order_relaxed);
   s.timed_out_queries = timed_out_queries_.load(std::memory_order_relaxed);
   s.cancelled_queries = cancelled_queries_.load(std::memory_order_relaxed);
+  s.streamed_requests = streamed_requests_.load(std::memory_order_relaxed);
+  s.stream_aborts = stream_aborts_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   return s;
@@ -257,6 +262,18 @@ void HttpServer::ExportMetrics(obs::MetricsSnapshot* snapshot) const {
   snapshot->AddCounter("lusail_rpc_cancelled_queries_total",
                        "Evaluations cancelled (disconnect or shutdown).",
                        labels, static_cast<double>(s.cancelled_queries));
+  snapshot->AddCounter("lusail_rpc_streamed_requests_total",
+                       "Responses sent with chunked transfer encoding.",
+                       labels, static_cast<double>(s.streamed_requests));
+  snapshot->AddCounter("lusail_rpc_stream_aborts_total",
+                       "Streams cut after the response head was sent.",
+                       labels, static_cast<double>(s.stream_aborts));
+  {
+    std::lock_guard<std::mutex> lock(first_row_mu_);
+    snapshot->AddHistogram("lusail_rpc_first_row_ms",
+                           "Latency to the first streamed result row.",
+                           labels, first_row_ms_);
+  }
   snapshot->AddCounter("lusail_rpc_bytes_in_total",
                        "Wire bytes read, headers included.", labels,
                        static_cast<double>(s.bytes_in));
@@ -348,9 +365,19 @@ void HttpServer::ServeConnection(std::shared_ptr<ConnState> conn) {
       break;  // Timeout, close, or connection error: drop the connection.
     }
 
-    HttpResponse response = Handle(*request, fd);
+    StreamOutcome stream;
+    HttpResponse response = Handle(*request, fd, &stream);
     bool keep_alive = request->KeepAlive() &&
                       !stopping_.load(std::memory_order_acquire);
+    if (stream.streamed) {
+      // The handler wrote the response itself (chunked streaming) and
+      // accounted its own bytes_out. A cleanly finished stream keeps the
+      // connection; an aborted one is closed so the client sees the
+      // missing terminal chunk as truncation.
+      if (!stream.keep_alive_ok || !keep_alive) break;
+      conn->idle = Stopwatch();
+      continue;
+    }
     if (!keep_alive) response.SetHeader("Connection", "close");
     std::string wire = response.Serialize();
     Status sent = SendAll(
@@ -390,7 +417,8 @@ void HttpServer::WatchLoop() {
   }
 }
 
-HttpResponse HttpServer::Handle(const HttpRequest& request, int fd) {
+HttpResponse HttpServer::Handle(const HttpRequest& request, int fd,
+                                StreamOutcome* stream) {
   // Split "?n=..." style query strings off the route.
   std::string_view target(request.target);
   std::string_view query_string;
@@ -413,7 +441,7 @@ HttpResponse HttpServer::Handle(const HttpRequest& request, int fd) {
       return ErrorResponse(503, StatusCode::kUnavailable,
                            "no endpoint behind this listener");
     }
-    return HandleSparql(request, fd);
+    return HandleSparql(request, fd, stream);
   }
   if (target == "/health" && request.method == "GET") {
     obs::JsonValue body = obs::JsonValue::Object();
@@ -466,7 +494,8 @@ HttpResponse HttpServer::Handle(const HttpRequest& request, int fd) {
                            request.target);
 }
 
-HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
+HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd,
+                                      StreamOutcome* stream) {
   // Extract the query text per the SPARQL 1.1 Protocol subset we speak:
   // a direct application/sparql-query body, or form-encoded query=.
   std::string query_text;
@@ -591,6 +620,183 @@ HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
   watch_cv_.notify_all();
 
   Stopwatch server_timer;
+
+  if (stream != nullptr && request.FindHeader("X-Lusail-Stream") != nullptr) {
+    // Streamed response: evaluate through QueryStreaming and write each
+    // row batch as one chunked-transfer frame the moment it is produced.
+    // End-of-stream metadata (server time, first-row latency, truncation,
+    // trace subtree) rides in the trailer section, since none of it is
+    // known when the head goes out.
+    net::StreamOptions stream_options;
+    stream_options.batch_rows = options_.stream_batch_rows;
+    stream_options.max_rows = options_.max_result_rows;
+
+    obs::SpanId eval_span = 0;
+    std::optional<obs::TraceContextScope> trace_scope;
+    if (tracer != nullptr) {
+      eval_span = tracer->StartSpan("evaluate", "server", serve_span);
+      obs::TraceContext context;
+      context.tracer = tracer;
+      context.trace_id = trace_id;
+      context.parent = eval_span;
+      trace_scope.emplace(std::move(context));
+    }
+
+    const bool keep_alive = request.KeepAlive() &&
+                            !stopping_.load(std::memory_order_acquire);
+    bool head_sent = false;
+    bool first_binding = true;
+    auto send_head = [&](const std::vector<std::string>& vars) {
+      HttpResponse head;
+      head.status = 200;
+      head.reason = "OK";
+      head.SetHeader("Content-Type", "application/sparql-results+json");
+      head.SetHeader("Transfer-Encoding", "chunked");
+      head.SetHeader("Trailer",
+                     "X-Lusail-Server-Ms, X-Lusail-First-Row-Ms, "
+                     "X-Lusail-Truncated, X-Lusail-Trace");
+      if (!keep_alive) head.SetHeader("Connection", "close");
+      return head.SerializeHead() + EncodeChunk(SrjStreamPrefix(vars));
+    };
+    // Every write gets the request timeout: a consumer that stalls longer
+    // blocks here, the sink fails, and QueryStreaming unwinds — the slow
+    // client back-pressures the evaluator instead of growing a buffer.
+    auto sink = [&](net::StreamBatch&& batch) -> Status {
+      sparql::ResultTable batch_table;
+      if (batch.ids != nullptr) {
+        batch_table = core::DecodeIdTable(*batch.ids, *batch.ids_dict);
+      } else {
+        batch_table = std::move(batch.table);
+      }
+      std::string wire;
+      if (!head_sent) {
+        wire = send_head(batch_table.vars);
+        head_sent = true;
+      }
+      if (!batch_table.rows.empty()) {
+        wire += EncodeChunk(SrjStreamBindings(batch_table, &first_binding));
+      }
+      if (wire.empty()) return Status::OK();
+      Status sent = SendAll(
+          fd, wire, Deadline::AfterMillis(options_.request_timeout_ms));
+      if (!sent.ok()) return sent;
+      bytes_out_.fetch_add(wire.size(), std::memory_order_relaxed);
+      return Status::OK();
+    };
+
+    Result<net::StreamSummary> summary =
+        endpoint_->QueryStreaming(query_text, cancel, stream_options, sink);
+    trace_scope.reset();
+    if (eval_span != 0) {
+      tracer->Annotate(eval_span, "ok", summary.ok());
+      if (summary.ok()) {
+        tracer->Annotate(eval_span, "rows", summary->rows_delivered);
+      }
+      tracer->EndSpan(eval_span);
+    }
+    {
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      in_flight_.erase(fd);
+    }
+
+    bool cancelled_flag = false;
+    if (!summary.ok()) {
+      failed_queries_.fetch_add(1, std::memory_order_relaxed);
+      if (summary.status().code() == StatusCode::kTimeout &&
+          cancel.deadline().Expired()) {
+        timed_out_queries_.fetch_add(1, std::memory_order_relaxed);
+      } else if (cancel.CancelRequested()) {
+        cancelled_queries_.fetch_add(1, std::memory_order_relaxed);
+        cancelled_flag = true;
+      }
+    }
+    if (!summary.ok() && !head_sent) {
+      // Nothing on the wire yet: fail exactly like a buffered request.
+      return finish(
+          ErrorResponse(HttpStatusForCode(summary.status().code()),
+                        summary.status().code(), summary.status().message()),
+          StatusCodeToString(summary.status().code()), 0, false,
+          cancelled_flag);
+    }
+
+    stream->streamed = true;
+    streamed_requests_.fetch_add(1, std::memory_order_relaxed);
+
+    uint64_t rows = 0;
+    bool truncated = false;
+    std::string status_name;
+    if (!summary.ok()) {
+      // Mid-stream failure: the terminal chunk never goes out, and the
+      // connection is dropped — the client's incremental parser sees a
+      // structurally truncated document instead of a silently short one.
+      stream_aborts_.fetch_add(1, std::memory_order_relaxed);
+      status_name = StatusCodeToString(summary.status().code());
+      if (tracer != nullptr) {
+        tracer->Annotate(serve_span, "status", status_name);
+        if (cancelled_flag) tracer->Annotate(serve_span, "cancelled", true);
+        tracer->EndSpan(serve_span);
+      }
+    } else {
+      rows = summary->rows_delivered;
+      truncated = summary->truncated;
+      status_name = "ok";
+      if (truncated) {
+        truncated_results_.fetch_add(1, std::memory_order_relaxed);
+      }
+      double first_row = summary->response.first_row_ms;
+      if (first_row > 0.0) {
+        std::lock_guard<std::mutex> lock(first_row_mu_);
+        first_row_ms_.Record(first_row);
+      }
+      std::string tail;
+      if (!head_sent) {
+        // A QueryStreaming override that skipped the sink on an empty
+        // result; emit the (empty) document head now.
+        tail = send_head(summary->response.table.vars);
+      }
+      std::vector<std::pair<std::string, std::string>> trailers;
+      trailers.emplace_back("X-Lusail-Server-Ms",
+                            std::to_string(server_timer.ElapsedMillis()));
+      if (first_row > 0.0) {
+        trailers.emplace_back("X-Lusail-First-Row-Ms",
+                              std::to_string(first_row));
+      }
+      if (truncated) trailers.emplace_back("X-Lusail-Truncated", "true");
+      if (tracer != nullptr) {
+        tracer->Annotate(serve_span, "status", "ok");
+        tracer->Annotate(serve_span, "rows", rows);
+        tracer->EndSpan(serve_span);
+        trailers.emplace_back(
+            "X-Lusail-Trace",
+            tracer->Snapshot().ToWireString(options_.max_trace_header_bytes));
+      }
+      tail += EncodeChunk(SrjStreamSuffix());
+      tail += EncodeLastChunk(trailers);
+      Status sent = SendAll(
+          fd, tail, Deadline::AfterMillis(options_.request_timeout_ms));
+      if (sent.ok()) {
+        bytes_out_.fetch_add(tail.size(), std::memory_order_relaxed);
+        stream->keep_alive_ok = true;
+      } else {
+        stream_aborts_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    if (options_.flight_recorder != nullptr) {
+      obs::FlightRecord record;
+      record.query_hash = obs::QueryHashHex(query_text);
+      record.trace_id = trace_id;
+      record.status = status_name;
+      record.cancelled = cancelled_flag;
+      record.truncated = truncated;
+      record.rows = rows;
+      record.total_ms = request_timer.ElapsedMillis();
+      record.execution_ms = record.total_ms;
+      options_.flight_recorder->Record(std::move(record));
+    }
+    return HttpResponse{};  // Ignored: the bytes are already on the wire.
+  }
+
   Result<net::QueryResponse> evaluated = Status::Internal("unreachable");
   {
     obs::SpanId eval_span = 0;
@@ -641,7 +847,16 @@ HttpResponse HttpServer::HandleSparql(const HttpRequest& request, int fd) {
         cancelled_flag);
   }
 
+  // An ID-space response (a fronted ShardedEndpoint in encoded mode keeps
+  // its rows in ids, table empty) must be decoded before serialization —
+  // serializing evaluated->table unconditionally would ship zero rows.
+  sparql::ResultTable decoded;
   sparql::ResultTable* table = &evaluated->table;
+  if (evaluated->ids != nullptr && evaluated->ids_dict != nullptr &&
+      evaluated->table.NumRows() == 0 && evaluated->ids->NumRows() > 0) {
+    decoded = core::DecodeIdTable(*evaluated->ids, *evaluated->ids_dict);
+    table = &decoded;
+  }
   bool truncated = false;
   if (options_.max_result_rows > 0 &&
       table->rows.size() > options_.max_result_rows) {

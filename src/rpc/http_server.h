@@ -50,8 +50,16 @@ struct HttpServerOptions {
   /// Cap on rows serialized into one response; 0 = unlimited. Mirrors the
   /// result-size caps of public Fuseki/Virtuoso deployments (the FedX
   /// experience report's truncation hazard): when a result is cut, the
-  /// response carries "X-Lusail-Truncated: true".
+  /// response carries "X-Lusail-Truncated: true". The cap counts the rows
+  /// that would actually ship — after the query's own OFFSET/LIMIT have
+  /// been applied by the evaluator — so an explicit LIMIT k with k <= cap
+  /// is never reported as truncated.
   size_t max_result_rows = 0;
+
+  /// Rows per chunk on streamed responses (requests carrying
+  /// "X-Lusail-Stream"). Each batch is serialized and written as one
+  /// chunked-transfer frame as the evaluator produces it.
+  size_t stream_batch_rows = 512;
 
   /// Display name for this server in metrics labels and traces; defaults
   /// to the fronted endpoint's id (or "server" on a stats-only listener).
@@ -85,6 +93,8 @@ struct HttpServerStats {
   uint64_t truncated_results = 0;
   uint64_t timed_out_queries = 0;  ///< 504s: client deadline expired mid-eval.
   uint64_t cancelled_queries = 0;  ///< Evaluations cancelled (disconnect/stop).
+  uint64_t streamed_requests = 0;  ///< Responses sent with chunked transfer.
+  uint64_t stream_aborts = 0;   ///< Streams cut after the head was sent.
   uint64_t bytes_in = 0;        ///< Wire bytes read (headers included).
   uint64_t bytes_out = 0;       ///< Wire bytes written.
 
@@ -178,11 +188,20 @@ class HttpServer {
   void ServeConnection(std::shared_ptr<ConnState> conn);
   void WatchLoop();
 
+  /// Set by a handler that wrote its response to the socket itself
+  /// (chunked streaming); ServeConnection then skips the normal write.
+  struct StreamOutcome {
+    bool streamed = false;      ///< Response bytes already on the wire.
+    bool keep_alive_ok = false; ///< Stream ended cleanly; fd reusable.
+  };
+
   /// Routes one request to a response (never throws, never closes fd).
   /// `fd` identifies the connection the response will go out on, so the
   /// disconnect watchdog can tie an in-flight evaluation to its socket.
-  HttpResponse Handle(const HttpRequest& request, int fd);
-  HttpResponse HandleSparql(const HttpRequest& request, int fd);
+  HttpResponse Handle(const HttpRequest& request, int fd,
+                      StreamOutcome* stream);
+  HttpResponse HandleSparql(const HttpRequest& request, int fd,
+                            StreamOutcome* stream);
 
   std::shared_ptr<net::Endpoint> endpoint_;
   HttpServerOptions options_;
@@ -213,8 +232,16 @@ class HttpServer {
   std::atomic<uint64_t> truncated_results_{0};
   std::atomic<uint64_t> timed_out_queries_{0};
   std::atomic<uint64_t> cancelled_queries_{0};
+  std::atomic<uint64_t> streamed_requests_{0};
+  std::atomic<uint64_t> stream_aborts_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
+
+  /// First-row latency on streamed responses (exported as the
+  /// lusail_rpc_first_row_ms histogram). LatencyHistogram is not
+  /// thread-safe; first_row_mu_ guards it.
+  mutable std::mutex first_row_mu_;
+  obs::LatencyHistogram first_row_ms_;
 };
 
 /// Maps a Status onto the HTTP status code the server answers with.

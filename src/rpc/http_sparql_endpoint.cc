@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
@@ -460,6 +461,347 @@ Result<net::QueryResponse> HttpSparqlEndpoint::QueryInternal(
                            s.code() == StatusCode::kUnavailable &&
                            attempt == 0 && !effective.Expired() &&
                            (cancel == nullptr || !cancel->CancelRequested());
+    if (retryable_stale) {
+      stale_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (s.code() == StatusCode::kUnavailable ||
+        s.code() == StatusCode::kTimeout) {
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+  return Status(StatusCode::kInternal, "unreachable retry exit");
+}
+
+Result<net::StreamSummary> HttpSparqlEndpoint::StreamRoundTrip(
+    int fd, const std::string& query, const Deadline& deadline,
+    const CancelToken& cancel, const net::StreamOptions& options,
+    const net::StreamSink& sink, const Stopwatch& wall,
+    bool* got_response_bytes, bool* conn_reusable, uint64_t* wire_in,
+    uint64_t* wire_out) {
+  *got_response_bytes = false;
+  *conn_reusable = false;
+  *wire_in = 0;
+  *wire_out = 0;
+
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/sparql";
+  request.SetHeader("Host", host_ + ":" + std::to_string(port_));
+  request.SetHeader("Content-Type", "application/sparql-query");
+  request.SetHeader("Accept", "application/sparql-results+json");
+  request.SetHeader("X-Lusail-Stream", "true");
+  if (deadline.has_deadline()) {
+    request.SetHeader("X-Lusail-Deadline-Ms",
+                      std::to_string(deadline.RemainingMillis()));
+  }
+  const obs::TraceContext* trace_context = obs::CurrentTraceContext();
+  if (trace_context != nullptr && trace_context->tracer != nullptr) {
+    request.SetHeader("X-Lusail-Trace-Id", trace_context->trace_id);
+    request.SetHeader("X-Lusail-Parent-Span",
+                      std::to_string(trace_context->parent));
+  }
+  request.body = query;
+
+  std::string serialized = request.Serialize();
+  *wire_out = serialized.size();
+  LUSAIL_RETURN_NOT_OK(SendAll(fd, serialized, deadline));
+
+  HttpConnection conn(fd);
+  // Keep the wire-in counter honest on every exit path.
+  auto record_wire = [&] {
+    *wire_in = conn.bytes_read();
+    *got_response_bytes = conn.bytes_read() > 0;
+  };
+  auto normalize = [&](const Status& s) {
+    record_wire();
+    if (s.code() == StatusCode::kParseError) {
+      return Status(StatusCode::kUnavailable,
+                    "malformed HTTP response from " + id_ + ": " +
+                        s.message());
+    }
+    return s;
+  };
+
+  // Wait for the first response bytes in poll slices so cancellation can
+  // interrupt the wait (same protocol as the buffered RoundTrip).
+  bool half_closed = false;
+  if (cancel.can_cancel()) {
+    Deadline cancel_wait;
+    for (;;) {
+      if (deadline.Expired()) break;
+      if (half_closed && cancel_wait.Expired()) {
+        return cancel.StatusAt("cancelled endpoint request");
+      }
+      if (!half_closed && cancel.CancelRequested()) {
+        ::shutdown(fd, SHUT_WR);
+        half_closed = true;
+        cancel_wait = Deadline::AfterMillis(
+            std::min(kCancelResponseWaitMs, deadline.RemainingMillis()));
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      int n = ::poll(&pfd, 1, kCancelPollSliceMs);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n > 0) break;
+    }
+  }
+
+  auto head = conn.ReadResponseHead(options_.limits, deadline);
+  if (!head.ok()) {
+    if (half_closed) return cancel.StatusAt("cancelled endpoint request");
+    return normalize(head.status());
+  }
+  record_wire();
+  HttpResponse& http = head.value();
+
+  // Reads the rest of a Content-Length body (error responses, and 200s
+  // from servers that ignored X-Lusail-Stream).
+  auto read_content_length_body = [&]() -> Result<std::string> {
+    size_t remaining = 0;
+    if (const std::string* cl = http.FindHeader("Content-Length")) {
+      remaining = static_cast<size_t>(
+          std::strtoull(cl->c_str(), nullptr, 10));
+    }
+    if (remaining > options_.limits.max_body_bytes) {
+      return Status::InvalidArgument("response body exceeds limit");
+    }
+    std::string body;
+    while (body.size() < remaining) {
+      std::string piece;
+      Status rc =
+          conn.ReadBodyBytes(remaining - body.size(), deadline, &piece);
+      if (!rc.ok()) return rc;
+      if (piece.empty()) break;
+      body.append(piece);
+    }
+    return body;
+  };
+
+  if (http.status != 200) {
+    auto body = read_content_length_body();
+    record_wire();
+    http.body = body.ok() ? std::move(body).value() : std::string();
+    MaybeGraftServerTrace(http, id_);
+    if (half_closed) return cancel.StatusAt("cancelled endpoint request");
+    std::string code_name;
+    std::string message = http.body;
+    auto parsed = obs::JsonValue::Parse(http.body);
+    if (parsed.ok() &&
+        parsed.value().type() == obs::JsonValue::Type::kObject) {
+      const obs::JsonValue& code = parsed.value().Get("code");
+      const obs::JsonValue& error = parsed.value().Get("error");
+      if (code.type() == obs::JsonValue::Type::kString) {
+        code_name = code.AsString();
+      }
+      if (error.type() == obs::JsonValue::Type::kString) {
+        message = error.AsString();
+      }
+    }
+    StatusCode code = CodeForHttpStatus(http.status, code_name);
+    return Status(code, id_ + ": HTTP " + std::to_string(http.status) + ": " +
+                            message);
+  }
+  if (half_closed) {
+    MaybeGraftServerTrace(http, id_);
+    return cancel.StatusAt("cancelled endpoint request");
+  }
+
+  std::shared_ptr<core::TermDictionary> parse_dict;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    parse_dict = parse_dict_;
+  }
+  SrjChunkDecoder decoder(parse_dict);
+
+  net::StreamSummary summary;
+  summary.response.request_bytes = query.size();
+  uint64_t body_bytes = 0;
+  bool delivered_any_batch = false;
+
+  // Drains the decoder's pending rows into the sink, honoring the row
+  // budget. Returns non-OK to stop the exchange; sets *budget_hit when
+  // max_rows was reached (the stream should be cut, not failed).
+  auto deliver = [&](bool* budget_hit) -> Status {
+    *budget_hit = false;
+    size_t pending = decoder.PendingRows();
+    if (pending == 0) return Status::OK();
+    size_t take = pending;
+    if (options.max_rows > 0) {
+      uint64_t left = options.max_rows - summary.rows_delivered;
+      if (pending >= left) {
+        take = static_cast<size_t>(left);
+        *budget_hit = true;
+        summary.truncated = true;
+      }
+    }
+    if (summary.rows_delivered == 0 && take > 0 &&
+        summary.response.first_row_ms == 0.0) {
+      summary.response.first_row_ms = wall.ElapsedMillis();
+    }
+    net::StreamBatch batch;
+    if (parse_dict != nullptr) {
+      core::IdTable ids = decoder.TakeIds();
+      if (take < ids.NumRows()) ids = ids.Slice(0, take);
+      batch.ids = std::make_shared<core::IdTable>(std::move(ids));
+      batch.ids_dict = parse_dict;
+    } else {
+      batch.table = decoder.TakeTable();
+      if (take < batch.table.rows.size()) batch.table.rows.resize(take);
+    }
+    summary.rows_delivered += take;
+    delivered_any_batch = true;
+    return sink(std::move(batch));
+  };
+
+  const std::string* te = http.FindHeader("Transfer-Encoding");
+  bool chunked = te != nullptr && EqualsIgnoreCase(*te, "chunked");
+  bool stream_cut = false;  ///< Budget or cancel ended the stream early.
+  if (chunked) {
+    bool last = false;
+    while (!last) {
+      if (cancel.Cancelled()) {
+        record_wire();
+        return cancel.StatusAt("cancelled mid-stream");
+      }
+      std::string data;
+      std::vector<std::pair<std::string, std::string>> trailers;
+      Status rc =
+          conn.ReadChunk(options_.limits, deadline, &data, &last, &trailers);
+      if (!rc.ok()) return normalize(rc);
+      for (auto& trailer : trailers) {
+        http.headers.push_back(std::move(trailer));
+      }
+      if (!data.empty()) {
+        body_bytes += data.size();
+        Status fed = decoder.Feed(data);
+        if (!fed.ok()) return normalize(fed);
+        bool budget_hit = false;
+        Status delivered = deliver(&budget_hit);
+        if (!delivered.ok()) {
+          record_wire();
+          return delivered;
+        }
+        if (budget_hit) {
+          // Budget met mid-stream: half-close so a Lusail server's
+          // disconnect watchdog stops the evaluation, and stop reading.
+          ::shutdown(fd, SHUT_WR);
+          stream_cut = true;
+          break;
+        }
+      }
+    }
+    if (!stream_cut) {
+      Status complete = decoder.Finish();
+      if (!complete.ok()) return normalize(complete);
+    }
+  } else {
+    // The server ignored X-Lusail-Stream (foreign endpoint): the body is
+    // Content-Length framed. Decode it whole, then deliver in one pass.
+    auto body = read_content_length_body();
+    if (!body.ok()) return normalize(body.status());
+    body_bytes = body.value().size();
+    Status fed = decoder.Feed(body.value());
+    if (fed.ok()) fed = decoder.Finish();
+    if (!fed.ok()) {
+      record_wire();
+      return fed;  // SRJ-level failure: same contract as ParseSrj.
+    }
+    bool budget_hit = false;
+    Status delivered = deliver(&budget_hit);
+    if (!delivered.ok()) {
+      record_wire();
+      return delivered;
+    }
+    stream_cut = budget_hit;
+  }
+  record_wire();
+  MaybeGraftServerTrace(http, id_);
+
+  if (!delivered_any_batch) {
+    // Empty result: the sink still learns the vars (at-least-once
+    // contract of StreamSink).
+    net::StreamBatch batch;
+    if (parse_dict != nullptr) {
+      batch.ids = std::make_shared<core::IdTable>(
+          core::IdTable(decoder.vars()));
+      batch.ids_dict = parse_dict;
+    } else {
+      batch.table.vars = decoder.vars();
+    }
+    Status delivered = sink(std::move(batch));
+    if (!delivered.ok()) return delivered;
+  }
+
+  summary.response.response_bytes = body_bytes;
+  if (const std::string* server_ms = http.FindHeader("X-Lusail-Server-Ms")) {
+    summary.response.server_ms = std::strtod(server_ms->c_str(), nullptr);
+  }
+  if (http.FindHeader("X-Lusail-Truncated") != nullptr) {
+    summary.truncated = true;
+  }
+  *conn_reusable = !stream_cut && http.KeepAlive() && !conn.HasBufferedData();
+  return summary;
+}
+
+Result<net::StreamSummary> HttpSparqlEndpoint::QueryStreaming(
+    const std::string& sparql_text, const CancelToken& cancel,
+    const net::StreamOptions& options, const net::StreamSink& sink) {
+  if (cancel.Cancelled()) return cancel.StatusAt("endpoint request");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Deadline effective = cancel.deadline();
+  if (effective.RemainingMillis() > options_.default_request_timeout_ms) {
+    effective = Deadline::AfterMillis(options_.default_request_timeout_ms);
+  }
+
+  Stopwatch wall;
+  // Same transparent stale-connection retry as the buffered path; safe
+  // because no response byte (and so no sink delivery) happened yet.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool reused = false;
+    double connect_ms = 0.0;
+    auto acquired = AcquireConnection(effective, &reused, &connect_ms);
+    if (!acquired.ok()) {
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      return acquired.status();
+    }
+    int fd = acquired.value();
+
+    bool got_response_bytes = false;
+    bool conn_reusable = false;
+    uint64_t wire_in = 0, wire_out = 0;
+    auto result =
+        StreamRoundTrip(fd, sparql_text, effective, cancel, options, sink,
+                        wall, &got_response_bytes, &conn_reusable, &wire_in,
+                        &wire_out);
+
+    if (result.ok()) {
+      if (conn_reusable) {
+        ReleaseConnection(fd);
+      } else {
+        ::close(fd);
+      }
+      net::StreamSummary summary = std::move(result).value();
+      double elapsed = wall.ElapsedMillis();
+      summary.response.network_ms =
+          std::max(0.0, elapsed - summary.response.server_ms);
+      summary.response.transport.over_network = true;
+      summary.response.transport.reused_connection = reused;
+      summary.response.transport.connect_ms = connect_ms;
+      summary.response.transport.wire_bytes_sent = wire_out;
+      summary.response.transport.wire_bytes_received = wire_in;
+      return summary;
+    }
+
+    ::close(fd);
+    const Status& s = result.status();
+    bool retryable_stale = reused && !got_response_bytes &&
+                           s.code() == StatusCode::kUnavailable &&
+                           attempt == 0 && !effective.Expired() &&
+                           !cancel.CancelRequested();
     if (retryable_stale) {
       stale_retries_.fetch_add(1, std::memory_order_relaxed);
       continue;

@@ -85,6 +85,18 @@ class HttpSparqlEndpoint : public net::Endpoint {
                                               const CancelToken& cancel)
       override;
 
+  /// Streaming variant: the request carries "X-Lusail-Stream", and a
+  /// chunked response is decoded incrementally — each wire chunk's rows
+  /// are delivered through `sink` the moment they parse (into the parse
+  /// dictionary when one is configured), so neither the response body nor
+  /// the result table is ever held whole on this side. A Content-Length
+  /// response from a server that ignores the header degrades to
+  /// read-fully-then-deliver. `options.max_rows` cuts the stream early
+  /// (half-closing the connection so a Lusail server stops evaluating).
+  Result<net::StreamSummary> QueryStreaming(
+      const std::string& sparql_text, const CancelToken& cancel,
+      const net::StreamOptions& options, const net::StreamSink& sink) override;
+
   HttpClientStats stats() const;
 
   /// Enables the ID-space fast path: responses are parsed straight into
@@ -122,6 +134,17 @@ class HttpSparqlEndpoint : public net::Endpoint {
                                        bool* got_response_bytes,
                                        bool* conn_reusable,
                                        uint64_t* wire_in, uint64_t* wire_out);
+
+  /// Streaming exchange on `fd`: sends the request with "X-Lusail-Stream",
+  /// then reads the response incrementally, feeding bytes through a
+  /// SrjChunkDecoder and the sink. `wall` is the per-query clock
+  /// first-row latency is measured against.
+  Result<net::StreamSummary> StreamRoundTrip(
+      int fd, const std::string& query, const Deadline& deadline,
+      const CancelToken& cancel, const net::StreamOptions& options,
+      const net::StreamSink& sink, const Stopwatch& wall,
+      bool* got_response_bytes, bool* conn_reusable, uint64_t* wire_in,
+      uint64_t* wire_out);
 
   std::string id_;
   std::string host_;

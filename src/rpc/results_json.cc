@@ -228,4 +228,310 @@ Result<core::IdTable> ParseSrjToIds(const std::string& text,
   return table;
 }
 
+std::string SrjStreamPrefix(const std::vector<std::string>& vars) {
+  obs::JsonValue head = obs::JsonValue::Object();
+  obs::JsonValue vars_json = obs::JsonValue::Array();
+  for (const std::string& v : vars) vars_json.Append(v);
+  head.Set("vars", std::move(vars_json));
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("head", std::move(head));
+  std::string out = root.Serialize();
+  // out == {"head":{"vars":[...]}} — splice the results opening in before
+  // the root's closing brace.
+  out.pop_back();
+  out.append(",\"results\":{\"bindings\":[");
+  return out;
+}
+
+std::string SrjStreamBindings(const sparql::ResultTable& batch, bool* first) {
+  std::string out;
+  for (const auto& row : batch.rows) {
+    obs::JsonValue binding = obs::JsonValue::Object();
+    for (size_t i = 0; i < batch.vars.size() && i < row.size(); ++i) {
+      if (!row[i].has_value()) continue;  // Unbound: omit the variable.
+      binding.Set(batch.vars[i], TermToJson(*row[i]));
+    }
+    if (!*first) out.push_back(',');
+    *first = false;
+    out.append(binding.Serialize());
+  }
+  return out;
+}
+
+std::string SrjStreamSuffix() { return "]}}"; }
+
+SrjChunkDecoder::SrjChunkDecoder(std::shared_ptr<core::TermDictionary> dict)
+    : dict_(std::move(dict)) {}
+
+size_t SrjChunkDecoder::PendingRows() const {
+  return dict_ != nullptr ? pending_ids_.NumRows() : pending_table_.rows.size();
+}
+
+Status SrjChunkDecoder::Feed(std::string_view bytes) {
+  if (state_ == State::kError) return error_;
+  buffer_.append(bytes);
+  Status processed = ProcessBuffer();
+  if (!processed.ok()) {
+    state_ = State::kError;
+    error_ = processed;
+  }
+  return processed;
+}
+
+Status SrjChunkDecoder::Finish() {
+  switch (state_) {
+    case State::kError:
+      return error_;
+    case State::kTail:
+    case State::kDocComplete:
+      return Status::OK();
+    case State::kHead:
+    case State::kBindings:
+      state_ = State::kError;
+      error_ = Status::ParseError("truncated SRJ stream");
+      return error_;
+  }
+  return Status::Internal("unreachable");
+}
+
+Status SrjChunkDecoder::ProcessBuffer() {
+  for (;;) {
+    switch (state_) {
+      case State::kHead:
+        LUSAIL_RETURN_NOT_OK(ScanHead());
+        if (state_ == State::kHead) return Status::OK();  // Need more bytes.
+        break;
+      case State::kBindings:
+        LUSAIL_RETURN_NOT_OK(ScanBindings());
+        if (state_ == State::kBindings) return Status::OK();
+        break;
+      case State::kTail:
+      case State::kDocComplete:
+        // Everything after the structural end is framing the transport
+        // already validated; drop it.
+        buffer_.clear();
+        scan_pos_ = 0;
+        return Status::OK();
+      case State::kError:
+        return error_;
+    }
+  }
+}
+
+Status SrjChunkDecoder::ScanHead() {
+  while (scan_pos_ < buffer_.size()) {
+    char c = buffer_[scan_pos_];
+    if (in_string_) {
+      if (escape_) {
+        escape_ = false;
+        current_string_.push_back(c);
+      } else if (c == '\\') {
+        escape_ = true;
+        current_string_.push_back(c);
+      } else if (c == '"') {
+        in_string_ = false;
+        last_string_ = current_string_;
+      } else {
+        current_string_.push_back(c);
+      }
+      ++scan_pos_;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string_ = true;
+        current_string_.clear();
+        break;
+      case ':':
+        pending_key_ = last_string_;
+        break;
+      case '[':
+        if (depth_ == 2 && pending_key_ == "bindings" &&
+            !key_stack_.empty() && key_stack_.back() == "results") {
+          LUSAIL_RETURN_NOT_OK(DecodeHeadPrefix(scan_pos_));
+          ++scan_pos_;
+          buffer_.erase(0, scan_pos_);
+          scan_pos_ = 0;
+          state_ = State::kBindings;
+          return Status::OK();
+        }
+        [[fallthrough]];
+      case '{':
+        key_stack_.push_back(pending_key_);
+        pending_key_.clear();
+        ++depth_;
+        break;
+      case ']':
+      case '}':
+        if (depth_ == 0) {
+          return Status::ParseError("unbalanced SRJ document");
+        }
+        key_stack_.pop_back();
+        --depth_;
+        if (depth_ == 0) {
+          // Root closed with no bindings array: the ASK form (or a
+          // malformed document — DecodeCompleteDoc tells them apart).
+          LUSAIL_RETURN_NOT_OK(DecodeCompleteDoc());
+          state_ = State::kDocComplete;
+          return Status::OK();
+        }
+        break;
+      default:
+        break;
+    }
+    ++scan_pos_;
+  }
+  return Status::OK();  // Need more bytes.
+}
+
+Status SrjChunkDecoder::ScanBindings() {
+  while (scan_pos_ < buffer_.size()) {
+    char c = buffer_[scan_pos_];
+    if (object_depth_ == 0) {
+      // Between binding objects.
+      if (c == '{') {
+        object_start_ = scan_pos_;
+        object_depth_ = 1;
+      } else if (c == ']') {
+        ++scan_pos_;
+        buffer_.clear();
+        scan_pos_ = 0;
+        state_ = State::kTail;
+        return Status::OK();
+      } else if (c != ',' && c != ' ' && c != '\t' && c != '\r' &&
+                 c != '\n') {
+        return Status::ParseError(
+            std::string("unexpected character in SRJ bindings array: '") + c +
+            "'");
+      }
+      ++scan_pos_;
+      continue;
+    }
+    // Inside a binding object.
+    if (in_string_) {
+      if (escape_) {
+        escape_ = false;
+      } else if (c == '\\') {
+        escape_ = true;
+      } else if (c == '"') {
+        in_string_ = false;
+      }
+    } else if (c == '"') {
+      in_string_ = true;
+    } else if (c == '{' || c == '[') {
+      ++object_depth_;
+    } else if (c == '}' || c == ']') {
+      --object_depth_;
+      if (object_depth_ == 0) {
+        LUSAIL_RETURN_NOT_OK(DecodeBinding(std::string_view(buffer_).substr(
+            object_start_, scan_pos_ + 1 - object_start_)));
+        ++scan_pos_;
+        buffer_.erase(0, scan_pos_);
+        scan_pos_ = 0;
+        continue;
+      }
+    }
+    ++scan_pos_;
+  }
+  // Partial binding (or clean cut): keep only the unfinished bytes.
+  if (object_depth_ == 0) {
+    buffer_.erase(0, scan_pos_);
+  } else {
+    buffer_.erase(0, object_start_);
+    object_start_ = 0;
+  }
+  scan_pos_ = buffer_.size();
+  return Status::OK();
+}
+
+Status SrjChunkDecoder::DecodeHeadPrefix(size_t bindings_open) {
+  // The bytes up to and including the '[' plus a synthesized empty tail
+  // form a complete SRJ document; ParseSrj validates the head and yields
+  // the vars. (This requires head to precede results, which every
+  // serializer this repo talks to — including its own — does.)
+  std::string doc = buffer_.substr(0, bindings_open + 1);
+  doc.append("]}}");
+  LUSAIL_ASSIGN_OR_RETURN(sparql::ResultTable parsed, ParseSrj(doc));
+  vars_ = parsed.vars;
+  head_done_ = true;
+  pending_table_.vars = vars_;
+  pending_ids_.vars = vars_;
+  return Status::OK();
+}
+
+Status SrjChunkDecoder::DecodeBinding(std::string_view object_text) {
+  Stopwatch timer;
+  LUSAIL_ASSIGN_OR_RETURN(obs::JsonValue binding,
+                          obs::JsonValue::Parse(std::string(object_text)));
+  if (binding.type() != obs::JsonValue::Type::kObject) {
+    return Status::InvalidArgument("SRJ binding is not an object");
+  }
+  if (dict_ != nullptr) {
+    std::vector<rdf::TermId> row(vars_.size(), rdf::kInvalidTermId);
+    for (const auto& [var, value] : binding.members()) {
+      size_t col = 0;
+      while (col < vars_.size() && vars_[col] != var) ++col;
+      if (col == vars_.size()) {
+        return Status::InvalidArgument("SRJ binding references variable \"" +
+                                       var + "\" absent from head");
+      }
+      LUSAIL_ASSIGN_OR_RETURN(rdf::Term term, TermFromJson(value));
+      row[col] = dict_->Intern(term);
+      ++cells_since_take_;
+    }
+    pending_ids_.AppendRow(row);
+  } else {
+    std::vector<std::optional<rdf::Term>> row(vars_.size(), std::nullopt);
+    for (const auto& [var, value] : binding.members()) {
+      size_t col = 0;
+      while (col < vars_.size() && vars_[col] != var) ++col;
+      if (col == vars_.size()) {
+        return Status::InvalidArgument("SRJ binding references variable \"" +
+                                       var + "\" absent from head");
+      }
+      LUSAIL_ASSIGN_OR_RETURN(row[col], TermFromJson(value));
+    }
+    pending_table_.rows.push_back(std::move(row));
+  }
+  ++total_rows_;
+  decode_seconds_since_take_ += timer.ElapsedMillis() / 1e3;
+  return Status::OK();
+}
+
+Status SrjChunkDecoder::DecodeCompleteDoc() {
+  std::string doc = buffer_.substr(0, scan_pos_ + 1);
+  LUSAIL_ASSIGN_OR_RETURN(sparql::ResultTable parsed, ParseSrj(doc));
+  vars_ = parsed.vars;
+  head_done_ = true;
+  pending_table_.vars = vars_;
+  pending_ids_.vars = vars_;
+  total_rows_ += parsed.rows.size();
+  if (dict_ != nullptr) {
+    pending_ids_ = core::EncodeResultTable(parsed, dict_.get());
+  } else {
+    pending_table_ = std::move(parsed);
+  }
+  return Status::OK();
+}
+
+sparql::ResultTable SrjChunkDecoder::TakeTable() {
+  sparql::ResultTable out = std::move(pending_table_);
+  pending_table_ = sparql::ResultTable();
+  pending_table_.vars = vars_;
+  return out;
+}
+
+core::IdTable SrjChunkDecoder::TakeIds() {
+  if (dict_ != nullptr && cells_since_take_ > 0) {
+    // Streamed decoding is the boundary encode, batch-timed like
+    // ParseSrjToIds.
+    dict_->AddEncodeBatch(decode_seconds_since_take_, cells_since_take_);
+    cells_since_take_ = 0;
+    decode_seconds_since_take_ = 0.0;
+  }
+  core::IdTable out = std::move(pending_ids_);
+  pending_ids_ = core::IdTable(vars_);
+  return out;
+}
+
 }  // namespace lusail::rpc

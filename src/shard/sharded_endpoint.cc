@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <optional>
@@ -553,7 +554,8 @@ QueryResponse ShardedEndpoint::MakeResponse(ScatterContext* ctx) {
 
 Result<IdTable> ShardedEndpoint::EvaluatePlan(const Plan& plan,
                                               const CancelToken& cancel,
-                                              ScatterContext* ctx) {
+                                              ScatterContext* ctx,
+                                              size_t star_limit) {
   // One scatter wave covers every (star, shard) pair of this plan level.
   std::vector<std::pair<size_t, std::string>> jobs;
   std::vector<size_t> job_star;
@@ -565,6 +567,7 @@ Result<IdTable> ShardedEndpoint::EvaluatePlan(const Plan& plan,
     sub.where.triples = star.triples;
     sub.where.filters = star.filters;
     sub.where.values = star.values;
+    if (star_limit > 0) sub.limit = star_limit;
     std::string text = sparql::QueryToString(sub);
     for (size_t shard : star.shards) {
       jobs.emplace_back(shard, text);
@@ -686,7 +689,22 @@ Result<QueryResponse> ShardedEndpoint::ExecuteDecomposed(
     return ScatterCount(query, plan.stars.front(), cancel, ctx);
   }
 
-  LUSAIL_ASSIGN_OR_RETURN(IdTable acc, EvaluatePlan(plan, cancel, ctx));
+  // LIMIT pushdown to the scatter: with a single star and no gather-side
+  // row-dropping work, a shard can never contribute more than
+  // offset+limit useful rows. OFFSET itself is never shipped — each
+  // shard would skip rows the gather alone is positioned to discount.
+  size_t star_limit = 0;
+  if (query.limit.has_value() && query.order_by.empty() && !query.distinct &&
+      !query.aggregate.has_value() && plan.stars.size() == 1 &&
+      plan.residual_filters.empty() && plan.gather_values.empty() &&
+      plan.optionals.empty() && plan.unions.empty() && plan.exists.empty()) {
+    uint64_t want = query.offset.value_or(0) + *query.limit;
+    star_limit = static_cast<size_t>(
+        std::min<uint64_t>(want, std::numeric_limits<uint32_t>::max()));
+  }
+
+  LUSAIL_ASSIGN_OR_RETURN(IdTable acc,
+                          EvaluatePlan(plan, cancel, ctx, star_limit));
   return FinishSelect(query, std::move(acc), ctx);
 }
 
@@ -865,9 +883,29 @@ Result<QueryResponse> ShardedEndpoint::Broadcast(const sparql::Query& query,
     shard_query.distinct = false;
     shard_query.limit.reset();
   } else if (query.limit.has_value() && query.order_by.empty()) {
+    // Safe pushdown: each member may contribute anywhere in the first
+    // offset+limit rows of the union, so LIMIT offset+limit per member
+    // keeps the gather exact. OFFSET is NEVER pushed — every member would
+    // skip its own first rows and the union would lose them for good.
     shard_query.limit = query.offset.value_or(0) + *query.limit;
   } else {
     shard_query.limit.reset();
+  }
+  if (!query.order_by.empty() && !shard_query.aggregate.has_value() &&
+      !shard_query.select_all) {
+    // The gather sorts, so members must ship the sort keys even when the
+    // projection omits them; FinishSelect drops the extra columns after
+    // windowing.
+    for (const sparql::OrderKey& key : query.order_by) {
+      bool present = false;
+      for (const sparql::Variable& var : shard_query.projection) {
+        if (var.name == key.var.name) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) shard_query.projection.push_back(key.var);
+    }
   }
   const std::string text = sparql::QueryToString(shard_query);
   std::vector<std::pair<size_t, std::string>> jobs;
@@ -954,16 +992,62 @@ Result<QueryResponse> ShardedEndpoint::FinishSelect(const sparql::Query& query,
     }
   }
   IdTable projected = core::ProjectIds(acc, extended, query.distinct);
-  sparql::ResultTable table = core::DecodeIdTable(projected, *dict_);
-  sparql::SortRows(&table, query.order_by);
-  size_t rows = table.rows.size();
-  size_t begin = std::min<size_t>(offset, rows);
-  size_t end = query.limit.has_value()
-                   ? std::min<size_t>(begin + *query.limit, rows)
-                   : rows;
-  if (begin != 0) table.rows.erase(table.rows.begin(),
-                                   table.rows.begin() + begin);
-  if (end < rows) table.rows.resize(end - begin);
+  sparql::ResultTable table;
+  if (query.limit.has_value()) {
+    // Bounded top-k: only offset+limit rows can survive the window, so
+    // keep a heap of that size (ordered worst-first) and decode the
+    // gathered IDs in slices. Peak decoded-string memory is one slice
+    // plus the heap, not the whole gather.
+    using Row = std::vector<std::optional<rdf::Term>>;
+    std::vector<std::pair<size_t, bool>> keys;
+    for (const sparql::OrderKey& key : query.order_by) {
+      auto it = std::find(extended.begin(), extended.end(), key.var.name);
+      keys.emplace_back(static_cast<size_t>(it - extended.begin()),
+                        key.descending);
+    }
+    auto ranks_before = [&keys](const Row& a, const Row& b) {
+      for (const auto& [col, desc] : keys) {
+        int c = sparql::CompareForOrder(a[col], b[col]);
+        if (c != 0) return desc ? c > 0 : c < 0;
+      }
+      return false;
+    };
+    const uint64_t want64 = offset + static_cast<uint64_t>(*query.limit);
+    const size_t k = static_cast<size_t>(
+        std::min<uint64_t>(want64, projected.NumRows()));
+    std::vector<Row> heap;
+    heap.reserve(k);
+    constexpr size_t kSliceRows = 4096;
+    const size_t total = projected.NumRows();
+    for (size_t b = 0; b < total && k > 0; b += kSliceRows) {
+      size_t e = std::min(b + kSliceRows, total);
+      sparql::ResultTable batch =
+          core::DecodeIdTable(projected.Slice(b, e), *dict_);
+      for (Row& row : batch.rows) {
+        if (heap.size() < k) {
+          heap.push_back(std::move(row));
+          std::push_heap(heap.begin(), heap.end(), ranks_before);
+        } else if (ranks_before(row, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), ranks_before);
+          heap.back() = std::move(row);
+          std::push_heap(heap.begin(), heap.end(), ranks_before);
+        }
+      }
+    }
+    std::sort_heap(heap.begin(), heap.end(), ranks_before);
+    table.vars = projected.vars;
+    size_t begin = std::min<size_t>(offset, heap.size());
+    table.rows.assign(std::make_move_iterator(heap.begin() + begin),
+                      std::make_move_iterator(heap.end()));
+  } else {
+    table = core::DecodeIdTable(projected, *dict_);
+    sparql::SortRows(&table, query.order_by);
+    size_t rows = table.rows.size();
+    size_t begin = std::min<size_t>(offset, rows);
+    if (begin != 0) {
+      table.rows.erase(table.rows.begin(), table.rows.begin() + begin);
+    }
+  }
   if (extended.size() != names.size()) {
     for (auto& row : table.rows) row.resize(names.size());
     table.vars.resize(names.size());

@@ -193,9 +193,14 @@ class ShardedEndpoint : public net::Endpoint {
   struct ScatterContext;
 
   /// Evaluates `plan` to an IdTable over dict_ (scatter + gather).
+  /// When `star_limit` is non-zero each star subquery ships `LIMIT
+  /// star_limit` to the shards — only safe when the caller proved the
+  /// gather cannot need more than that many rows per shard (single
+  /// star, no ORDER BY / DISTINCT / aggregate / gather-side joins).
   Result<core::IdTable> EvaluatePlan(const Plan& plan,
                                      const CancelToken& cancel,
-                                     ScatterContext* ctx);
+                                     ScatterContext* ctx,
+                                     size_t star_limit = 0);
 
   Result<net::QueryResponse> ExecuteDecomposed(const sparql::Query& query,
                                                const CancelToken& cancel,

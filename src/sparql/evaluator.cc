@@ -547,6 +547,24 @@ Result<ResultTable> Evaluator::Execute(const Query& query,
     return table;
   }
 
+  // ORDER BY keys outside the SELECT list must survive until the sort:
+  // carry them as hidden trailing columns, dropped after windowing.
+  // (Not under DISTINCT — there the spec ties ordering keys to the
+  // select list, and widening the dedup set would change the answer.)
+  const size_t visible = projection.size();
+  if (!query.order_by.empty() && !query.distinct) {
+    for (const OrderKey& key : query.order_by) {
+      bool present = false;
+      for (const Variable& v : projection) {
+        if (v.name == key.var.name) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) projection.push_back(key.var);
+    }
+  }
+
   std::vector<int> slots;
   slots.reserve(projection.size());
   for (const Variable& v : projection) {
@@ -599,6 +617,10 @@ Result<ResultTable> Evaluator::Execute(const Query& query,
     if (begin > table.rows.size()) begin = table.rows.size();
     table.rows.assign(table.rows.begin() + begin,
                       table.rows.begin() + window_end);
+  }
+  if (table.vars.size() != visible) {
+    table.vars.resize(visible);
+    for (auto& row : table.rows) row.resize(visible);
   }
   return table;
 }

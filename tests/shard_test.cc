@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -330,6 +331,145 @@ TEST_F(ShardedEndpointTest, OrderByLimitIsRowIdentical) {
     ASSERT_TRUE(expected_table.rows[r][1].has_value());
     EXPECT_EQ(actual_table.rows[r][1]->ToString(),
               expected_table.rows[r][1]->ToString());
+  }
+}
+
+TEST_F(ShardedEndpointTest, OrderByLimitOffsetWindowMatchesOracle) {
+  // The gather's bounded top-k must produce the same window as the
+  // oracle's full sort — ascending, descending, and with OFFSET shifting
+  // the window past the heap's worst rows.
+  const char* windows[] = {
+      "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . } "
+      "ORDER BY ?o LIMIT 5 OFFSET 3",
+      "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . } "
+      "ORDER BY DESC(?o) LIMIT 4",
+      "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . } "
+      "ORDER BY DESC(?o) LIMIT 6 OFFSET 16",  // Window past the tail.
+      "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . } ORDER BY ?o OFFSET 18",
+  };
+  for (const char* text : windows) {
+    auto expected = oracle_->Query(text);
+    auto actual = sharded_->Query(text);
+    ASSERT_TRUE(expected.ok()) << text << ": " << expected.status().ToString();
+    ASSERT_TRUE(actual.ok()) << text << ": " << actual.status().ToString();
+    sparql::ResultTable expected_table = ResponseTable(*expected);
+    sparql::ResultTable actual_table = ResponseTable(*actual);
+    ASSERT_EQ(actual_table.rows.size(), expected_table.rows.size()) << text;
+    // ?o is unique per row, so the ordered comparison is deterministic.
+    for (size_t r = 0; r < actual_table.rows.size(); ++r) {
+      ASSERT_TRUE(actual_table.rows[r][1].has_value()) << text;
+      EXPECT_EQ(actual_table.rows[r][1]->ToString(),
+                expected_table.rows[r][1]->ToString())
+          << text << " row " << r;
+    }
+  }
+}
+
+TEST_F(ShardedEndpointTest, OrderByKeyOutsideProjectionStillSorts) {
+  // The sort key is not in the SELECT list: members must ship it anyway
+  // (the scatter extends their projection) and the gather must drop the
+  // extra column after windowing.
+  const char kText[] =
+      "SELECT ?s WHERE { ?s <http://ex/p> ?o . } ORDER BY DESC(?o) LIMIT 5";
+  auto expected = oracle_->Query(kText);
+  auto actual = sharded_->Query(kText);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  sparql::ResultTable expected_table = ResponseTable(*expected);
+  sparql::ResultTable actual_table = ResponseTable(*actual);
+  ASSERT_EQ(actual_table.vars, (std::vector<std::string>{"s"}));
+  ASSERT_EQ(actual_table.rows.size(), 5u);
+  // ?o = N for subject sN, so DESC(?o) LIMIT 5 is s19..s15 exactly.
+  for (size_t r = 0; r < 5; ++r) {
+    ASSERT_TRUE(actual_table.rows[r][0].has_value());
+    EXPECT_EQ(actual_table.rows[r][0]->ToString(),
+              expected_table.rows[r][0]->ToString())
+        << "row " << r;
+  }
+}
+
+/// Member decorator recording every shipped query text.
+class RecordingMember : public net::Endpoint {
+ public:
+  explicit RecordingMember(std::shared_ptr<net::Endpoint> inner)
+      : inner_(std::move(inner)) {}
+  const std::string& id() const override { return inner_->id(); }
+  Result<net::QueryResponse> Query(const std::string& text) override {
+    Record(text);
+    return inner_->Query(text);
+  }
+  Result<net::QueryResponse> QueryWithDeadline(
+      const std::string& text, const Deadline& deadline) override {
+    Record(text);
+    return inner_->QueryWithDeadline(text, deadline);
+  }
+  Result<net::QueryResponse> QueryCancellable(
+      const std::string& text, const CancelToken& cancel) override {
+    Record(text);
+    return inner_->QueryCancellable(text, cancel);
+  }
+  std::vector<std::string> recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return texts_;
+  }
+
+ private:
+  void Record(const std::string& text) {
+    std::lock_guard<std::mutex> lock(mu_);
+    texts_.push_back(text);
+  }
+  std::shared_ptr<net::Endpoint> inner_;
+  mutable std::mutex mu_;
+  std::vector<std::string> texts_;
+};
+
+TEST_F(ShardedEndpointTest, OffsetIsNeverPushedToMembers) {
+  // OFFSET pushed to a member would skip that member's first rows and
+  // lose them from the union for good; LIMIT may ship only widened to
+  // offset+limit, and only when no global sort reorders the union.
+  std::vector<std::shared_ptr<RecordingMember>> recorders;
+  std::vector<std::shared_ptr<net::Endpoint>> members;
+  for (auto& member : ShardMembers(triples_, map_, "ex")) {
+    auto recorder = std::make_shared<RecordingMember>(member);
+    recorders.push_back(recorder);
+    members.push_back(recorder);
+  }
+  shard::ShardedEndpoint sharded("ex", map_, members,
+                                 shard::ShardedEndpointOptions{});
+
+  auto windowed = sharded.Query(
+      "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . } LIMIT 5 OFFSET 3");
+  ASSERT_TRUE(windowed.ok()) << windowed.status().ToString();
+  EXPECT_EQ(ResponseTable(*windowed).rows.size(), 5u);
+  std::vector<size_t> seen;
+  bool saw_widened_limit = false;
+  for (const auto& recorder : recorders) {
+    std::vector<std::string> texts = recorder->recorded();
+    seen.push_back(texts.size());
+    for (const std::string& text : texts) {
+      EXPECT_EQ(text.find("OFFSET"), std::string::npos)
+          << "OFFSET shipped to a member: " << text;
+      // The unsorted window ships LIMIT offset+limit = 8 to members.
+      if (text.find("LIMIT 8") != std::string::npos) {
+        saw_widened_limit = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_widened_limit);
+
+  auto sorted = sharded.Query(
+      "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . } "
+      "ORDER BY ?o LIMIT 5 OFFSET 3");
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  EXPECT_EQ(ResponseTable(*sorted).rows.size(), 5u);
+  for (size_t i = 0; i < recorders.size(); ++i) {
+    std::vector<std::string> texts = recorders[i]->recorded();
+    for (size_t t = seen[i]; t < texts.size(); ++t) {
+      // Under a global sort the gather needs every member row that could
+      // fall in the window, so neither OFFSET nor LIMIT may ship.
+      EXPECT_EQ(texts[t].find("OFFSET"), std::string::npos) << texts[t];
+      EXPECT_EQ(texts[t].find("LIMIT"), std::string::npos) << texts[t];
+    }
   }
 }
 
